@@ -1,0 +1,148 @@
+// E3 — cycle-breaking policy comparison (§5, §7): compression given up to
+// cycles and run-time, for the constant-time and locally-minimum policies
+// (and the exact optimum on instances small enough to solve), on:
+//
+//   * the software corpus (cycles are sparse — the common case);
+//   * cycle-rich block-permutation deltas (every permutation cycle is a
+//     digraph cycle);
+//   * the Figure 2 tree adversary (local-min's worst case, exact shines).
+#include <cstdio>
+#include <vector>
+
+#include "adversary/constructions.hpp"
+#include "bench_util.hpp"
+#include "inplace/converter.hpp"
+#include "ipdelta.hpp"
+
+namespace {
+
+using namespace ipd;
+
+struct PolicyStats {
+  std::uint64_t conversion_cost = 0;
+  length_t bytes_converted = 0;
+  std::size_t copies_converted = 0;
+  std::size_t cycles = 0;
+  std::size_t cycle_walk = 0;
+  double seconds = 0;
+};
+
+PolicyStats run_policy(const std::vector<const Script*>& scripts,
+                       const std::vector<const Bytes*>& refs,
+                       BreakPolicy policy) {
+  PolicyStats stats;
+  ConvertOptions copts;
+  copts.policy = policy;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    ConvertResult r;
+    stats.seconds += bench::time_seconds(
+        [&] { r = convert_to_inplace(*scripts[i], *refs[i], copts); });
+    stats.conversion_cost += r.report.conversion_cost;
+    stats.bytes_converted += r.report.bytes_converted;
+    stats.copies_converted += r.report.copies_converted;
+    stats.cycles += r.report.cycles_found;
+    stats.cycle_walk += r.report.cycle_length_sum;
+  }
+  return stats;
+}
+
+void print_policy(const char* name, const PolicyStats& s) {
+  std::printf("  %-16s %10llu %10llu %8zu %8zu %10zu %9.3f s\n", name,
+              static_cast<unsigned long long>(s.conversion_cost),
+              static_cast<unsigned long long>(s.bytes_converted),
+              s.copies_converted, s.cycles, s.cycle_walk, s.seconds);
+}
+
+void header() {
+  std::printf("  %-16s %10s %10s %8s %8s %10s %11s\n", "policy",
+              "cost (B)", "conv (B)", "copies", "cycles", "cyclewalk",
+              "time");
+}
+
+void run_workload(const char* title,
+                  const std::vector<const Script*>& scripts,
+                  const std::vector<const Bytes*>& refs,
+                  bool include_exact) {
+  std::printf("%s\n", title);
+  header();
+  print_policy("constant", run_policy(scripts, refs,
+                                      BreakPolicy::kConstantTime));
+  print_policy("local-min",
+               run_policy(scripts, refs, BreakPolicy::kLocalMin));
+  if (include_exact) {
+    print_policy("exact",
+                 run_policy(scripts, refs, BreakPolicy::kExactOptimal));
+  }
+  bench::rule();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Cycle-breaking policies — compression cost and run-time (§5/§7)\n"
+      "paper: local-min recovers the 4.0%% constant-time cycle loss down\n"
+      "to 0.5%% at no run-time cost; worst-case slowdowns up to 25%% on\n"
+      "cycle-heavy inputs\n");
+  bench::rule('=');
+
+  // Workload 1: the software corpus.
+  {
+    const auto corpus = bench::evaluation_corpus();
+    std::vector<Script> scripts;
+    scripts.reserve(corpus.size());
+    for (const VersionPair& pair : corpus) {
+      scripts.push_back(
+          diff_bytes(DifferKind::kOnePass, pair.reference, pair.version));
+    }
+    std::vector<const Script*> sp;
+    std::vector<const Bytes*> rp;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      sp.push_back(&scripts[i]);
+      rp.push_back(&corpus[i].reference);
+    }
+    run_workload("software corpus (cycles sparse):", sp, rp,
+                 /*include_exact=*/false);
+  }
+
+  // Workload 2: cycle-rich random block permutations.
+  {
+    Rng rng(404);
+    std::vector<AdversaryInstance> instances;
+    for (int i = 0; i < 24; ++i) {
+      instances.push_back(
+          make_block_permutation(512, random_permutation(rng, 256),
+                                 rng.next()));
+    }
+    std::vector<const Script*> sp;
+    std::vector<const Bytes*> rp;
+    for (const auto& inst : instances) {
+      sp.push_back(&inst.script);
+      rp.push_back(&inst.reference);
+    }
+    run_workload("random block permutations (cycle-rich):", sp, rp,
+                 /*include_exact=*/false);
+  }
+
+  // Workload 3: Figure 2 adversary (small enough for the exact solver).
+  {
+    const Fig2Instance fig2 = make_fig2_tree(5);  // 31 vertices, 16 leaves
+    std::vector<const Script*> sp = {&fig2.script};
+    std::vector<const Bytes*> rp = {&fig2.reference};
+    std::printf("figure-2 tree adversary (depth 5, %zu leaves):\n",
+                fig2.leaf_count);
+    header();
+    print_policy("constant",
+                 run_policy(sp, rp, BreakPolicy::kConstantTime));
+    print_policy("local-min", run_policy(sp, rp, BreakPolicy::kLocalMin));
+    print_policy("exact", run_policy(sp, rp, BreakPolicy::kExactOptimal));
+    bench::rule();
+  }
+
+  std::printf(
+      "expected shape: on the corpus and permutations, local-min converts\n"
+      "the same number of copies at lower byte cost and indistinguishable\n"
+      "time; on the Figure-2 tree both heuristics pay per-leaf while the\n"
+      "exact optimum deletes only the root.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E5 — Figure 3 and Lemma 1: the size of the CRWI digraph.
+//
+// The Figure-3 file pair realises Θ(|C|²) edges, showing the quadratic
+// vertex bound is tight; Lemma 1 shows |E| <= L_V always. We sweep the
+// construction, verify both bounds, and time digraph construction to show
+// it scales with |C| log |C| + |E| (§4.3).
+#include <algorithm>
+#include <cstdio>
+
+#include "adversary/constructions.hpp"
+#include "bench_util.hpp"
+#include "inplace/crwi_graph.hpp"
+#include "ipdelta.hpp"
+
+namespace {
+
+using namespace ipd;
+
+CrwiGraph build_graph(const Script& script, length_t version_length) {
+  auto copies = script.copies();
+  std::sort(copies.begin(), copies.end(),
+            [](const CopyCommand& a, const CopyCommand& b) {
+              return a.to < b.to;
+            });
+  return CrwiGraph::build(copies, version_length);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 3 / Lemma 1 — CRWI digraph size bounds\n"
+      "quadratic construction: sqrt(L) unit copies + sqrt(L)-1 block "
+      "copies of block b1\n");
+  bench::rule('=');
+  std::printf("%10s %8s %12s %12s %10s %9s %12s\n", "L = |V|", "|C|", "|E|",
+              "(√L-1)·√L", "|E|/|C|²", "E<=L_V", "build time");
+  bench::rule();
+
+  for (length_t block = 4; block <= 1024; block *= 2) {
+    const Fig3Instance inst = make_fig3_quadratic(block);
+    const length_t version_length = block * block;
+
+    CrwiGraph graph;
+    const double seconds = bench::time_seconds(
+        [&] { graph = build_graph(inst.script, version_length); });
+
+    const double c = static_cast<double>(graph.vertex_count());
+    std::printf("%10llu %8zu %12zu %12zu %10.3f %9s %9.3f ms\n",
+                static_cast<unsigned long long>(version_length),
+                graph.vertex_count(), graph.edge_count(),
+                inst.expected_edges, static_cast<double>(graph.edge_count()) /
+                                         (c * c),
+                graph.edge_count() <= version_length ? "yes" : "NO",
+                seconds * 1e3);
+  }
+
+  bench::rule();
+  std::printf(
+      "corpus sanity: Lemma 1 on real diff output (one-pass differencer)\n");
+  std::printf("%-26s %8s %10s %12s %9s\n", "pair", "|C|", "|E|", "L_V",
+              "E<=L_V");
+  const auto corpus = bench::evaluation_corpus();
+  for (std::size_t i = 0; i < corpus.size(); i += 16) {
+    const VersionPair& pair = corpus[i];
+    const Script script =
+        diff_bytes(DifferKind::kOnePass, pair.reference, pair.version);
+    const CrwiGraph graph = build_graph(script, pair.version.size());
+    std::printf("%-26s %8zu %10zu %12zu %9s\n", pair.name.c_str(),
+                graph.vertex_count(), graph.edge_count(),
+                pair.version.size(),
+                graph.edge_count() <= pair.version.size() ? "yes" : "NO");
+  }
+
+  bench::rule();
+  std::printf(
+      "expected shape: on the Fig-3 family |E| equals (√L-1)·√L exactly\n"
+      "(quadratic in |C|, tight against Lemma 1's L_V ceiling); on real\n"
+      "diffs |E| sits far below L_V; build time grows near-linearly in L.\n");
+  return 0;
+}

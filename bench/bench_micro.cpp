@@ -1,0 +1,228 @@
+// E7 — google-benchmark micro suite for the §4.3 asymptotics: digraph
+// construction, topological sort + cycle breaking, full conversion, the
+// differencers, the appliers, and the codec.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "adversary/constructions.hpp"
+#include "apply/stream_applier.hpp"
+#include "core/lzss.hpp"
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "inplace/converter.hpp"
+#include "inplace/scc.hpp"
+#include "ipdelta.hpp"
+
+namespace {
+
+using namespace ipd;
+
+std::vector<CopyCommand> sorted_copies(const Script& s) {
+  auto copies = s.copies();
+  std::sort(copies.begin(), copies.end(),
+            [](const CopyCommand& a, const CopyCommand& b) {
+              return a.to < b.to;
+            });
+  return copies;
+}
+
+// A reusable versioned pair sized by the benchmark argument.
+struct Pair {
+  Bytes ref;
+  Bytes ver;
+};
+
+Pair make_pair_bytes(std::size_t size) {
+  Rng rng(size * 2654435761u + 1);
+  Pair p;
+  p.ref = generate_file(rng, size, FileProfile::kBinary);
+  p.ver = mutate(p.ref, rng, std::max<std::size_t>(2, size >> 14));
+  return p;
+}
+
+void BM_DiffOnePass(benchmark::State& state) {
+  const Pair p = make_pair_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diff_bytes(DifferKind::kOnePass, p.ref, p.ver));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_DiffOnePass)->Range(1 << 12, 1 << 20);
+
+void BM_DiffGreedy(benchmark::State& state) {
+  const Pair p = make_pair_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff_bytes(DifferKind::kGreedy, p.ref, p.ver));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_DiffGreedy)->Range(1 << 12, 1 << 18);
+
+void BM_CrwiGraphBuild(benchmark::State& state) {
+  // Block permutations give |C| = n vertices and |E| = n edges.
+  Rng rng(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const AdversaryInstance inst =
+      make_block_permutation(64, random_permutation(rng, n));
+  const auto copies = sorted_copies(inst.script);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CrwiGraph::build(copies, n * 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CrwiGraphBuild)->Range(1 << 6, 1 << 14);
+
+void BM_TopoSort(benchmark::State& state) {
+  Rng rng(8);
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const AdversaryInstance inst =
+      make_block_permutation(64, random_permutation(rng, n));
+  const auto copies = sorted_copies(inst.script);
+  const CrwiGraph g = CrwiGraph::build(copies, n * 64);
+  const CodewordCostModel model(kPaperExplicit, n * 64);
+  const auto costs = conversion_costs(copies, model);
+  const BreakPolicy policy = static_cast<BreakPolicy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo_sort_breaking_cycles(g, policy, costs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TopoSort)
+    ->ArgsProduct({{0 /*constant*/, 1 /*local-min*/}, {1 << 8, 1 << 12}});
+
+void BM_ConvertCorpusPair(benchmark::State& state) {
+  const Pair p = make_pair_bytes(static_cast<std::size_t>(state.range(0)));
+  const Script script = diff_bytes(DifferKind::kOnePass, p.ref, p.ver);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convert_to_inplace(script, p.ref, {}));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_ConvertCorpusPair)->Range(1 << 12, 1 << 20);
+
+void BM_ApplyScratch(benchmark::State& state) {
+  const Pair p = make_pair_bytes(static_cast<std::size_t>(state.range(0)));
+  const Script script = diff_bytes(DifferKind::kOnePass, p.ref, p.ver);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apply_script(script, p.ref));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_ApplyScratch)->Range(1 << 12, 1 << 20);
+
+void BM_ApplyInplace(benchmark::State& state) {
+  const Pair p = make_pair_bytes(static_cast<std::size_t>(state.range(0)));
+  const Script script = diff_bytes(DifferKind::kOnePass, p.ref, p.ver);
+  const ConvertResult converted = convert_to_inplace(script, p.ref, {});
+  Bytes buffer(std::max(p.ref.size(), p.ver.size()));
+  for (auto _ : state) {
+    std::copy(p.ref.begin(), p.ref.end(), buffer.begin());
+    apply_inplace(converted.script, buffer, p.ref.size(), p.ver.size());
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_ApplyInplace)->Range(1 << 12, 1 << 20);
+
+void BM_SerializeDelta(benchmark::State& state) {
+  const Pair p = make_pair_bytes(1 << 16);
+  const Script script = diff_bytes(DifferKind::kOnePass, p.ref, p.ver);
+  DeltaFile file;
+  file.format = state.range(0) == 0 ? kPaperExplicit : kVarintExplicit;
+  file.reference_length = p.ref.size();
+  file.version_length = p.ver.size();
+  file.script = script;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_delta(file));
+  }
+}
+BENCHMARK(BM_SerializeDelta)->Arg(0)->Arg(1);
+
+void BM_DeserializeDelta(benchmark::State& state) {
+  const Pair p = make_pair_bytes(1 << 16);
+  const Bytes delta = create_inplace_delta(p.ref, p.ver);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deserialize_delta(delta));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * delta.size()));
+}
+BENCHMARK(BM_DeserializeDelta);
+
+void BM_LzssEncode(benchmark::State& state) {
+  Rng rng(11);
+  const Bytes input = generate_file(rng, static_cast<std::size_t>(state.range(0)),
+                                    FileProfile::kText);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzss_encode(input));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_LzssEncode)->Range(1 << 12, 1 << 20);
+
+void BM_LzssDecode(benchmark::State& state) {
+  Rng rng(12);
+  const Bytes input = generate_file(rng, static_cast<std::size_t>(state.range(0)),
+                                    FileProfile::kText);
+  const Bytes encoded = lzss_encode(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzss_decode(encoded, input.size()));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_LzssDecode)->Range(1 << 12, 1 << 20);
+
+void BM_SccDecomposition(benchmark::State& state) {
+  Rng rng(13);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const AdversaryInstance inst =
+      make_block_permutation(64, random_permutation(rng, n));
+  const auto copies = sorted_copies(inst.script);
+  const CrwiGraph g = CrwiGraph::build(copies, n * 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strongly_connected_components(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SccDecomposition)->Range(1 << 8, 1 << 14);
+
+void BM_StreamingApply(benchmark::State& state) {
+  const Pair p = make_pair_bytes(1 << 17);
+  const Bytes delta = create_inplace_delta(p.ref, p.ver);
+  Bytes buffer(std::max(p.ref.size(), p.ver.size()));
+  for (auto _ : state) {
+    std::copy(p.ref.begin(), p.ref.end(), buffer.begin());
+    benchmark::DoNotOptimize(
+        apply_delta_inplace_streaming(delta, buffer, 1400));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * p.ver.size()));
+}
+BENCHMARK(BM_StreamingApply);
+
+void BM_Fig2LocalMin(benchmark::State& state) {
+  const Fig2Instance inst =
+      make_fig2_tree(static_cast<std::size_t>(state.range(0)));
+  const auto copies = sorted_copies(inst.script);
+  const CrwiGraph g = CrwiGraph::build(copies, inst.version.size());
+  const CodewordCostModel model(kPaperExplicit, inst.version.size());
+  const auto costs = conversion_costs(copies, model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo_sort_breaking_cycles(g, BreakPolicy::kLocalMin, costs));
+  }
+}
+BENCHMARK(BM_Fig2LocalMin)->DenseRange(6, 14, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

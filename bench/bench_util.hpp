@@ -1,0 +1,48 @@
+// Shared helpers for the paper-table benches: wall-clock timing and the
+// corpus both E1-E3 use.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "corpus/workload.hpp"
+
+namespace ipd::bench {
+
+/// Wall-clock seconds spent in fn().
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// The evaluation corpus shared by bench_table1 / bench_runtime /
+/// bench_cycle_policies: ~100 version pairs of synthetic software
+/// releases (DESIGN.md §5 substitution for the paper's GNU/BSD data).
+inline std::vector<VersionPair> evaluation_corpus() {
+  CorpusOptions options;
+  options.seed = 0x19980625;  // PODC '98
+  options.packages = 26;
+  options.releases_per_package = 5;  // 26 * 4 = 104 pairs
+  options.min_file_size = 24 << 10;
+  options.max_file_size = 192 << 10;
+  // Heavy release-to-release churn, calibrated so the delta compressor
+  // lands in the paper's compression regime (deltas ~10-20% of the new
+  // version) with block moves frequent enough to exercise cycles.
+  options.edits_per_64k = 80;
+  options.mutation_model.move_weight = 1.2;
+  options.mutation_model.duplicate_weight = 1.0;
+  options.mutation_model.max_edit_fraction = 0.03;
+  options.mutation_model.length_scale = 96;
+  return standard_corpus(options);
+}
+
+inline void rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace ipd::bench

@@ -1,0 +1,252 @@
+// ipdelta — command-line delta tool over the library.
+//
+//   ipdelta diff  <reference> <version> <delta>  [--in-place]
+//                 [--differ greedy|onepass] [--policy constant|localmin|exact]
+//                 [--format paper|varint] [--no-write-offsets]
+//   ipdelta apply <delta> <reference> <output>
+//   ipdelta patch <delta> <file>          # in-place: rewrites <file>
+//   ipdelta info  <delta>
+//
+// Exit status: 0 on success, 1 on usage error, 2 on processing error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hexdump.hpp"
+#include "core/io.hpp"
+#include "delta/compose.hpp"
+#include "delta/stats.hpp"
+#include "inplace/analysis.hpp"
+#include "ipdelta.hpp"
+
+namespace {
+
+using namespace ipd;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ipdelta diff  <reference> <version> <delta> [--in-place]\n"
+      "                [--differ greedy|onepass|suffix|block]\n"
+      "                [--policy constant|localmin|exact|scc]\n"
+      "                [--format paper|varint] [--no-write-offsets]\n"
+      "                [--compress]\n"
+      "  ipdelta apply <delta> <reference> <output>\n"
+      "  ipdelta patch <delta> <file>\n"
+      "  ipdelta verify <delta> <reference>\n"
+      "  ipdelta compose <deltaAB> <deltaBC> <deltaAC>\n"
+      "  ipdelta info  <delta> [--deep]\n");
+  return 1;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  bool in_place = false;
+  bool write_offsets = true;
+  PipelineOptions options;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw Error("missing value for " + a);
+      return args[++i];
+    };
+    if (a == "--in-place") {
+      in_place = true;
+    } else if (a == "--compress") {
+      options.compress_payload = true;
+    } else if (a == "--no-write-offsets") {
+      write_offsets = false;
+    } else if (a == "--differ") {
+      const std::string& v = next();
+      if (v == "greedy") options.differ = DifferKind::kGreedy;
+      else if (v == "onepass") options.differ = DifferKind::kOnePass;
+      else if (v == "suffix") options.differ = DifferKind::kSuffixGreedy;
+      else if (v == "block") options.differ = DifferKind::kBlockAligned;
+      else throw Error("unknown differ: " + v);
+    } else if (a == "--policy") {
+      const std::string& v = next();
+      if (v == "constant") options.convert.policy = BreakPolicy::kConstantTime;
+      else if (v == "localmin") options.convert.policy = BreakPolicy::kLocalMin;
+      else if (v == "exact") options.convert.policy = BreakPolicy::kExactOptimal;
+      else if (v == "scc") options.convert.policy = BreakPolicy::kSccGlobalMin;
+      else throw Error("unknown policy: " + v);
+    } else if (a == "--format") {
+      const std::string& v = next();
+      if (v == "paper") options.convert.format.codeword = Codeword::kPaperByte;
+      else if (v == "varint") options.convert.format.codeword = Codeword::kVarint;
+      else throw Error("unknown format: " + v);
+    } else {
+      throw Error("unknown option: " + a);
+    }
+  }
+
+  const Bytes reference = read_file(args[0]);
+  const Bytes version = read_file(args[1]);
+
+  Bytes delta;
+  if (in_place) {
+    options.convert.format.offsets = WriteOffsets::kExplicit;
+    ConvertReport report;
+    delta = create_inplace_delta(reference, version, options, &report);
+    std::printf(
+        "in-place delta: %zu commands in, %zu cycles broken, %zu copies "
+        "converted (%llu bytes of compression given up)\n",
+        report.copies_in + report.adds_in, report.cycles_found,
+        report.copies_converted,
+        static_cast<unsigned long long>(report.conversion_cost));
+  } else {
+    DeltaFormat format = options.convert.format;
+    format.offsets = write_offsets ? WriteOffsets::kExplicit
+                                   : WriteOffsets::kImplicit;
+    delta = create_delta(reference, version, format, options);
+  }
+  write_file(args[2], delta);
+  std::printf("%s -> %s: %zu bytes (%s of version)\n", args[0].c_str(),
+              args[2].c_str(), delta.size(),
+              format_percent(version.empty()
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(delta.size()) /
+                                       static_cast<double>(version.size()))
+                  .c_str());
+  return 0;
+}
+
+int cmd_apply(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const Bytes delta = read_file(args[0]);
+  const Bytes reference = read_file(args[1]);
+  const Bytes version = apply_delta(delta, reference);
+  write_file(args[2], version);
+  std::printf("reconstructed %zu bytes into %s (CRC verified)\n",
+              version.size(), args[2].c_str());
+  return 0;
+}
+
+int cmd_patch(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const Bytes delta = read_file(args[0]);
+  const DeltaFile parsed = deserialize_delta(delta);
+  Bytes buffer = read_file(args[1]);
+  if (buffer.size() != parsed.reference_length) {
+    throw Error("file size does not match the delta's reference length");
+  }
+  buffer.resize(std::max<std::size_t>(parsed.reference_length,
+                                      parsed.version_length));
+  const length_t new_len = apply_delta_inplace(delta, buffer);
+  buffer.resize(static_cast<std::size_t>(new_len));
+  write_file(args[1], buffer);
+  std::printf("patched %s in place: now %llu bytes (CRC verified)\n",
+              args[1].c_str(), static_cast<unsigned long long>(new_len));
+  return 0;
+}
+
+int cmd_compose(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const DeltaFile d1 = deserialize_delta(read_file(args[0]));
+  const DeltaFile d2 = deserialize_delta(read_file(args[1]));
+  if (d1.version_length != d2.reference_length) {
+    throw Error("deltas do not chain: first produces " +
+                std::to_string(d1.version_length) +
+                " bytes, second expects " +
+                std::to_string(d2.reference_length));
+  }
+  ComposeReport report;
+  DeltaFile out;
+  out.script = compose_scripts(d1.script, d2.script, &report);
+  out.format = kVarintExplicit;
+  out.in_place = satisfies_equation2(out.script);
+  out.reference_length = d1.reference_length;
+  out.version_length = d2.version_length;
+  out.version_crc = d2.version_crc;
+  out.compress_payload = d1.compress_payload || d2.compress_payload;
+  const Bytes wire = serialize_delta(out);
+  write_file(args[2], wire);
+  std::printf(
+      "composed %s o %s -> %s: %zu bytes, %zu commands (%llu literal "
+      "bytes)%s\n",
+      args[1].c_str(), args[0].c_str(), args[2].c_str(), wire.size(),
+      out.script.size(),
+      static_cast<unsigned long long>(report.literal_bytes),
+      out.in_place ? ", in-place safe" : "");
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const Bytes delta = read_file(args[0]);
+  const Bytes reference = read_file(args[1]);
+  const VerifyResult r = verify_delta(delta, reference);
+  if (!r.ok) {
+    std::printf("FAIL: %s\n", r.failure.c_str());
+    return 2;
+  }
+  std::printf("OK: reconstructs %llu bytes%s\n",
+              static_cast<unsigned long long>(r.version_length),
+              r.in_place_capable ? " (in-place capable)" : "");
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  bool deep = false;
+  if (args.size() == 2) {
+    if (args[1] != "--deep") return usage();
+    deep = true;
+  }
+  const Bytes delta = read_file(args[0]);
+  const DeltaFile file = deserialize_delta(delta);
+  const ScriptSummary sum = file.script.summary();
+  std::printf(
+      "%s\n"
+      "  format:            %s\n"
+      "  in-place safe:     %s\n"
+      "  payload lzss:      %s\n"
+      "  reference length:  %llu\n"
+      "  version length:    %llu\n"
+      "  version crc32c:    %08x\n"
+      "  commands:          %zu copies (%llu bytes), %zu adds (%llu bytes)\n"
+      "  delta size:        %zu bytes (%s of version)\n",
+      args[0].c_str(), format_name(file.format),
+      file.in_place ? "yes" : "no",
+      file.compress_payload ? "yes" : "no",
+      static_cast<unsigned long long>(file.reference_length),
+      static_cast<unsigned long long>(file.version_length),
+      file.version_crc, sum.copy_count,
+      static_cast<unsigned long long>(sum.copied_bytes), sum.add_count,
+      static_cast<unsigned long long>(sum.added_bytes), delta.size(),
+      format_percent(file.version_length == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(delta.size()) /
+                               static_cast<double>(file.version_length))
+          .c_str());
+  std::printf("  first commands:\n%s", file.script.to_text(10).c_str());
+  if (deep) {
+    std::printf("\nstructural analysis:\n%s",
+                render_analysis(
+                    analyze_delta(file.script, file.reference_length))
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "diff") return cmd_diff(args);
+    if (command == "apply") return cmd_apply(args);
+    if (command == "patch") return cmd_patch(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "compose") return cmd_compose(args);
+    if (command == "info") return cmd_info(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipdelta: %s\n", e.what());
+    return 2;
+  }
+}

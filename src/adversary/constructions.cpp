@@ -1,0 +1,163 @@
+#include "adversary/constructions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "apply/apply.hpp"
+
+namespace ipd {
+namespace {
+
+Bytes random_bytes(std::uint64_t seed, length_t size) {
+  Rng rng(seed);
+  Bytes out(static_cast<std::size_t>(size));
+  rng.fill(out);
+  return out;
+}
+
+}  // namespace
+
+Fig2Instance make_fig2_tree(std::size_t depth) {
+  if (depth < 2) {
+    throw ValidationError("fig2 tree needs depth >= 2");
+  }
+  // Heap-numbered complete binary tree, nodes 1 .. 2^depth - 1; write
+  // intervals laid out in BFS order so siblings are adjacent, which lets
+  // a parent's contiguous read interval straddle exactly its two
+  // children's writes.
+  const std::size_t node_count = (std::size_t{1} << depth) - 1;
+  const std::size_t first_leaf = std::size_t{1} << (depth - 1);
+
+  // Copy lengths tuned so costs order leaf < root < inner (see header).
+  // The parent-read constraint is l_parent/2 <= min(child lengths).
+  constexpr length_t kLeaf = 16;
+  constexpr length_t kRoot = 24;
+  constexpr length_t kLastInner = 32;  // parents of leaves
+  constexpr length_t kInner = 64;
+
+  const auto node_length = [&](std::size_t node) -> length_t {
+    if (node == 1) return kRoot;
+    if (node >= first_leaf) return kLeaf;
+    if (node * 2 >= first_leaf) return kLastInner;
+    return kInner;
+  };
+
+  // BFS layout: node i writes [pos[i], pos[i] + len[i] - 1].
+  std::vector<offset_t> pos(node_count + 1, 0);
+  offset_t cursor = 0;
+  for (std::size_t i = 1; i <= node_count; ++i) {
+    pos[i] = cursor;
+    cursor += node_length(i);
+  }
+  const length_t total = cursor;
+
+  Fig2Instance instance;
+  instance.leaf_count = first_leaf;  // 2^(depth-1) leaves
+  instance.leaf_copy_length = kLeaf;
+  instance.root_copy_length = kRoot;
+
+  for (std::size_t i = 1; i <= node_count; ++i) {
+    const length_t len = node_length(i);
+    offset_t from;
+    if (i >= first_leaf) {
+      // Leaf: read inside the root's write interval -> edge leaf→root.
+      from = pos[1];
+      assert(len <= node_length(1));
+    } else {
+      // Inner (and root): read straddles the boundary between the two
+      // children's writes -> edges parent→left, parent→right.
+      const std::size_t right = 2 * i + 1;
+      assert(len / 2 <= node_length(2 * i) && len / 2 <= node_length(right));
+      from = pos[right] - len / 2;
+    }
+    instance.script.push(CopyCommand{from, pos[i], len});
+  }
+
+  instance.reference = random_bytes(0xF162, total);
+  instance.version = apply_script(instance.script, instance.reference);
+  return instance;
+}
+
+Fig3Instance make_fig3_quadratic(length_t block) {
+  if (block < 2) {
+    throw ValidationError("fig3 needs block >= 2");
+  }
+  const length_t total = block * block;  // L, with sqrt(L) = block
+
+  Fig3Instance instance;
+  // Block b1 of the version: `block` unit copies. Reading its own write
+  // position keeps each unit copy free of incidental edges.
+  for (length_t i = 0; i < block; ++i) {
+    instance.script.push(CopyCommand{i, i, 1});
+  }
+  // Blocks b2..b_sqrt(L): whole-block copies of reference block b1; each
+  // reads [0, block) and therefore conflicts with every unit copy.
+  for (length_t j = 1; j < block; ++j) {
+    instance.script.push(CopyCommand{0, j * block, block});
+  }
+  instance.expected_edges =
+      static_cast<std::size_t>((block - 1) * block);
+
+  instance.reference = random_bytes(0xF163, total);
+  instance.version = apply_script(instance.script, instance.reference);
+  return instance;
+}
+
+AdversaryInstance make_block_permutation(
+    length_t block_size, std::span<const std::uint32_t> permutation,
+    std::uint64_t content_seed) {
+  if (block_size == 0) {
+    throw ValidationError("block permutation needs block_size >= 1");
+  }
+  const std::size_t n = permutation.size();
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t p : permutation) {
+    if (p >= n || seen[p]) {
+      throw ValidationError("not a permutation of 0..n-1");
+    }
+    seen[p] = true;
+  }
+
+  AdversaryInstance instance;
+  for (std::size_t i = 0; i < n; ++i) {
+    instance.script.push(CopyCommand{permutation[i] * block_size,
+                                     i * block_size, block_size});
+  }
+  instance.reference = random_bytes(content_seed, n * block_size);
+  instance.version = apply_script(instance.script, instance.reference);
+  return instance;
+}
+
+AdversaryInstance make_rotation(length_t file_size, length_t shift,
+                                std::uint64_t content_seed) {
+  if (file_size < 2 || shift == 0 || shift >= file_size) {
+    throw ValidationError("rotation needs 0 < shift < file_size");
+  }
+  AdversaryInstance instance;
+  // version[0 .. L-shift) = reference[shift .. L); version tail wraps.
+  instance.script.push(CopyCommand{shift, 0, file_size - shift});
+  instance.script.push(CopyCommand{0, file_size - shift, shift});
+  instance.reference = random_bytes(content_seed, file_size);
+  instance.version = apply_script(instance.script, instance.reference);
+  return instance;
+}
+
+std::vector<std::uint32_t> random_permutation(Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> single_cycle_permutation(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = static_cast<std::uint32_t>((i + 1) % n);
+  }
+  return perm;
+}
+
+}  // namespace ipd

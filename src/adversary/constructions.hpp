@@ -1,0 +1,79 @@
+// Analytic constructions from the paper, as real (reference, script)
+// instances the rest of the library can run end to end:
+//
+//  * Figure 2 — a CRWI digraph shaped like a binary tree with an edge
+//    from every leaf back to the root. Every root→leaf path closes a
+//    cycle whose cheapest vertex is the leaf, so the locally-minimum
+//    policy deletes all k leaves (cost ≈ k·C) while deleting the root
+//    alone (cost ≈ C) is globally optimal — local-min is arbitrarily far
+//    from optimal.
+//  * Figure 3 — a file pair whose CRWI digraph realises the Ω(|C|²) edge
+//    bound: √L big copies all read the block that √L unit copies write.
+//    Together with Lemma 1 (|E| ≤ L_V) this pins the digraph size.
+//  * Permutation deltas — version = a block permutation of the reference;
+//    the CRWI digraph is exactly the permutation's cycle structure, giving
+//    precise control over cycle count and length for tests and benches.
+#pragma once
+
+#include <span>
+
+#include "core/rng.hpp"
+#include "delta/script.hpp"
+
+namespace ipd {
+
+/// A self-contained adversarial instance: a valid delta script plus the
+/// reference it reads and the version it encodes.
+struct AdversaryInstance {
+  Script script;
+  Bytes reference;
+  Bytes version;
+};
+
+/// Figure 2: complete binary tree of `depth` levels (depth >= 2; the tree
+/// has 2^depth - 1 vertices and 2^(depth-1) leaves).
+///
+/// Copy lengths are tuned so conversion costs order as
+/// leaf < root < inner, making the leaf the locally-minimum choice on
+/// every cycle while the root remains the global optimum.
+struct Fig2Instance {
+  Script script;  ///< copies only; writes tile the version contiguously
+  Bytes reference;
+  Bytes version;
+  std::size_t leaf_count = 0;
+  length_t leaf_copy_length = 0;  ///< C, cost scale of one leaf deletion
+  length_t root_copy_length = 0;  ///< cost scale of the optimal deletion
+};
+Fig2Instance make_fig2_tree(std::size_t depth);
+
+/// Figure 3: version file of length L = block² built from √L unit copies
+/// (block b₁) plus √L − 1 block-sized copies of reference block b₁.
+/// The CRWI digraph has (√L − 1)·√L ≈ L edges — Θ(|C|²) — and is acyclic.
+struct Fig3Instance {
+  Script script;
+  Bytes reference;
+  Bytes version;
+  std::size_t expected_edges = 0;
+};
+Fig3Instance make_fig3_quadratic(length_t block);
+
+/// Version = block permutation of the reference. The CRWI digraph of the
+/// resulting copy set is exactly the functional graph of `permutation`
+/// (minus fixed points): one digraph cycle per permutation cycle.
+AdversaryInstance make_block_permutation(length_t block_size,
+                                         std::span<const std::uint32_t> permutation,
+                                         std::uint64_t content_seed = 42);
+
+/// Cyclic rotation of the whole file by `shift` bytes — the minimal
+/// two-command script with an unavoidable WR cycle.
+AdversaryInstance make_rotation(length_t file_size, length_t shift,
+                                std::uint64_t content_seed = 42);
+
+/// Uniformly random permutation of {0..n-1}.
+std::vector<std::uint32_t> random_permutation(Rng& rng, std::size_t n);
+
+/// A permutation of {0..n-1} that is a single n-cycle (worst case for
+/// cycle length).
+std::vector<std::uint32_t> single_cycle_permutation(std::size_t n);
+
+}  // namespace ipd

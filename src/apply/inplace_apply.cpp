@@ -1,0 +1,123 @@
+#include "apply/inplace_apply.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/checksum.hpp"
+
+namespace ipd {
+namespace {
+
+void check_bounds(const Script& script, std::size_t buffer_size,
+                  length_t reference_length, length_t version_length) {
+  if (buffer_size < reference_length || buffer_size < version_length) {
+    throw ValidationError(
+        "in-place apply: buffer must hold max(reference, version)");
+  }
+  for (const Command& cmd : script.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (copy->from + copy->length > reference_length) {
+        throw ValidationError("in-place apply: copy reads past reference");
+      }
+    }
+    const Interval w = command_write_interval(cmd);
+    if (w.last >= version_length) {
+      throw ValidationError("in-place apply: command writes past version");
+    }
+  }
+}
+
+}  // namespace
+
+void overlapping_copy(MutByteView buffer, offset_t from, offset_t to,
+                      length_t length) noexcept {
+  if (length == 0 || from == to) {
+    return;
+  }
+  std::uint8_t* data = buffer.data();
+  if (from >= to) {
+    // Left-to-right: the read cursor stays ahead of the write cursor, so
+    // no byte is overwritten before it is read (§4.1).
+    for (length_t i = 0; i < length; ++i) {
+      data[to + i] = data[from + i];
+    }
+  } else {
+    // Right-to-left: symmetric argument when writing forwards.
+    for (length_t i = length; i > 0; --i) {
+      data[to + i - 1] = data[from + i - 1];
+    }
+  }
+}
+
+void apply_inplace(const Script& script, MutByteView buffer,
+                   length_t reference_length, length_t version_length) {
+  check_bounds(script, buffer.size(), reference_length, version_length);
+  for (const Command& cmd : script.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      overlapping_copy(buffer, copy->from, copy->to, copy->length);
+    } else {
+      const AddCommand& add = std::get<AddCommand>(cmd);
+      std::copy(add.data.begin(), add.data.end(),
+                buffer.begin() + static_cast<std::ptrdiff_t>(add.to));
+    }
+  }
+}
+
+void apply_inplace_checked(const Script& script, MutByteView buffer,
+                           length_t reference_length,
+                           length_t version_length) {
+  check_bounds(script, buffer.size(), reference_length, version_length);
+  // Union of intervals already written, as disjoint [first -> last].
+  std::map<offset_t, offset_t> written;
+
+  const auto intersects_written = [&](const Interval& read) {
+    auto it = written.upper_bound(read.last);
+    if (it == written.begin()) return false;
+    --it;
+    return it->second >= read.first;
+  };
+
+  std::size_t index = 0;
+  for (const Command& cmd : script.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (intersects_written(copy->read_interval())) {
+        throw ConflictError(
+            "write-before-read conflict at command " + std::to_string(index) +
+            ": copy reads an interval already overwritten (Equation 2 "
+            "violated; this delta is not in-place reconstructible)");
+      }
+      overlapping_copy(buffer, copy->from, copy->to, copy->length);
+    } else {
+      const AddCommand& add = std::get<AddCommand>(cmd);
+      std::copy(add.data.begin(), add.data.end(),
+                buffer.begin() + static_cast<std::ptrdiff_t>(add.to));
+    }
+    const Interval w = command_write_interval(cmd);
+    written[w.first] = w.last;
+    ++index;
+  }
+}
+
+length_t apply_delta_inplace(ByteView delta, MutByteView buffer) {
+  const DeltaFile file = deserialize_delta(delta);
+  if (!file.in_place) {
+    throw ValidationError(
+        "delta file is not marked in-place reconstructible; apply it with "
+        "scratch space or convert it first");
+  }
+  if (file.reference_length > buffer.size() ||
+      file.version_length > buffer.size()) {
+    throw ValidationError("in-place apply: buffer too small");
+  }
+  apply_inplace(file.script, buffer, file.reference_length,
+                file.version_length);
+  const ByteView version =
+      ByteView(buffer).first(static_cast<std::size_t>(file.version_length));
+  if (crc32c(version) != file.version_crc) {
+    throw FormatError(
+        "in-place apply: version CRC mismatch after reconstruction");
+  }
+  return file.version_length;
+}
+
+}  // namespace ipd

@@ -1,0 +1,49 @@
+// In-place reconstruction (§1, §4.1): the version file materialises in the
+// very buffer holding the reference, using no scratch space proportional
+// to the file — the whole point of the paper.
+//
+// Copies whose read and write intervals overlap are legal for a single
+// command (§4.1): they are performed left-to-right when f >= t and
+// right-to-left when f < t, so no byte is read after being overwritten.
+// std::memmove has exactly these semantics; we expose an explicit
+// byte-loop variant too so tests can check the direction argument.
+#pragma once
+
+#include "delta/codec.hpp"
+#include "delta/script.hpp"
+
+namespace ipd {
+
+/// Apply `script` inside `buffer`.
+///
+/// On entry the first `reference_length` bytes of `buffer` hold the
+/// reference; `buffer.size()` must be >= max(reference_length,
+/// version_length) — the caller provisions the larger of the two, which
+/// is the storage a device needs anyway to hold either file version.
+/// On return the first version_length bytes hold the version.
+///
+/// The script is trusted to be in-place safe (Equation 2); applying a
+/// conflicting script silently corrupts, exactly as the paper describes —
+/// use apply_inplace_checked / the oracle when the input is untrusted.
+void apply_inplace(const Script& script, MutByteView buffer,
+                   length_t reference_length, length_t version_length);
+
+/// As apply_inplace, but verifies Equation 2 while applying (tracks
+/// written intervals); throws ConflictError on the first write-before-
+/// read violation, leaving the buffer partially modified.
+void apply_inplace_checked(const Script& script, MutByteView buffer,
+                           length_t reference_length,
+                           length_t version_length);
+
+/// Decode a serialized delta file (must carry the in_place flag) and apply
+/// it inside `buffer` (sized per apply_inplace). Returns the version
+/// length. Verifies the reconstruction against the file's version CRC.
+length_t apply_delta_inplace(ByteView delta, MutByteView buffer);
+
+/// Overlap-safe single-copy primitive used by both appliers; exposed for
+/// tests. Copies length bytes from `from` to `to` within `buffer`,
+/// left-to-right when from >= to, right-to-left otherwise.
+void overlapping_copy(MutByteView buffer, offset_t from, offset_t to,
+                      length_t length) noexcept;
+
+}  // namespace ipd

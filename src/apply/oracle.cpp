@@ -1,0 +1,47 @@
+#include "apply/oracle.hpp"
+
+#include <map>
+
+namespace ipd {
+
+ConflictAnalysis analyze_conflicts(const Script& script,
+                                   std::size_t max_conflicts) {
+  ConflictAnalysis analysis;
+  // Disjoint written intervals -> (last, writer index).
+  std::map<offset_t, std::pair<offset_t, std::size_t>> written;
+
+  const auto& commands = script.commands();
+  for (std::size_t j = 0; j < commands.size(); ++j) {
+    if (const auto* copy = std::get_if<CopyCommand>(&commands[j])) {
+      if (copy->length > 0) {
+        const Interval read = copy->read_interval();
+        // First candidate: the last interval starting at or before
+        // read.last; walk left while intervals still intersect.
+        auto it = written.upper_bound(read.last);
+        while (it != written.begin()) {
+          --it;
+          const Interval w{it->first, it->second.first};
+          if (w.last < read.first) {
+            break;  // disjoint & sorted: nothing further left intersects
+          }
+          const Interval overlap{std::max(w.first, read.first),
+                                 std::min(w.last, read.last)};
+          analysis.conflicts.push_back(
+              Conflict{j, it->second.second, overlap});
+          analysis.corrupt_bytes += overlap.length();
+          if (analysis.conflicts.size() >= max_conflicts) {
+            return analysis;
+          }
+        }
+      }
+    }
+    const length_t len = command_length(commands[j]);
+    if (len > 0) {
+      const Interval w = command_write_interval(commands[j]);
+      written[w.first] = {w.last, j};
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ipd

@@ -1,0 +1,38 @@
+// Write-before-read conflict oracle (§4.1).
+//
+// Given a script in its serial application order, enumerate every WR
+// conflict: a copy command whose read interval intersects the write
+// interval of an earlier command. An empty conflict list is exactly the
+// paper's Equation 2 — the script is in-place reconstructible.
+//
+// The oracle is the test suite's ground truth: converter output must
+// analyze clean, and deliberately conflicting scripts must not.
+#pragma once
+
+#include <vector>
+
+#include "delta/script.hpp"
+
+namespace ipd {
+
+struct Conflict {
+  std::size_t reader_index;  ///< position of the conflicting copy
+  std::size_t writer_index;  ///< position of the earlier writing command
+  Interval overlap;          ///< bytes read after being overwritten
+};
+
+struct ConflictAnalysis {
+  std::vector<Conflict> conflicts;
+  /// Total bytes that would be read corrupt.
+  length_t corrupt_bytes = 0;
+
+  bool in_place_safe() const noexcept { return conflicts.empty(); }
+};
+
+/// Enumerate WR conflicts of `script` under serial application, stopping
+/// after `max_conflicts` (the default enumerates all).
+ConflictAnalysis analyze_conflicts(
+    const Script& script,
+    std::size_t max_conflicts = static_cast<std::size_t>(-1));
+
+}  // namespace ipd

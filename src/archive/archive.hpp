@@ -1,0 +1,87 @@
+// Update archive: one downloadable artifact that carries a whole release
+// upgrade — in-place deltas for changed files, literal bodies for new
+// files, and deletions — plus a manifest.
+//
+// This is the distribution container the paper's motivation implies: a
+// vendor ships "release N -> N+1" to a fleet of devices/mirrors as one
+// file. Every delta inside is in-place reconstructible, so a receiver
+// upgrades file-by-file in the storage the old release occupies.
+//
+// Wire format:
+//   magic "IPDA" | version u8 | entry count varint | entries...
+// entry:
+//   kind u8 | name (varint length + bytes) | body per kind:
+//     kDelta:   varint length + serialized in-place delta file
+//     kLiteral: varint length + raw new-file bytes + crc32c
+//     kDelete:  (empty)
+// trailer: crc32c of everything before it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "delta/codec.hpp"
+#include "ipdelta.hpp"
+
+namespace ipd {
+
+enum class EntryKind : std::uint8_t {
+  kDelta = 0,    ///< file exists in both releases; body is an in-place delta
+  kLiteral = 1,  ///< file is new; body is its full content
+  kDelete = 2,   ///< file no longer exists
+};
+
+struct ArchiveEntry {
+  EntryKind kind = EntryKind::kDelta;
+  std::string name;
+  Bytes body;  ///< delta file (kDelta) or raw content (kLiteral)
+};
+
+struct Archive {
+  std::vector<ArchiveEntry> entries;
+};
+
+/// A "release" as a named file set; stands in for a directory tree.
+using FileSet = std::map<std::string, Bytes>;
+
+struct ArchiveBuildOptions {
+  PipelineOptions pipeline;
+  /// Emit kLiteral instead of kDelta when the delta would not be at
+  /// least this much smaller than the file (deltas between unrelated
+  /// contents can exceed the file itself).
+  double min_delta_gain = 0.05;
+};
+
+struct ArchiveBuildReport {
+  std::size_t delta_entries = 0;
+  std::size_t literal_entries = 0;
+  std::size_t delete_entries = 0;
+  std::uint64_t new_release_bytes = 0;  ///< total size of the new release
+  std::uint64_t archive_bytes = 0;      ///< size of the serialized archive
+};
+
+/// Diff two releases into an archive.
+Archive build_archive(const FileSet& old_release, const FileSet& new_release,
+                      const ArchiveBuildOptions& options = {},
+                      ArchiveBuildReport* report_out = nullptr);
+
+/// Serialize / parse the container. deserialize_archive throws
+/// FormatError on corruption (trailer CRC, per-entry checks).
+Bytes serialize_archive(const Archive& archive);
+Archive deserialize_archive(ByteView data);
+
+/// Apply an archive to a release in place: kDelta entries rebuild each
+/// file inside its own buffer, kLiteral entries are installed verbatim,
+/// kDelete entries are removed. Throws on any mismatch (missing file,
+/// CRC failure); `release` is left partially upgraded in that case —
+/// device-grade atomicity is the journaled updater's job, per file.
+void apply_archive(const Archive& archive, FileSet& release);
+
+/// Convenience: serialize(build(...)).
+Bytes build_archive_bytes(const FileSet& old_release,
+                          const FileSet& new_release,
+                          const ArchiveBuildOptions& options = {},
+                          ArchiveBuildReport* report_out = nullptr);
+
+}  // namespace ipd

@@ -1,0 +1,164 @@
+#include "archive/upgrade_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "delta/compose.hpp"
+
+namespace ipd {
+
+UpgradePlanner::UpgradePlanner(std::vector<ByteView> releases,
+                               const PlannerOptions& options)
+    : releases_(std::move(releases)), options_(options) {
+  if (options_.max_hop_span == 0) {
+    throw ValidationError("planner: max_hop_span must be >= 1");
+  }
+}
+
+std::uint64_t UpgradePlanner::edge_bytes(std::size_t from, std::size_t to) {
+  const auto key = std::make_pair(from, to);
+  auto it = delta_cache_.find(key);
+  if (it == delta_cache_.end()) {
+    it = delta_cache_
+             .emplace(key, create_inplace_delta(releases_[from],
+                                                releases_[to],
+                                                options_.pipeline))
+             .first;
+    ++deltas_built_;
+  }
+  return it->second.size();
+}
+
+UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
+  if (from >= to || to >= releases_.size()) {
+    throw ValidationError("planner: need from < to < release_count");
+  }
+
+  // Dijkstra over releases from..to; edges (i, j) for j-i <= max_hop_span
+  // weighted by delta size + per-hop overhead. The full-image fallback is
+  // an edge from anywhere straight to `to`.
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  const std::size_t n = to - from + 1;
+  std::vector<std::uint64_t> dist(n, kInf);
+  std::vector<std::size_t> prev(n, 0);
+  std::vector<bool> prev_full(n, false);
+  std::vector<bool> done(n, false);
+  dist[0] = 0;
+
+  using QueueEntry = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  queue.emplace(0, 0);
+
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    if (u == n - 1) break;
+    const std::size_t u_abs = from + u;
+
+    const std::size_t span =
+        std::min(options_.max_hop_span, n - 1 - u);
+    for (std::size_t hop = 1; hop <= span; ++hop) {
+      const std::size_t v = u + hop;
+      const std::uint64_t w =
+          edge_bytes(u_abs, from + v) + options_.per_hop_overhead;
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        prev[v] = u;
+        prev_full[v] = false;
+        queue.emplace(dist[v], v);
+      }
+    }
+    // Full-image jump straight to the target.
+    const std::uint64_t w_full =
+        releases_[to].size() + options_.per_hop_overhead;
+    if (d + w_full < dist[n - 1]) {
+      dist[n - 1] = d + w_full;
+      prev[n - 1] = u;
+      prev_full[n - 1] = true;
+      queue.emplace(dist[n - 1], n - 1);
+    }
+  }
+
+  if (dist[n - 1] == kInf) {
+    throw Error("planner: no path found (internal error)");
+  }
+
+  UpgradePlan plan;
+  std::vector<std::size_t> order;
+  std::vector<bool> full;
+  for (std::size_t v = n - 1; v != 0; v = prev[v]) {
+    order.push_back(v);
+    full.push_back(prev_full[v]);
+  }
+  std::reverse(order.begin(), order.end());
+  std::reverse(full.begin(), full.end());
+
+  std::size_t at = from;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    UpgradeStep step;
+    step.from = at;
+    step.to = from + order[i];
+    step.full_image = full[i];
+    step.bytes = step.full_image ? releases_[step.to].size()
+                                 : edge_bytes(step.from, step.to);
+    plan.total_bytes += step.bytes;
+    plan.steps.push_back(step);
+    at = step.to;
+  }
+  return plan;
+}
+
+Bytes UpgradePlanner::step_artifact(const UpgradeStep& step) {
+  if (step.full_image) {
+    return Bytes(releases_[step.to].begin(), releases_[step.to].end());
+  }
+  edge_bytes(step.from, step.to);  // ensure cached
+  return delta_cache_.at({step.from, step.to});
+}
+
+Bytes UpgradePlanner::fold_plan(const UpgradePlan& plan) {
+  if (plan.steps.empty()) {
+    throw ValidationError("fold_plan: empty plan");
+  }
+  if (plan.steps.size() == 1) {
+    return step_artifact(plan.steps.front());
+  }
+  // Any full-image step makes everything before it irrelevant.
+  for (const UpgradeStep& step : plan.steps) {
+    if (step.full_image) {
+      return step_artifact(plan.steps.back());
+    }
+  }
+  Script folded =
+      deserialize_delta(step_artifact(plan.steps.front())).script;
+  for (std::size_t i = 1; i < plan.steps.size(); ++i) {
+    const Script next =
+        deserialize_delta(step_artifact(plan.steps[i])).script;
+    folded = compose_scripts(folded, next);
+  }
+  const ByteView reference = releases_[plan.steps.front().from];
+  const ByteView version = releases_[plan.steps.back().to];
+  return make_inplace_delta(folded, reference, version,
+                            options_.pipeline.convert, nullptr,
+                            options_.pipeline.compress_payload);
+}
+
+void UpgradePlanner::execute(const UpgradePlan& plan, Bytes& image) {
+  for (const UpgradeStep& step : plan.steps) {
+    const ByteView target = releases_[step.to];
+    if (step.full_image) {
+      image.assign(target.begin(), target.end());
+      continue;
+    }
+    const Bytes delta = step_artifact(step);
+    image.resize(std::max(image.size(), target.size()));
+    const length_t new_len = apply_delta_inplace(delta, image);
+    image.resize(static_cast<std::size_t>(new_len));
+  }
+}
+
+}  // namespace ipd

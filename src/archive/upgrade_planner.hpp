@@ -1,0 +1,94 @@
+// Upgrade planning across a release history.
+//
+// A publisher's fleet runs many old versions; for a device at release i
+// that must reach release j, the cheapest download is not always the
+// direct delta i->j. Long-lived histories drift: the direct delta can be
+// nearly the full file, while hopping i -> i+1 -> ... -> j rides small
+// per-release deltas. The planner models releases as a DAG whose edge
+// weights are actual in-place delta sizes (computed lazily and cached —
+// building all O(n²) deltas eagerly is the naive alternative) plus the
+// full-image fallback, and finds the byte-cheapest path with Dijkstra.
+//
+// Every edge artifact is an in-place delta, so the device needs only the
+// storage for one version at every hop of the chosen path.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "device/channel.hpp"
+#include "ipdelta.hpp"
+
+namespace ipd {
+
+struct PlannerOptions {
+  PipelineOptions pipeline;
+  /// Per-hop fixed overhead in bytes (request/response, flash erase
+  /// bookkeeping); discourages absurdly long chains.
+  std::uint64_t per_hop_overhead = 512;
+  /// Consider direct deltas between releases at most this far apart
+  /// (bounds the lazy O(n²) edge set; adjacent releases always exist).
+  std::size_t max_hop_span = 8;
+};
+
+struct UpgradeStep {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  bool full_image = false;  ///< literal body instead of a delta
+  std::uint64_t bytes = 0;  ///< artifact size
+};
+
+struct UpgradePlan {
+  std::vector<UpgradeStep> steps;
+  std::uint64_t total_bytes = 0;
+
+  double download_seconds(const ChannelModel& channel) const {
+    double total = 0;
+    for (const UpgradeStep& step : steps) {
+      total += channel.transfer_seconds(step.bytes);
+    }
+    return total;
+  }
+};
+
+class UpgradePlanner {
+ public:
+  /// `releases` is the full ordered history (index 0 oldest). Bodies are
+  /// borrowed views — the caller keeps them alive.
+  UpgradePlanner(std::vector<ByteView> releases,
+                 const PlannerOptions& options = {});
+
+  std::size_t release_count() const noexcept { return releases_.size(); }
+
+  /// Byte-cheapest plan from release `from` to release `to` (from < to).
+  UpgradePlan plan(std::size_t from, std::size_t to);
+
+  /// The serialized artifact for one step (in-place delta, or the raw
+  /// image for a full_image step). Cached.
+  Bytes step_artifact(const UpgradeStep& step);
+
+  /// Execute a plan against a device image buffer holding release
+  /// `plan.steps.front().from`; the buffer is resized as needed and ends
+  /// holding the target release. Verifies every hop.
+  void execute(const UpgradePlan& plan, Bytes& image);
+
+  /// Fold a multi-step plan into ONE direct in-place delta by composing
+  /// the cached per-hop scripts (delta/compose.hpp) — no differencing
+  /// over the endpoint files. Plans whose cheapest route is a full image
+  /// or a single hop are returned as that artifact directly.
+  Bytes fold_plan(const UpgradePlan& plan);
+
+  /// Deltas actually built so far (lazy-cache observability for tests).
+  std::size_t deltas_built() const noexcept { return deltas_built_; }
+
+ private:
+  std::uint64_t edge_bytes(std::size_t from, std::size_t to);
+
+  std::vector<ByteView> releases_;
+  PlannerOptions options_;
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> delta_cache_;
+  std::size_t deltas_built_ = 0;
+};
+
+}  // namespace ipd

@@ -1,0 +1,93 @@
+#include "core/buffer.hpp"
+
+namespace ipd {
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw FormatError("truncated input: need " + std::to_string(n) +
+                      " bytes at offset " + std::to_string(pos_) + ", have " +
+                      std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16le() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32le() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64le() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t ByteReader::read_varint() {
+  const VarintResult r = decode_varint(data_.subspan(pos_));
+  pos_ += r.consumed;
+  return r.value;
+}
+
+ByteView ByteReader::read_bytes(std::size_t n) {
+  require(n);
+  const ByteView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+void ByteWriter::write_u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::write_u16le(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32le(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::write_u64le(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::write_varint(std::uint64_t v) { append_varint(out_, v); }
+
+void ByteWriter::write_bytes(ByteView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+}  // namespace ipd

@@ -1,0 +1,54 @@
+#include "core/checksum.hpp"
+
+#include <array>
+
+namespace ipd {
+namespace {
+
+constexpr std::uint32_t kAdlerMod = 65521;
+
+// Build the CRC-32C lookup table at compile time.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);  // reflected 0x1EDC6F41
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t adler32(ByteView data, std::uint32_t seed) noexcept {
+  std::uint32_t a = seed & 0xFFFF;
+  std::uint32_t b = (seed >> 16) & 0xFFFF;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // 5552 is the largest n such that 255*n*(n+1)/2 + (n+1)*(kAdlerMod-1)
+    // fits in 32 bits; defer the expensive modulo until then.
+    const std::size_t chunk = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kAdlerMod;
+    b %= kAdlerMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t crc32c(ByteView data, std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = kCrc32cTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ipd

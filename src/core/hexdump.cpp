@@ -1,0 +1,43 @@
+#include "core/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ipd {
+
+std::string hexdump(ByteView data, offset_t base, std::size_t max_rows) {
+  std::string out;
+  const std::size_t rows = (data.size() + 15) / 16;
+  const std::size_t shown = std::min(rows, max_rows);
+  char line[96];
+  for (std::size_t r = 0; r < shown; ++r) {
+    const std::size_t begin = r * 16;
+    const std::size_t end = std::min(begin + 16, data.size());
+    int n = std::snprintf(line, sizeof line, "%08llx  ",
+                          static_cast<unsigned long long>(base + begin));
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = begin; i < begin + 16; ++i) {
+      if (i < end) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if ((i - begin) == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t i = begin; i < end; ++i) {
+      const int c = data[i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  if (shown < rows) {
+    out.append("... (");
+    out.append(std::to_string(data.size() - shown * 16));
+    out.append(" more bytes)\n");
+  }
+  return out;
+}
+
+}  // namespace ipd

@@ -1,0 +1,17 @@
+// Human-readable hex dump, used by the CLI `info` subcommand and the
+// quickstart example's Figure-1 walk-through.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// Classic 16-bytes-per-row hex + ASCII dump of `data`, offsets starting
+/// at `base`. At most `max_rows` rows are emitted; a trailing ellipsis
+/// line marks truncation.
+std::string hexdump(ByteView data, offset_t base = 0,
+                    std::size_t max_rows = 32);
+
+}  // namespace ipd

@@ -1,0 +1,38 @@
+#include "core/io.hpp"
+
+#include <fstream>
+
+namespace ipd {
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open for reading: " + path.string());
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    throw IoError("cannot determine size of: " + path.string());
+  }
+  in.seekg(0, std::ios::beg);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    throw IoError("short read from: " + path.string());
+  }
+  return data;
+}
+
+void write_file(const std::filesystem::path& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open for writing: " + path.string());
+  }
+  if (!data.empty() &&
+      !out.write(reinterpret_cast<const char*>(data.data()),
+                 static_cast<std::streamsize>(data.size()))) {
+    throw IoError("short write to: " + path.string());
+  }
+}
+
+}  // namespace ipd

@@ -1,0 +1,16 @@
+// Whole-file read/write helpers for the CLI tool and examples.
+#pragma once
+
+#include <filesystem>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// Read an entire file into memory. Throws IoError on failure.
+Bytes read_file(const std::filesystem::path& path);
+
+/// Write `data` to `path`, replacing any existing file. Throws IoError.
+void write_file(const std::filesystem::path& path, ByteView data);
+
+}  // namespace ipd

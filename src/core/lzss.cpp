@@ -1,0 +1,149 @@
+#include "core/lzss.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace ipd {
+namespace {
+
+constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kMaxChain = 32;
+
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  v = static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+      (static_cast<std::uint32_t>(p[2]) << 16) |
+      (static_cast<std::uint32_t>(p[3]) << 24);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes lzss_encode(ByteView input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+
+  std::vector<std::uint32_t> heads(std::size_t{1} << kHashBits, kNil);
+  std::vector<std::uint32_t> chain(input.size(), kNil);
+
+  std::size_t flag_pos = 0;  // index of the current flag byte in `out`
+  unsigned tokens_in_group = 8;  // force a fresh flag byte immediately
+
+  const auto begin_token = [&](bool is_match) {
+    if (tokens_in_group == 8) {
+      flag_pos = out.size();
+      out.push_back(0);
+      tokens_in_group = 0;
+    }
+    if (is_match) {
+      out[flag_pos] |= static_cast<std::uint8_t>(1u << tokens_in_group);
+    }
+    ++tokens_in_group;
+  };
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + kLzssMinMatch <= input.size()) {
+      const std::uint32_t h = hash4(input.data() + pos);
+      std::size_t probes = 0;
+      for (std::uint32_t cand = heads[h];
+           cand != kNil && probes < kMaxChain; cand = chain[cand], ++probes) {
+        const std::size_t dist = pos - cand;
+        if (dist > kLzssWindow) break;
+        const std::size_t limit =
+            std::min(kLzssMaxMatch, input.size() - pos);
+        std::size_t len = 0;
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+      }
+      chain[pos] = heads[h];
+      heads[h] = static_cast<std::uint32_t>(pos);
+    }
+
+    if (best_len >= kLzssMinMatch) {
+      begin_token(true);
+      out.push_back(static_cast<std::uint8_t>(best_dist));
+      out.push_back(static_cast<std::uint8_t>(best_dist >> 8));
+      out.push_back(static_cast<std::uint8_t>(best_len - kLzssMinMatch));
+      // Insert the skipped positions into the dictionary too (cheap and
+      // helps repetitive inputs).
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1;
+           p < end && p + kLzssMinMatch <= input.size(); ++p) {
+        const std::uint32_t h = hash4(input.data() + p);
+        chain[p] = heads[h];
+        heads[h] = static_cast<std::uint32_t>(p);
+      }
+      pos = end;
+    } else {
+      begin_token(false);
+      out.push_back(input[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+Bytes lzss_decode(ByteView input, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+
+  std::size_t pos = 0;
+  std::uint8_t flags = 0;
+  unsigned tokens_left = 0;
+
+  while (out.size() < expected_size) {
+    if (tokens_left == 0) {
+      if (pos >= input.size()) {
+        throw FormatError("lzss: truncated stream (missing flag byte)");
+      }
+      flags = input[pos++];
+      tokens_left = 8;
+    }
+    const bool is_match = (flags & 1) != 0;
+    flags >>= 1;
+    --tokens_left;
+
+    if (is_match) {
+      if (pos + 3 > input.size()) {
+        throw FormatError("lzss: truncated match token");
+      }
+      const std::size_t dist = static_cast<std::size_t>(input[pos]) |
+                               (static_cast<std::size_t>(input[pos + 1]) << 8);
+      const std::size_t len = kLzssMinMatch + input[pos + 2];
+      pos += 3;
+      if (dist == 0 || dist > out.size()) {
+        throw FormatError("lzss: match distance out of range");
+      }
+      if (out.size() + len > expected_size) {
+        throw FormatError("lzss: output overruns expected size");
+      }
+      // Byte-by-byte: overlapping matches (dist < len) are legal and
+      // replicate, exactly like the in-place left-to-right copy of §4.1.
+      const std::size_t start = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[start + i]);
+      }
+    } else {
+      if (pos >= input.size()) {
+        throw FormatError("lzss: truncated literal token");
+      }
+      out.push_back(input[pos++]);
+    }
+  }
+  if (pos != input.size()) {
+    throw FormatError("lzss: trailing bytes after expected output");
+  }
+  return out;
+}
+
+}  // namespace ipd

@@ -1,0 +1,31 @@
+// Self-contained LZSS codec for delta payload compression.
+//
+// Delta command streams still contain entropy a general-purpose
+// compressor can remove — literal add data above all. Production delta
+// tools (vcdiff, xdelta, bsdiff) pipe their output through a secondary
+// compressor; we provide a dependency-free LZSS so the container can
+// offer the same (delta/codec.hpp `compress_payload`).
+//
+// Format: groups of 8 tokens prefixed by a flag byte (LSB first;
+// bit set = match). Literal token: 1 byte. Match token: 3 bytes —
+// 16-bit little-endian backward distance (1..65535) and a length byte
+// encoding lengths kMinMatch..kMinMatch+255.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+inline constexpr std::size_t kLzssMinMatch = 4;
+inline constexpr std::size_t kLzssMaxMatch = kLzssMinMatch + 255;
+inline constexpr std::size_t kLzssWindow = 65535;
+
+/// Compress `input`. Always succeeds; incompressible data grows by at
+/// most 1/8 + O(1).
+Bytes lzss_encode(ByteView input);
+
+/// Decompress `input`, which must expand to exactly `expected_size`
+/// bytes. Throws FormatError on malformed or mismatched input.
+Bytes lzss_decode(ByteView input, std::size_t expected_size);
+
+}  // namespace ipd

@@ -1,0 +1,90 @@
+#include "core/rng.hpp"
+
+namespace ipd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Debiased via rejection from the top of the range.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+length_t Rng::power_law_length(length_t cap) noexcept {
+  length_t len = 1;
+  while (len < cap && chance(0.5)) {
+    len *= 2;
+  }
+  if (len > cap) len = cap;
+  // Jitter within the final octave so lengths are not all powers of two.
+  return len == 1 ? 1 : len / 2 + below(len / 2) + 1;
+}
+
+void Rng::fill(MutByteView out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = next();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  if (i < out.size()) {
+    std::uint64_t word = next();
+    while (i < out.size()) {
+      out[i++] = static_cast<std::uint8_t>(word);
+      word >>= 8;
+    }
+  }
+}
+
+}  // namespace ipd

@@ -1,0 +1,78 @@
+// Core type aliases and the library's exception hierarchy.
+//
+// All byte offsets and lengths in file bodies are 64-bit unsigned values:
+// the paper's delta model addresses arbitrary file offsets, and 32 bits is
+// not enough for the version files a modern user feeds a delta tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ipd {
+
+/// Offset into a file (reference or version), in bytes.
+using offset_t = std::uint64_t;
+/// Length of a byte range.
+using length_t = std::uint64_t;
+
+/// Owning byte sequence used throughout the library for file bodies.
+using Bytes = std::vector<std::uint8_t>;
+/// Non-owning read-only view of a byte sequence.
+using ByteView = std::span<const std::uint8_t>;
+/// Non-owning mutable view of a byte sequence.
+using MutByteView = std::span<std::uint8_t>;
+
+/// Root of the ipdelta exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed delta file or codeword stream.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// A command script violates a structural invariant (overlapping writes,
+/// out-of-bounds reads, coverage gaps, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// Filesystem-level failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A reconstruction read a byte that an earlier command already overwrote
+/// (the paper's write-before-read conflict, §4.1). Thrown by the conflict
+/// oracle, never by a correctly converted delta.
+class ConflictError : public Error {
+ public:
+  explicit ConflictError(const std::string& what) : Error(what) {}
+};
+
+/// A device-model constraint (RAM budget, storage bounds) was violated.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// Convert a string literal/std::string into Bytes (test & example helper).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert Bytes back into a std::string (test & example helper).
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace ipd

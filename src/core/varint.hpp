@@ -1,0 +1,42 @@
+// LEB128-style variable-length integer codec.
+//
+// The modern ("varint") codeword format of the delta codec stores offsets
+// and lengths with this encoding; the paper-faithful byte format does not
+// use it. Encoding is little-endian base-128 with the high bit of each
+// byte as a continuation flag, identical to protobuf varints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Number of bytes encode_varint() will emit for `value`.
+std::size_t varint_size(std::uint64_t value) noexcept;
+
+/// Append the varint encoding of `value` to `out`.
+void append_varint(Bytes& out, std::uint64_t value);
+
+/// Encode `value` into `out` (must have room for kMaxVarintBytes).
+/// Returns the number of bytes written.
+std::size_t encode_varint(std::uint8_t* out, std::uint64_t value) noexcept;
+
+/// Result of a varint decode: the value and the number of bytes consumed.
+struct VarintResult {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+};
+
+/// Decode a varint from the front of `in`.
+/// Throws FormatError on truncated or overlong (>10 byte) input.
+VarintResult decode_varint(ByteView in);
+
+/// Non-throwing decode; std::nullopt on malformed input.
+std::optional<VarintResult> try_decode_varint(ByteView in) noexcept;
+
+}  // namespace ipd

@@ -1,0 +1,171 @@
+#include "corpus/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ipd {
+namespace {
+
+Bytes generate_text(Rng& rng, length_t size) {
+  // A vocabulary of short tokens recombined into lines gives the
+  // self-similarity of source code: later revisions share most lines.
+  constexpr std::size_t kVocab = 256;
+  std::vector<Bytes> tokens;
+  tokens.reserve(kVocab);
+  for (std::size_t i = 0; i < kVocab; ++i) {
+    Bytes tok(rng.range(3, 12));
+    for (auto& b : tok) {
+      b = static_cast<std::uint8_t>('a' + rng.below(26));
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(size) + 128);
+  while (out.size() < size) {
+    const std::size_t words = rng.range(2, 12);
+    const std::size_t indent = rng.below(3) * 4;
+    out.insert(out.end(), indent, ' ');
+    for (std::size_t w = 0; w < words; ++w) {
+      // Zipf-ish pick: favour low token ids.
+      std::size_t id = rng.below(kVocab);
+      id = std::min(id, rng.below(kVocab));
+      const Bytes& tok = tokens[id];
+      out.insert(out.end(), tok.begin(), tok.end());
+      out.push_back(w + 1 == words ? '\n' : ' ');
+    }
+  }
+  out.resize(static_cast<std::size_t>(size));
+  return out;
+}
+
+Bytes generate_binary(Rng& rng, length_t size) {
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(size));
+  while (out.size() < size) {
+    const std::size_t remaining = static_cast<std::size_t>(size) - out.size();
+    const std::size_t section =
+        std::min(remaining, static_cast<std::size_t>(rng.range(256, 8192)));
+    switch (rng.below(4)) {
+      case 0: {  // code-like: random bytes with repeated short motifs
+        Bytes motif(rng.range(4, 16));
+        rng.fill(motif);
+        std::size_t i = 0;
+        while (i < section) {
+          if (rng.chance(0.4)) {
+            const std::size_t n = std::min(section - i, motif.size());
+            out.insert(out.end(), motif.begin(),
+                       motif.begin() + static_cast<std::ptrdiff_t>(n));
+            i += n;
+          } else {
+            out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+            ++i;
+          }
+        }
+        break;
+      }
+      case 1: {  // string-table-like: printable runs separated by NULs
+        std::size_t i = 0;
+        while (i < section) {
+          const std::size_t n = std::min(section - i,
+                                         static_cast<std::size_t>(
+                                             rng.range(4, 24)));
+          for (std::size_t k = 0; k + 1 < n; ++k) {
+            out.push_back(static_cast<std::uint8_t>(0x20 + rng.below(95)));
+          }
+          out.push_back(0);
+          i += n;
+        }
+        break;
+      }
+      case 2: {  // record array: fixed-size records with counters
+        const std::size_t rec = rng.range(8, 32);
+        Bytes proto(rec);
+        rng.fill(proto);
+        std::uint32_t counter = static_cast<std::uint32_t>(rng.next());
+        std::size_t i = 0;
+        while (i + rec <= section) {
+          Bytes r = proto;
+          r[0] = static_cast<std::uint8_t>(counter);
+          r[1] = static_cast<std::uint8_t>(counter >> 8);
+          ++counter;
+          out.insert(out.end(), r.begin(), r.end());
+          i += rec;
+        }
+        out.insert(out.end(), section - i, 0);
+        break;
+      }
+      default: {  // zero padding
+        out.insert(out.end(), section, 0);
+        break;
+      }
+    }
+  }
+  out.resize(static_cast<std::size_t>(size));
+  return out;
+}
+
+Bytes generate_records(Rng& rng, length_t size) {
+  // Fixed-size keyed records: 8-byte ascending key, a type byte, fields
+  // drawn from a small per-file alphabet (so records resemble each
+  // other), and padding.
+  Bytes field_alphabet(64);
+  rng.fill(field_alphabet);
+
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(size));
+  std::uint64_t key = rng.next() & 0xFFFFFF;
+  while (out.size() + kRecordSize <= size) {
+    Bytes record(kRecordSize, 0);
+    for (int i = 0; i < 8; ++i) {
+      record[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(key >> (8 * i));
+    }
+    ++key;
+    record[8] = static_cast<std::uint8_t>(rng.below(4));  // record type
+    for (std::size_t i = 9; i + 8 < kRecordSize; i += 4) {
+      record[i] = field_alphabet[rng.below(field_alphabet.size())];
+      record[i + 1] = field_alphabet[rng.below(8)];  // hot fields repeat
+    }
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  out.resize(static_cast<std::size_t>(size));  // tail padding
+  return out;
+}
+
+}  // namespace
+
+const char* profile_name(FileProfile p) noexcept {
+  switch (p) {
+    case FileProfile::kText: return "text";
+    case FileProfile::kBinary: return "binary";
+    case FileProfile::kRecords: return "records";
+  }
+  return "?";
+}
+
+MutationModel record_aligned_model() {
+  MutationModel model;
+  // Length-preserving edits only, so record alignment survives releases.
+  model.insert_weight = 0;
+  model.delete_weight = 0;
+  model.move_weight = 0;
+  model.duplicate_weight = 0;
+  model.replace_weight = 4;
+  model.tweak_weight = 1;
+  model.length_scale = kRecordSize;
+  model.max_edit_bytes = 4 * kRecordSize;
+  return model;
+}
+
+Bytes generate_file(Rng& rng, length_t size, FileProfile profile) {
+  if (size == 0) return {};
+  switch (profile) {
+    case FileProfile::kText: return generate_text(rng, size);
+    case FileProfile::kBinary: return generate_binary(rng, size);
+    case FileProfile::kRecords: return generate_records(rng, size);
+  }
+  return {};
+}
+
+}  // namespace ipd

@@ -1,0 +1,42 @@
+// Base-file generation: synthetic "software" with realistic redundancy.
+//
+// Three profiles, matching the paper's corpus mix plus its database
+// reference [13]:
+//  * kText    — token/line structure like source code: a finite
+//    vocabulary recombined into lines, heavy internal repetition;
+//  * kBinary  — section structure like executables: code-ish entropy
+//    blocks, string tables, zero padding, and repeated record arrays;
+//  * kRecords — fixed-size keyed records, the aligned workload of
+//    differential-file systems (Severance & Lohman [13]); block-aligned
+//    differencing is actually competitive here, unlike on the other two.
+#pragma once
+
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "corpus/mutation.hpp"
+
+namespace ipd {
+
+enum class FileProfile : std::uint8_t {
+  kText,
+  kBinary,
+  kRecords,
+};
+
+/// Record size used by FileProfile::kRecords.
+inline constexpr std::size_t kRecordSize = 128;
+
+/// Record-aligned mutation model: edits replace whole records in place —
+/// the churn shape of [13]-style database files. Use with kRecords for
+/// aligned version pairs.
+MutationModel record_aligned_model();
+
+const char* profile_name(FileProfile p) noexcept;
+
+/// Generate a base file of roughly `size` bytes (exact for kBinary,
+/// within a line of kText).
+Bytes generate_file(Rng& rng, length_t size, FileProfile profile);
+
+}  // namespace ipd

@@ -1,0 +1,152 @@
+#include "corpus/mutation.hpp"
+
+#include <algorithm>
+
+namespace ipd {
+namespace {
+
+Bytes random_payload(std::uint64_t seed, length_t length) {
+  Rng rng(seed);
+  Bytes out(static_cast<std::size_t>(length));
+  // Mildly structured bytes (runs + printable bias) compress and match
+  // more like real inserted code/data than uniform noise would.
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (rng.chance(0.3)) {
+      const std::size_t run =
+          std::min<std::size_t>(out.size() - i, rng.range(2, 24));
+      const std::uint8_t b = static_cast<std::uint8_t>(rng.below(256));
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(i), run, b);
+      i += run;
+    } else {
+      out[i++] = static_cast<std::uint8_t>(0x20 + rng.below(95));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* mutation_name(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::kInsert: return "insert";
+    case MutationKind::kDelete: return "delete";
+    case MutationKind::kReplace: return "replace";
+    case MutationKind::kMoveBlock: return "move";
+    case MutationKind::kDuplicateBlock: return "duplicate";
+    case MutationKind::kByteTweak: return "tweak";
+  }
+  return "?";
+}
+
+Mutation random_mutation(Rng& rng, length_t file_size,
+                         const MutationModel& model) {
+  const double weights[] = {model.insert_weight,    model.delete_weight,
+                            model.replace_weight,   model.move_weight,
+                            model.duplicate_weight, model.tweak_weight};
+  double total = 0;
+  for (const double w : weights) total += w;
+  double pick = rng.uniform() * total;
+  std::size_t kind_index = 0;
+  for (; kind_index + 1 < std::size(weights); ++kind_index) {
+    if (pick < weights[kind_index]) break;
+    pick -= weights[kind_index];
+  }
+
+  Mutation m;
+  m.kind = static_cast<MutationKind>(kind_index);
+  const length_t cap = std::max<length_t>(
+      1, std::min<length_t>(
+             model.max_edit_bytes,
+             static_cast<length_t>(static_cast<double>(file_size) *
+                                   model.max_edit_fraction)));
+  m.length = std::min<length_t>(
+      cap, rng.power_law_length(std::max<length_t>(1, cap / model.length_scale)) *
+               model.length_scale);
+  m.offset = file_size == 0 ? 0 : rng.below(file_size);
+  m.second_offset = file_size == 0 ? 0 : rng.below(file_size);
+  m.payload_seed = rng.next();
+  if (m.kind == MutationKind::kByteTweak) {
+    m.length = rng.range(1, 16);  // tweaks touch a handful of bytes
+  }
+  return m;
+}
+
+Bytes apply_mutation(ByteView input, const Mutation& m) {
+  Bytes out(input.begin(), input.end());
+  if (out.empty() && m.kind != MutationKind::kInsert) {
+    return out;
+  }
+  const auto clamp_range = [&](offset_t offset, length_t length,
+                               std::size_t size) {
+    const std::size_t begin = std::min<std::size_t>(offset, size);
+    const std::size_t len = std::min<std::size_t>(length, size - begin);
+    return std::pair<std::size_t, std::size_t>(begin, len);
+  };
+
+  switch (m.kind) {
+    case MutationKind::kInsert: {
+      const std::size_t at = std::min<std::size_t>(m.offset, out.size());
+      const Bytes payload = random_payload(m.payload_seed, m.length);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                 payload.begin(), payload.end());
+      break;
+    }
+    case MutationKind::kDelete: {
+      const auto [begin, len] = clamp_range(m.offset, m.length, out.size());
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                out.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      break;
+    }
+    case MutationKind::kReplace: {
+      const auto [begin, len] = clamp_range(m.offset, m.length, out.size());
+      const Bytes payload = random_payload(m.payload_seed, len);
+      std::copy(payload.begin(), payload.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(begin));
+      break;
+    }
+    case MutationKind::kMoveBlock: {
+      const auto [begin, len] = clamp_range(m.offset, m.length, out.size());
+      if (len == 0) break;
+      Bytes block(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                  out.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                out.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      const std::size_t at = std::min<std::size_t>(m.second_offset, out.size());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), block.begin(),
+                 block.end());
+      break;
+    }
+    case MutationKind::kDuplicateBlock: {
+      const auto [begin, len] = clamp_range(m.offset, m.length, out.size());
+      if (len == 0) break;
+      const Bytes block(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                        out.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      const std::size_t at = std::min<std::size_t>(m.second_offset, out.size());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), block.begin(),
+                 block.end());
+      break;
+    }
+    case MutationKind::kByteTweak: {
+      Rng rng(m.payload_seed);
+      for (length_t i = 0; i < m.length && !out.empty(); ++i) {
+        const std::size_t at = rng.below(out.size());
+        out[at] = static_cast<std::uint8_t>(out[at] ^ (1 + rng.below(255)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Bytes mutate(ByteView input, Rng& rng, std::size_t count,
+             const MutationModel& model) {
+  Bytes current(input.begin(), input.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    const Mutation m = random_mutation(rng, current.size(), model);
+    current = apply_mutation(current, m);
+  }
+  return current;
+}
+
+}  // namespace ipd

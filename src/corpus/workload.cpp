@@ -1,0 +1,47 @@
+#include "corpus/workload.hpp"
+
+#include <cstdio>
+
+namespace ipd {
+
+std::vector<VersionPair> standard_corpus(const CorpusOptions& options) {
+  std::vector<VersionPair> pairs;
+  Rng rng(options.seed);
+
+  for (std::size_t pkg = 0; pkg < options.packages; ++pkg) {
+    const FileProfile profile =
+        pkg % 2 == 0 ? FileProfile::kText : FileProfile::kBinary;
+    const length_t base_size =
+        rng.range(options.min_file_size, options.max_file_size);
+    Bytes current = generate_file(rng, base_size, profile);
+
+    for (std::size_t rel = 1; rel < options.releases_per_package; ++rel) {
+      const std::size_t edits = std::max<std::size_t>(
+          1, options.edits_per_64k * (current.size() >> 16) +
+                 options.edits_per_64k / 2);
+      Bytes next = mutate(current, rng, edits, options.mutation_model);
+
+      char name[80];
+      std::snprintf(name, sizeof name, "pkg%02u-%s/v%u->v%u",
+                    static_cast<unsigned>(pkg), profile_name(profile),
+                    static_cast<unsigned>(rel - 1),
+                    static_cast<unsigned>(rel));
+      pairs.push_back(VersionPair{name, profile, std::move(current),
+                                  Bytes(next)});
+      current = std::move(next);
+    }
+  }
+  return pairs;
+}
+
+std::vector<VersionPair> small_corpus(std::uint64_t seed) {
+  CorpusOptions options;
+  options.seed = seed;
+  options.packages = 4;
+  options.releases_per_package = 3;
+  options.min_file_size = 4 << 10;
+  options.max_file_size = 32 << 10;
+  return standard_corpus(options);
+}
+
+}  // namespace ipd

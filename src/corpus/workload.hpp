@@ -1,0 +1,42 @@
+// Named workloads shared by the benches and integration tests: synthetic
+// "software distributions" — packages evolving through releases — that
+// stand in for the paper's GNU/BSD corpus (DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+
+namespace ipd {
+
+/// One (reference, version) pair of the corpus: consecutive releases of a
+/// synthetic package.
+struct VersionPair {
+  std::string name;  ///< e.g. "pkg03-text/v2->v3"
+  FileProfile profile = FileProfile::kText;
+  Bytes reference;
+  Bytes version;
+};
+
+struct CorpusOptions {
+  std::uint64_t seed = 0x1998'0625;  // PODC '98
+  std::size_t packages = 12;
+  std::size_t releases_per_package = 4;  ///< yields releases-1 pairs each
+  length_t min_file_size = 16 << 10;
+  length_t max_file_size = 256 << 10;
+  /// Mutations applied per release, scaled by file size (per 64 KiB).
+  std::size_t edits_per_64k = 12;
+  MutationModel mutation_model;
+};
+
+/// The standard corpus: `packages` synthetic packages (half text, half
+/// binary), each evolved through `releases_per_package` releases; every
+/// consecutive release pair becomes a VersionPair. Deterministic in seed.
+std::vector<VersionPair> standard_corpus(const CorpusOptions& options = {});
+
+/// A small corpus for unit/integration tests (fast to generate).
+std::vector<VersionPair> small_corpus(std::uint64_t seed = 7);
+
+}  // namespace ipd

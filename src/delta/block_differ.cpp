@@ -1,0 +1,70 @@
+#include "delta/block_differ.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/rolling_hash.hpp"
+
+namespace ipd {
+
+BlockDiffer::BlockDiffer(const BlockDifferOptions& options)
+    : options_(options) {
+  if (options_.block_size == 0) {
+    throw ValidationError("block differ: block_size must be >= 1");
+  }
+}
+
+Script BlockDiffer::diff(ByteView reference, ByteView version) const {
+  const std::size_t block = options_.block_size;
+  ScriptBuilder builder;
+
+  // Index whole reference blocks by content hash (block-aligned on both
+  // sides — the defining restriction of this baseline).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  const std::size_t ref_blocks = reference.size() / block;
+  for (std::size_t b = 0; b < ref_blocks; ++b) {
+    const ByteView content = reference.subspan(b * block, block);
+    std::uint64_t h = 0;
+    for (const std::uint8_t byte : content) {
+      h = h * RollingHash::kMultiplier + byte;
+    }
+    index[RollingHash::mix(h)].push_back(static_cast<std::uint32_t>(b));
+  }
+
+  std::size_t pos = 0;
+  while (pos < version.size()) {
+    const std::size_t remaining = version.size() - pos;
+    if (remaining < block) {
+      builder.literals(version.subspan(pos));
+      break;
+    }
+    const ByteView candidate = version.subspan(pos, block);
+    std::uint64_t h = 0;
+    for (const std::uint8_t byte : candidate) {
+      h = h * RollingHash::kMultiplier + byte;
+    }
+    bool matched = false;
+    if (const auto it = index.find(RollingHash::mix(h)); it != index.end()) {
+      for (const std::uint32_t b : it->second) {
+        const ByteView ref_block = reference.subspan(b * block, block);
+        if (std::equal(candidate.begin(), candidate.end(),
+                       ref_block.begin())) {
+          builder.copy(static_cast<offset_t>(b) * block, block);
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) {
+      pos += block;
+    } else {
+      // Alignment restriction: no partial or shifted matches — the whole
+      // version block goes into the delta literally.
+      builder.literals(candidate);
+      pos += block;
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace ipd

@@ -1,0 +1,32 @@
+// Block-aligned differencer — the §2 related-work baseline.
+//
+// Source-control systems of the paper's era (SCCS/RCS [12,15]) and
+// record-oriented databases [13] diff at a fixed granularity with
+// alignment: the version is scanned in fixed-size blocks and each block
+// either matches a whole reference block verbatim or is emitted
+// literally. This is the strawman the string-to-string work [14] and the
+// byte-granularity algorithms [1,5,9,11] improved on; we implement it so
+// the benches can quantify the §2 claim that alignment costs real
+// compression (a single inserted byte destroys every downstream match).
+#pragma once
+
+#include "delta/differ.hpp"
+
+namespace ipd {
+
+struct BlockDifferOptions {
+  std::size_t block_size = 512;
+};
+
+class BlockDiffer final : public Differ {
+ public:
+  explicit BlockDiffer(const BlockDifferOptions& options = {});
+
+  Script diff(ByteView reference, ByteView version) const override;
+  const char* name() const noexcept override { return "block-aligned"; }
+
+ private:
+  BlockDifferOptions options_;
+};
+
+}  // namespace ipd

@@ -1,0 +1,562 @@
+#include "delta/codec.hpp"
+
+#include <algorithm>
+
+#include "core/buffer.hpp"
+#include "core/checksum.hpp"
+#include "core/lzss.hpp"
+#include "core/varint.hpp"
+
+namespace ipd {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'P', 'D', '1'};
+
+// PaperByte opcodes.
+constexpr std::uint8_t kOpAdd = 0x01;
+constexpr std::uint8_t kOpCopyBase = 0x10;  // + f_class*3 + l_class
+// Varint opcodes.
+constexpr std::uint8_t kOpVarAdd = 0x01;
+constexpr std::uint8_t kOpVarCopy = 0x02;
+
+constexpr length_t kPaperMaxAdd = 255;
+constexpr length_t kPaperMaxCopy = 0xFFFFFFFFull;
+
+// Width classes for PaperByte copy fields: f in {2,4,8}, l in {1,2,4}.
+unsigned f_class(offset_t f) noexcept {
+  if (f <= 0xFFFF) return 0;
+  if (f <= 0xFFFFFFFFull) return 1;
+  return 2;
+}
+unsigned f_width(unsigned cls) noexcept { return cls == 0 ? 2u : cls == 1 ? 4u : 8u; }
+
+unsigned l_class(length_t l) noexcept {
+  if (l <= 0xFF) return 0;
+  if (l <= 0xFFFF) return 1;
+  return 2;
+}
+unsigned l_width(unsigned cls) noexcept { return cls == 0 ? 1u : cls == 1 ? 2u : 4u; }
+
+void write_fixed(ByteWriter& w, std::uint64_t v, unsigned width) {
+  switch (width) {
+    case 1: w.write_u8(static_cast<std::uint8_t>(v)); break;
+    case 2: w.write_u16le(static_cast<std::uint16_t>(v)); break;
+    case 4: w.write_u32le(static_cast<std::uint32_t>(v)); break;
+    default: w.write_u64le(v); break;
+  }
+}
+
+std::uint64_t read_fixed(ByteReader& r, unsigned width) {
+  switch (width) {
+    case 1: return r.read_u8();
+    case 2: return r.read_u16le();
+    case 4: return r.read_u32le();
+    default: return r.read_u64le();
+  }
+}
+
+unsigned paper_offset_width(length_t version_length) noexcept {
+  return version_length <= 0xFFFFFFFFull ? 4u : 8u;
+}
+
+class PayloadEncoder {
+ public:
+  PayloadEncoder(DeltaFormat fmt, unsigned offset_width)
+      : fmt_(fmt), offset_width_(offset_width) {}
+
+  void encode(ByteWriter& w, const Command& cmd) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      encode_copy(w, *copy);
+    } else {
+      encode_add(w, std::get<AddCommand>(cmd));
+    }
+  }
+
+ private:
+  bool explicit_offsets() const noexcept {
+    return fmt_.offsets == WriteOffsets::kExplicit;
+  }
+
+  void encode_copy(ByteWriter& w, const CopyCommand& c) {
+    // Split copies whose length exceeds the PaperByte 4-byte length field.
+    CopyCommand rest = c;
+    while (rest.length > 0) {
+      const length_t chunk =
+          fmt_.codeword == Codeword::kPaperByte
+              ? std::min(rest.length, kPaperMaxCopy)
+              : rest.length;
+      emit_copy_chunk(w, CopyCommand{rest.from, rest.to, chunk});
+      rest.from += chunk;
+      rest.to += chunk;
+      rest.length -= chunk;
+    }
+  }
+
+  void emit_copy_chunk(ByteWriter& w, const CopyCommand& c) {
+    if (fmt_.codeword == Codeword::kPaperByte) {
+      const unsigned fc = f_class(c.from);
+      const unsigned lc = l_class(c.length);
+      w.write_u8(static_cast<std::uint8_t>(kOpCopyBase + fc * 3 + lc));
+      if (explicit_offsets()) write_fixed(w, c.to, offset_width_);
+      write_fixed(w, c.from, f_width(fc));
+      write_fixed(w, c.length, l_width(lc));
+    } else {
+      w.write_u8(kOpVarCopy);
+      if (explicit_offsets()) w.write_varint(c.to);
+      w.write_varint(c.from);
+      w.write_varint(c.length);
+    }
+  }
+
+  void encode_add(ByteWriter& w, const AddCommand& a) {
+    if (fmt_.codeword == Codeword::kVarint) {
+      w.write_u8(kOpVarAdd);
+      if (explicit_offsets()) w.write_varint(a.to);
+      w.write_varint(a.length());
+      w.write_bytes(a.data);
+      return;
+    }
+    // PaperByte: single-byte length, so long adds split into <=255-byte
+    // chunks — the encoding inefficiency §7 of the paper discusses.
+    offset_t to = a.to;
+    std::size_t pos = 0;
+    while (pos < a.data.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(kPaperMaxAdd, a.data.size() - pos);
+      w.write_u8(kOpAdd);
+      if (explicit_offsets()) write_fixed(w, to, offset_width_);
+      w.write_u8(static_cast<std::uint8_t>(chunk));
+      w.write_bytes(ByteView(a.data).subspan(pos, chunk));
+      pos += chunk;
+      to += chunk;
+    }
+  }
+
+  DeltaFormat fmt_;
+  unsigned offset_width_;
+};
+
+class PayloadDecoder {
+ public:
+  PayloadDecoder(DeltaFormat fmt, unsigned offset_width)
+      : fmt_(fmt), offset_width_(offset_width) {}
+
+  Script decode(ByteView payload) {
+    ByteReader r(payload);
+    Script script;
+    offset_t running_to = 0;
+    while (!r.exhausted()) {
+      const std::uint8_t op = r.read_u8();
+      if (fmt_.codeword == Codeword::kPaperByte) {
+        decode_paper(r, op, running_to, script);
+      } else {
+        decode_varint_cw(r, op, running_to, script);
+      }
+    }
+    return script;
+  }
+
+ private:
+  bool explicit_offsets() const noexcept {
+    return fmt_.offsets == WriteOffsets::kExplicit;
+  }
+
+  offset_t read_to(ByteReader& r, offset_t& running_to, bool paper) {
+    if (explicit_offsets()) {
+      return paper ? read_fixed(r, offset_width_) : r.read_varint();
+    }
+    return running_to;
+  }
+
+  void decode_paper(ByteReader& r, std::uint8_t op, offset_t& running_to,
+                    Script& script) {
+    if (op == kOpAdd) {
+      const offset_t to = read_to(r, running_to, /*paper=*/true);
+      const length_t len = r.read_u8();
+      if (len == 0) throw FormatError("add command with zero length");
+      const ByteView data = r.read_bytes(len);
+      script.push(AddCommand{to, Bytes(data.begin(), data.end())});
+      running_to = to + len;
+      return;
+    }
+    if (op >= kOpCopyBase && op < kOpCopyBase + 9) {
+      const unsigned fc = (op - kOpCopyBase) / 3;
+      const unsigned lc = (op - kOpCopyBase) % 3;
+      const offset_t to = read_to(r, running_to, /*paper=*/true);
+      const offset_t from = read_fixed(r, f_width(fc));
+      const length_t len = read_fixed(r, l_width(lc));
+      if (len == 0) throw FormatError("copy command with zero length");
+      script.push(CopyCommand{from, to, len});
+      running_to = to + len;
+      return;
+    }
+    throw FormatError("unknown PaperByte opcode " + std::to_string(op));
+  }
+
+  void decode_varint_cw(ByteReader& r, std::uint8_t op, offset_t& running_to,
+                        Script& script) {
+    if (op == kOpVarAdd) {
+      const offset_t to = read_to(r, running_to, /*paper=*/false);
+      const length_t len = r.read_varint();
+      if (len == 0) throw FormatError("add command with zero length");
+      if (len > r.remaining()) {
+        throw FormatError("add command data truncated");
+      }
+      const ByteView data = r.read_bytes(static_cast<std::size_t>(len));
+      script.push(AddCommand{to, Bytes(data.begin(), data.end())});
+      running_to = to + len;
+      return;
+    }
+    if (op == kOpVarCopy) {
+      const offset_t to = read_to(r, running_to, /*paper=*/false);
+      const offset_t from = r.read_varint();
+      const length_t len = r.read_varint();
+      if (len == 0) throw FormatError("copy command with zero length");
+      script.push(CopyCommand{from, to, len});
+      running_to = to + len;
+      return;
+    }
+    throw FormatError("unknown Varint opcode " + std::to_string(op));
+  }
+
+  DeltaFormat fmt_;
+  unsigned offset_width_;
+};
+
+// Non-throwing cursor for incremental parsing: every read reports
+// "not enough bytes yet" instead of failing, so streaming callers can
+// distinguish incomplete from malformed.
+class TryReader {
+ public:
+  explicit TryReader(ByteView data) noexcept : data_(data) {}
+
+  std::size_t position() const noexcept { return pos_; }
+
+  bool u8(std::uint8_t& out) noexcept {
+    if (pos_ + 1 > data_.size()) return false;
+    out = data_[pos_++];
+    return true;
+  }
+
+  bool fixed(unsigned width, std::uint64_t& out) noexcept {
+    if (pos_ + width > data_.size()) return false;
+    out = 0;
+    for (unsigned i = width; i > 0; --i) {
+      out = (out << 8) | data_[pos_ + i - 1];
+    }
+    pos_ += width;
+    return true;
+  }
+
+  /// False when truncated; throws FormatError when definitely malformed
+  /// (overlong encoding that no further bytes could fix).
+  bool varint(std::uint64_t& out) {
+    const auto r = try_decode_varint(data_.subspan(pos_));
+    if (!r) {
+      if (data_.size() - pos_ >= kMaxVarintBytes) {
+        throw FormatError("malformed varint in delta stream");
+      }
+      return false;
+    }
+    out = r->value;
+    pos_ += r->consumed;
+    return true;
+  }
+
+  bool bytes(std::size_t n, ByteView& out) noexcept {
+    if (pos_ + n > data_.size()) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Try to decode one command at the front of `data`. Returns the command
+/// and bytes consumed, or nullopt when more bytes are needed. Throws
+/// FormatError for malformed content. `running_to` supplies and receives
+/// the implicit write offset.
+std::optional<std::pair<Command, std::size_t>> try_decode_command(
+    ByteView data, DeltaFormat fmt, unsigned offset_width,
+    offset_t& running_to) {
+  TryReader r(data);
+  std::uint8_t op = 0;
+  if (!r.u8(op)) return std::nullopt;
+  const bool exp = fmt.offsets == WriteOffsets::kExplicit;
+  const bool paper = fmt.codeword == Codeword::kPaperByte;
+
+  const auto read_to = [&](std::uint64_t& to) -> bool {
+    if (!exp) {
+      to = running_to;
+      return true;
+    }
+    return paper ? r.fixed(offset_width, to) : r.varint(to);
+  };
+
+  if (paper) {
+    if (op == kOpAdd) {
+      std::uint64_t to = 0, len = 0;
+      std::uint8_t len8 = 0;
+      if (!read_to(to) || !r.u8(len8)) return std::nullopt;
+      len = len8;
+      if (len == 0) throw FormatError("add command with zero length");
+      ByteView body;
+      if (!r.bytes(static_cast<std::size_t>(len), body)) return std::nullopt;
+      running_to = to + len;
+      return std::make_pair(
+          Command(AddCommand{to, Bytes(body.begin(), body.end())}),
+          r.position());
+    }
+    if (op >= kOpCopyBase && op < kOpCopyBase + 9) {
+      const unsigned fc = (op - kOpCopyBase) / 3;
+      const unsigned lc = (op - kOpCopyBase) % 3;
+      std::uint64_t to = 0, from = 0, len = 0;
+      if (!read_to(to) || !r.fixed(f_width(fc), from) ||
+          !r.fixed(l_width(lc), len)) {
+        return std::nullopt;
+      }
+      if (len == 0) throw FormatError("copy command with zero length");
+      running_to = to + len;
+      return std::make_pair(Command(CopyCommand{from, to, len}),
+                            r.position());
+    }
+    throw FormatError("unknown PaperByte opcode " + std::to_string(op));
+  }
+
+  if (op == kOpVarAdd) {
+    std::uint64_t to = 0, len = 0;
+    if (!read_to(to) || !r.varint(len)) return std::nullopt;
+    if (len == 0) throw FormatError("add command with zero length");
+    ByteView body;
+    if (!r.bytes(static_cast<std::size_t>(len), body)) return std::nullopt;
+    running_to = to + len;
+    return std::make_pair(
+        Command(AddCommand{to, Bytes(body.begin(), body.end())}),
+        r.position());
+  }
+  if (op == kOpVarCopy) {
+    std::uint64_t to = 0, from = 0, len = 0;
+    if (!read_to(to) || !r.varint(from) || !r.varint(len)) {
+      return std::nullopt;
+    }
+    if (len == 0) throw FormatError("copy command with zero length");
+    running_to = to + len;
+    return std::make_pair(Command(CopyCommand{from, to, len}), r.position());
+  }
+  throw FormatError("unknown Varint opcode " + std::to_string(op));
+}
+
+}  // namespace
+
+std::optional<std::pair<DeltaHeader, std::size_t>> try_parse_header(
+    ByteView data) {
+  TryReader r(data);
+  ByteView magic;
+  if (!r.bytes(4, magic)) return std::nullopt;
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw FormatError("bad magic: not an ipdelta file");
+  }
+  std::uint8_t fmt_byte = 0, flags = 0;
+  if (!r.u8(fmt_byte) || !r.u8(flags)) return std::nullopt;
+  const unsigned cw = fmt_byte >> 4;
+  const unsigned off = fmt_byte & 0x0F;
+  if (cw > 1 || off > 1) {
+    throw FormatError("unknown format byte " + std::to_string(fmt_byte));
+  }
+  if (flags > 3) {
+    throw FormatError("unknown flags byte " + std::to_string(flags));
+  }
+  DeltaHeader header;
+  header.format = DeltaFormat{static_cast<Codeword>(cw),
+                              static_cast<WriteOffsets>(off)};
+  header.in_place = (flags & 1) != 0;
+  header.compress_payload = (flags & 2) != 0;
+  std::uint64_t crc = 0, adler = 0;
+  if (!r.varint(header.reference_length) ||
+      !r.varint(header.version_length) || !r.fixed(4, crc) ||
+      !r.varint(header.payload_length)) {
+    return std::nullopt;
+  }
+  if (header.compress_payload) {
+    if (!r.varint(header.payload_uncompressed)) return std::nullopt;
+  } else {
+    header.payload_uncompressed = header.payload_length;
+  }
+  if (!r.fixed(4, adler)) return std::nullopt;
+  header.version_crc = static_cast<std::uint32_t>(crc);
+  header.payload_adler = static_cast<std::uint32_t>(adler);
+  return std::make_pair(header, r.position());
+}
+
+StreamingCommandDecoder::StreamingCommandDecoder(DeltaFormat format,
+                                                 length_t version_length)
+    : format_(format), offset_width_(paper_offset_width(version_length)) {}
+
+void StreamingCommandDecoder::feed(ByteView chunk) {
+  // Compact the consumed prefix before growing the buffer.
+  if (pending_pos_ > 0 && pending_pos_ >= pending_.size() / 2) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_pos_));
+    pending_pos_ = 0;
+  }
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+}
+
+std::optional<Command> StreamingCommandDecoder::next() {
+  const ByteView avail = ByteView(pending_).subspan(pending_pos_);
+  if (avail.empty()) return std::nullopt;
+  auto decoded =
+      try_decode_command(avail, format_, offset_width_, running_to_);
+  if (!decoded) return std::nullopt;
+  pending_pos_ += decoded->second;
+  consumed_ += decoded->second;
+  return std::move(decoded->first);
+}
+
+std::size_t StreamingCommandDecoder::buffered() const noexcept {
+  return pending_.size() - pending_pos_;
+}
+
+const char* format_name(DeltaFormat f) noexcept {
+  if (f == kPaperSequential) return "paper/no-write-offsets";
+  if (f == kPaperExplicit) return "paper/write-offsets";
+  if (f == kVarintSequential) return "varint/no-write-offsets";
+  return "varint/write-offsets";
+}
+
+Bytes serialize_delta(const DeltaFile& file) {
+  if (file.format.offsets == WriteOffsets::kImplicit &&
+      !file.script.in_write_order()) {
+    throw ValidationError(
+        "implicit-offset format requires commands in write order with no "
+        "gaps; permuted (in-place) scripts need explicit write offsets");
+  }
+
+  const unsigned offw = paper_offset_width(file.version_length);
+  PayloadEncoder enc(file.format, offw);
+  ByteWriter payload;
+  for (const Command& c : file.script.commands()) {
+    enc.encode(payload, c);
+  }
+  Bytes body = payload.take();
+  const std::size_t uncompressed = body.size();
+  bool compressed = file.compress_payload;
+  if (compressed) {
+    Bytes packed = lzss_encode(body);
+    // Auto-fallback: store uncompressed when compression does not pay
+    // (tiny or copy-dominated payloads), so requesting compression never
+    // grows the file.
+    if (packed.size() + varint_size(uncompressed) < body.size()) {
+      body = std::move(packed);
+    } else {
+      compressed = false;
+    }
+  }
+
+  ByteWriter w;
+  w.write_string(std::string_view(kMagic, 4));
+  w.write_u8(static_cast<std::uint8_t>(
+      (static_cast<unsigned>(file.format.codeword) << 4) |
+      static_cast<unsigned>(file.format.offsets)));
+  w.write_u8(static_cast<std::uint8_t>((file.in_place ? 1 : 0) |
+                                       (compressed ? 2 : 0)));
+  w.write_varint(file.reference_length);
+  w.write_varint(file.version_length);
+  w.write_u32le(file.version_crc);
+  w.write_varint(body.size());
+  if (compressed) {
+    w.write_varint(uncompressed);
+  }
+  w.write_u32le(adler32(body));
+  w.write_bytes(body);
+  return w.take();
+}
+
+DeltaFile deserialize_delta(ByteView data) {
+  const auto parsed = try_parse_header(data);
+  if (!parsed) {
+    throw FormatError("truncated delta header");
+  }
+  const DeltaHeader& header = parsed->first;
+  const std::size_t header_bytes = parsed->second;
+
+  if (header.payload_length > data.size() - header_bytes) {
+    throw FormatError("payload truncated");
+  }
+  const ByteView payload = data.subspan(
+      header_bytes, static_cast<std::size_t>(header.payload_length));
+  if (header_bytes + header.payload_length != data.size()) {
+    throw FormatError("trailing garbage after payload");
+  }
+  if (adler32(payload) != header.payload_adler) {
+    throw FormatError("payload checksum mismatch");
+  }
+
+  DeltaFile file;
+  file.format = header.format;
+  file.in_place = header.in_place;
+  file.compress_payload = header.compress_payload;
+  file.reference_length = header.reference_length;
+  file.version_length = header.version_length;
+  file.version_crc = header.version_crc;
+
+  Bytes decompressed;
+  ByteView commands = payload;
+  if (header.compress_payload) {
+    decompressed = lzss_decode(
+        payload, static_cast<std::size_t>(header.payload_uncompressed));
+    commands = decompressed;
+  }
+
+  PayloadDecoder dec(file.format, paper_offset_width(file.version_length));
+  file.script = dec.decode(commands);
+  file.script.validate(file.reference_length, file.version_length);
+  return file;
+}
+
+CodewordCostModel::CodewordCostModel(DeltaFormat format,
+                                     length_t version_length) noexcept
+    : format_(format), offset_width_(paper_offset_width(version_length)) {}
+
+std::size_t CodewordCostModel::copy_size(const CopyCommand& c) const noexcept {
+  const bool exp = format_.offsets == WriteOffsets::kExplicit;
+  if (format_.codeword == Codeword::kVarint) {
+    return 1 + (exp ? varint_size(c.to) : 0) + varint_size(c.from) +
+           varint_size(c.length);
+  }
+  std::size_t total = 0;
+  CopyCommand rest = c;
+  while (rest.length > 0) {
+    const length_t chunk = std::min(rest.length, kPaperMaxCopy);
+    total += 1 + (exp ? offset_width_ : 0) + f_width(f_class(rest.from)) +
+             l_width(l_class(chunk));
+    rest.from += chunk;
+    rest.to += chunk;
+    rest.length -= chunk;
+  }
+  return total;
+}
+
+std::size_t CodewordCostModel::add_size(offset_t to,
+                                        length_t length) const noexcept {
+  const bool exp = format_.offsets == WriteOffsets::kExplicit;
+  if (format_.codeword == Codeword::kVarint) {
+    return 1 + (exp ? varint_size(to) : 0) + varint_size(length) +
+           static_cast<std::size_t>(length);
+  }
+  const std::uint64_t chunks = (length + kPaperMaxAdd - 1) / kPaperMaxAdd;
+  return static_cast<std::size_t>(chunks * (2 + (exp ? offset_width_ : 0)) +
+                                  length);
+}
+
+std::uint64_t CodewordCostModel::conversion_cost(
+    const CopyCommand& c) const noexcept {
+  const std::size_t add = add_size(c.to, c.length);
+  const std::size_t copy = copy_size(c);
+  return add > copy ? add - copy : 1;
+}
+
+}  // namespace ipd

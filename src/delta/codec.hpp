@@ -1,0 +1,179 @@
+// Delta file serialization: codeword formats and the container format.
+//
+// Table 1 of the paper hinges on a codeword distinction:
+//
+//  * "Δ Compress, No Write Offsets"  — commands are applied in write order,
+//    so `t` is implicit (add = <l>, copy = <f,l>). Densest, but the file
+//    cannot be permuted, hence not in-place reconstructible.
+//  * "Δ Compress, Write Offsets"     — every command carries `t`
+//    (add = <t,l>, copy = <f,t,l>). ~1.9 % compression loss in the paper;
+//    this is the format the in-place converter consumes and emits.
+//
+// Orthogonally we provide two codeword families:
+//
+//  * PaperByte — faithful to the encoder the paper borrowed from
+//    Reichenberger [11] / Ajtai et al. [1]: fixed-width binary fields and a
+//    single-byte add length (1..255), which is precisely the encoding
+//    inefficiency §7 calls out ("many short add commands").
+//  * Varint    — a modern LEB128 encoding of the same commands, provided as
+//    the "redesign of the delta compression codewords" the paper suggests
+//    would reduce the loss; benches quantify that claim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/types.hpp"
+#include "delta/script.hpp"
+
+namespace ipd {
+
+enum class Codeword : std::uint8_t {
+  kPaperByte = 0,  ///< fixed-width fields, 1-byte add length (paper §7)
+  kVarint = 1,     ///< LEB128 fields, unbounded add length
+};
+
+enum class WriteOffsets : std::uint8_t {
+  kImplicit = 0,  ///< `t` defined by the end of the previous command
+  kExplicit = 1,  ///< `t` encoded in every codeword
+};
+
+struct DeltaFormat {
+  Codeword codeword = Codeword::kPaperByte;
+  WriteOffsets offsets = WriteOffsets::kExplicit;
+
+  bool operator==(const DeltaFormat&) const noexcept = default;
+};
+
+/// The four named formats used across benches and docs.
+inline constexpr DeltaFormat kPaperSequential{Codeword::kPaperByte,
+                                              WriteOffsets::kImplicit};
+inline constexpr DeltaFormat kPaperExplicit{Codeword::kPaperByte,
+                                            WriteOffsets::kExplicit};
+inline constexpr DeltaFormat kVarintSequential{Codeword::kVarint,
+                                               WriteOffsets::kImplicit};
+inline constexpr DeltaFormat kVarintExplicit{Codeword::kVarint,
+                                             WriteOffsets::kExplicit};
+
+const char* format_name(DeltaFormat f) noexcept;
+
+/// A decoded delta file: header metadata plus the command script.
+struct DeltaFile {
+  DeltaFormat format;
+  /// Producer's assertion that the script satisfies Equation 2 (no
+  /// write-before-read conflicts) and may be applied in place.
+  bool in_place = false;
+  /// Secondary (LZSS) compression of the encoded payload — what real
+  /// delta tools do by piping through a general compressor. Incompatible
+  /// with the streaming applier, which cannot decompress incrementally;
+  /// batch paths handle it transparently. The serializer silently falls
+  /// back to uncompressed storage when compression would not shrink the
+  /// payload, so after a round trip this flag reports what is actually
+  /// on the wire.
+  bool compress_payload = false;
+  length_t reference_length = 0;
+  length_t version_length = 0;
+  /// CRC-32C of the version file the script materialises; lets a device
+  /// verify a reconstruction before committing it.
+  std::uint32_t version_crc = 0;
+  Script script;
+};
+
+/// Serialize to the on-wire container (header + checksummed payload).
+///
+/// Implicit-offset formats require `file.script.in_write_order()`; a
+/// permuted (in-place) script cannot drop its write offsets — throws
+/// ValidationError, mirroring the paper's observation that in-place
+/// reconstruction inherently pays for explicit offsets.
+///
+/// PaperByte adds longer than 255 bytes and copies of 4 GiB or more are
+/// split into multiple commands, preserving the encoded version exactly.
+Bytes serialize_delta(const DeltaFile& file);
+
+/// Parse and verify a container produced by serialize_delta().
+/// Throws FormatError on corruption (bad magic, checksum, truncation) and
+/// ValidationError if the decoded script violates the §3 model.
+DeltaFile deserialize_delta(ByteView data);
+
+/// Container header fields, available before any payload byte arrives —
+/// what a streaming consumer needs to provision its buffer.
+struct DeltaHeader {
+  DeltaFormat format;
+  bool in_place = false;
+  bool compress_payload = false;
+  length_t reference_length = 0;
+  length_t version_length = 0;
+  std::uint32_t version_crc = 0;
+  /// On-wire payload bytes (compressed size when compress_payload).
+  std::uint64_t payload_length = 0;
+  /// Decoded command-stream bytes (== payload_length when uncompressed).
+  std::uint64_t payload_uncompressed = 0;
+  std::uint32_t payload_adler = 0;
+};
+
+/// Try to parse the container header from the front of `data`.
+/// Returns {header, bytes consumed} once enough bytes are present,
+/// std::nullopt if more bytes are needed; throws FormatError on
+/// malformed input (bad magic / unknown format byte).
+std::optional<std::pair<DeltaHeader, std::size_t>> try_parse_header(
+    ByteView data);
+
+/// Incremental command decoder for streaming consumers: feed payload
+/// bytes as they arrive, pop commands as they complete. Malformed input
+/// throws FormatError; incomplete input just returns nothing yet.
+class StreamingCommandDecoder {
+ public:
+  StreamingCommandDecoder(DeltaFormat format, length_t version_length);
+
+  /// Append payload bytes to the internal buffer.
+  void feed(ByteView chunk);
+
+  /// Decode the next complete command, or std::nullopt if the buffered
+  /// bytes do not yet contain one.
+  std::optional<Command> next();
+
+  /// Bytes buffered but not yet consumed by a completed command.
+  std::size_t buffered() const noexcept;
+  /// Total payload bytes consumed by completed commands.
+  std::uint64_t consumed() const noexcept { return consumed_; }
+
+ private:
+  DeltaFormat format_;
+  unsigned offset_width_;
+  offset_t running_to_ = 0;
+  std::uint64_t consumed_ = 0;
+  Bytes pending_;
+  std::size_t pending_pos_ = 0;
+};
+
+/// Exact encoded payload size of one command under a format, given the
+/// version length (which fixes the explicit-offset field width for
+/// PaperByte). This is the paper's |command| used in the cycle-breaking
+/// cost function: converting copy c to an add costs
+///     add_size(t, l) - copy_size(c)   (≈ l - |f|).
+class CodewordCostModel {
+ public:
+  CodewordCostModel(DeltaFormat format, length_t version_length) noexcept;
+
+  /// Payload bytes to encode this copy (including opcode and offsets).
+  std::size_t copy_size(const CopyCommand& c) const noexcept;
+
+  /// Payload bytes to encode an add of `length` at `to` (opcode, offsets,
+  /// length field, and the literal data itself).
+  std::size_t add_size(offset_t to, length_t length) const noexcept;
+
+  /// Bytes gained by the delta file when copy `c` is converted to an add
+  /// (the paper's deletion cost, always >= 0 in practice; clamped at 1 so
+  /// policies have a strictly positive cost to minimise).
+  std::uint64_t conversion_cost(const CopyCommand& c) const noexcept;
+
+  DeltaFormat format() const noexcept { return format_; }
+  unsigned offset_width() const noexcept { return offset_width_; }
+
+ private:
+  DeltaFormat format_;
+  unsigned offset_width_;  // PaperByte explicit `t` field width: 4 or 8
+};
+
+}  // namespace ipd

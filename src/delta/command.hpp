@@ -1,0 +1,73 @@
+// The delta command model from §3 of the paper.
+//
+// A delta file is an ordered sequence of two command kinds:
+//   copy <f, t, l> — copy reference bytes [f, f+l-1] to version [t, t+l-1];
+//   add  <t, l>    — write l literal bytes (carried in the delta) at t.
+//
+// Commands always carry their write offset `t` in memory; whether `t` is
+// *encoded* is a property of the codeword format (delta/codec.hpp), which
+// is exactly the paper's "write offsets" distinction in Table 1.
+#pragma once
+
+#include <ostream>
+#include <variant>
+
+#include "core/interval.hpp"
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// copy <f, t, l>: move bytes from the reference into the version.
+struct CopyCommand {
+  offset_t from = 0;  ///< f — offset read in the reference file
+  offset_t to = 0;    ///< t — offset written in the version file
+  length_t length = 0;
+
+  /// [f, f+l-1], the bytes this command reads from the reference.
+  Interval read_interval() const noexcept {
+    return Interval::of(from, length);
+  }
+  /// [t, t+l-1], the bytes this command writes in the version.
+  Interval write_interval() const noexcept {
+    return Interval::of(to, length);
+  }
+
+  /// True when the command's own read and write ranges overlap — legal for
+  /// in-place application, but the copy direction matters (§4.1).
+  bool self_overlaps() const noexcept {
+    return read_interval().intersects(write_interval());
+  }
+
+  bool operator==(const CopyCommand&) const noexcept = default;
+};
+
+/// add <t, l> + data: write literal bytes at t.
+struct AddCommand {
+  offset_t to = 0;
+  Bytes data;
+
+  length_t length() const noexcept { return data.size(); }
+  Interval write_interval() const noexcept {
+    return Interval::of(to, data.size());
+  }
+
+  bool operator==(const AddCommand&) const noexcept = default;
+};
+
+using Command = std::variant<CopyCommand, AddCommand>;
+
+/// Write offset of either command kind.
+offset_t command_to(const Command& c) noexcept;
+/// Number of version bytes either command kind produces.
+length_t command_length(const Command& c) noexcept;
+/// Write interval of either command kind. Precondition: length >= 1.
+Interval command_write_interval(const Command& c) noexcept;
+
+bool is_copy(const Command& c) noexcept;
+bool is_add(const Command& c) noexcept;
+
+std::ostream& operator<<(std::ostream& os, const CopyCommand& c);
+std::ostream& operator<<(std::ostream& os, const AddCommand& a);
+std::ostream& operator<<(std::ostream& os, const Command& c);
+
+}  // namespace ipd

@@ -1,0 +1,36 @@
+// Delta composition: given δ₁ encoding B from A and δ₂ encoding C from B,
+// produce a single script encoding C directly from A — without ever
+// materializing B.
+//
+// This is the server-side primitive behind delta chains: a publisher who
+// keeps per-release deltas can mint a direct old→new delta for any pair
+// by folding the chain, at command-stream cost instead of re-running the
+// differencer over the full files. Every δ₂ copy that reads B is resolved
+// through δ₁'s write map: the piece lands either in a δ₁ copy (becoming a
+// copy from A with a shifted offset) or in a δ₁ add (becoming a literal
+// sliced out of δ₁'s data).
+//
+// The composed script is a plain (scratch-space) delta; pass it through
+// convert_to_inplace — which needs the real A bytes — if the device needs
+// in-place application.
+#pragma once
+
+#include "delta/script.hpp"
+
+namespace ipd {
+
+struct ComposeReport {
+  std::size_t second_commands = 0;  ///< commands in δ₂
+  std::size_t pieces = 0;           ///< fragments after resolution
+  length_t literal_bytes = 0;       ///< bytes carried as adds in the result
+};
+
+/// Compose `first` (A→B) with `second` (B→C). `first` must be a valid
+/// script whose writes tile [0, L_B) where L_B covers every read of
+/// `second`; throws ValidationError otherwise. The result reads only A
+/// and tiles [0, L_C) exactly. Commands in the result follow `second`'s
+/// order with fragments merged where adjacent.
+Script compose_scripts(const Script& first, const Script& second,
+                       ComposeReport* report_out = nullptr);
+
+}  // namespace ipd

@@ -1,0 +1,75 @@
+#include "delta/differ.hpp"
+
+#include <cassert>
+
+#include "delta/block_differ.hpp"
+#include "delta/greedy_differ.hpp"
+#include "delta/onepass_differ.hpp"
+#include "delta/suffix_differ.hpp"
+
+namespace ipd {
+
+const char* differ_name(DifferKind kind) noexcept {
+  switch (kind) {
+    case DifferKind::kGreedy: return "greedy";
+    case DifferKind::kOnePass: return "one-pass";
+    case DifferKind::kSuffixGreedy: return "suffix-greedy";
+    case DifferKind::kBlockAligned: return "block-aligned";
+  }
+  return "?";
+}
+
+std::unique_ptr<Differ> make_differ(DifferKind kind,
+                                    const DifferOptions& options) {
+  switch (kind) {
+    case DifferKind::kGreedy:
+      return std::make_unique<GreedyDiffer>(options);
+    case DifferKind::kOnePass:
+      return std::make_unique<OnePassDiffer>(options);
+    case DifferKind::kSuffixGreedy:
+      return std::make_unique<SuffixDiffer>(options);
+    case DifferKind::kBlockAligned:
+      return std::make_unique<BlockDiffer>(
+          BlockDifferOptions{options.block_size});
+  }
+  throw ValidationError("unknown differ kind");
+}
+
+Script diff_bytes(DifferKind kind, ByteView reference, ByteView version,
+                  const DifferOptions& options) {
+  return make_differ(kind, options)->diff(reference, version);
+}
+
+void ScriptBuilder::literal(std::uint8_t byte) { pending_.push_back(byte); }
+
+void ScriptBuilder::literals(ByteView data) {
+  pending_.insert(pending_.end(), data.begin(), data.end());
+}
+
+void ScriptBuilder::retract(std::size_t n) {
+  assert(n <= pending_.size());
+  pending_.resize(pending_.size() - n);
+}
+
+void ScriptBuilder::copy(offset_t from, length_t length) {
+  assert(length > 0);
+  flush();
+  script_.push(CopyCommand{from, cursor_, length});
+  cursor_ += length;
+}
+
+void ScriptBuilder::flush() {
+  if (!pending_.empty()) {
+    const length_t len = pending_.size();
+    script_.push(AddCommand{cursor_, std::move(pending_)});
+    cursor_ += len;
+    pending_.clear();
+  }
+}
+
+Script ScriptBuilder::finish() {
+  flush();
+  return std::move(script_);
+}
+
+}  // namespace ipd

@@ -1,0 +1,123 @@
+#include "delta/onepass_differ.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/rolling_hash.hpp"
+
+namespace ipd {
+namespace {
+
+constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
+
+std::size_t match_forward(ByteView a, std::size_t ai, ByteView b,
+                          std::size_t bi) noexcept {
+  const std::size_t limit = std::min(a.size() - ai, b.size() - bi);
+  std::size_t n = 0;
+  while (n < limit && a[ai + n] == b[bi + n]) ++n;
+  return n;
+}
+
+std::size_t match_backward(ByteView a, std::size_t ai, ByteView b,
+                           std::size_t bi, std::size_t limit) noexcept {
+  std::size_t n = 0;
+  while (n < limit && n < ai && n < bi && a[ai - n - 1] == b[bi - n - 1]) ++n;
+  return n;
+}
+
+}  // namespace
+
+OnePassDiffer::OnePassDiffer(const DifferOptions& options)
+    : options_(options) {
+  assert(options_.seed_length >= 4);
+  assert(options_.min_match >= options_.seed_length);
+  assert(options_.table_bits >= 8 && options_.table_bits <= 28);
+}
+
+Script OnePassDiffer::diff(ByteView reference, ByteView version) const {
+  ScriptBuilder builder;
+  const std::size_t seed = options_.seed_length;
+  if (version.empty()) {
+    return builder.finish();
+  }
+  if (reference.size() < seed || version.size() < seed) {
+    builder.literals(version);
+    return builder.finish();
+  }
+
+  // Pass 1 — fingerprint the reference into the fixed-size table.
+  const std::size_t table_size = std::size_t{1} << options_.table_bits;
+  const std::size_t mask = table_size - 1;
+  std::vector<std::uint64_t> table(table_size, kEmptySlot);
+
+  RollingHash rh(seed);
+  {
+    std::uint64_t h = rh.init(reference);
+    const std::size_t positions = reference.size() - seed + 1;
+    for (std::size_t pos = 0;; ++pos) {
+      std::uint64_t& slot = table[RollingHash::mix(h) & mask];
+      if (slot == kEmptySlot) {
+        slot = pos;  // first occurrence wins, as in [5]
+      }
+      if (pos + 1 >= positions) break;
+      h = rh.roll(h, reference[pos], reference[pos + seed]);
+    }
+  }
+
+  // Pass 2 — scan the version, probing the table.
+  std::size_t pos = 0;
+  std::uint64_t h = rh.init(version);
+  bool hash_valid = true;
+
+  const auto advance_to = [&](std::size_t target) {
+    if (target + seed > version.size()) {
+      pos = target;
+      hash_valid = false;
+      return;
+    }
+    if (hash_valid && target - pos <= seed) {
+      while (pos < target) {
+        h = rh.roll(h, version[pos], version[pos + seed]);
+        ++pos;
+      }
+    } else {
+      pos = target;
+      h = rh.init(version.subspan(pos));
+      hash_valid = true;
+    }
+  };
+
+  while (pos < version.size()) {
+    if (pos + seed > version.size()) {
+      builder.literals(version.subspan(pos));
+      break;
+    }
+
+    const std::uint64_t cand = table[RollingHash::mix(h) & mask];
+    if (cand != kEmptySlot) {
+      const std::size_t from = static_cast<std::size_t>(cand);
+      if (std::equal(
+              version.begin() + static_cast<std::ptrdiff_t>(pos),
+              version.begin() + static_cast<std::ptrdiff_t>(pos + seed),
+              reference.begin() + static_cast<std::ptrdiff_t>(from))) {
+        const std::size_t fwd =
+            seed + match_forward(reference, from + seed, version, pos + seed);
+        const std::size_t back = match_backward(reference, from, version, pos,
+                                                builder.pending_literals());
+        if (fwd + back >= options_.min_match) {
+          builder.retract(back);
+          builder.copy(from - back, fwd + back);
+          advance_to(pos + fwd);
+          continue;
+        }
+      }
+    }
+    builder.literal(version[pos]);
+    advance_to(pos + 1);
+  }
+
+  return builder.finish();
+}
+
+}  // namespace ipd

@@ -1,0 +1,29 @@
+// Linear-time, constant-space differencer, after Burns & Long (IPCCC '97,
+// the paper's reference [5]) and Ajtai et al. [1].
+//
+// Space is constant because the only data structure is a fingerprint table
+// of fixed size 2^table_bits, independent of input length: one pass over
+// the reference populates it (first-come-keeps-slot, so earlier — and for
+// versioned data, usually aligned — positions win), then one pass over the
+// version probes it, verifies candidates byte-for-byte, and extends
+// matches in both directions. Collisions and evictions only cost
+// compression, never correctness, which is exactly the trade [5] makes to
+// reach linear time.
+#pragma once
+
+#include "delta/differ.hpp"
+
+namespace ipd {
+
+class OnePassDiffer final : public Differ {
+ public:
+  explicit OnePassDiffer(const DifferOptions& options);
+
+  Script diff(ByteView reference, ByteView version) const override;
+  const char* name() const noexcept override { return "one-pass"; }
+
+ private:
+  DifferOptions options_;
+};
+
+}  // namespace ipd

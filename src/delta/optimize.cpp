@@ -1,0 +1,84 @@
+#include "delta/optimize.hpp"
+
+#include <algorithm>
+
+namespace ipd {
+
+Script optimize_script(const Script& script, ByteView reference,
+                       const OptimizeOptions& options,
+                       OptimizeReport* report_out) {
+  OptimizeReport report;
+  const CodewordCostModel model(options.format, script.version_length());
+
+  Script sorted = script;
+  sorted.sort_by_write_offset();
+
+  std::vector<Command> out;
+  out.reserve(sorted.size());
+
+  const auto last_add = [&]() -> AddCommand* {
+    return out.empty() ? nullptr : std::get_if<AddCommand>(&out.back());
+  };
+  const auto last_copy = [&]() -> CopyCommand* {
+    return out.empty() ? nullptr : std::get_if<CopyCommand>(&out.back());
+  };
+
+  const auto append_add = [&](AddCommand add) {
+    if (options.merge_adds) {
+      if (AddCommand* prev = last_add();
+          prev != nullptr && prev->to + prev->length() == add.to) {
+        // Two codewords become one: save the second command's overhead.
+        report.bytes_saved +=
+            model.add_size(add.to, add.length()) - add.data.size();
+        ++report.adds_merged;
+        prev->data.insert(prev->data.end(), add.data.begin(),
+                          add.data.end());
+        return;
+      }
+    }
+    out.emplace_back(std::move(add));
+  };
+
+  for (const Command& cmd : sorted.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (copy->length == 0) continue;
+      if (options.merge_copies) {
+        if (CopyCommand* prev = last_copy();
+            prev != nullptr && prev->to + prev->length == copy->to &&
+            prev->from + prev->length == copy->from) {
+          report.bytes_saved += model.copy_size(*copy);
+          ++report.copies_merged;
+          prev->length += copy->length;
+          continue;
+        }
+      }
+      if (options.demote_short_copies && !reference.empty() &&
+          copy->from + copy->length <= reference.size()) {
+        const std::size_t as_copy = model.copy_size(*copy);
+        const std::size_t as_add = model.add_size(copy->to, copy->length);
+        if (as_add < as_copy) {
+          report.bytes_saved += as_copy - as_add;
+          ++report.copies_demoted;
+          const auto begin =
+              reference.begin() + static_cast<std::ptrdiff_t>(copy->from);
+          append_add(AddCommand{
+              copy->to,
+              Bytes(begin, begin + static_cast<std::ptrdiff_t>(copy->length))});
+          continue;
+        }
+      }
+      out.emplace_back(*copy);
+    } else {
+      const AddCommand& add = std::get<AddCommand>(cmd);
+      if (add.data.empty()) continue;
+      append_add(add);
+    }
+  }
+
+  if (report_out != nullptr) {
+    *report_out = report;
+  }
+  return Script(std::move(out));
+}
+
+}  // namespace ipd

@@ -1,0 +1,51 @@
+// Command-stream optimizer: canonicalizations that shrink a script
+// without changing the version it encodes.
+//
+// Differencers and the in-place converter both emit command streams with
+// avoidable overhead — abutting adds, copies that continue each other,
+// copies so short their add encoding is cheaper. The optimizer fixes
+// these mechanically; §7 of the paper attributes most of its encoding
+// loss to exactly this kind of codeword overhead.
+#pragma once
+
+#include "delta/codec.hpp"
+#include "delta/script.hpp"
+
+namespace ipd {
+
+struct OptimizeOptions {
+  /// Merge adds whose write intervals abut (in write order).
+  bool merge_adds = true;
+  /// Merge copies that continue each other: <f,t,l> followed by
+  /// <f+l, t+l, l'> becomes <f, t, l+l'>.
+  bool merge_copies = true;
+  /// Convert copies to adds when the add encodes smaller under `format`
+  /// (e.g. very short copies with wide offsets). Needs the reference to
+  /// materialise the bytes; skipped if the caller passes none.
+  bool demote_short_copies = true;
+  /// Codeword format used for the demotion size comparison.
+  DeltaFormat format = kPaperExplicit;
+};
+
+struct OptimizeReport {
+  std::size_t adds_merged = 0;
+  std::size_t copies_merged = 0;
+  std::size_t copies_demoted = 0;
+  /// Estimated encoded-size reduction in bytes under `format`.
+  std::uint64_t bytes_saved = 0;
+};
+
+/// Optimize `script` (commands may be in any order; the result is in
+/// write order). `reference` may be empty, which disables demotion.
+/// The returned script encodes exactly the same version file.
+///
+/// NOTE: reordering into write order is only sound for scratch-space
+/// deltas. Do not run this on an in-place (converted) script — it would
+/// destroy the topological command order; run it on the differ output
+/// *before* conversion instead (the converter preserves add merging via
+/// its own coalescing).
+Script optimize_script(const Script& script, ByteView reference,
+                       const OptimizeOptions& options = {},
+                       OptimizeReport* report_out = nullptr);
+
+}  // namespace ipd

@@ -1,0 +1,31 @@
+#include "delta/stats.hpp"
+
+#include <cstdio>
+
+namespace ipd {
+
+std::string format_percent(double percent, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, percent);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace ipd

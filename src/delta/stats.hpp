@@ -1,0 +1,70 @@
+// Compression accounting in the units the paper reports: delta size as a
+// percentage of the version size ("compressed data, on average, to 15.3%
+// its original size"), aggregated over a corpus of file pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// One (reference, version, delta) measurement.
+struct CompressionSample {
+  length_t reference_size = 0;
+  length_t version_size = 0;
+  std::uint64_t delta_size = 0;
+
+  /// Delta as a percentage of the version file (lower is better).
+  double percent() const noexcept {
+    return version_size == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(delta_size) /
+                     static_cast<double>(version_size);
+  }
+};
+
+/// Corpus-level aggregate. The paper aggregates by total bytes (a single
+/// corpus-wide ratio), which weights large files more — we report both
+/// that and the unweighted mean-of-ratios.
+class CompressionAggregate {
+ public:
+  void add(const CompressionSample& s) noexcept {
+    total_version_ += s.version_size;
+    total_delta_ += s.delta_size;
+    ratio_sum_ += s.percent();
+    ++count_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  std::uint64_t total_version_bytes() const noexcept { return total_version_; }
+  std::uint64_t total_delta_bytes() const noexcept { return total_delta_; }
+
+  /// Corpus-wide ratio, percent (paper's headline metric).
+  double weighted_percent() const noexcept {
+    return total_version_ == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(total_delta_) /
+                     static_cast<double>(total_version_);
+  }
+
+  /// Unweighted mean of per-pair ratios, percent.
+  double mean_percent() const noexcept {
+    return count_ == 0 ? 0.0 : ratio_sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t total_version_ = 0;
+  std::uint64_t total_delta_ = 0;
+  double ratio_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// "12.34%"-style fixed-point rendering used by bench tables.
+std::string format_percent(double percent, int decimals = 1);
+
+/// Human-readable byte count ("1.25 MiB") for reports.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace ipd

@@ -1,0 +1,11 @@
+#include "device/channel.hpp"
+
+namespace ipd {
+
+ChannelModel channel_9600() { return {"serial-9.6k", 9'600, 0.3, 0.05}; }
+ChannelModel channel_28k() { return {"modem-28.8k", 28'800, 0.2, 0.05}; }
+ChannelModel channel_56k() { return {"modem-56k", 56'000, 0.2, 0.05}; }
+ChannelModel channel_isdn() { return {"isdn-128k", 128'000, 0.1, 0.03}; }
+ChannelModel channel_t1() { return {"t1-1.5M", 1'544'000, 0.05, 0.03}; }
+
+}  // namespace ipd

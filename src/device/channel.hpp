@@ -1,0 +1,36 @@
+// Low-bandwidth channel model for the paper's motivating scenario (§1):
+// software update of network-attached devices over slow links. Purely
+// analytic — transfer time = latency + bytes / bandwidth — which is all
+// the end-to-end update-time experiment (E8) needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+struct ChannelModel {
+  std::string name = "modem-28.8k";
+  double bandwidth_bits_per_s = 28'800;
+  double latency_s = 0.2;
+  /// Fractional protocol overhead (headers, retransmits); 0.05 = 5 %.
+  double overhead = 0.05;
+
+  /// Seconds to deliver `bytes` over this channel.
+  double transfer_seconds(std::uint64_t bytes) const noexcept {
+    const double effective_bits =
+        static_cast<double>(bytes) * 8.0 * (1.0 + overhead);
+    return latency_s + effective_bits / bandwidth_bits_per_s;
+  }
+};
+
+/// The sweep of 1998-era device links used by bench_update_time.
+ChannelModel channel_9600();    ///< cellular / serial 9.6 kbit/s
+ChannelModel channel_28k();     ///< v.34 modem
+ChannelModel channel_56k();     ///< v.90 modem
+ChannelModel channel_isdn();    ///< 128 kbit/s
+ChannelModel channel_t1();      ///< 1.544 Mbit/s
+
+}  // namespace ipd

@@ -1,0 +1,275 @@
+#include "device/resumable_updater.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/checksum.hpp"
+#include "delta/codec.hpp"
+
+namespace ipd {
+namespace {
+
+constexpr char kJournalMagic[4] = {'I', 'P', 'D', 'J'};
+constexpr std::uint32_t kDoneStep = 0xFFFFFFFFu;
+
+// Fixed part of a journal record; `backup_len` bytes of backup follow,
+// then a CRC-32C of everything before it.
+struct RecordHeader {
+  std::uint64_t seq = 0;
+  std::uint32_t delta_adler = 0;
+  std::uint32_t step = 0;
+  std::uint64_t backup_to = 0;
+  std::uint32_t backup_len = 0;
+};
+
+constexpr std::size_t kRecordHeaderBytes = 4 + 8 + 4 + 4 + 8 + 4;
+constexpr std::size_t kRecordTrailerBytes = 4;  // crc
+
+std::size_t slot_capacity(std::size_t window_bytes) {
+  return kRecordHeaderBytes + window_bytes + kRecordTrailerBytes;
+}
+
+Bytes encode_record(const RecordHeader& header, ByteView backup) {
+  ByteWriter w;
+  w.write_string(std::string_view(kJournalMagic, 4));
+  w.write_u64le(header.seq);
+  w.write_u32le(header.delta_adler);
+  w.write_u32le(header.step);
+  w.write_u64le(header.backup_to);
+  w.write_u32le(static_cast<std::uint32_t>(backup.size()));
+  w.write_bytes(backup);
+  w.write_u32le(crc32c(w.bytes()));
+  return w.take();
+}
+
+struct DecodedRecord {
+  RecordHeader header;
+  Bytes backup;
+};
+
+std::optional<DecodedRecord> decode_record(ByteView slot) {
+  if (slot.size() < kRecordHeaderBytes + kRecordTrailerBytes) {
+    return std::nullopt;
+  }
+  ByteReader r(slot);
+  const ByteView magic = r.read_bytes(4);
+  if (!std::equal(magic.begin(), magic.end(), kJournalMagic)) {
+    return std::nullopt;
+  }
+  DecodedRecord rec;
+  rec.header.seq = r.read_u64le();
+  rec.header.delta_adler = r.read_u32le();
+  rec.header.step = r.read_u32le();
+  rec.header.backup_to = r.read_u64le();
+  rec.header.backup_len = r.read_u32le();
+  if (rec.header.backup_len >
+      slot.size() - kRecordHeaderBytes - kRecordTrailerBytes) {
+    return std::nullopt;
+  }
+  const ByteView backup = r.read_bytes(rec.header.backup_len);
+  const std::uint32_t stored_crc = r.read_u32le();
+  if (crc32c(slot.first(kRecordHeaderBytes + rec.header.backup_len)) !=
+      stored_crc) {
+    return std::nullopt;  // torn or stale record
+  }
+  rec.backup.assign(backup.begin(), backup.end());
+  return rec;
+}
+
+/// One unit of journaled work (see header comment).
+struct Step {
+  offset_t from = 0;       // copy source (unused for adds)
+  offset_t to = 0;
+  length_t length = 0;
+  const AddCommand* add = nullptr;  // non-null for add steps
+  bool needs_backup = false;        // self-overlapping copy sub-step
+};
+
+std::vector<Step> plan_steps(const Script& script,
+                             std::size_t window_bytes) {
+  std::vector<Step> steps;
+  for (const Command& cmd : script.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (!copy->self_overlaps()) {
+        steps.push_back(Step{copy->from, copy->to, copy->length, nullptr,
+                             false});
+        continue;
+      }
+      // Split into window sub-steps in the §4.1 direction; each sub-step
+      // journals a backup of its destination window.
+      const length_t l = copy->length;
+      const length_t w = window_bytes;
+      if (copy->from >= copy->to) {
+        for (length_t off = 0; off < l; off += w) {
+          const length_t n = std::min<length_t>(w, l - off);
+          steps.push_back(Step{copy->from + off, copy->to + off, n, nullptr,
+                               true});
+        }
+      } else {
+        for (length_t end = l; end > 0;) {
+          const length_t n = std::min<length_t>(w, end);
+          const length_t off = end - n;
+          steps.push_back(Step{copy->from + off, copy->to + off, n, nullptr,
+                               true});
+          end = off;
+        }
+      }
+    } else {
+      const AddCommand& add = std::get<AddCommand>(cmd);
+      steps.push_back(Step{0, add.to, add.length(), &add, false});
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+void clear_journal(FlashDevice& device, const JournalRegion& journal) {
+  const Bytes zeros(std::min<std::size_t>(journal.size, 64), 0);
+  device.write(journal.offset, zeros);
+}
+
+ResumableUpdateResult apply_update_resumable(FlashDevice& device,
+                                             ByteView delta,
+                                             const ChannelModel& channel,
+                                             const JournalRegion& journal,
+                                             const UpdaterOptions& options) {
+  ResumableUpdateResult result;
+  result.update.delta_bytes = delta.size();
+  result.update.download_seconds = channel.transfer_seconds(delta.size());
+
+  // Stage the delta and parse it.
+  RamArena::Allocation staged = device.ram().allocate(delta.size());
+  std::copy(delta.begin(), delta.end(), staged.data());
+  const DeltaFile file = deserialize_delta(staged.view());
+  if (!file.in_place) {
+    throw ValidationError(
+        "resumable updater: delta is not marked in-place reconstructible");
+  }
+  const std::uint64_t image_extent =
+      std::max(file.reference_length, file.version_length);
+  if (image_extent > device.storage_size()) {
+    throw DeviceError("resumable updater: image does not fit storage");
+  }
+
+  // Journal region checks.
+  const std::size_t slot = slot_capacity(options.window_bytes);
+  if (journal.size < 2 * slot) {
+    throw DeviceError("resumable updater: journal region smaller than two "
+                      "slots (" + std::to_string(2 * slot) + " bytes)");
+  }
+  if (journal.offset < image_extent ||
+      journal.offset + journal.size > device.storage_size()) {
+    throw DeviceError(
+        "resumable updater: journal region overlaps the image area or "
+        "exceeds storage");
+  }
+
+  const std::uint32_t delta_sum = adler32(delta);
+  const std::vector<Step> steps = plan_steps(file.script,
+                                             options.window_bytes);
+
+  RamArena::Allocation window = device.ram().allocate(options.window_bytes);
+  RamArena::Allocation slot_buf = device.ram().allocate(slot);
+
+  // Recovery: find the newest valid record for this delta.
+  std::size_t start_step = 0;
+  {
+    std::optional<DecodedRecord> best;
+    for (int s = 0; s < 2; ++s) {
+      device.read(journal.offset + static_cast<offset_t>(s) * slot,
+                  slot_buf.view());
+      auto rec = decode_record(slot_buf.view());
+      if (rec && rec->header.delta_adler == delta_sum &&
+          (!best || rec->header.seq > best->header.seq)) {
+        best = std::move(rec);
+      }
+    }
+    if (best) {
+      result.resumed = true;
+      if (best->header.step == kDoneStep) {
+        start_step = steps.size();  // nothing left but verification
+      } else {
+        if (best->header.step >= steps.size()) {
+          throw DeviceError("resumable updater: journal step out of range");
+        }
+        // Undo the possibly-torn step by restoring its backup.
+        if (!best->backup.empty()) {
+          device.write(best->header.backup_to, best->backup);
+        }
+        start_step = best->header.step;
+      }
+    }
+  }
+  result.steps_replayed = start_step;
+
+  const std::uint64_t pages_before = device.pages_touched_write();
+  const std::uint64_t bytes_before = device.bytes_written();
+
+  const auto write_record = [&](std::uint64_t seq, std::uint32_t step,
+                                offset_t backup_to, ByteView backup) {
+    RecordHeader header;
+    header.seq = seq;
+    header.delta_adler = delta_sum;
+    header.step = step;
+    header.backup_to = backup_to;
+    const Bytes record = encode_record(header, backup);
+    device.write(journal.offset + (seq % 2) * slot, record);
+    ++result.journal_records;
+  };
+
+  for (std::size_t k = start_step; k < steps.size(); ++k) {
+    const Step& step = steps[k];
+    if (step.needs_backup) {
+      // Save the destination window so a torn execution can be undone.
+      const MutByteView dst =
+          window.view().first(static_cast<std::size_t>(step.length));
+      device.read(step.to, dst);
+      write_record(k, static_cast<std::uint32_t>(k), step.to, dst);
+      // Apply: sub-step fits entirely in the window, so one read+write.
+      device.read(step.from, dst);
+      device.write(step.to, dst);
+    } else {
+      write_record(k, static_cast<std::uint32_t>(k), 0, {});
+      if (step.add != nullptr) {
+        device.write(step.to, step.add->data);
+      } else {
+        device_windowed_copy(device, window.view(), step.from, step.to,
+                             step.length);
+      }
+    }
+  }
+
+  if (start_step < steps.size() || !result.resumed) {
+    write_record(steps.size(), kDoneStep, 0, {});
+  }
+
+  result.update.new_image_length = file.version_length;
+  result.update.storage_bytes_written = device.bytes_written() - bytes_before;
+  result.update.storage_pages_written =
+      device.pages_touched_write() - pages_before;
+
+  if (options.verify_crc) {
+    Crc32c crc;
+    length_t done = 0;
+    while (done < file.version_length) {
+      const std::size_t n = static_cast<std::size_t>(std::min<length_t>(
+          window.size(), file.version_length - done));
+      const MutByteView chunk = window.view().first(n);
+      device.read(done, chunk);
+      crc.update(chunk);
+      done += n;
+    }
+    if (crc.value() != file.version_crc) {
+      throw FormatError(
+          "resumable updater: version CRC mismatch after reconstruction");
+    }
+    result.update.crc_verified = true;
+  }
+  result.update.ram_high_water = device.ram().high_water();
+  return result;
+}
+
+}  // namespace ipd

@@ -1,0 +1,61 @@
+// Power-failure-tolerant in-place update.
+//
+// In-place reconstruction destroys the only copy of the old version as it
+// runs (§1); if power fails mid-update the device holds neither version.
+// Real OTA updaters solve this with a small journal, and so do we:
+//
+//  * The journal lives in a reserved storage region (a spare flash
+//    sector), holding two alternating fixed-size slots.
+//  * Before step k runs, a record {seq, command, sub-step, backup} is
+//    written to slot seq%2. Its presence (validated by a CRC) means
+//    "every step before k completed; step k may be partially applied".
+//  * Idempotent steps (adds, non-self-overlapping copies) carry no
+//    backup — re-running them is safe because Equation 2 guarantees
+//    nothing they read has been modified.
+//  * A self-overlapping copy is NOT idempotent: interrupting it corrupts
+//    its own source. It is split into window-sized sub-steps (applied in
+//    the §4.1 direction), and each sub-step's record carries a backup of
+//    the destination window — restoring it makes the sub-step re-runnable.
+//  * Torn journal writes are covered by the alternation: if record k is
+//    torn, record k-1 in the other slot is intact, and step k never
+//    started (records are written before their step), so resuming at
+//    step k-1 is sound.
+//
+// Recovery is automatic: run() inspects the journal, and if a valid
+// record matches this delta (by checksum), restores the backup and
+// resumes from the recorded step.
+#pragma once
+
+#include "device/channel.hpp"
+#include "device/flash_device.hpp"
+#include "device/updater.hpp"
+
+namespace ipd {
+
+/// Reserved storage region for the journal. Must not overlap the image
+/// area [0, max(reference, version)).
+struct JournalRegion {
+  offset_t offset = 0;
+  std::size_t size = 0;
+};
+
+struct ResumableUpdateResult {
+  UpdateResult update;
+  bool resumed = false;           ///< recovery path was taken
+  std::size_t steps_replayed = 0; ///< first step index executed this run
+  std::size_t journal_records = 0;
+};
+
+/// Apply `delta` (a serialized in-place delta) to `device` with journaled
+/// crash tolerance. Call again with the same arguments after a power
+/// failure to resume. Throws FlashDevice::PowerFailure through (that is
+/// the simulated crash), DeviceError for resource violations, and
+/// Format/ValidationError for bad deltas.
+ResumableUpdateResult apply_update_resumable(
+    FlashDevice& device, ByteView delta, const ChannelModel& channel,
+    const JournalRegion& journal, const UpdaterOptions& options = {});
+
+/// Erase any journal state in `journal` (e.g. after provisioning).
+void clear_journal(FlashDevice& device, const JournalRegion& journal);
+
+}  // namespace ipd

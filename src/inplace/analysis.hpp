@@ -1,0 +1,75 @@
+// Structural analysis of a delta script: command-length histograms, the
+// CRWI conflict structure (§4-§6 of the paper made observable), and a
+// dry-run projection of what in-place conversion would cost under each
+// cycle-breaking policy — all computable from the script alone, no
+// reference bytes needed.
+//
+// Consumers: `ipdelta info --deep`, the benches, and anyone deciding
+// whether a delta is worth converting before shipping.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "delta/codec.hpp"
+#include "delta/script.hpp"
+#include "inplace/cycle_policy.hpp"
+
+namespace ipd {
+
+/// Power-of-two length histogram: bucket i counts lengths in
+/// [2^i, 2^(i+1)).
+struct LengthHistogram {
+  std::array<std::size_t, 33> buckets{};
+  length_t max_length = 0;
+  std::size_t count = 0;
+
+  void add(length_t length) noexcept;
+  /// Index of the last non-empty bucket (0 when empty).
+  std::size_t top_bucket() const noexcept;
+};
+
+/// Projected effect of one cycle-breaking policy (dry run — copies are
+/// not actually re-encoded).
+struct PolicyProjection {
+  BreakPolicy policy = BreakPolicy::kLocalMin;
+  std::size_t copies_converted = 0;
+  length_t bytes_converted = 0;
+  std::uint64_t conversion_cost = 0;  ///< encoded-size growth, bytes
+};
+
+struct DeltaAnalysis {
+  ScriptSummary summary;
+  LengthHistogram copy_lengths;
+  LengthHistogram add_lengths;
+
+  // Conflict structure (the CRWI digraph of §4.2).
+  std::size_t edges = 0;
+  std::size_t conflicting_copies = 0;  ///< vertices with any edge
+  std::size_t nontrivial_sccs = 0;
+  std::size_t largest_scc = 0;
+  std::size_t cyclic_vertices = 0;
+  /// Script is already in-place safe in its given command order.
+  bool inplace_safe_as_ordered = false;
+
+  /// Dry-run projections for the on-line policies.
+  std::vector<PolicyProjection> projections;
+
+  /// Encoded payload+container size under each named format (same script;
+  /// implicit-offset formats are 0 when the script is not in write
+  /// order).
+  std::uint64_t size_paper_sequential = 0;
+  std::uint64_t size_paper_explicit = 0;
+  std::uint64_t size_varint_sequential = 0;
+  std::uint64_t size_varint_explicit = 0;
+};
+
+/// Analyze `script` (any valid delta script) against a reference of
+/// `reference_length` bytes. Runs in O(n log n + |E|).
+DeltaAnalysis analyze_delta(const Script& script, length_t reference_length);
+
+/// Multi-line human-readable report.
+std::string render_analysis(const DeltaAnalysis& analysis);
+
+}  // namespace ipd

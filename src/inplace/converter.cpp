@@ -1,0 +1,167 @@
+#include "inplace/converter.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/checksum.hpp"
+#include "inplace/scc.hpp"
+
+namespace ipd {
+namespace {
+
+/// Sort adds by write offset and merge runs that abut exactly.
+std::vector<AddCommand> coalesce(std::vector<AddCommand> adds) {
+  std::sort(adds.begin(), adds.end(),
+            [](const AddCommand& a, const AddCommand& b) {
+              return a.to < b.to;
+            });
+  std::vector<AddCommand> merged;
+  for (AddCommand& a : adds) {
+    if (!merged.empty() &&
+        merged.back().to + merged.back().length() == a.to) {
+      merged.back().data.insert(merged.back().data.end(), a.data.begin(),
+                                a.data.end());
+    } else {
+      merged.push_back(std::move(a));
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+ConvertResult convert_to_inplace(const Script& input, ByteView reference,
+                                 const ConvertOptions& options) {
+  const length_t version_length = input.version_length();
+  input.validate(reference.size(), version_length);
+
+  // Steps 1–2: partition and sort the copies by write offset.
+  std::vector<CopyCommand> copies = input.copies();
+  std::vector<AddCommand> adds = input.adds();
+  std::sort(copies.begin(), copies.end(),
+            [](const CopyCommand& a, const CopyCommand& b) {
+              return a.to < b.to;
+            });
+
+  ConvertResult result;
+  ConvertReport& report = result.report;
+  report.copies_in = copies.size();
+  report.adds_in = adds.size();
+
+  // Step 3: the CRWI digraph.
+  const CrwiGraph graph = CrwiGraph::build(copies, version_length);
+  report.edges = graph.edge_count();
+
+  const CodewordCostModel cost_model(options.format, version_length);
+  const std::vector<std::uint64_t> costs = conversion_costs(copies, cost_model);
+
+  // Step 4: topological sort with cycle breaking.
+  TopoSortResult topo;
+  if (options.policy == BreakPolicy::kExactOptimal ||
+      options.policy == BreakPolicy::kSccGlobalMin) {
+    std::vector<std::uint32_t> feedback_set;
+    if (options.policy == BreakPolicy::kExactOptimal) {
+      ExactFvsResult fvs = exact_min_fvs(graph, costs, options.exact);
+      report.exact_was_optimal = fvs.optimal;
+      feedback_set = std::move(fvs.removed);
+    } else {
+      feedback_set = scc_greedy_fvs(graph, costs, &report.scc_rounds);
+    }
+    std::vector<bool> pre_deleted(graph.vertex_count(), false);
+    for (const std::uint32_t v : feedback_set) {
+      pre_deleted[v] = true;
+    }
+    // The remainder is acyclic; constant-time policy never fires.
+    topo = topo_sort_breaking_cycles(graph, BreakPolicy::kConstantTime, costs,
+                                     pre_deleted);
+    topo.deleted.assign(feedback_set.begin(), feedback_set.end());
+    report.cycles_found = topo.cycles_found;  // 0 expected
+  } else {
+    topo = topo_sort_breaking_cycles(graph, options.policy, costs);
+    report.cycles_found = topo.cycles_found;
+    report.cycles_already_broken = topo.cycles_already_broken;
+  }
+  report.passes = topo.passes;
+  report.cycle_length_sum = topo.cycle_length_sum;
+
+  // Deleted vertices: re-encode their copies as adds, fetching the bytes
+  // from the reference (Equation 2 makes this the same data the copy
+  // would have read at reconstruction time).
+  for (const std::uint32_t v : topo.deleted) {
+    const CopyCommand& c = copies[v];
+    const auto begin =
+        reference.begin() + static_cast<std::ptrdiff_t>(c.from);
+    adds.push_back(AddCommand{
+        c.to, Bytes(begin, begin + static_cast<std::ptrdiff_t>(c.length))});
+    ++report.copies_converted;
+    report.bytes_converted += c.length;
+    report.conversion_cost += costs[v];
+  }
+
+  // Steps 5–6: surviving copies in topological order, then all adds.
+  Script& out = result.script;
+  for (const std::uint32_t v : topo.order) {
+    out.push(copies[v]);
+  }
+  if (options.coalesce_adds) {
+    adds = coalesce(std::move(adds));
+  }
+  for (AddCommand& a : adds) {
+    out.push(std::move(a));
+  }
+  return result;
+}
+
+bool satisfies_equation2(const Script& script) {
+  // Maintain the union of prior write intervals as a map from interval
+  // start to interval end (disjoint, since valid scripts never overlap
+  // writes). Each command's read interval is checked against it before
+  // the command's write interval is inserted.
+  std::map<offset_t, offset_t> written;  // first -> last
+
+  const auto intersects_written = [&](const Interval& read) {
+    // Candidate: the last interval starting at or before read.last.
+    auto it = written.upper_bound(read.last);
+    if (it == written.begin()) return false;
+    --it;
+    return it->second >= read.first;
+  };
+
+  for (const Command& cmd : script.commands()) {
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (copy->length == 0) continue;
+      if (intersects_written(copy->read_interval())) {
+        return false;
+      }
+    }
+    const length_t len = command_length(cmd);
+    if (len == 0) continue;
+    const Interval w = command_write_interval(cmd);
+    written[w.first] = w.last;
+  }
+  return true;
+}
+
+Bytes make_inplace_delta(const Script& input, ByteView reference,
+                         ByteView version, const ConvertOptions& options,
+                         ConvertReport* report_out, bool compress_payload) {
+  ConvertResult converted = convert_to_inplace(input, reference, options);
+  if (report_out != nullptr) {
+    *report_out = converted.report;
+  }
+  DeltaFile file;
+  file.format = options.format;
+  if (file.format.offsets != WriteOffsets::kExplicit) {
+    throw ValidationError(
+        "in-place delta files require explicit write offsets");
+  }
+  file.in_place = true;
+  file.compress_payload = compress_payload;
+  file.reference_length = reference.size();
+  file.version_length = version.size();
+  file.version_crc = crc32c(version);
+  file.script = std::move(converted.script);
+  return serialize_delta(file);
+}
+
+}  // namespace ipd

@@ -1,0 +1,69 @@
+#include "inplace/crwi_graph.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "inplace/interval_index.hpp"
+
+namespace ipd {
+
+CrwiGraph CrwiGraph::build(const std::vector<CopyCommand>& copies,
+                           length_t version_length) {
+  if (copies.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw ValidationError("CRWI graph: more than 2^32 copy commands");
+  }
+  const IntervalIndex index(copies);
+
+  CrwiGraph g;
+  g.offsets_.clear();
+  g.offsets_.reserve(copies.size() + 1);
+  g.offsets_.push_back(0);
+
+  for (std::uint32_t u = 0; u < copies.size(); ++u) {
+    const Interval read = copies[u].read_interval();
+    index.for_each_overlapping(read, [&](std::uint32_t v) {
+      if (v != u) {  // a command does not conflict with itself (§4.1)
+        g.targets_.push_back(v);
+      }
+    });
+    g.offsets_.push_back(g.targets_.size());
+  }
+
+  // Lemma 1: a copy of length l conflicts with at most l writers, and the
+  // read lengths sum to at most L_V, so |E| <= L_V.
+  assert(g.targets_.size() <= version_length);
+  (void)version_length;
+  return g;
+}
+
+bool CrwiGraph::has_cycle() const {
+  // Iterative three-colour DFS.
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  const std::size_t n = vertex_count();
+  std::vector<std::uint8_t> color(n, kWhite);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [v, edge] = stack.back();
+      const auto succ = successors(v);
+      if (edge < succ.size()) {
+        const std::uint32_t w = succ[edge++];
+        if (color[w] == kGray) return true;
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ipd

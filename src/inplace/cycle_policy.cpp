@@ -1,0 +1,25 @@
+#include "inplace/cycle_policy.hpp"
+
+namespace ipd {
+
+const char* policy_name(BreakPolicy p) noexcept {
+  switch (p) {
+    case BreakPolicy::kConstantTime: return "constant-time";
+    case BreakPolicy::kLocalMin: return "locally-minimum";
+    case BreakPolicy::kExactOptimal: return "exact-optimal";
+    case BreakPolicy::kSccGlobalMin: return "scc-global-min";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> conversion_costs(
+    const std::vector<CopyCommand>& copies, const CodewordCostModel& model) {
+  std::vector<std::uint64_t> costs;
+  costs.reserve(copies.size());
+  for (const CopyCommand& c : copies) {
+    costs.push_back(model.conversion_cost(c));
+  }
+  return costs;
+}
+
+}  // namespace ipd

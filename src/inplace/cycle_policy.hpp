@@ -1,0 +1,41 @@
+// Cycle-breaking policies (§5 of the paper).
+//
+// Minimum-cost vertex deletion (feedback vertex set on CRWI digraphs) is
+// NP-hard, so the paper studies two heuristics; we add an exact
+// exponential solver for small graphs to measure the optimality gap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "delta/codec.hpp"
+
+namespace ipd {
+
+enum class BreakPolicy : std::uint8_t {
+  /// Delete the vertex at which the cycle was detected ("the last node in
+  /// sort order before the cycle was found"). O(1) per cycle.
+  kConstantTime,
+  /// Walk the detected cycle and delete its minimum-cost vertex. Extra
+  /// work proportional to the total length of cycles found.
+  kLocalMin,
+  /// Exact minimum-cost feedback vertex set via branch & bound; only
+  /// feasible for small digraphs (tests, ablation benches).
+  kExactOptimal,
+  /// SCC-scoped greedy (not in the paper; ablation): repeatedly delete
+  /// the cheapest vertex of each strongly connected component until the
+  /// digraph is acyclic. Sees whole components instead of single cycles,
+  /// so it solves the paper's Figure 2 adversary that defeats kLocalMin,
+  /// at the price of SCC recomputation rounds.
+  kSccGlobalMin,
+};
+
+const char* policy_name(BreakPolicy p) noexcept;
+
+/// Per-vertex deletion costs for a copy set under a codeword format: the
+/// paper's cost(v_i) = l_i - |f_i|, computed exactly from the encoding.
+std::vector<std::uint64_t> conversion_costs(
+    const std::vector<CopyCommand>& copies, const CodewordCostModel& model);
+
+}  // namespace ipd

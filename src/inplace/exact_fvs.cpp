@@ -1,0 +1,133 @@
+#include "inplace/exact_fvs.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ipd {
+namespace {
+
+/// Branch & bound: find any cycle among the alive vertices; every feedback
+/// set must contain at least one of its vertices, so branch on each,
+/// cheapest first, pruning against the best cost found so far.
+class Solver {
+ public:
+  Solver(const CrwiGraph& g, std::span<const std::uint64_t> costs,
+         const ExactFvsOptions& options)
+      : g_(g), costs_(costs), options_(options),
+        alive_(g.vertex_count(), true) {}
+
+  ExactFvsResult solve() {
+    best_cost_ = std::numeric_limits<std::uint64_t>::max();
+    // Seed the incumbent with "delete every vertex on some cycle", found
+    // greedily, so pruning has a finite bound immediately.
+    search(0);
+    ExactFvsResult result;
+    result.removed = best_set_;
+    result.cost = best_cost_ == std::numeric_limits<std::uint64_t>::max()
+                      ? 0
+                      : best_cost_;
+    result.optimal = !budget_exhausted_;
+    std::sort(result.removed.begin(), result.removed.end());
+    return result;
+  }
+
+ private:
+  /// Iterative DFS over alive vertices; returns a directed cycle as a
+  /// vertex list, or empty if the alive subgraph is acyclic.
+  std::vector<std::uint32_t> find_cycle() const {
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    const std::size_t n = g_.vertex_count();
+    std::vector<std::uint8_t> color(n, kWhite);
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (!alive_[root] || color[root] != kWhite) continue;
+      stack.emplace_back(root, 0);
+      color[root] = kGray;
+      while (!stack.empty()) {
+        const std::uint32_t u = stack.back().first;
+        const auto succ = g_.successors(u);
+        if (stack.back().second >= succ.size()) {
+          color[u] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        const std::uint32_t v = succ[stack.back().second++];
+        if (!alive_[v] || color[v] == kBlack) continue;
+        if (color[v] == kGray) {
+          // Cycle: stack segment from v (inclusive) to u.
+          std::vector<std::uint32_t> cycle;
+          std::size_t i = stack.size();
+          while (i > 0 && stack[i - 1].first != v) --i;
+          for (i = i - 1; i < stack.size(); ++i) {
+            cycle.push_back(stack[i].first);
+          }
+          return cycle;
+        }
+        color[v] = kGray;
+        stack.emplace_back(v, 0);
+      }
+    }
+    return {};
+  }
+
+  void search(std::uint64_t current_cost) {
+    if (++nodes_ > options_.max_search_nodes) {
+      budget_exhausted_ = true;
+      return;
+    }
+    if (current_cost >= best_cost_) {
+      return;  // prune
+    }
+    std::vector<std::uint32_t> cycle = find_cycle();
+    if (cycle.empty()) {
+      best_cost_ = current_cost;
+      best_set_ = current_set_;
+      return;
+    }
+    // Branch on deleting each cycle vertex, cheapest first.
+    std::sort(cycle.begin(), cycle.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return costs_[a] < costs_[b];
+              });
+    for (const std::uint32_t v : cycle) {
+      if (budget_exhausted_) return;
+      alive_[v] = false;
+      current_set_.push_back(v);
+      search(current_cost + costs_[v]);
+      current_set_.pop_back();
+      alive_[v] = true;
+    }
+  }
+
+  const CrwiGraph& g_;
+  std::span<const std::uint64_t> costs_;
+  const ExactFvsOptions& options_;
+
+  std::vector<bool> alive_;
+  std::vector<std::uint32_t> current_set_;
+  std::vector<std::uint32_t> best_set_;
+  std::uint64_t best_cost_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+ExactFvsResult exact_min_fvs(const CrwiGraph& g,
+                             std::span<const std::uint64_t> costs,
+                             const ExactFvsOptions& options) {
+  if (g.vertex_count() > options.max_vertices) {
+    throw ValidationError(
+        "exact_min_fvs: graph too large for exponential search (" +
+        std::to_string(g.vertex_count()) + " > " +
+        std::to_string(options.max_vertices) + " vertices)");
+  }
+  if (costs.size() != g.vertex_count()) {
+    throw ValidationError("exact_min_fvs: costs size != vertex count");
+  }
+  Solver solver(g, costs, options);
+  return solver.solve();
+}
+
+}  // namespace ipd

@@ -1,0 +1,42 @@
+// Exact minimum-cost feedback vertex set, by branch & bound.
+//
+// §5 of the paper proves the global problem NP-hard (reduction from
+// Karp's feedback vertex set restricted to CRWI digraphs); this solver is
+// exponential and exists so tests and ablation benches can measure how far
+// the constant-time and locally-minimum heuristics sit from the optimum on
+// small graphs — e.g. the Figure 2 adversary, where locally-minimum pays
+// k·C against an optimal ~C.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "inplace/crwi_graph.hpp"
+
+namespace ipd {
+
+struct ExactFvsOptions {
+  /// Refuse graphs with more vertices than this (search is exponential).
+  std::size_t max_vertices = 64;
+  /// Abort branch & bound after this many search nodes; the result is
+  /// then best-found, flagged non-optimal.
+  std::uint64_t max_search_nodes = 5'000'000;
+};
+
+struct ExactFvsResult {
+  /// Vertices to delete; the remaining digraph is acyclic.
+  std::vector<std::uint32_t> removed;
+  /// Total cost of `removed`.
+  std::uint64_t cost = 0;
+  /// True when the search completed (the result is a global optimum).
+  bool optimal = true;
+};
+
+/// Find a minimum-cost vertex set whose removal makes `g` acyclic.
+/// Throws ValidationError if g.vertex_count() > options.max_vertices.
+ExactFvsResult exact_min_fvs(const CrwiGraph& g,
+                             std::span<const std::uint64_t> costs,
+                             const ExactFvsOptions& options = {});
+
+}  // namespace ipd

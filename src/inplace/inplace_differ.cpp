@@ -1,0 +1,18 @@
+#include "inplace/inplace_differ.hpp"
+
+namespace ipd {
+
+InplaceDiffer::InplaceDiffer(DifferKind inner,
+                             const DifferOptions& differ_options,
+                             const ConvertOptions& convert_options)
+    : inner_(make_differ(inner, differ_options)),
+      convert_options_(convert_options) {}
+
+Script InplaceDiffer::diff(ByteView reference, ByteView version) const {
+  ConvertResult converted = convert_to_inplace(
+      inner_->diff(reference, version), reference, convert_options_);
+  report_ = converted.report;
+  return std::move(converted.script);
+}
+
+}  // namespace ipd

@@ -1,0 +1,40 @@
+// The integrated producer the paper describes in §4: "While our
+// algorithm can most easily be described as a post-processing step on an
+// existing delta file ... it also integrates easily into a compression
+// algorithm so that an in-place reconstructible file may be output
+// directly."
+//
+// InplaceDiffer is that integration: one object that goes straight from
+// (reference, version) to an in-place-safe script. It implements the
+// Differ interface, so everything written against differencers — tests,
+// benches, the archive builder — can produce in-place output by swapping
+// the differ, with the conversion report still observable.
+#pragma once
+
+#include "delta/differ.hpp"
+#include "inplace/converter.hpp"
+
+namespace ipd {
+
+class InplaceDiffer final : public Differ {
+ public:
+  InplaceDiffer(DifferKind inner, const DifferOptions& differ_options = {},
+                const ConvertOptions& convert_options = {});
+
+  /// Returns a script that satisfies Equation 2 — apply it with
+  /// apply_inplace() directly. (The Differ contract's "write order"
+  /// clause is intentionally traded for topological order here.)
+  Script diff(ByteView reference, ByteView version) const override;
+
+  const char* name() const noexcept override { return "in-place"; }
+
+  /// Conversion statistics of the most recent diff() call.
+  const ConvertReport& last_report() const noexcept { return report_; }
+
+ private:
+  std::unique_ptr<Differ> inner_;
+  ConvertOptions convert_options_;
+  mutable ConvertReport report_;
+};
+
+}  // namespace ipd

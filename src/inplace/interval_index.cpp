@@ -1,0 +1,41 @@
+#include "inplace/interval_index.hpp"
+
+#include <algorithm>
+
+namespace ipd {
+
+IntervalIndex::IntervalIndex(const std::vector<CopyCommand>& copies) {
+  writes_.reserve(copies.size());
+  for (const CopyCommand& c : copies) {
+    if (c.length == 0) {
+      throw ValidationError("interval index: zero-length copy");
+    }
+    writes_.push_back(c.write_interval());
+  }
+  for (std::size_t i = 1; i < writes_.size(); ++i) {
+    if (writes_[i].first <= writes_[i - 1].last) {
+      throw ValidationError(
+          "interval index requires copies sorted by write offset with "
+          "disjoint write intervals");
+    }
+  }
+}
+
+std::size_t IntervalIndex::first_candidate(
+    const Interval& query) const noexcept {
+  // Disjoint sorted intervals: ends are increasing too, so partition on
+  // `last < query.first`.
+  const auto it = std::partition_point(
+      writes_.begin(), writes_.end(),
+      [&](const Interval& w) { return w.last < query.first; });
+  return static_cast<std::size_t>(it - writes_.begin());
+}
+
+std::vector<std::uint32_t> IntervalIndex::overlapping(
+    const Interval& query) const {
+  std::vector<std::uint32_t> out;
+  for_each_overlapping(query, [&](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace ipd

@@ -1,0 +1,45 @@
+// Binary-search index over the (disjoint) write intervals of a set of
+// copy commands sorted by write offset.
+//
+// This is the data structure behind §4.3's O(|C| log |C| + |E|) digraph
+// construction: for a query read interval, the first overlapping write is
+// found by binary search and the rest follow contiguously, so each edge is
+// discovered in O(1) after an O(log |C|) start.
+#pragma once
+
+#include <vector>
+
+#include "delta/command.hpp"
+
+namespace ipd {
+
+class IntervalIndex {
+ public:
+  /// Build over `copies`, which MUST be sorted by write offset with
+  /// pairwise-disjoint write intervals (throws ValidationError otherwise).
+  explicit IntervalIndex(const std::vector<CopyCommand>& copies);
+
+  /// Indices (into the constructor's vector) of every copy whose write
+  /// interval intersects `query`, in increasing write-offset order.
+  std::vector<std::uint32_t> overlapping(const Interval& query) const;
+
+  /// Streaming variant: invoke fn(index) per overlap; avoids allocation
+  /// on the digraph-construction hot path.
+  template <typename Fn>
+  void for_each_overlapping(const Interval& query, Fn&& fn) const {
+    for (std::size_t i = first_candidate(query); i < writes_.size(); ++i) {
+      if (writes_[i].first > query.last) break;
+      fn(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::size_t size() const noexcept { return writes_.size(); }
+
+ private:
+  /// Index of the first write interval whose end reaches `query.first`.
+  std::size_t first_candidate(const Interval& query) const noexcept;
+
+  std::vector<Interval> writes_;
+};
+
+}  // namespace ipd

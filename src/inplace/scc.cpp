@@ -1,0 +1,132 @@
+#include "inplace/scc.hpp"
+
+#include <limits>
+
+namespace ipd {
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+SccResult strongly_connected_components(const CrwiGraph& g,
+                                        const std::vector<bool>& deleted) {
+  const std::size_t n = g.vertex_count();
+  if (!deleted.empty() && deleted.size() != n) {
+    throw ValidationError("scc: deleted size != vertex count");
+  }
+  const auto alive = [&](std::uint32_t v) {
+    return deleted.empty() || !deleted[v];
+  };
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> scc_stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frames: (vertex, next edge offset).
+  struct Frame {
+    std::uint32_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (!alive(root) || index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const std::uint32_t v = frame.v;
+      const auto succ = g.successors(v);
+      bool descended = false;
+
+      while (frame.edge < succ.size()) {
+        const std::uint32_t w = succ[frame.edge++];
+        if (!alive(w)) continue;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+
+      // v is finished: pop a component if v is a root.
+      if (lowlink[v] == index[v]) {
+        std::vector<std::uint32_t> members;
+        for (;;) {
+          const std::uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] =
+              static_cast<std::uint32_t>(result.component_count);
+          members.push_back(w);
+          if (w == v) break;
+        }
+        result.members.push_back(std::move(members));
+        ++result.component_count;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t cyclic_vertex_count(const SccResult& scc) {
+  std::size_t count = 0;
+  for (const auto& members : scc.members) {
+    if (members.size() > 1) count += members.size();
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> scc_greedy_fvs(const CrwiGraph& g,
+                                          std::span<const std::uint64_t> costs,
+                                          std::size_t* rounds_out) {
+  if (costs.size() != g.vertex_count()) {
+    throw ValidationError("scc_greedy_fvs: costs size != vertex count");
+  }
+  std::vector<bool> deleted(g.vertex_count(), false);
+  std::vector<std::uint32_t> removed;
+  std::size_t rounds = 0;
+
+  for (;;) {
+    ++rounds;
+    const SccResult scc = strongly_connected_components(g, deleted);
+    bool any = false;
+    for (const auto& members : scc.members) {
+      if (members.size() <= 1) continue;
+      std::uint32_t victim = members.front();
+      for (const std::uint32_t v : members) {
+        if (costs[v] < costs[victim]) victim = v;
+      }
+      deleted[victim] = true;
+      removed.push_back(victim);
+      any = true;
+    }
+    if (!any) break;
+  }
+  if (rounds_out != nullptr) {
+    *rounds_out = rounds;
+  }
+  return removed;
+}
+
+}  // namespace ipd

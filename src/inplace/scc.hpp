@@ -1,0 +1,53 @@
+// Strongly connected components (Tarjan, iterative) over CRWI digraphs.
+//
+// An alternative lens on cycle breaking (§5): every cycle lives inside
+// one SCC, the condensation is a DAG, and only non-trivial SCCs ever need
+// vertex deletion. The SCC converter strategy built on top of this
+// (converter.hpp, kSccLocalMin) repeatedly deletes the globally cheapest
+// vertex of each non-trivial component — a different greedy trade than
+// the DFS policies, measured in bench_ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "inplace/crwi_graph.hpp"
+
+namespace ipd {
+
+struct SccResult {
+  /// component id per vertex; ids are in REVERSE topological order of the
+  /// condensation (Tarjan's natural output: if u's component has an edge
+  /// to v's component, then comp[u] > comp[v]).
+  std::vector<std::uint32_t> component;
+  std::size_t component_count = 0;
+  /// Vertices of each component, grouped (indexed by component id).
+  std::vector<std::vector<std::uint32_t>> members;
+
+  /// A component is trivial iff it has one vertex (CRWI digraphs have no
+  /// self-loops, so trivial components are acyclic).
+  bool is_trivial(std::uint32_t comp_id) const {
+    return members[comp_id].size() <= 1;
+  }
+};
+
+/// Tarjan's algorithm, iterative (no recursion — CRWI digraphs reach
+/// hundreds of thousands of vertices). O(|V| + |E|).
+///
+/// `deleted`, when non-empty, marks vertices to treat as absent.
+SccResult strongly_connected_components(
+    const CrwiGraph& g, const std::vector<bool>& deleted = {});
+
+/// Number of vertices sitting in non-trivial SCCs — the only candidates
+/// for copy->add conversion. Used by benches to size exact search.
+std::size_t cyclic_vertex_count(const SccResult& scc);
+
+/// Feedback vertex set via the kSccGlobalMin strategy: per round, delete
+/// the cheapest vertex of every non-trivial SCC, recompute components,
+/// repeat until acyclic. Returns the deleted vertices; `rounds_out`
+/// (optional) receives the number of SCC recomputation rounds.
+std::vector<std::uint32_t> scc_greedy_fvs(const CrwiGraph& g,
+                                          std::span<const std::uint64_t> costs,
+                                          std::size_t* rounds_out = nullptr);
+
+}  // namespace ipd

@@ -1,0 +1,224 @@
+#include "inplace/topo_sort.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipd {
+namespace {
+
+enum Color : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+
+struct Frame {
+  std::uint32_t vertex;
+  std::size_t next_edge;
+};
+
+/// One DFS pass over the surviving vertices. Appends reverse postorder to
+/// nothing — instead returns postorder; deletes vertices per policy.
+/// Returns the number of deletions performed this pass.
+class Pass {
+ public:
+  Pass(const CrwiGraph& g, BreakPolicy policy,
+       std::span<const std::uint64_t> costs, std::vector<bool>& deleted,
+       TopoSortResult& result)
+      : g_(g),
+        policy_(policy),
+        costs_(costs),
+        deleted_(deleted),
+        result_(result),
+        color_(g.vertex_count(), kWhite),
+        stack_pos_(g.vertex_count(), 0) {}
+
+  std::size_t run(std::vector<std::uint32_t>& postorder) {
+    const std::size_t n = g_.vertex_count();
+    postorder.clear();
+    postorder.reserve(n);
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (color_[root] == kWhite && !deleted_[root]) {
+        dfs(root, postorder);
+      }
+    }
+    return deletions_;
+  }
+
+ private:
+  void push(std::uint32_t v) {
+    color_[v] = kGray;
+    stack_pos_[v] = stack_.size();
+    stack_.push_back(Frame{v, 0});
+  }
+
+  void dfs(std::uint32_t root, std::vector<std::uint32_t>& postorder) {
+    push(root);
+    while (!stack_.empty()) {
+      Frame& frame = stack_.back();
+      const std::uint32_t u = frame.vertex;
+
+      if (deleted_[u]) {
+        // u was chosen as a cycle victim (either just now at the top, or
+        // earlier as an interior vertex and we have unwound back to it).
+        color_[u] = kBlack;
+        stack_.pop_back();
+        continue;
+      }
+
+      const auto succ = g_.successors(u);
+      if (frame.next_edge >= succ.size()) {
+        color_[u] = kBlack;
+        postorder.push_back(u);
+        stack_.pop_back();
+        continue;
+      }
+
+      const std::uint32_t v = succ[frame.next_edge++];
+      if (deleted_[v] || color_[v] == kBlack) {
+        continue;
+      }
+      if (color_[v] == kWhite) {
+        push(v);
+        continue;
+      }
+      // Back edge u→v: the gray stack segment stack_[pos(v)..top] is a
+      // directed cycle v → … → u → v.
+      handle_cycle(stack_pos_[v]);
+    }
+  }
+
+  void handle_cycle(std::size_t cycle_begin) {
+    const std::size_t cycle_len = stack_.size() - cycle_begin;
+
+    if (policy_ == BreakPolicy::kConstantTime) {
+      // Delete the source of the back edge — the current vertex — without
+      // examining the cycle (O(1)).
+      ++result_.cycles_found;
+      remove(stack_.back().vertex);
+      return;
+    }
+
+    // Locally minimum: walk the cycle. If an earlier interior deletion
+    // already broke it, this back edge needs no action.
+    result_.cycle_length_sum += cycle_len;
+    std::uint32_t victim = stack_[cycle_begin].vertex;
+    bool already_broken = false;
+    std::uint64_t best_cost = 0;
+    bool first = true;
+    for (std::size_t i = cycle_begin; i < stack_.size(); ++i) {
+      const std::uint32_t w = stack_[i].vertex;
+      if (deleted_[w]) {
+        already_broken = true;
+        break;
+      }
+      if (first || costs_[w] < best_cost) {
+        best_cost = costs_[w];
+        victim = w;
+        first = false;
+      }
+    }
+    if (already_broken) {
+      ++result_.cycles_already_broken;
+      return;
+    }
+    ++result_.cycles_found;
+    remove(victim);
+  }
+
+  void remove(std::uint32_t v) {
+    deleted_[v] = true;
+    ++deletions_;
+    result_.deleted.push_back(v);
+  }
+
+  const CrwiGraph& g_;
+  BreakPolicy policy_;
+  std::span<const std::uint64_t> costs_;
+  std::vector<bool>& deleted_;
+  TopoSortResult& result_;
+
+  std::vector<std::uint8_t> color_;
+  std::vector<std::size_t> stack_pos_;
+  std::vector<Frame> stack_;
+  std::size_t deletions_ = 0;
+};
+
+}  // namespace
+
+TopoSortResult topo_sort_breaking_cycles(const CrwiGraph& g,
+                                         BreakPolicy policy,
+                                         std::span<const std::uint64_t> costs,
+                                         const std::vector<bool>& pre_deleted) {
+  const std::size_t n = g.vertex_count();
+  if (policy != BreakPolicy::kConstantTime &&
+      policy != BreakPolicy::kLocalMin) {
+    throw ValidationError(
+        "kExactOptimal/kSccGlobalMin are driven via a precomputed feedback "
+        "set + pre_deleted; topo_sort_breaking_cycles accepts only the "
+        "on-line policies");
+  }
+  if (costs.size() != n) {
+    throw ValidationError("topo sort: costs size != vertex count");
+  }
+  if (!pre_deleted.empty() && pre_deleted.size() != n) {
+    throw ValidationError("topo sort: pre_deleted size != vertex count");
+  }
+
+  TopoSortResult result;
+  std::vector<bool> deleted(n, false);
+  for (std::size_t i = 0; i < pre_deleted.size(); ++i) {
+    deleted[i] = pre_deleted[i];
+  }
+
+  std::vector<std::uint32_t> postorder;
+  for (;;) {
+    ++result.passes;
+    Pass pass(g, policy, costs, deleted, result);
+    const std::size_t deletions = pass.run(postorder);
+    if (deletions == 0) {
+      break;
+    }
+    // Passes strictly shrink the surviving set, so this terminates after
+    // at most n iterations; two passes are typical (see header).
+    assert(result.passes <= n + 1);
+  }
+
+  result.order.assign(postorder.rbegin(), postorder.rend());
+  return result;
+}
+
+bool is_topological_order(const CrwiGraph& g,
+                          std::span<const std::uint32_t> order,
+                          std::span<const std::uint32_t> deleted) {
+  const std::size_t n = g.vertex_count();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> position(n, kUnset);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= n || position[order[i]] != kUnset) {
+      return false;  // out of range or duplicate
+    }
+    position[order[i]] = i;
+  }
+  std::vector<bool> is_deleted(n, false);
+  for (const std::uint32_t v : deleted) {
+    if (v >= n || position[v] != kUnset) {
+      return false;  // deleted vertex must not appear in the order
+    }
+    is_deleted[v] = true;
+  }
+  // Every vertex is either ordered or deleted.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (position[v] == kUnset && !is_deleted[v]) {
+      return false;
+    }
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (is_deleted[u]) continue;
+    for (const std::uint32_t v : g.successors(u)) {
+      if (is_deleted[v]) continue;
+      if (position[u] >= position[v]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ipd

@@ -1,0 +1,62 @@
+// Topological sort with on-line cycle breaking (§4.2 step 4, §5).
+//
+// A standard iterative three-colour DFS, modified: when a back edge u→v
+// closes a cycle (the gray stack path v…u), the policy chooses a victim
+// vertex to delete; its copy command will be re-encoded as an add.
+//
+// Correctness strategy: deleting an *interior* cycle vertex (locally-
+// minimum policy) breaks the cycle but can leave the surviving back edge
+// ordered wrongly by this DFS's reverse postorder. We therefore run DFS
+// passes over the surviving vertices until a pass completes with no
+// deletions; that pass's reverse postorder is a true topological order of
+// the survivors (it witnessed no back edges). The constant-time policy
+// always deletes the back edge's source, so it converges in at most two
+// passes; locally-minimum typically does too, and the pass count is
+// reported for the benches.
+#pragma once
+
+#include <span>
+
+#include "inplace/crwi_graph.hpp"
+#include "inplace/cycle_policy.hpp"
+
+namespace ipd {
+
+struct TopoSortResult {
+  /// Surviving vertices in topological order: for every surviving edge
+  /// u→v, u precedes v.
+  std::vector<std::uint32_t> order;
+  /// Vertices deleted to break cycles (→ copy-to-add conversion).
+  std::vector<std::uint32_t> deleted;
+  /// Cycles on which the policy acted.
+  std::size_t cycles_found = 0;
+  /// Back edges whose gray path already contained a deleted vertex (cycle
+  /// broken for free by an earlier deletion in the same pass).
+  std::size_t cycles_already_broken = 0;
+  /// DFS passes run (1 when the digraph was already acyclic).
+  std::size_t passes = 0;
+  /// Total vertices walked while scanning cycles (the locally-minimum
+  /// policy's extra work, §5).
+  std::size_t cycle_length_sum = 0;
+};
+
+/// Sort `g` topologically, breaking cycles with `policy`.
+///
+/// `costs[v]` is the compression lost by deleting v (used by kLocalMin;
+/// must have g.vertex_count() entries). `pre_deleted` (optional, may be
+/// empty) marks vertices removed before the sort starts — the exact-
+/// optimal driver computes a feedback vertex set up front and passes it
+/// here. kExactOptimal itself is not accepted (use exact_min_fvs +
+/// pre_deleted); throws ValidationError.
+TopoSortResult topo_sort_breaking_cycles(
+    const CrwiGraph& g, BreakPolicy policy,
+    std::span<const std::uint64_t> costs,
+    const std::vector<bool>& pre_deleted = {});
+
+/// Check that `order` (a permutation of surviving vertices) respects every
+/// edge of `g` between survivors. Test helper.
+bool is_topological_order(const CrwiGraph& g,
+                          std::span<const std::uint32_t> order,
+                          std::span<const std::uint32_t> deleted);
+
+}  // namespace ipd

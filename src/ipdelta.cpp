@@ -1,0 +1,33 @@
+#include "ipdelta.hpp"
+
+#include "core/checksum.hpp"
+
+namespace ipd {
+
+Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
+                   const PipelineOptions& options) {
+  Script script = diff_bytes(options.differ, reference, version,
+                             options.differ_options);
+  DeltaFile file;
+  file.format = format;
+  // Some scripts are conflict-free as produced (e.g. all-add deltas, or
+  // pure forward moves); mark them so devices can skip conversion.
+  file.in_place = satisfies_equation2(script);
+  file.compress_payload = options.compress_payload;
+  file.reference_length = reference.size();
+  file.version_length = version.size();
+  file.version_crc = crc32c(version);
+  file.script = std::move(script);
+  return serialize_delta(file);
+}
+
+Bytes create_inplace_delta(ByteView reference, ByteView version,
+                           const PipelineOptions& options,
+                           ConvertReport* report_out) {
+  const Script script = diff_bytes(options.differ, reference, version,
+                                   options.differ_options);
+  return make_inplace_delta(script, reference, version, options.convert,
+                            report_out, options.compress_payload);
+}
+
+}  // namespace ipd

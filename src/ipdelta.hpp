@@ -1,0 +1,53 @@
+// ipdelta — public one-stop API.
+//
+// Reproduces Burns & Long, "In-Place Reconstruction of Delta Compressed
+// Files" (PODC '98). The typical flow:
+//
+//   // server side
+//   ipd::Bytes delta = ipd::create_inplace_delta(old_bytes, new_bytes);
+//
+//   // device side: `storage` holds the old version, sized for either
+//   ipd::length_t new_len = ipd::apply_delta_inplace(delta, storage);
+//
+// Lower-level building blocks live in the subsystem headers:
+//   delta/differ.hpp     differencing algorithms (greedy, one-pass)
+//   delta/codec.hpp      codeword formats & the container format
+//   inplace/converter.hpp the in-place conversion algorithm itself
+//   apply/*.hpp          scratch-space and in-place reconstruction
+//   device/*.hpp         constrained-device + channel simulation
+#pragma once
+
+#include "apply/apply.hpp"
+#include "apply/inplace_apply.hpp"
+#include "apply/oracle.hpp"
+#include "delta/codec.hpp"
+#include "delta/differ.hpp"
+#include "inplace/converter.hpp"
+
+namespace ipd {
+
+/// Knobs for the end-to-end delta producers below.
+struct PipelineOptions {
+  DifferKind differ = DifferKind::kOnePass;
+  DifferOptions differ_options;
+  ConvertOptions convert;  ///< in-place conversion (policy, format, ...)
+  /// Secondary LZSS compression of the container payload. Batch appliers
+  /// handle it transparently; the streaming applier rejects it.
+  bool compress_payload = false;
+};
+
+/// Diff `reference` -> `version` and serialize as an ordinary
+/// (scratch-space) delta file in `format`.
+Bytes create_delta(ByteView reference, ByteView version,
+                   DeltaFormat format = kPaperSequential,
+                   const PipelineOptions& options = {});
+
+/// Diff, convert for in-place reconstruction, and serialize. The result
+/// applies with apply_delta_inplace(). When `report_out` is non-null the
+/// conversion statistics (cycles broken, compression cost, ...) are
+/// written there.
+Bytes create_inplace_delta(ByteView reference, ByteView version,
+                           const PipelineOptions& options = {},
+                           ConvertReport* report_out = nullptr);
+
+}  // namespace ipd

@@ -1,0 +1,134 @@
+#include "inplace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/constructions.hpp"
+#include "inplace/converter.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+TEST(LengthHistogram, BucketsByLog2) {
+  LengthHistogram h;
+  h.add(1);    // bucket 0
+  h.add(2);    // bucket 1
+  h.add(3);    // bucket 1
+  h.add(4);    // bucket 2
+  h.add(255);  // bucket 7
+  h.add(256);  // bucket 8
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 2u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[7], 1u);
+  EXPECT_EQ(h.buckets[8], 1u);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.max_length, 256u);
+  EXPECT_EQ(h.top_bucket(), 8u);
+}
+
+TEST(Analysis, CountsAndHistograms) {
+  const Script s = script_of({C(100, 0, 64), A(64, "abcd"), C(0, 68, 10)});
+  const DeltaAnalysis a = analyze_delta(s, 200);
+  EXPECT_EQ(a.summary.copy_count, 2u);
+  EXPECT_EQ(a.summary.add_count, 1u);
+  EXPECT_EQ(a.copy_lengths.count, 2u);
+  EXPECT_EQ(a.copy_lengths.max_length, 64u);
+  EXPECT_EQ(a.add_lengths.max_length, 4u);
+}
+
+TEST(Analysis, ConflictFreeScript) {
+  // Pure left shift: no conflicts at all.
+  const Script s = script_of({C(100, 0, 50), C(160, 50, 40)});
+  const DeltaAnalysis a = analyze_delta(s, 200);
+  EXPECT_EQ(a.edges, 0u);
+  EXPECT_EQ(a.conflicting_copies, 0u);
+  EXPECT_EQ(a.nontrivial_sccs, 0u);
+  EXPECT_TRUE(a.inplace_safe_as_ordered);
+  for (const PolicyProjection& p : a.projections) {
+    EXPECT_EQ(p.copies_converted, 0u);
+    EXPECT_EQ(p.conversion_cost, 0u);
+  }
+}
+
+TEST(Analysis, RotationShowsOneTwoCycle) {
+  const AdversaryInstance inst = make_rotation(1000, 400);
+  const DeltaAnalysis a = analyze_delta(inst.script, 1000);
+  EXPECT_EQ(a.edges, 2u);
+  EXPECT_EQ(a.conflicting_copies, 2u);
+  EXPECT_EQ(a.nontrivial_sccs, 1u);
+  EXPECT_EQ(a.largest_scc, 2u);
+  EXPECT_EQ(a.cyclic_vertices, 2u);
+  EXPECT_FALSE(a.inplace_safe_as_ordered);
+  for (const PolicyProjection& p : a.projections) {
+    EXPECT_EQ(p.copies_converted, 1u);
+    EXPECT_GT(p.conversion_cost, 0u);
+  }
+}
+
+TEST(Analysis, ProjectionMatchesActualConversion) {
+  Rng rng(5);
+  const AdversaryInstance inst =
+      make_block_permutation(64, random_permutation(rng, 30));
+  const DeltaAnalysis a = analyze_delta(inst.script, inst.reference.size());
+
+  for (const PolicyProjection& proj : a.projections) {
+    ConvertOptions copts;
+    copts.policy = proj.policy;
+    const ConvertResult actual =
+        convert_to_inplace(inst.script, inst.reference, copts);
+    EXPECT_EQ(proj.copies_converted, actual.report.copies_converted)
+        << policy_name(proj.policy);
+    EXPECT_EQ(proj.conversion_cost, actual.report.conversion_cost)
+        << policy_name(proj.policy);
+    EXPECT_EQ(proj.bytes_converted, actual.report.bytes_converted)
+        << policy_name(proj.policy);
+  }
+}
+
+TEST(Analysis, EncodedSizesOnlyForLegalFormats) {
+  // Write-order script: all four sizes present, sequential smaller.
+  const Script ordered = script_of({C(100, 0, 50), A(50, "xy")});
+  const DeltaAnalysis a1 = analyze_delta(ordered, 200);
+  EXPECT_GT(a1.size_paper_sequential, 0u);
+  EXPECT_LT(a1.size_paper_sequential, a1.size_paper_explicit);
+  EXPECT_LT(a1.size_varint_sequential, a1.size_varint_explicit);
+
+  // Permuted script: sequential formats unavailable.
+  const Script permuted = script_of({C(100, 50, 50), C(0, 0, 50)});
+  const DeltaAnalysis a2 = analyze_delta(permuted, 200);
+  EXPECT_EQ(a2.size_paper_sequential, 0u);
+  EXPECT_GT(a2.size_paper_explicit, 0u);
+}
+
+TEST(Analysis, RejectsInvalidScripts) {
+  const Script bad = script_of({C(300, 0, 50)});  // reads past reference
+  EXPECT_THROW(analyze_delta(bad, 200), ValidationError);
+}
+
+TEST(Analysis, EmptyScript) {
+  const DeltaAnalysis a = analyze_delta(Script{}, 0);
+  EXPECT_EQ(a.summary.copy_count, 0u);
+  EXPECT_TRUE(a.inplace_safe_as_ordered);
+  EXPECT_EQ(a.copy_lengths.count, 0u);
+}
+
+TEST(Analysis, RenderMentionsEveryBlock) {
+  const AdversaryInstance inst = make_rotation(500, 200);
+  const std::string text =
+      render_analysis(analyze_delta(inst.script, 500));
+  EXPECT_NE(text.find("CRWI digraph"), std::string::npos);
+  EXPECT_NE(text.find("conversion projection [constant-time]"),
+            std::string::npos);
+  EXPECT_NE(text.find("conversion projection [locally-minimum]"),
+            std::string::npos);
+  EXPECT_NE(text.find("in-place safe as ordered: no"), std::string::npos);
+  EXPECT_NE(text.find("encoded sizes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,177 @@
+#include "archive/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+FileSet make_release(std::uint64_t seed, int files = 5) {
+  Rng rng(seed);
+  FileSet release;
+  for (int i = 0; i < files; ++i) {
+    const FileProfile profile =
+        i % 2 == 0 ? FileProfile::kText : FileProfile::kBinary;
+    release["pkg/file" + std::to_string(i)] =
+        generate_file(rng, rng.range(2000, 20000), profile);
+  }
+  return release;
+}
+
+FileSet evolve(const FileSet& release, std::uint64_t seed) {
+  Rng rng(seed);
+  FileSet next;
+  for (const auto& [name, content] : release) {
+    next[name] = mutate(content, rng, 6);
+  }
+  return next;
+}
+
+TEST(Archive, RoundTripUpgradesRelease) {
+  const FileSet v1 = make_release(1);
+  const FileSet v2 = evolve(v1, 2);
+
+  ArchiveBuildReport report;
+  const Bytes wire = build_archive_bytes(v1, v2, {}, &report);
+  EXPECT_EQ(report.delta_entries, v1.size());
+  EXPECT_EQ(report.literal_entries, 0u);
+  EXPECT_EQ(report.delete_entries, 0u);
+  EXPECT_LT(wire.size(), report.new_release_bytes);
+  EXPECT_EQ(report.archive_bytes, wire.size());
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(wire), mirror);
+  EXPECT_EQ(mirror, v2);
+}
+
+TEST(Archive, HandlesAddedRemovedAndChangedFiles) {
+  const FileSet v1 = make_release(3);
+  FileSet v2 = evolve(v1, 4);
+  v2.erase(v2.begin()->first);                  // one file removed
+  v2["pkg/brand_new"] = test::random_bytes(5, 3000);  // one added
+
+  ArchiveBuildReport report;
+  const Bytes wire = build_archive_bytes(v1, v2, {}, &report);
+  EXPECT_EQ(report.delete_entries, 1u);
+  EXPECT_GE(report.literal_entries, 1u);
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(wire), mirror);
+  EXPECT_EQ(mirror, v2);
+}
+
+TEST(Archive, UnrelatedContentFallsBackToLiteral) {
+  FileSet v1, v2;
+  v1["f"] = test::random_bytes(1, 10000);
+  v2["f"] = test::random_bytes(2, 10000);  // nothing in common
+
+  ArchiveBuildReport report;
+  const Bytes wire = build_archive_bytes(v1, v2, {}, &report);
+  EXPECT_EQ(report.delta_entries, 0u);
+  EXPECT_EQ(report.literal_entries, 1u);
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(wire), mirror);
+  EXPECT_EQ(mirror, v2);
+}
+
+TEST(Archive, FileSizeChangesBothWays) {
+  FileSet v1, v2;
+  Rng rng(9);
+  v1["grows"] = generate_file(rng, 4000, FileProfile::kText);
+  v1["shrinks"] = generate_file(rng, 9000, FileProfile::kBinary);
+  v2["grows"] = v1["grows"];
+  v2["grows"].insert(v2["grows"].end(), 3000, 'x');
+  v2["shrinks"] = Bytes(v1["shrinks"].begin(), v1["shrinks"].begin() + 2500);
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(build_archive_bytes(v1, v2)), mirror);
+  EXPECT_EQ(mirror, v2);
+}
+
+TEST(Archive, EmptyUpgrade) {
+  const FileSet v1 = make_release(7, 2);
+  const Bytes wire = build_archive_bytes(v1, v1);
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(wire), mirror);
+  EXPECT_EQ(mirror, v1);
+}
+
+TEST(Archive, EmptyReleases) {
+  const Bytes wire = build_archive_bytes({}, {});
+  FileSet mirror;
+  apply_archive(deserialize_archive(wire), mirror);
+  EXPECT_TRUE(mirror.empty());
+}
+
+TEST(Archive, CorruptionRejected) {
+  const FileSet v1 = make_release(11, 2);
+  const FileSet v2 = evolve(v1, 12);
+  Bytes wire = build_archive_bytes(v1, v2);
+  for (const std::size_t at : {0ul, 4ul, wire.size() / 2, wire.size() - 1}) {
+    Bytes bad = wire;
+    bad[at] ^= 0x40;
+    EXPECT_THROW(deserialize_archive(bad), FormatError) << "at " << at;
+  }
+  EXPECT_THROW(deserialize_archive(ByteView(wire).first(wire.size() - 1)),
+               FormatError);
+  EXPECT_THROW(deserialize_archive(ByteView(wire).first(3)), FormatError);
+}
+
+TEST(Archive, ApplyRejectsMismatchedRelease) {
+  const FileSet v1 = make_release(13, 2);
+  const FileSet v2 = evolve(v1, 14);
+  const Archive archive = deserialize_archive(build_archive_bytes(v1, v2));
+
+  // Missing target file.
+  FileSet missing = v1;
+  missing.erase(missing.begin()->first);
+  EXPECT_THROW(apply_archive(archive, missing), ValidationError);
+
+  // Wrong base content: caught by the per-file version CRC.
+  FileSet tampered = v1;
+  tampered.begin()->second[0] ^= 0xFF;
+  EXPECT_THROW(apply_archive(archive, tampered), Error);
+}
+
+TEST(Archive, ChainOfReleases) {
+  // v1 -> v2 -> v3 applied in sequence to one mirror.
+  const FileSet v1 = make_release(21);
+  const FileSet v2 = evolve(v1, 22);
+  const FileSet v3 = evolve(v2, 23);
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(build_archive_bytes(v1, v2)), mirror);
+  apply_archive(deserialize_archive(build_archive_bytes(v2, v3)), mirror);
+  EXPECT_EQ(mirror, v3);
+}
+
+TEST(Archive, CompressedDeltasInsideArchive) {
+  const FileSet v1 = make_release(31);
+  const FileSet v2 = evolve(v1, 32);
+  ArchiveBuildOptions options;
+  options.pipeline.compress_payload = true;
+  ArchiveBuildReport compressed_report;
+  const Bytes compressed =
+      build_archive_bytes(v1, v2, options, &compressed_report);
+  ArchiveBuildReport plain_report;
+  const Bytes plain = build_archive_bytes(v1, v2, {}, &plain_report);
+  EXPECT_LE(compressed.size(), plain.size());
+
+  FileSet mirror = v1;
+  apply_archive(deserialize_archive(compressed), mirror);
+  EXPECT_EQ(mirror, v2);
+}
+
+TEST(Archive, SerializeRejectsDeleteWithBody) {
+  Archive archive;
+  archive.entries.push_back(
+      ArchiveEntry{EntryKind::kDelete, "f", to_bytes("junk")});
+  EXPECT_THROW(serialize_archive(archive), ValidationError);
+}
+
+}  // namespace
+}  // namespace ipd

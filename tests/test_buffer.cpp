@@ -1,0 +1,85 @@
+#include "core/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(ByteWriter, FixedWidthLittleEndian) {
+  ByteWriter w;
+  w.write_u8(0x11);
+  w.write_u16le(0x2233);
+  w.write_u32le(0x44556677);
+  w.write_u64le(0x8899AABBCCDDEEFFull);
+  const Bytes expected = {0x11, 0x33, 0x22, 0x77, 0x66, 0x55, 0x44,
+                          0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, 0x88};
+  EXPECT_TRUE(test::bytes_equal(expected, w.bytes()));
+}
+
+TEST(ByteReaderWriter, RoundTripAllTypes) {
+  ByteWriter w;
+  w.write_u8(200);
+  w.write_u16le(60000);
+  w.write_u32le(4000000000u);
+  w.write_u64le(0x0123456789ABCDEFull);
+  w.write_varint(1234567);
+  w.write_string("hello");
+  const Bytes data = w.take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.read_u8(), 200);
+  EXPECT_EQ(r.read_u16le(), 60000);
+  EXPECT_EQ(r.read_u32le(), 4000000000u);
+  EXPECT_EQ(r.read_u64le(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.read_varint(), 1234567u);
+  EXPECT_EQ(to_string(r.read_bytes(5)), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, ThrowsPastEnd) {
+  const Bytes data = {1, 2, 3};
+  ByteReader r(data);
+  r.skip(2);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.read_u16le(), FormatError);
+  EXPECT_EQ(r.read_u8(), 3);
+  EXPECT_THROW(r.read_u8(), FormatError);
+}
+
+TEST(ByteReader, SkipValidatesBounds) {
+  const Bytes data = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_THROW(r.skip(4), FormatError);
+  r.skip(3);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, ReadBytesAliasesInput) {
+  const Bytes data = {9, 8, 7, 6};
+  ByteReader r(data);
+  const ByteView v = r.read_bytes(2);
+  EXPECT_EQ(v.data(), data.data());
+  EXPECT_EQ(r.position(), 2u);
+}
+
+TEST(ByteWriter, TakeLeavesWriterEmpty) {
+  ByteWriter w;
+  w.write_u32le(5);
+  const Bytes first = w.take();
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+  w.write_u8(1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(ByteReader, EmptyInput) {
+  ByteReader r(ByteView{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.read_u8(), FormatError);
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,89 @@
+#include "core/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::random_bytes;
+
+TEST(Adler32, KnownVectors) {
+  // RFC 1950 initial value: empty input hashes to 1.
+  EXPECT_EQ(adler32(ByteView{}), 1u);
+  // "Wikipedia" is the classic reference vector.
+  const Bytes wiki = to_bytes("Wikipedia");
+  EXPECT_EQ(adler32(wiki), 0x11E60398u);
+}
+
+TEST(Adler32, DetectsSingleByteChange) {
+  Bytes data = random_bytes(1, 4096);
+  const std::uint32_t before = adler32(data);
+  data[2048] ^= 1;
+  EXPECT_NE(adler32(data), before);
+}
+
+TEST(Adler32, LargeInputExercisesDeferredModulo) {
+  // > 5552 bytes forces the chunked modulo path.
+  const Bytes data(100000, 0xFF);
+  const std::uint32_t fast = adler32(data);
+  // Naive reference computation.
+  std::uint32_t a = 1, b = 0;
+  for (const std::uint8_t byte : data) {
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  EXPECT_EQ(fast, (b << 16) | a);
+}
+
+TEST(Adler32, SeedChainsAcrossChunks) {
+  const Bytes data = random_bytes(2, 1000);
+  const std::uint32_t whole = adler32(data);
+  const std::uint32_t part1 = adler32(ByteView(data).first(400));
+  const std::uint32_t chained = adler32(ByteView(data).subspan(400), part1);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c(ByteView{}), 0u);
+  // RFC 3720 test vector: 32 bytes of zeros.
+  const Bytes zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  // RFC 3720: 32 bytes of 0xFF.
+  const Bytes ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+  // "123456789" — the classic check value for CRC-32C is 0xE3069283.
+  EXPECT_EQ(crc32c(to_bytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const Bytes data = random_bytes(3, 10000);
+  Crc32c crc;
+  std::size_t pos = 0;
+  Rng rng(4);
+  while (pos < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(rng.range(1, 700), data.size() - pos);
+    crc.update(ByteView(data).subspan(pos, n));
+    pos += n;
+  }
+  EXPECT_EQ(crc.value(), crc32c(data));
+}
+
+TEST(Crc32c, ResetStartsFresh) {
+  Crc32c crc;
+  crc.update(to_bytes("junk"));
+  crc.reset();
+  crc.update(to_bytes("123456789"));
+  EXPECT_EQ(crc.value(), 0xE3069283u);
+}
+
+TEST(Crc32c, OrderSensitive) {
+  const Bytes ab = to_bytes("ab");
+  const Bytes ba = to_bytes("ba");
+  EXPECT_NE(crc32c(ab), crc32c(ba));
+}
+
+}  // namespace
+}  // namespace ipd

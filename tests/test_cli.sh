@@ -1,0 +1,79 @@
+#!/bin/sh
+# End-to-end exercise of the `ipdelta` CLI tool. Registered with CTest;
+# $1 is the path to the ipdelta binary.
+set -e
+
+IPDELTA="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Fixture: a reference and a version sharing a large middle.
+head -c 40000 /dev/urandom > ref.bin
+{ head -c 700 /dev/urandom; tail -c +201 ref.bin; head -c 900 /dev/urandom; } \
+  > new.bin
+
+# diff + apply (scratch path, sequential format).
+"$IPDELTA" diff ref.bin new.bin plain.ipd --no-write-offsets > /dev/null \
+  || fail "diff plain"
+"$IPDELTA" apply plain.ipd ref.bin out.bin > /dev/null || fail "apply"
+cmp -s out.bin new.bin || fail "apply output mismatch"
+
+# diff --in-place with every policy and differ; patch in place each time.
+for policy in constant localmin scc; do
+  for differ in greedy onepass; do
+    "$IPDELTA" diff ref.bin new.bin d.ipd --in-place \
+      --policy "$policy" --differ "$differ" > /dev/null \
+      || fail "diff --in-place $policy/$differ"
+    cp ref.bin patched.bin
+    "$IPDELTA" patch d.ipd patched.bin > /dev/null \
+      || fail "patch $policy/$differ"
+    cmp -s patched.bin new.bin || fail "patch mismatch $policy/$differ"
+  done
+done
+
+# verify: good and bad reference.
+"$IPDELTA" diff ref.bin new.bin d.ipd --in-place > /dev/null
+"$IPDELTA" verify d.ipd ref.bin > /dev/null || fail "verify good"
+if "$IPDELTA" verify d.ipd new.bin > /dev/null 2>&1; then
+  fail "verify accepted the wrong reference"
+fi
+
+# info and info --deep run and mention key fields.
+"$IPDELTA" info d.ipd | grep -q "in-place safe:     yes" || fail "info"
+"$IPDELTA" info d.ipd --deep | grep -q "CRWI digraph" || fail "info --deep"
+
+# compressed delta round-trips.
+"$IPDELTA" diff ref.bin new.bin c.ipd --in-place --compress > /dev/null \
+  || fail "diff --compress"
+cp ref.bin patched.bin
+"$IPDELTA" patch c.ipd patched.bin > /dev/null || fail "patch compressed"
+cmp -s patched.bin new.bin || fail "compressed patch mismatch"
+
+# compose: fold a two-hop chain and apply the result directly.
+{ head -c 300 /dev/urandom; tail -c +101 new.bin; } > newer.bin
+"$IPDELTA" diff ref.bin new.bin ab.ipd > /dev/null || fail "diff ab"
+"$IPDELTA" diff new.bin newer.bin bc.ipd > /dev/null || fail "diff bc"
+"$IPDELTA" compose ab.ipd bc.ipd ac.ipd > /dev/null || fail "compose"
+"$IPDELTA" apply ac.ipd ref.bin composed_out.bin > /dev/null \
+  || fail "apply composed"
+cmp -s composed_out.bin newer.bin || fail "composed output mismatch"
+if "$IPDELTA" compose bc.ipd ab.ipd x.ipd > /dev/null 2>&1; then
+  fail "compose accepted non-chaining deltas"
+fi
+
+# corrupted delta is rejected with exit code 2.
+cp d.ipd bad.ipd
+dd if=/dev/zero of=bad.ipd bs=1 seek=100 count=4 conv=notrunc 2> /dev/null
+if "$IPDELTA" apply bad.ipd ref.bin out2.bin > /dev/null 2>&1; then
+  fail "apply accepted a corrupt delta"
+fi
+
+# usage errors exit 1.
+if "$IPDELTA" bogus-subcommand > /dev/null 2>&1; then
+  fail "bogus subcommand accepted"
+fi
+
+echo "cli tests passed"

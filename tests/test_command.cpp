@@ -1,0 +1,65 @@
+#include "delta/command.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(CopyCommand, Intervals) {
+  const CopyCommand c{100, 200, 50};
+  EXPECT_EQ(c.read_interval(), Interval::of(100, 50));
+  EXPECT_EQ(c.write_interval(), Interval::of(200, 50));
+}
+
+TEST(CopyCommand, SelfOverlapDetection) {
+  // Disjoint read/write.
+  EXPECT_FALSE((CopyCommand{0, 100, 50}.self_overlaps()));
+  // Forward-overlapping (f < t).
+  EXPECT_TRUE((CopyCommand{0, 25, 50}.self_overlaps()));
+  // Backward-overlapping (f > t).
+  EXPECT_TRUE((CopyCommand{25, 0, 50}.self_overlaps()));
+  // Identity copy.
+  EXPECT_TRUE((CopyCommand{10, 10, 5}.self_overlaps()));
+  // Exactly adjacent intervals do not overlap.
+  EXPECT_FALSE((CopyCommand{0, 50, 50}.self_overlaps()));
+}
+
+TEST(AddCommand, LengthAndInterval) {
+  const AddCommand a{10, to_bytes("abcde")};
+  EXPECT_EQ(a.length(), 5u);
+  EXPECT_EQ(a.write_interval(), Interval::of(10, 5));
+}
+
+TEST(Command, VariantAccessors) {
+  const Command copy = CopyCommand{1, 2, 3};
+  const Command add = AddCommand{7, to_bytes("xy")};
+
+  EXPECT_TRUE(is_copy(copy));
+  EXPECT_FALSE(is_add(copy));
+  EXPECT_TRUE(is_add(add));
+  EXPECT_FALSE(is_copy(add));
+
+  EXPECT_EQ(command_to(copy), 2u);
+  EXPECT_EQ(command_to(add), 7u);
+  EXPECT_EQ(command_length(copy), 3u);
+  EXPECT_EQ(command_length(add), 2u);
+  EXPECT_EQ(command_write_interval(copy), Interval::of(2, 3));
+  EXPECT_EQ(command_write_interval(add), Interval::of(7, 2));
+}
+
+TEST(Command, StreamFormatting) {
+  std::ostringstream os;
+  os << Command(CopyCommand{1, 2, 3}) << " " << Command(AddCommand{4, {9, 9}});
+  EXPECT_EQ(os.str(), "copy<f=1, t=2, l=3> add<t=4, l=2>");
+}
+
+TEST(Command, Equality) {
+  EXPECT_EQ(Command(CopyCommand{1, 2, 3}), Command(CopyCommand{1, 2, 3}));
+  EXPECT_NE(Command(CopyCommand{1, 2, 3}), Command(CopyCommand{1, 2, 4}));
+  EXPECT_NE(Command(CopyCommand{1, 2, 3}), Command(AddCommand{2, {0, 0, 0}}));
+}
+
+}  // namespace
+}  // namespace ipd

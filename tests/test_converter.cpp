@@ -1,0 +1,316 @@
+#include "inplace/converter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/constructions.hpp"
+#include "apply/apply.hpp"
+#include "apply/inplace_apply.hpp"
+#include "apply/oracle.hpp"
+#include "delta/differ.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+// Full-fidelity check: the converted script must satisfy Equation 2, pass
+// the oracle, and materialise the identical version when applied in the
+// reference's own buffer.
+void expect_inplace_equivalent(const Script& original,
+                               const Script& converted, ByteView reference) {
+  const Bytes expected = apply_script(original, reference);
+  ASSERT_NO_THROW(converted.validate(reference.size(), expected.size()));
+  EXPECT_TRUE(satisfies_equation2(converted));
+  EXPECT_TRUE(analyze_conflicts(converted).in_place_safe());
+
+  Bytes buffer(reference.begin(), reference.end());
+  buffer.resize(std::max(reference.size(), expected.size()));
+  apply_inplace(converted, buffer, reference.size(), expected.size());
+  buffer.resize(expected.size());
+  EXPECT_TRUE(test::bytes_equal(expected, buffer));
+}
+
+class ConverterPolicyTest : public ::testing::TestWithParam<BreakPolicy> {};
+INSTANTIATE_TEST_SUITE_P(Policies, ConverterPolicyTest,
+                         ::testing::Values(BreakPolicy::kConstantTime,
+                                           BreakPolicy::kLocalMin,
+                                           BreakPolicy::kExactOptimal,
+                                           BreakPolicy::kSccGlobalMin),
+                         [](const auto& info) {
+                           std::string n = policy_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(ConverterPolicyTest, ConflictFreeScriptPassesThroughUnconverted) {
+  const Bytes ref = test::ramp_bytes(100);
+  // Pure left-shift copies: reads always ahead of writes.
+  const Script script = script_of({C(50, 0, 25), C(80, 25, 20), A(45, "xyz")});
+  const ConvertResult r =
+      convert_to_inplace(script, ref, {.policy = GetParam()});
+  EXPECT_EQ(r.report.copies_converted, 0u);
+  EXPECT_EQ(r.report.cycles_found, 0u);
+  EXPECT_EQ(r.script.summary().copy_count, 2u);
+  expect_inplace_equivalent(script, r.script, ref);
+}
+
+TEST_P(ConverterPolicyTest, ReorderingAloneResolvesChains) {
+  const Bytes ref = test::ramp_bytes(40);
+  // In given order, command 0 writes [0,9] which command 1 then reads —
+  // but applying 1 before 0 is conflict-free. No conversion needed.
+  const Script script = script_of({C(20, 0, 10), C(0, 10, 10), C(20, 20, 20)});
+  const ConvertResult r =
+      convert_to_inplace(script, ref, {.policy = GetParam()});
+  EXPECT_EQ(r.report.copies_converted, 0u);
+  EXPECT_EQ(r.script.summary().copy_count, 3u);
+  expect_inplace_equivalent(script, r.script, ref);
+  // The emitted copy order must place the [0,*]-reading command first.
+  const auto copies = r.script.copies();
+  EXPECT_EQ(copies[0].from, 0u);
+}
+
+TEST_P(ConverterPolicyTest, RotationRequiresExactlyOneConversion) {
+  const AdversaryInstance inst = make_rotation(1000, 400);
+  const ConvertResult r =
+      convert_to_inplace(inst.script, inst.reference, {.policy = GetParam()});
+  EXPECT_EQ(r.report.copies_converted, 1u);
+  expect_inplace_equivalent(inst.script, r.script, inst.reference);
+  // The converted add carries real reference bytes.
+  EXPECT_EQ(r.script.summary().added_bytes, r.report.bytes_converted);
+}
+
+TEST_P(ConverterPolicyTest, PermutationAdversaries) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto perm = random_permutation(rng, 40);
+    const AdversaryInstance inst = make_block_permutation(16, perm);
+    const ConvertResult r = convert_to_inplace(inst.script, inst.reference,
+                                               {.policy = GetParam()});
+    expect_inplace_equivalent(inst.script, r.script, inst.reference);
+  }
+}
+
+TEST_P(ConverterPolicyTest, RealDiffOutputsConvertCleanly) {
+  Rng rng(7);
+  const Bytes ref = test::random_bytes(1, 40000);
+  Bytes ver = ref;
+  // Shuffle some blocks around to force conflicts and cycles.
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t a = rng.below(ver.size() - 2000);
+    const std::size_t b = rng.below(ver.size() - 2000);
+    for (std::size_t k = 0; k < 1500; ++k) std::swap(ver[a + k], ver[b + k]);
+  }
+  for (const DifferKind differ :
+       {DifferKind::kGreedy, DifferKind::kOnePass}) {
+    const Script script = diff_bytes(differ, ref, ver);
+    const ConvertResult r =
+        convert_to_inplace(script, ref, {.policy = GetParam()});
+    expect_inplace_equivalent(script, r.script, ref);
+  }
+}
+
+TEST(Converter, LocalMinNeverCostsMoreThanConstantOnPermutations) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto perm = random_permutation(rng, 60);
+    const AdversaryInstance inst = make_block_permutation(32, perm);
+    const ConvertResult constant = convert_to_inplace(
+        inst.script, inst.reference, {.policy = BreakPolicy::kConstantTime});
+    const ConvertResult local = convert_to_inplace(
+        inst.script, inst.reference, {.policy = BreakPolicy::kLocalMin});
+    // Uniform costs here, so both should convert the same number; the
+    // point is the report accounting stays consistent.
+    EXPECT_EQ(local.report.copies_converted,
+              constant.report.copies_converted);
+  }
+}
+
+TEST(Converter, ExactBeatsLocalMinOnFig2) {
+  const Fig2Instance inst = make_fig2_tree(5);
+  const ConvertResult local = convert_to_inplace(
+      inst.script, inst.reference, {.policy = BreakPolicy::kLocalMin});
+  const ConvertResult exact = convert_to_inplace(
+      inst.script, inst.reference, {.policy = BreakPolicy::kExactOptimal});
+  EXPECT_EQ(local.report.copies_converted, inst.leaf_count);
+  EXPECT_EQ(exact.report.copies_converted, 1u);
+  EXPECT_LT(exact.report.conversion_cost, local.report.conversion_cost);
+  EXPECT_TRUE(exact.report.exact_was_optimal);
+  expect_inplace_equivalent(inst.script, exact.script, inst.reference);
+  expect_inplace_equivalent(inst.script, local.script, inst.reference);
+}
+
+TEST(Converter, AddsAreEmittedAfterAllCopies) {
+  const AdversaryInstance inst = make_rotation(500, 100);
+  // A rotation variant with an add in front, to prove it moves to the back.
+  Script input;
+  input.push(AddCommand{0, Bytes(inst.version.begin(), inst.version.begin() + 7)});
+  input.push(CopyCommand{107, 7, 393});
+  input.push(CopyCommand{0, 400, 100});
+  const Bytes expected = apply_script(input, inst.reference);
+
+  const ConvertResult r = convert_to_inplace(input, inst.reference, {});
+  bool seen_add = false;
+  for (const Command& c : r.script.commands()) {
+    if (is_add(c)) {
+      seen_add = true;
+    } else {
+      EXPECT_FALSE(seen_add) << "copy after an add";
+    }
+  }
+  expect_inplace_equivalent(input, r.script, inst.reference);
+}
+
+TEST(Converter, CoalescingMergesAdjacentAdds) {
+  const Bytes ref = test::ramp_bytes(64);
+  // Three adjacent adds plus a copy that must convert (self-swap cycle).
+  const Script script = script_of({
+      C(32, 0, 16),
+      C(0, 32, 16),  // 2-cycle with the first copy
+      A(16, "aaaaaaaa"),
+      A(24, "bbbbbbbb"),
+      C(48, 48, 16),
+  });
+  ConvertOptions merged_opts;
+  merged_opts.coalesce_adds = true;
+  ConvertOptions split_opts;
+  split_opts.coalesce_adds = false;
+  const ConvertResult merged = convert_to_inplace(script, ref, merged_opts);
+  const ConvertResult split = convert_to_inplace(script, ref, split_opts);
+  expect_inplace_equivalent(script, merged.script, ref);
+  expect_inplace_equivalent(script, split.script, ref);
+  EXPECT_LT(merged.script.summary().add_count,
+            split.script.summary().add_count);
+}
+
+TEST(Converter, ReportAccountingIsExact) {
+  const AdversaryInstance inst =
+      make_block_permutation(64, single_cycle_permutation(8));
+  const ConvertResult r = convert_to_inplace(inst.script, inst.reference, {});
+  EXPECT_EQ(r.report.copies_in, 8u);
+  EXPECT_EQ(r.report.adds_in, 0u);
+  EXPECT_EQ(r.report.edges, 8u);
+  EXPECT_EQ(r.report.cycles_found, 1u);
+  EXPECT_EQ(r.report.copies_converted, 1u);
+  EXPECT_EQ(r.report.bytes_converted, 64u);
+  const CodewordCostModel model(kPaperExplicit, inst.version.size());
+  EXPECT_EQ(r.report.conversion_cost,
+            model.conversion_cost(CopyCommand{0, 0, 64}));
+}
+
+TEST(Converter, SccPolicyReportsRoundsAndMatchesExactOnSingleCycles) {
+  const AdversaryInstance inst =
+      make_block_permutation(64, single_cycle_permutation(12));
+  ConvertOptions scc_opts;
+  scc_opts.policy = BreakPolicy::kSccGlobalMin;
+  const ConvertResult scc = convert_to_inplace(inst.script, inst.reference,
+                                               scc_opts);
+  ConvertOptions exact_opts;
+  exact_opts.policy = BreakPolicy::kExactOptimal;
+  const ConvertResult exact = convert_to_inplace(inst.script, inst.reference,
+                                                 exact_opts);
+  // One cycle, uniform costs: both delete exactly one copy.
+  EXPECT_EQ(scc.report.copies_converted, 1u);
+  EXPECT_EQ(scc.report.conversion_cost, exact.report.conversion_cost);
+  EXPECT_GE(scc.report.scc_rounds, 2u);
+  expect_inplace_equivalent(inst.script, scc.script, inst.reference);
+}
+
+TEST(Converter, InvalidInputRejected) {
+  const Bytes ref = test::ramp_bytes(10);
+  // Read past the reference.
+  EXPECT_THROW(convert_to_inplace(script_of({C(5, 0, 10)}), ref, {}),
+               ValidationError);
+  // Overlapping writes.
+  EXPECT_THROW(
+      convert_to_inplace(script_of({C(0, 0, 5), C(0, 3, 5)}), ref, {}),
+      ValidationError);
+}
+
+TEST(Converter, ConversionIsIdempotent) {
+  // Running the converter on an already-converted script must find no
+  // cycles and convert nothing further (the output order satisfies
+  // Equation 2, so every conflict edge is already respected).
+  Rng rng(44);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto perm = random_permutation(rng, 40);
+    const AdversaryInstance inst = make_block_permutation(16, perm);
+    const ConvertResult first =
+        convert_to_inplace(inst.script, inst.reference, {});
+    const ConvertResult second =
+        convert_to_inplace(first.script, inst.reference, {});
+    EXPECT_EQ(second.report.copies_converted, 0u) << "trial " << trial;
+    EXPECT_EQ(second.report.cycles_found, 0u);
+    expect_inplace_equivalent(inst.script, second.script, inst.reference);
+  }
+}
+
+TEST(Converter, AllAddScriptPassesThrough) {
+  const Script s = script_of({A(0, "abc"), A(3, "def")});
+  const ConvertResult r = convert_to_inplace(s, {}, {});
+  EXPECT_EQ(r.report.copies_in, 0u);
+  EXPECT_EQ(r.report.edges, 0u);
+  EXPECT_TRUE(satisfies_equation2(r.script));
+  EXPECT_EQ(apply_script(r.script, {}), to_bytes("abcdef"));
+}
+
+TEST(Converter, SingleSelfOverlappingCopyNeedsNoConversion) {
+  // Self-overlap is handled by copy direction, not conversion (§4.1).
+  const Bytes ref = test::ramp_bytes(100);
+  const Script s = script_of({C(10, 0, 50), C(5, 50, 50)});
+  const ConvertResult r = convert_to_inplace(s, ref, {});
+  EXPECT_EQ(r.report.copies_converted, 1u);  // the 2nd copy reads [5,54]
+  // ... but a purely self-overlapping single copy converts nothing:
+  const Script solo = script_of({C(10, 0, 60)});
+  const ConvertResult r2 = convert_to_inplace(solo, ref, {});
+  EXPECT_EQ(r2.report.copies_converted, 0u);
+  expect_inplace_equivalent(solo, r2.script, ref);
+}
+
+TEST(Converter, EmptyScript) {
+  const ConvertResult r = convert_to_inplace(Script{}, {}, {});
+  EXPECT_TRUE(r.script.empty());
+  EXPECT_EQ(r.report.copies_in, 0u);
+}
+
+TEST(Converter, Equation2CheckerCatchesViolations) {
+  // Write [0,9] then read it: violation.
+  EXPECT_FALSE(satisfies_equation2(script_of({C(20, 0, 10), C(5, 10, 10)})));
+  // Read then write the same region: fine.
+  EXPECT_TRUE(satisfies_equation2(script_of({C(5, 10, 10), C(20, 0, 10)})));
+  // Adds never read.
+  EXPECT_TRUE(satisfies_equation2(script_of({A(0, "abc"), A(3, "def")})));
+  // A copy reading an interval written by an earlier add is a violation.
+  EXPECT_FALSE(satisfies_equation2(script_of({A(0, "abc"), C(1, 10, 2)})));
+  EXPECT_TRUE(satisfies_equation2(Script{}));
+}
+
+TEST(Converter, MakeInplaceDeltaEndToEnd) {
+  const AdversaryInstance inst = make_rotation(2000, 500);
+  ConvertReport report;
+  const Bytes delta = make_inplace_delta(inst.script, inst.reference,
+                                         inst.version, {}, &report);
+  EXPECT_EQ(report.copies_converted, 1u);
+
+  Bytes buffer = inst.reference;
+  const length_t new_len = apply_delta_inplace(delta, buffer);
+  EXPECT_EQ(new_len, inst.version.size());
+  EXPECT_TRUE(test::bytes_equal(inst.version,
+                                ByteView(buffer).first(new_len)));
+}
+
+TEST(Converter, MakeInplaceDeltaRejectsImplicitFormat) {
+  const AdversaryInstance inst = make_rotation(100, 30);
+  ConvertOptions options;
+  options.format = kPaperSequential;
+  EXPECT_THROW(make_inplace_delta(inst.script, inst.reference, inst.version,
+                                  options),
+               ValidationError);
+}
+
+}  // namespace
+}  // namespace ipd

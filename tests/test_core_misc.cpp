@@ -1,0 +1,80 @@
+// Tests for core/io.hpp and core/hexdump.hpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/hexdump.hpp"
+#include "core/io.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipdelta_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, RoundTrip) {
+  const Bytes data = test::random_bytes(5, 10000);
+  const auto path = dir_ / "blob.bin";
+  write_file(path, data);
+  EXPECT_TRUE(test::bytes_equal(data, read_file(path)));
+}
+
+TEST_F(IoTest, EmptyFile) {
+  const auto path = dir_ / "empty.bin";
+  write_file(path, ByteView{});
+  EXPECT_TRUE(read_file(path).empty());
+}
+
+TEST_F(IoTest, OverwriteTruncates) {
+  const auto path = dir_ / "blob.bin";
+  write_file(path, test::random_bytes(6, 100));
+  write_file(path, test::random_bytes(7, 10));
+  EXPECT_EQ(read_file(path).size(), 10u);
+}
+
+TEST_F(IoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file(dir_ / "nope.bin"), IoError);
+}
+
+TEST_F(IoTest, WriteToMissingDirectoryThrows) {
+  EXPECT_THROW(write_file(dir_ / "no_dir" / "f.bin", ByteView{}), IoError);
+}
+
+TEST(Hexdump, FormatsOffsetsHexAndAscii) {
+  const Bytes data = to_bytes("Hi\x01");
+  const std::string dump = hexdump(data);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("48 69 01"), std::string::npos);
+  EXPECT_NE(dump.find("|Hi.|"), std::string::npos);
+}
+
+TEST(Hexdump, RespectsBaseOffset) {
+  const Bytes data = {0xAA};
+  const std::string dump = hexdump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+}
+
+TEST(Hexdump, TruncatesWithEllipsis) {
+  const Bytes data(16 * 100, 0);
+  const std::string dump = hexdump(data, 0, 4);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+  // 4 rows + ellipsis line.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 5);
+}
+
+TEST(Hexdump, EmptyInputYieldsEmptyDump) {
+  EXPECT_TRUE(hexdump(ByteView{}).empty());
+}
+
+}  // namespace
+}  // namespace ipd

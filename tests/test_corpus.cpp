@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "corpus/workload.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(Generator, ProducesRequestedSize) {
+  Rng rng(1);
+  for (const length_t size : {0ull, 1ull, 100ull, 65536ull}) {
+    EXPECT_EQ(generate_file(rng, size, FileProfile::kText).size(), size);
+    EXPECT_EQ(generate_file(rng, size, FileProfile::kBinary).size(), size);
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(generate_file(a, 10000, FileProfile::kText),
+            generate_file(b, 10000, FileProfile::kText));
+}
+
+TEST(Generator, TextProfileIsPrintableAndRepetitive) {
+  Rng rng(2);
+  const Bytes text = generate_file(rng, 50000, FileProfile::kText);
+  std::size_t printable = 0;
+  for (const std::uint8_t b : text) {
+    if (b == '\n' || (b >= 0x20 && b < 0x7F)) ++printable;
+  }
+  EXPECT_EQ(printable, text.size());
+  // Token reuse: noticeably fewer distinct 8-grams than samples (random
+  // bytes would make essentially all of them unique).
+  std::set<std::string> grams;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i + 8 <= text.size(); i += 8, ++samples) {
+    grams.insert(std::string(text.begin() + i, text.begin() + i + 8));
+  }
+  EXPECT_LT(grams.size(), samples * 9 / 10);
+}
+
+TEST(Generator, BinaryProfileHasZerosAndHighBytes) {
+  Rng rng(3);
+  const Bytes bin = generate_file(rng, 50000, FileProfile::kBinary);
+  EXPECT_GT(std::count(bin.begin(), bin.end(), 0), 100);
+  EXPECT_GT(std::count_if(bin.begin(), bin.end(),
+                          [](std::uint8_t b) { return b >= 0x80; }),
+            1000);
+}
+
+TEST(Generator, RecordsProfileIsRecordStructured) {
+  Rng rng(4);
+  const Bytes records = generate_file(rng, 64 * kRecordSize,
+                                      FileProfile::kRecords);
+  ASSERT_EQ(records.size(), 64 * kRecordSize);
+  // Keys ascend record to record.
+  std::uint64_t prev_key = 0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    std::uint64_t key = 0;
+    for (int i = 7; i >= 0; --i) {
+      key = (key << 8) | records[r * kRecordSize + static_cast<std::size_t>(i)];
+    }
+    if (r > 0) {
+      EXPECT_EQ(key, prev_key + 1) << "record " << r;
+    }
+    prev_key = key;
+  }
+}
+
+TEST(Generator, RecordAlignedMutationsPreserveLength) {
+  Rng rng(5);
+  const Bytes base = generate_file(rng, 100 * kRecordSize,
+                                   FileProfile::kRecords);
+  const Bytes mutated = mutate(base, rng, 30, record_aligned_model());
+  EXPECT_EQ(mutated.size(), base.size());
+  EXPECT_FALSE(test::bytes_equal(base, mutated));
+  // Most records must survive untouched (edits are localized).
+  std::size_t identical = 0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    if (std::equal(base.begin() + r * kRecordSize,
+                   base.begin() + (r + 1) * kRecordSize,
+                   mutated.begin() + r * kRecordSize)) {
+      ++identical;
+    }
+  }
+  EXPECT_GT(identical, 30u);
+}
+
+TEST(Mutation, InsertGrowsFile) {
+  const Bytes base = test::random_bytes(1, 1000);
+  const Mutation m{MutationKind::kInsert, 500, 100, 0, 7};
+  EXPECT_EQ(apply_mutation(base, m).size(), 1100u);
+}
+
+TEST(Mutation, DeleteShrinksFile) {
+  const Bytes base = test::random_bytes(2, 1000);
+  const Mutation m{MutationKind::kDelete, 500, 100, 0, 0};
+  const Bytes out = apply_mutation(base, m);
+  EXPECT_EQ(out.size(), 900u);
+  // Prefix and suffix survive.
+  EXPECT_TRUE(test::bytes_equal(ByteView(base).first(500),
+                                ByteView(out).first(500)));
+  EXPECT_TRUE(test::bytes_equal(ByteView(base).subspan(600),
+                                ByteView(out).subspan(500)));
+}
+
+TEST(Mutation, ReplaceKeepsLength) {
+  const Bytes base = test::random_bytes(3, 1000);
+  const Mutation m{MutationKind::kReplace, 100, 50, 0, 9};
+  const Bytes out = apply_mutation(base, m);
+  EXPECT_EQ(out.size(), base.size());
+  EXPECT_FALSE(test::bytes_equal(base, out));
+}
+
+TEST(Mutation, MovePreservesMultiset) {
+  const Bytes base = test::random_bytes(4, 400);
+  const Mutation m{MutationKind::kMoveBlock, 100, 50, 300, 0};
+  const Bytes out = apply_mutation(base, m);
+  EXPECT_EQ(out.size(), base.size());
+  Bytes a = base, b = out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_TRUE(test::bytes_equal(a, b));
+}
+
+TEST(Mutation, DuplicateGrowsByBlock) {
+  const Bytes base = test::random_bytes(5, 400);
+  const Mutation m{MutationKind::kDuplicateBlock, 100, 50, 200, 0};
+  EXPECT_EQ(apply_mutation(base, m).size(), 450u);
+}
+
+TEST(Mutation, TweakChangesFewBytes) {
+  const Bytes base = test::random_bytes(6, 1000);
+  const Mutation m{MutationKind::kByteTweak, 0, 8, 0, 77};
+  const Bytes out = apply_mutation(base, m);
+  ASSERT_EQ(out.size(), base.size());
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i] != out[i]) ++diff;
+  }
+  EXPECT_GE(diff, 1u);
+  EXPECT_LE(diff, 8u);
+}
+
+TEST(Mutation, ClampsOutOfRangeOffsets) {
+  const Bytes base = test::random_bytes(7, 100);
+  for (const MutationKind kind :
+       {MutationKind::kDelete, MutationKind::kReplace,
+        MutationKind::kMoveBlock, MutationKind::kDuplicateBlock}) {
+    const Mutation m{kind, 5000, 50, 9999, 3};
+    EXPECT_NO_THROW(apply_mutation(base, m)) << mutation_name(kind);
+  }
+}
+
+TEST(Mutation, EmptyInputHandled) {
+  const Mutation ins{MutationKind::kInsert, 0, 10, 0, 1};
+  EXPECT_EQ(apply_mutation({}, ins).size(), 10u);
+  const Mutation del{MutationKind::kDelete, 0, 10, 0, 0};
+  EXPECT_TRUE(apply_mutation({}, del).empty());
+}
+
+TEST(Mutation, MutateAppliesRequestedCount) {
+  Rng rng(8);
+  const Bytes base = test::random_bytes(9, 10000);
+  const Bytes out = mutate(base, rng, 20);
+  EXPECT_FALSE(test::bytes_equal(base, out));
+  // Versions stay similar in size (edits are bounded fractions).
+  EXPECT_GT(out.size(), base.size() / 2);
+  EXPECT_LT(out.size(), base.size() * 2);
+}
+
+TEST(Workload, StandardCorpusShape) {
+  CorpusOptions options;
+  options.packages = 4;
+  options.releases_per_package = 3;
+  options.min_file_size = 1 << 10;
+  options.max_file_size = 8 << 10;
+  const auto pairs = standard_corpus(options);
+  EXPECT_EQ(pairs.size(), 4u * 2u);
+  for (const VersionPair& p : pairs) {
+    EXPECT_FALSE(p.reference.empty());
+    EXPECT_FALSE(p.version.empty());
+    EXPECT_FALSE(test::bytes_equal(p.reference, p.version));
+    EXPECT_FALSE(p.name.empty());
+  }
+}
+
+TEST(Workload, ConsecutiveReleasesChain) {
+  CorpusOptions options;
+  options.packages = 1;
+  options.releases_per_package = 4;
+  options.min_file_size = 1 << 10;
+  options.max_file_size = 2 << 10;
+  const auto pairs = standard_corpus(options);
+  ASSERT_EQ(pairs.size(), 3u);
+  // v(n)'s version is v(n+1)'s reference.
+  EXPECT_TRUE(test::bytes_equal(pairs[0].version, pairs[1].reference));
+  EXPECT_TRUE(test::bytes_equal(pairs[1].version, pairs[2].reference));
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const auto a = small_corpus(42);
+  const auto b = small_corpus(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(test::bytes_equal(a[i].reference, b[i].reference));
+    EXPECT_TRUE(test::bytes_equal(a[i].version, b[i].version));
+  }
+  const auto c = small_corpus(43);
+  EXPECT_FALSE(test::bytes_equal(a[0].reference, c[0].reference));
+}
+
+TEST(Workload, MixesProfiles) {
+  const auto pairs = small_corpus();
+  bool text = false, binary = false;
+  for (const VersionPair& p : pairs) {
+    text |= p.profile == FileProfile::kText;
+    binary |= p.profile == FileProfile::kBinary;
+  }
+  EXPECT_TRUE(text);
+  EXPECT_TRUE(binary);
+}
+
+}  // namespace
+}  // namespace ipd

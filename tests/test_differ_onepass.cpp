@@ -1,0 +1,131 @@
+#include "delta/onepass_differ.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apply/apply.hpp"
+#include "delta/greedy_differ.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::random_bytes;
+
+Script diff(ByteView ref, ByteView ver, DifferOptions opts = {}) {
+  return OnePassDiffer(opts).diff(ref, ver);
+}
+
+void expect_roundtrip(ByteView ref, ByteView ver, const Script& script) {
+  ASSERT_NO_THROW(script.validate(ref.size(), ver.size()));
+  EXPECT_TRUE(test::bytes_equal(ver, apply_script(script, ref)));
+}
+
+TEST(OnePassDiffer, IdenticalFilesSingleCopy) {
+  const Bytes file = random_bytes(21, 20000);
+  const Script script = diff(file, file);
+  expect_roundtrip(file, file, script);
+  EXPECT_EQ(script.summary().copy_count, 1u);
+  EXPECT_EQ(script.summary().added_bytes, 0u);
+}
+
+TEST(OnePassDiffer, EmptyInputs) {
+  EXPECT_TRUE(diff({}, {}).empty());
+  const Bytes ver = random_bytes(22, 300);
+  const Script script = diff({}, ver);
+  expect_roundtrip({}, ver, script);
+  EXPECT_EQ(script.summary().copy_count, 0u);
+}
+
+TEST(OnePassDiffer, LocalEditPreservesMostBytesAsCopies) {
+  const Bytes ref = random_bytes(23, 65536);
+  Bytes ver = ref;
+  // A realistic release edit: replace a 1 KiB region.
+  const Bytes patch = random_bytes(24, 1024);
+  std::copy(patch.begin(), patch.end(), ver.begin() + 30000);
+  const Script script = diff(ref, ver);
+  expect_roundtrip(ref, ver, script);
+  EXPECT_GT(script.summary().copied_bytes, 63000u);
+}
+
+TEST(OnePassDiffer, InsertionRoundTrips) {
+  const Bytes ref = random_bytes(25, 8192);
+  Bytes ver = ref;
+  const Bytes inserted = random_bytes(26, 333);
+  ver.insert(ver.begin() + 4000, inserted.begin(), inserted.end());
+  const Script script = diff(ref, ver);
+  expect_roundtrip(ref, ver, script);
+  EXPECT_GT(script.summary().copied_bytes, 7800u);
+}
+
+TEST(OnePassDiffer, ConstantSpaceTableIsFixedSize) {
+  // A tiny table still yields a correct (if less compact) delta on input
+  // much larger than the table — the "constant space" property.
+  const Bytes ref = random_bytes(27, 1 << 18);
+  Bytes ver = ref;
+  ver[1000] ^= 1;
+  const Script script = diff(ref, ver, {.table_bits = 8});
+  expect_roundtrip(ref, ver, script);
+}
+
+TEST(OnePassDiffer, CollisionsCostCompressionNotCorrectness) {
+  // With a 256-slot table over 256 KiB, nearly every insert collides;
+  // output must still reconstruct exactly.
+  const Bytes ref = random_bytes(28, 1 << 18);
+  const Bytes ver = [&] {
+    Bytes v = ref;
+    for (std::size_t i = 0; i < v.size(); i += 50000) v[i] ^= 0xA5;
+    return v;
+  }();
+  const Script tiny_table = diff(ref, ver, {.table_bits = 8});
+  const Script big_table = diff(ref, ver, {.table_bits = 20});
+  expect_roundtrip(ref, ver, tiny_table);
+  expect_roundtrip(ref, ver, big_table);
+  // The bigger table should never compress worse.
+  EXPECT_LE(big_table.summary().added_bytes,
+            tiny_table.summary().added_bytes);
+}
+
+TEST(OnePassDiffer, CompressionCloseToGreedyOnVersionedData) {
+  // The paper's claim for [5]: a small compression loss against greedy in
+  // exchange for linear time. "Close" here = within 3x added bytes on a
+  // realistic versioned pair.
+  const Bytes ref = random_bytes(29, 1 << 16);
+  Bytes ver = ref;
+  Rng rng(30);
+  for (int edit = 0; edit < 8; ++edit) {
+    const std::size_t at = rng.below(ver.size() - 100);
+    const Bytes patch = random_bytes(edit, 64);
+    std::copy(patch.begin(), patch.end(),
+              ver.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  const Script onepass = diff(ref, ver);
+  const Script greedy = GreedyDiffer({}).diff(ref, ver);
+  expect_roundtrip(ref, ver, onepass);
+  expect_roundtrip(ref, ver, greedy);
+  EXPECT_LE(onepass.summary().added_bytes,
+            3 * greedy.summary().added_bytes + 512);
+}
+
+TEST(OnePassDiffer, TailShorterThanSeedBecomesLiterals) {
+  const Bytes ref = random_bytes(31, 1000);
+  Bytes ver(ref.begin(), ref.begin() + 500);
+  ver.insert(ver.end(), {1, 2, 3});  // 3-byte tail, unmatched
+  const Script script = diff(ref, ver);
+  expect_roundtrip(ref, ver, script);
+}
+
+TEST(OnePassDiffer, FirstOccurrenceWinsSlot) {
+  // Two identical blocks in the reference: matches must resolve to the
+  // first (slot insertion policy), keeping `from` stable.
+  Bytes ref = random_bytes(32, 256);
+  const Bytes block = random_bytes(33, 512);
+  ref.insert(ref.end(), block.begin(), block.end());
+  ref.insert(ref.end(), block.begin(), block.end());
+  const Script script = diff(ref, block);
+  expect_roundtrip(ref, block, script);
+  ASSERT_EQ(script.summary().copy_count, 1u);
+  EXPECT_EQ(script.copies()[0].from, 256u);
+}
+
+}  // namespace
+}  // namespace ipd

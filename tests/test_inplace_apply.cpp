@@ -1,0 +1,164 @@
+#include "apply/inplace_apply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "adversary/constructions.hpp"
+#include "apply/apply.hpp"
+#include "core/checksum.hpp"
+#include "inplace/converter.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+TEST(OverlappingCopy, ForwardOverlapLeftToRight) {
+  // f >= t: copy left-to-right is safe.
+  Bytes buf = to_bytes("abcdefgh");
+  overlapping_copy(buf, /*from=*/2, /*to=*/0, /*length=*/6);
+  EXPECT_EQ(to_string(buf), "cdefghgh");
+}
+
+TEST(OverlappingCopy, BackwardOverlapRightToLeft) {
+  // f < t: right-to-left avoids reading overwritten bytes.
+  Bytes buf = to_bytes("abcdefgh");
+  overlapping_copy(buf, /*from=*/0, /*to=*/2, /*length=*/6);
+  EXPECT_EQ(to_string(buf), "ababcdef");
+}
+
+TEST(OverlappingCopy, IdentityAndZeroLengthAreNoOps) {
+  Bytes buf = to_bytes("abcd");
+  overlapping_copy(buf, 1, 1, 3);
+  EXPECT_EQ(to_string(buf), "abcd");
+  overlapping_copy(buf, 0, 2, 0);
+  EXPECT_EQ(to_string(buf), "abcd");
+}
+
+TEST(OverlappingCopy, MatchesMemmoveSemanticsOnRandomCases) {
+  Rng rng(88);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes buf = test::random_bytes(trial, 64);
+    Bytes expect = buf;
+    const offset_t from = rng.below(64);
+    const offset_t to = rng.below(64);
+    const length_t len = rng.below(64 - std::max(from, to) + 1);
+    std::memmove(expect.data() + to, expect.data() + from, len);
+    overlapping_copy(buf, from, to, len);
+    ASSERT_TRUE(test::bytes_equal(expect, buf)) << "trial " << trial;
+  }
+}
+
+TEST(ApplyInplace, GrowingVersionUsesBufferSlack) {
+  const Bytes ref = to_bytes("0123456789");
+  // Version: the reference with "XX" appended (12 bytes > 10).
+  const Script s = script_of({C(0, 0, 10), A(10, "XX")});
+  Bytes buffer = ref;
+  buffer.resize(12);
+  apply_inplace(s, buffer, 10, 12);
+  EXPECT_EQ(to_string(buffer), "0123456789XX");
+}
+
+TEST(ApplyInplace, ShrinkingVersion) {
+  const Bytes ref = to_bytes("0123456789");
+  const Script s = script_of({C(5, 0, 5)});
+  Bytes buffer = ref;
+  apply_inplace(s, buffer, 10, 5);
+  EXPECT_EQ(to_string(ByteView(buffer).first(5)), "56789");
+}
+
+TEST(ApplyInplace, BufferTooSmallThrows) {
+  const Script s = script_of({C(0, 0, 4)});
+  Bytes buffer(3);
+  EXPECT_THROW(apply_inplace(s, buffer, 4, 4), ValidationError);
+  Bytes buffer2(16);
+  EXPECT_THROW(apply_inplace(s, buffer2, 2, 4), ValidationError);  // reads past ref
+}
+
+TEST(ApplyInplace, ConflictingScriptSilentlyCorrupts) {
+  // The failure mode the paper opens with: apply a non-converted delta in
+  // place and the output is wrong.
+  const AdversaryInstance inst = make_rotation(100, 30);
+  Bytes buffer = inst.reference;
+  apply_inplace(inst.script, buffer, 100, 100);
+  EXPECT_FALSE(test::bytes_equal(inst.version, buffer));
+}
+
+TEST(ApplyInplaceChecked, ThrowsOnTheConflictInstead) {
+  const AdversaryInstance inst = make_rotation(100, 30);
+  Bytes buffer = inst.reference;
+  EXPECT_THROW(apply_inplace_checked(inst.script, buffer, 100, 100),
+               ConflictError);
+}
+
+TEST(ApplyInplaceChecked, AcceptsConvertedScript) {
+  const AdversaryInstance inst = make_rotation(100, 30);
+  const ConvertResult r = convert_to_inplace(inst.script, inst.reference, {});
+  Bytes buffer = inst.reference;
+  ASSERT_NO_THROW(apply_inplace_checked(r.script, buffer, 100, 100));
+  EXPECT_TRUE(test::bytes_equal(inst.version, buffer));
+}
+
+TEST(ApplyDeltaInplace, FullWireRoundTrip) {
+  const AdversaryInstance inst = make_rotation(5000, 1234);
+  const Bytes delta =
+      make_inplace_delta(inst.script, inst.reference, inst.version, {});
+  Bytes buffer = inst.reference;
+  const length_t len = apply_delta_inplace(delta, buffer);
+  EXPECT_EQ(len, 5000u);
+  EXPECT_TRUE(test::bytes_equal(inst.version, buffer));
+}
+
+TEST(ApplyDeltaInplace, RejectsNonInplaceDelta) {
+  DeltaFile file;
+  file.format = kVarintExplicit;
+  file.in_place = false;
+  file.reference_length = 4;
+  file.version_length = 4;
+  const Bytes ver = to_bytes("abcd");
+  file.version_crc = crc32c(ver);
+  file.script = script_of({A(0, "abcd")});
+  const Bytes wire = serialize_delta(file);
+  Bytes buffer(4);
+  EXPECT_THROW(apply_delta_inplace(wire, buffer), ValidationError);
+}
+
+TEST(ApplyDeltaInplace, RejectsTooSmallBuffer) {
+  const AdversaryInstance inst = make_rotation(100, 10);
+  const Bytes delta =
+      make_inplace_delta(inst.script, inst.reference, inst.version, {});
+  Bytes buffer(50);
+  EXPECT_THROW(apply_delta_inplace(delta, buffer), ValidationError);
+}
+
+TEST(ApplyDeltaInplace, CrcCatchesWrongReferenceImage) {
+  const AdversaryInstance inst = make_rotation(100, 10);
+  const Bytes delta =
+      make_inplace_delta(inst.script, inst.reference, inst.version, {});
+  Bytes buffer = inst.reference;
+  buffer[50] ^= 1;  // device image differs from the delta's reference
+  EXPECT_THROW(apply_delta_inplace(delta, buffer), FormatError);
+}
+
+TEST(ApplyInplace, AgreesWithScratchApplyOnConvertedScripts) {
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto perm = random_permutation(rng, 30);
+    const AdversaryInstance inst = make_block_permutation(24, perm);
+    const ConvertResult r =
+        convert_to_inplace(inst.script, inst.reference, {});
+    const Bytes scratch = apply_script(r.script, inst.reference);
+    Bytes buffer = inst.reference;
+    apply_inplace(r.script, buffer, inst.reference.size(),
+                  inst.version.size());
+    EXPECT_TRUE(test::bytes_equal(scratch, buffer));
+    EXPECT_TRUE(test::bytes_equal(inst.version, buffer));
+  }
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,82 @@
+#include "inplace/inplace_differ.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/constructions.hpp"
+#include "apply/apply.hpp"
+#include "apply/inplace_apply.hpp"
+#include "apply/oracle.hpp"
+#include "corpus/workload.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(InplaceDiffer, OutputIsDirectlyInplaceSafe) {
+  for (const VersionPair& pair : small_corpus(51)) {
+    const InplaceDiffer differ(DifferKind::kOnePass);
+    const Script script = differ.diff(pair.reference, pair.version);
+    ASSERT_TRUE(satisfies_equation2(script)) << pair.name;
+    ASSERT_TRUE(analyze_conflicts(script).in_place_safe()) << pair.name;
+
+    Bytes buffer = pair.reference;
+    buffer.resize(std::max(pair.reference.size(), pair.version.size()));
+    apply_inplace(script, buffer, pair.reference.size(),
+                  pair.version.size());
+    EXPECT_TRUE(test::bytes_equal(
+        pair.version, ByteView(buffer).first(pair.version.size())))
+        << pair.name;
+  }
+}
+
+TEST(InplaceDiffer, MatchesTwoStepPipeline) {
+  Rng rng(3);
+  const Bytes ref = test::random_bytes(1, 30000);
+  Bytes ver = ref;
+  for (int i = 0; i < 1500; ++i) std::swap(ver[i], ver[i + 15000]);
+
+  const InplaceDiffer integrated(DifferKind::kGreedy);
+  const Script one_step = integrated.diff(ref, ver);
+
+  const Script two_step =
+      convert_to_inplace(diff_bytes(DifferKind::kGreedy, ref, ver), ref, {})
+          .script;
+  EXPECT_EQ(one_step, two_step);
+}
+
+TEST(InplaceDiffer, ReportIsObservable) {
+  const AdversaryInstance inst = make_rotation(2000, 700);
+  // The rotation instance is a script, not a byte pair the differ would
+  // find — instead build a pair whose diff needs conversion.
+  const InplaceDiffer differ(DifferKind::kOnePass);
+  const Script script = differ.diff(inst.reference, inst.version);
+  EXPECT_GT(differ.last_report().copies_in, 0u);
+  EXPECT_TRUE(satisfies_equation2(script));
+  // A full rotation forces at least one conversion or a reordering; the
+  // report reflects whatever happened.
+  EXPECT_TRUE(test::bytes_equal(inst.version,
+                                apply_script(script, inst.reference)));
+}
+
+TEST(InplaceDiffer, WorksThroughDifferInterface) {
+  // Polymorphic use, as the archive builder would.
+  std::unique_ptr<Differ> differ = std::make_unique<InplaceDiffer>(
+      DifferKind::kOnePass);
+  EXPECT_STREQ(differ->name(), "in-place");
+  const Bytes ref = test::random_bytes(9, 5000);
+  const Bytes ver = test::random_bytes(10, 5000);
+  const Script script = differ->diff(ref, ver);
+  ASSERT_NO_THROW(script.validate(ref.size(), ver.size()));
+  EXPECT_TRUE(satisfies_equation2(script));
+}
+
+TEST(InplaceDiffer, EmptyInputs) {
+  const InplaceDiffer differ(DifferKind::kOnePass);
+  EXPECT_TRUE(differ.diff({}, {}).empty());
+  const Bytes ver = test::random_bytes(11, 100);
+  const Script script = differ.diff({}, ver);
+  EXPECT_TRUE(test::bytes_equal(ver, apply_script(script, {})));
+}
+
+}  // namespace
+}  // namespace ipd

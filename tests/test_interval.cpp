@@ -1,0 +1,70 @@
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd {
+namespace {
+
+TEST(Interval, OfStartLength) {
+  const Interval iv = Interval::of(10, 5);
+  EXPECT_EQ(iv.first, 10u);
+  EXPECT_EQ(iv.last, 14u);
+  EXPECT_EQ(iv.length(), 5u);
+}
+
+TEST(Interval, SingleByte) {
+  const Interval iv = Interval::of(7, 1);
+  EXPECT_EQ(iv.first, 7u);
+  EXPECT_EQ(iv.last, 7u);
+  EXPECT_EQ(iv.length(), 1u);
+  EXPECT_TRUE(iv.contains(7));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_FALSE(iv.contains(8));
+}
+
+TEST(Interval, ContainsIsClosed) {
+  const Interval iv{10, 20};
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(20));
+  EXPECT_TRUE(iv.contains(15));
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_FALSE(iv.contains(21));
+}
+
+TEST(Interval, IntersectionIsSymmetricAndClosed) {
+  const Interval a{0, 9};
+  const Interval b{9, 20};   // touch at one byte — closed intervals meet
+  const Interval c{10, 20};  // disjoint from a
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(a));
+}
+
+TEST(Interval, NestedIntervalsIntersect) {
+  const Interval outer{0, 100};
+  const Interval inner{40, 60};
+  EXPECT_TRUE(outer.intersects(inner));
+  EXPECT_TRUE(inner.intersects(outer));
+}
+
+TEST(Interval, PaperEquation1) {
+  // copy_i = <f=_, t=4, l=4>  writes [4,7]; copy_j reads [6,9]: conflict.
+  const Interval write_i = Interval::of(4, 4);
+  const Interval read_j = Interval::of(6, 4);
+  EXPECT_TRUE(write_i.intersects(read_j));
+  // Reading [8,11] just misses the write.
+  EXPECT_FALSE(write_i.intersects(Interval::of(8, 4)));
+}
+
+TEST(Interval, EqualityAndStreaming) {
+  const Interval a{1, 2};
+  EXPECT_EQ(a, (Interval{1, 2}));
+  EXPECT_NE(a, (Interval{1, 3}));
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,101 @@
+#include "inplace/interval_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+std::vector<CopyCommand> make_copies(
+    std::initializer_list<std::pair<offset_t, length_t>> writes) {
+  std::vector<CopyCommand> out;
+  for (const auto& [to, len] : writes) {
+    out.push_back(CopyCommand{0, to, len});
+  }
+  return out;
+}
+
+TEST(IntervalIndex, EmptySet) {
+  const IntervalIndex index({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.overlapping({0, 100}).empty());
+}
+
+TEST(IntervalIndex, SingleInterval) {
+  const IntervalIndex index(make_copies({{10, 5}}));  // [10,14]
+  EXPECT_TRUE(index.overlapping({0, 9}).empty());
+  EXPECT_TRUE(index.overlapping({15, 20}).empty());
+  EXPECT_EQ(index.overlapping({0, 10}).size(), 1u);
+  EXPECT_EQ(index.overlapping({14, 14}).size(), 1u);
+  EXPECT_EQ(index.overlapping({12, 13}).size(), 1u);
+}
+
+TEST(IntervalIndex, FindsContiguousRun) {
+  // [0,9] [10,19] [20,29] [40,49]
+  const IntervalIndex index(make_copies({{0, 10}, {10, 10}, {20, 10},
+                                         {40, 10}}));
+  const auto hits = index.overlapping({5, 22});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+  EXPECT_EQ(hits[2], 2u);
+  EXPECT_EQ(index.overlapping({30, 39}).size(), 0u);  // falls in the gap
+  EXPECT_EQ(index.overlapping({30, 45}).size(), 1u);
+}
+
+TEST(IntervalIndex, QueryCoveringEverything) {
+  const IntervalIndex index(make_copies({{0, 10}, {10, 10}, {25, 5}}));
+  EXPECT_EQ(index.overlapping({0, 1000}).size(), 3u);
+}
+
+TEST(IntervalIndex, RejectsUnsortedInput) {
+  EXPECT_THROW(IntervalIndex(make_copies({{10, 5}, {0, 5}})),
+               ValidationError);
+}
+
+TEST(IntervalIndex, RejectsOverlappingWrites) {
+  EXPECT_THROW(IntervalIndex(make_copies({{0, 10}, {5, 10}})),
+               ValidationError);
+}
+
+TEST(IntervalIndex, RejectsZeroLength) {
+  EXPECT_THROW(IntervalIndex({CopyCommand{0, 0, 0}}), ValidationError);
+}
+
+TEST(IntervalIndex, MatchesBruteForceOnRandomLayout) {
+  Rng rng(77);
+  std::vector<CopyCommand> copies;
+  offset_t cursor = 0;
+  for (int i = 0; i < 200; ++i) {
+    cursor += rng.below(20);  // random gaps
+    const length_t len = rng.range(1, 30);
+    copies.push_back(CopyCommand{0, cursor, len});
+    cursor += len;
+  }
+  const IntervalIndex index(copies);
+
+  for (int q = 0; q < 500; ++q) {
+    const offset_t first = rng.below(cursor + 50);
+    const Interval query{first, first + rng.below(100)};
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < copies.size(); ++i) {
+      if (copies[i].write_interval().intersects(query)) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(index.overlapping(query), expected);
+  }
+}
+
+TEST(IntervalIndex, ForEachEarlyTermination) {
+  const IntervalIndex index(make_copies({{0, 10}, {10, 10}, {20, 10}}));
+  int count = 0;
+  index.for_each_overlapping({0, 100}, [&](std::uint32_t) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,141 @@
+#include "delta/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apply/apply.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+void expect_same_version(const Script& before, const Script& after,
+                         ByteView reference) {
+  EXPECT_TRUE(test::bytes_equal(apply_script(before, reference),
+                                apply_script(after, reference)));
+}
+
+TEST(Optimize, MergesAbuttingAdds) {
+  const Script s = script_of({A(0, "ab"), A(2, "cd"), A(4, "ef")});
+  OptimizeReport report;
+  const Script out = optimize_script(s, {}, {}, &report);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(report.adds_merged, 2u);
+  expect_same_version(s, out, {});
+}
+
+TEST(Optimize, MergesContinuingCopies) {
+  const Bytes ref = test::ramp_bytes(100);
+  const Script s = script_of({C(10, 0, 20), C(30, 20, 20), C(50, 40, 5)});
+  OptimizeReport report;
+  const Script out = optimize_script(s, ref, {}, &report);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(report.copies_merged, 2u);
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, DoesNotMergeNonContinuingCopies) {
+  const Bytes ref = test::ramp_bytes(100);
+  // Adjacent writes but source jumps: must stay two commands.
+  const Script s = script_of({C(10, 0, 20), C(50, 20, 20)});
+  const Script out = optimize_script(s, ref);
+  EXPECT_EQ(out.size(), 2u);
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, DemotesCopiesWhoseAddIsSmaller) {
+  const Bytes ref = test::ramp_bytes(0x20000);
+  // 2-byte copy with a wide (3-byte-class) from offset: paper format
+  // encodes the copy in 1+4+4+1 = 10 bytes vs add 1+4+1+2 = 8 bytes.
+  const Script s = script_of({C(0x10000, 0, 2), A(2, "xyz")});
+  OptimizeReport report;
+  const Script out = optimize_script(s, ref, {}, &report);
+  EXPECT_EQ(report.copies_demoted, 1u);
+  EXPECT_EQ(out.summary().copy_count, 0u);
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, DemotionDisabledWithoutReference) {
+  const Script s = script_of({C(0x10000, 0, 2)});
+  OptimizeReport report;
+  const Script out = optimize_script(s, {}, {}, &report);
+  EXPECT_EQ(report.copies_demoted, 0u);
+  EXPECT_EQ(out.summary().copy_count, 1u);
+}
+
+TEST(Optimize, DemotedCopyMergesIntoNeighbouringAdds) {
+  const Bytes ref = test::ramp_bytes(0x20000);
+  const Script s = script_of({A(0, "ab"), C(0x10000, 2, 2), A(4, "cd")});
+  const Script out = optimize_script(s, ref);
+  EXPECT_EQ(out.size(), 1u);  // one merged add covering [0,6)
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, SortsIntoWriteOrder) {
+  const Bytes ref = test::ramp_bytes(100);
+  const Script s = script_of({C(50, 40, 5), A(0, "ab"), C(10, 2, 38)});
+  const Script out = optimize_script(s, ref);
+  EXPECT_TRUE(out.in_write_order());
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, OptionsDisableEachRewrite) {
+  const Bytes ref = test::ramp_bytes(100);
+  const Script s =
+      script_of({A(0, "ab"), A(2, "cd"), C(10, 4, 20), C(30, 24, 20)});
+  OptimizeOptions off;
+  off.merge_adds = false;
+  off.merge_copies = false;
+  off.demote_short_copies = false;
+  const Script out = optimize_script(s, ref, off);
+  EXPECT_EQ(out.size(), s.size());
+  expect_same_version(s, out, ref);
+}
+
+TEST(Optimize, DropsZeroLengthCommands) {
+  Script s;
+  s.push(CopyCommand{0, 0, 0});
+  s.push(AddCommand{0, {}});
+  s.push(AddCommand{0, to_bytes("ok")});
+  const Script out = optimize_script(s, {});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Optimize, EmptyScript) {
+  OptimizeReport report;
+  EXPECT_TRUE(optimize_script(Script{}, {}, {}, &report).empty());
+  EXPECT_EQ(report.bytes_saved, 0u);
+}
+
+TEST(Optimize, ReportsBytesSavedConsistentWithEncoding) {
+  const Bytes ref = test::ramp_bytes(4096);
+  // Fragmented output typical of a differ on noisy input.
+  Script s;
+  offset_t to = 0;
+  for (int i = 0; i < 50; ++i) {
+    s.push(CopyCommand{static_cast<offset_t>(i * 40), to, 20});
+    to += 20;
+    s.push(AddCommand{to, Bytes(3, static_cast<std::uint8_t>(i))});
+    to += 3;
+    s.push(AddCommand{to, Bytes(3, static_cast<std::uint8_t>(i + 1))});
+    to += 3;
+  }
+  OptimizeReport report;
+  const Script out = optimize_script(s, ref, {}, &report);
+  EXPECT_GT(report.adds_merged, 0u);
+  expect_same_version(s, out, ref);
+
+  DeltaFile before, after;
+  before.format = after.format = kPaperExplicit;
+  before.reference_length = after.reference_length = ref.size();
+  before.version_length = after.version_length = s.version_length();
+  before.script = s;
+  after.script = out;
+  EXPECT_LT(serialize_delta(after).size(), serialize_delta(before).size());
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,115 @@
+#include "apply/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/constructions.hpp"
+#include "inplace/converter.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+TEST(Oracle, CleanScriptHasNoConflicts) {
+  const Script s = script_of({C(50, 0, 25), C(80, 25, 20), A(45, "xyz")});
+  const ConflictAnalysis a = analyze_conflicts(s);
+  EXPECT_TRUE(a.in_place_safe());
+  EXPECT_EQ(a.corrupt_bytes, 0u);
+}
+
+TEST(Oracle, DetectsBasicWriteBeforeRead) {
+  // Command 0 writes [0,9]; command 1 reads [5,14]: 5 corrupt bytes.
+  const Script s = script_of({C(20, 0, 10), C(5, 10, 10)});
+  const ConflictAnalysis a = analyze_conflicts(s);
+  ASSERT_EQ(a.conflicts.size(), 1u);
+  EXPECT_EQ(a.conflicts[0].reader_index, 1u);
+  EXPECT_EQ(a.conflicts[0].writer_index, 0u);
+  EXPECT_EQ(a.conflicts[0].overlap, (Interval{5, 9}));
+  EXPECT_EQ(a.corrupt_bytes, 5u);
+}
+
+TEST(Oracle, OrderMatters) {
+  // The same two commands in the safe order: no conflict.
+  const Script s = script_of({C(5, 10, 10), C(20, 0, 10)});
+  EXPECT_TRUE(analyze_conflicts(s).in_place_safe());
+}
+
+TEST(Oracle, AddsConflictAsWritersNotReaders) {
+  // An add never reads, but a later copy may read what it wrote.
+  const Script reader_after_add = script_of({A(0, "abcd"), C(2, 10, 4)});
+  const ConflictAnalysis a = analyze_conflicts(reader_after_add);
+  ASSERT_EQ(a.conflicts.size(), 1u);
+  EXPECT_EQ(a.conflicts[0].writer_index, 0u);
+  EXPECT_EQ(a.conflicts[0].overlap, (Interval{2, 3}));
+
+  const Script add_last = script_of({C(2, 10, 4), A(0, "abcd")});
+  EXPECT_TRUE(analyze_conflicts(add_last).in_place_safe());
+}
+
+TEST(Oracle, SelfOverlapIsNotAConflict) {
+  const Script s = script_of({C(0, 5, 10)});
+  EXPECT_TRUE(analyze_conflicts(s).in_place_safe());
+}
+
+TEST(Oracle, OneReadCanConflictWithManyWriters) {
+  // Three 4-byte writes tile [0,11]; a later copy reads all of it.
+  const Script s =
+      script_of({C(20, 0, 4), C(24, 4, 4), C(28, 8, 4), C(0, 12, 12)});
+  const ConflictAnalysis a = analyze_conflicts(s);
+  EXPECT_EQ(a.conflicts.size(), 3u);
+  EXPECT_EQ(a.corrupt_bytes, 12u);
+  for (const Conflict& c : a.conflicts) {
+    EXPECT_EQ(c.reader_index, 3u);
+  }
+}
+
+TEST(Oracle, MaxConflictsTruncates) {
+  const Script s =
+      script_of({C(20, 0, 4), C(24, 4, 4), C(28, 8, 4), C(0, 12, 12)});
+  EXPECT_EQ(analyze_conflicts(s, 2).conflicts.size(), 2u);
+}
+
+TEST(Oracle, RotationScriptConflictsUntilConverted) {
+  const AdversaryInstance inst = make_rotation(1000, 250);
+  EXPECT_FALSE(analyze_conflicts(inst.script).in_place_safe());
+  const ConvertResult r = convert_to_inplace(inst.script, inst.reference, {});
+  EXPECT_TRUE(analyze_conflicts(r.script).in_place_safe());
+}
+
+TEST(Oracle, AgreesWithEquation2CheckerOnRandomScripts) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random valid-ish scripts: disjoint writes, random reads, random
+    // order.
+    Script s;
+    offset_t cursor = 0;
+    const int commands = static_cast<int>(rng.range(1, 12));
+    for (int i = 0; i < commands; ++i) {
+      const length_t len = rng.range(1, 30);
+      if (rng.chance(0.3)) {
+        Bytes data(len, static_cast<std::uint8_t>(i));
+        s.push(AddCommand{cursor, std::move(data)});
+      } else {
+        s.push(CopyCommand{rng.below(300), cursor, len});
+      }
+      cursor += len;
+    }
+    // Shuffle the command order.
+    auto& cmds = s.commands();
+    for (std::size_t i = cmds.size(); i > 1; --i) {
+      std::swap(cmds[i - 1], cmds[rng.below(i)]);
+    }
+    EXPECT_EQ(analyze_conflicts(s).in_place_safe(), satisfies_equation2(s))
+        << "trial " << trial;
+  }
+}
+
+TEST(Oracle, EmptyScript) {
+  EXPECT_TRUE(analyze_conflicts(Script{}).in_place_safe());
+}
+
+}  // namespace
+}  // namespace ipd

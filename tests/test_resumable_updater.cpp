@@ -1,0 +1,218 @@
+#include "device/resumable_updater.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "device/channel.hpp"
+#include "ipdelta.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+constexpr std::size_t kImageArea = 64 << 10;
+constexpr std::size_t kJournalSize = 16 << 10;
+constexpr std::size_t kStorage = kImageArea + kJournalSize;
+constexpr JournalRegion kJournal{kImageArea, kJournalSize};
+
+struct Fixture {
+  Bytes v1;
+  Bytes v2;
+  Bytes delta;
+};
+
+Fixture make_fixture(std::uint64_t seed = 31) {
+  Fixture f;
+  Rng rng(seed);
+  f.v1 = generate_file(rng, 48 << 10, FileProfile::kBinary);
+  f.v2 = f.v1;
+  // Guarantee self-overlapping copies: shift a large region forward.
+  std::copy(f.v2.begin() + 1000, f.v2.begin() + 30000, f.v2.begin() + 1500);
+  f.v2 = mutate(f.v2, rng, 10);
+  f.delta = create_inplace_delta(f.v1, f.v2);
+  return f;
+}
+
+FlashDevice make_device(const Fixture& f) {
+  FlashDevice dev(kStorage, 512, (96 << 10));
+  dev.load_image(f.v1);
+  clear_journal(dev, kJournal);
+  return dev;
+}
+
+void expect_updated(const FlashDevice& dev, const Fixture& f) {
+  EXPECT_TRUE(test::bytes_equal(
+      f.v2, ByteView(dev.inspect()).first(f.v2.size())));
+}
+
+TEST(ResumableUpdater, CleanRunMatchesPlainUpdater) {
+  const Fixture f = make_fixture();
+  FlashDevice dev = make_device(f);
+  const ResumableUpdateResult r =
+      apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+  EXPECT_FALSE(r.resumed);
+  EXPECT_TRUE(r.update.crc_verified);
+  EXPECT_GT(r.journal_records, 0u);
+  expect_updated(dev, f);
+}
+
+TEST(ResumableUpdater, SecondRunAfterCompletionIsIdempotent) {
+  const Fixture f = make_fixture();
+  FlashDevice dev = make_device(f);
+  apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+  const ResumableUpdateResult again =
+      apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+  EXPECT_TRUE(again.resumed);
+  EXPECT_TRUE(again.update.crc_verified);
+  expect_updated(dev, f);
+}
+
+// The headline property: crash at EVERY byte-offset granularity bucket,
+// resume, and always end with a byte-perfect v2.
+TEST(ResumableUpdater, SurvivesPowerFailureAtManyPoints) {
+  const Fixture f = make_fixture();
+
+  // Measure an uninterrupted run to size the injection sweep.
+  FlashDevice probe = make_device(f);
+  const ResumableUpdateResult clean =
+      apply_update_resumable(probe, f.delta, channel_28k(), kJournal);
+  const std::uint64_t total_writes = probe.bytes_written();
+  ASSERT_GT(total_writes, 0u);
+  (void)clean;
+
+  for (int i = 1; i <= 24; ++i) {
+    const std::uint64_t crash_at = total_writes * i / 25;
+    FlashDevice dev = make_device(f);
+    dev.inject_power_failure_after(crash_at);
+    bool crashed = false;
+    try {
+      apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+    } catch (const FlashDevice::PowerFailure&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      // Injection landed after the last write; the run completed.
+      expect_updated(dev, f);
+      continue;
+    }
+    // "Reboot" and resume.
+    dev.clear_power_failure();
+    const ResumableUpdateResult r =
+        apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+    EXPECT_TRUE(r.resumed) << "crash point " << crash_at;
+    EXPECT_TRUE(r.update.crc_verified) << "crash point " << crash_at;
+    expect_updated(dev, f);
+  }
+}
+
+TEST(ResumableUpdater, SurvivesRepeatedCrashesInOneUpdate) {
+  const Fixture f = make_fixture();
+  FlashDevice dev = make_device(f);
+
+  // Crash every ~20 KiB of writes until the update finally completes.
+  int crashes = 0;
+  for (;;) {
+    dev.inject_power_failure_after(20 << 10);
+    try {
+      const ResumableUpdateResult r =
+          apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+      EXPECT_TRUE(r.update.crc_verified);
+      break;
+    } catch (const FlashDevice::PowerFailure&) {
+      ++crashes;
+      ASSERT_LT(crashes, 100) << "update not making progress";
+    }
+  }
+  dev.clear_power_failure();
+  EXPECT_GT(crashes, 1);
+  expect_updated(dev, f);
+}
+
+TEST(ResumableUpdater, JournalRegionValidation) {
+  const Fixture f = make_fixture();
+  FlashDevice dev = make_device(f);
+  // Overlapping the image area.
+  EXPECT_THROW(apply_update_resumable(dev, f.delta, channel_28k(),
+                                      JournalRegion{0, kJournalSize}),
+               DeviceError);
+  // Past the end of storage.
+  EXPECT_THROW(
+      apply_update_resumable(dev, f.delta, channel_28k(),
+                             JournalRegion{kStorage - 16, kJournalSize}),
+      DeviceError);
+  // Too small for two slots.
+  EXPECT_THROW(apply_update_resumable(dev, f.delta, channel_28k(),
+                                      JournalRegion{kImageArea, 64}),
+               DeviceError);
+}
+
+TEST(ResumableUpdater, RejectsNonInplaceDelta) {
+  const Fixture f = make_fixture();
+  const Bytes plain = create_delta(f.v1, f.v2, kPaperExplicit);
+  if (deserialize_delta(plain).in_place) {
+    GTEST_SKIP() << "delta happened to be conflict-free";
+  }
+  FlashDevice dev = make_device(f);
+  EXPECT_THROW(
+      apply_update_resumable(dev, plain, channel_28k(), kJournal),
+      ValidationError);
+}
+
+TEST(ResumableUpdater, StaleJournalFromOtherDeltaIsIgnored) {
+  const Fixture f = make_fixture(31);
+  const Fixture other = make_fixture(77);
+  FlashDevice dev = make_device(f);
+
+  // Crash mid-way through updating with f's delta...
+  dev.inject_power_failure_after(10 << 10);
+  EXPECT_THROW(apply_update_resumable(dev, f.delta, channel_28k(), kJournal),
+               FlashDevice::PowerFailure);
+  dev.clear_power_failure();
+
+  // ...then try the OTHER delta: its checksum does not match the journal,
+  // so no resume happens (and the update fails CRC because the image is
+  // half-written — exactly the protection we want).
+  bool resumed = true;
+  try {
+    const ResumableUpdateResult r =
+        apply_update_resumable(dev, other.delta, channel_28k(), kJournal);
+    resumed = r.resumed;
+  } catch (const Error&) {
+    resumed = false;  // CRC failure is acceptable here
+  }
+  EXPECT_FALSE(resumed);
+}
+
+TEST(ResumableUpdater, PowerFailureDuringJournalWriteIsRecoverable) {
+  const Fixture f = make_fixture();
+
+  // Find the byte offset of the first journal write by instrumenting a
+  // clean run: journal writes target the journal region.
+  FlashDevice dev = make_device(f);
+  // Crash after very few bytes — almost certainly inside the first
+  // journal record or first command.
+  dev.inject_power_failure_after(16);
+  EXPECT_THROW(apply_update_resumable(dev, f.delta, channel_28k(), kJournal),
+               FlashDevice::PowerFailure);
+  dev.clear_power_failure();
+  const ResumableUpdateResult r =
+      apply_update_resumable(dev, f.delta, channel_28k(), kJournal);
+  EXPECT_TRUE(r.update.crc_verified);
+  expect_updated(dev, f);
+}
+
+TEST(ResumableUpdater, FixtureActuallyExercisesSelfOverlap) {
+  // Guard the fixture: the crash sweep above is only meaningful if the
+  // delta contains self-overlapping copies (the non-idempotent case).
+  const Fixture f = make_fixture();
+  const DeltaFile file = deserialize_delta(f.delta);
+  bool self_overlap = false;
+  for (const CopyCommand& c : file.script.copies()) {
+    self_overlap |= c.self_overlaps();
+  }
+  EXPECT_TRUE(self_overlap);
+}
+
+}  // namespace
+}  // namespace ipd

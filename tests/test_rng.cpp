@@ -1,0 +1,116 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ipd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(10);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, PowerLawRespectsCap) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const length_t len = rng.power_law_length(100);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 100u);
+  }
+}
+
+TEST(Rng, PowerLawIsHeavyTailed) {
+  Rng rng(14);
+  int small = 0, large = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const length_t len = rng.power_law_length(1 << 20);
+    if (len <= 2) ++small;
+    if (len > 1024) ++large;
+  }
+  EXPECT_GT(small, 3000);  // ~half the draws stop at the first doubling
+  EXPECT_GT(large, 1);     // but the tail reaches kilobytes
+}
+
+TEST(Rng, FillCoversPartialWords) {
+  Rng rng(15);
+  for (const std::size_t size : {0ul, 1ul, 7ul, 8ul, 9ul, 31ul}) {
+    Bytes buf(size, 0xCC);
+    rng.fill(buf);
+    if (size >= 16) {
+      // Vanishingly unlikely to stay all-0xCC.
+      EXPECT_NE(std::count(buf.begin(), buf.end(), 0xCC),
+                static_cast<std::ptrdiff_t>(size));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipd

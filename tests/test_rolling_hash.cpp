@@ -1,0 +1,68 @@
+#include "core/rolling_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::random_bytes;
+
+TEST(RollingHash, RollMatchesInitAtEveryPosition) {
+  const Bytes data = random_bytes(10, 4096);
+  for (const std::size_t window : {4ul, 16ul, 64ul}) {
+    RollingHash rh(window);
+    std::uint64_t h = rh.init(data);
+    for (std::size_t pos = 0; pos + window < data.size(); ++pos) {
+      const std::uint64_t fresh = rh.init(ByteView(data).subspan(pos));
+      ASSERT_EQ(h, fresh) << "window " << window << " pos " << pos;
+      h = rh.roll(h, data[pos], data[pos + window]);
+    }
+  }
+}
+
+TEST(RollingHash, EqualWindowsHashEqual) {
+  Bytes data = random_bytes(11, 1024);
+  // Duplicate a 64-byte region elsewhere.
+  std::copy_n(data.begin() + 100, 64, data.begin() + 700);
+  RollingHash rh(64);
+  EXPECT_EQ(rh.init(ByteView(data).subspan(100)),
+            rh.init(ByteView(data).subspan(700)));
+}
+
+TEST(RollingHash, WindowOfOne) {
+  RollingHash rh(1);
+  const Bytes data = {10, 20, 30};
+  std::uint64_t h = rh.init(data);
+  EXPECT_EQ(h, 10u);
+  h = rh.roll(h, 10, 20);
+  EXPECT_EQ(h, 20u);
+}
+
+TEST(RollingHash, DistinctContentUsuallyDistinctHash) {
+  // Not a cryptographic property, but 1000 random 16-byte windows should
+  // essentially never collide in 64 bits.
+  RollingHash rh(16);
+  std::vector<std::uint64_t> hashes;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    hashes.push_back(rh.init(random_bytes(seed, 16)));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(RollingHash, MixChangesLowBits) {
+  // Raw polynomial hashes of single-byte-different windows can share low
+  // bits; mix() must spread the difference for bucketing.
+  RollingHash rh(8);
+  Bytes a = random_bytes(12, 8);
+  Bytes b = a;
+  b[7] ^= 1;  // last byte contributes *1 to the raw hash
+  const std::uint64_t ha = RollingHash::mix(rh.init(a));
+  const std::uint64_t hb = RollingHash::mix(rh.init(b));
+  EXPECT_NE(ha & 0xFFFF, hb & 0xFFFF);
+}
+
+}  // namespace
+}  // namespace ipd

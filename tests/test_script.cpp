@@ -1,0 +1,122 @@
+#include "delta/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::A;
+using test::C;
+using test::script_of;
+
+TEST(Script, VersionLengthSumsCommandLengths) {
+  const Script s = script_of({C(0, 0, 10), A(10, "abc"), C(5, 13, 7)});
+  EXPECT_EQ(s.version_length(), 20u);
+}
+
+TEST(Script, SummaryCounts) {
+  const Script s = script_of({C(0, 0, 10), A(10, "abc"), C(5, 13, 7)});
+  const ScriptSummary sum = s.summary();
+  EXPECT_EQ(sum.copy_count, 2u);
+  EXPECT_EQ(sum.add_count, 1u);
+  EXPECT_EQ(sum.copied_bytes, 17u);
+  EXPECT_EQ(sum.added_bytes, 3u);
+  EXPECT_EQ(sum.version_bytes(), 20u);
+}
+
+TEST(Script, CopiesAndAddsSplitPreservingOrder) {
+  const Script s = script_of({A(0, "x"), C(0, 1, 2), A(3, "y"), C(9, 4, 1)});
+  const auto copies = s.copies();
+  const auto adds = s.adds();
+  ASSERT_EQ(copies.size(), 2u);
+  ASSERT_EQ(adds.size(), 2u);
+  EXPECT_EQ(copies[0].to, 1u);
+  EXPECT_EQ(copies[1].to, 4u);
+  EXPECT_EQ(adds[0].to, 0u);
+  EXPECT_EQ(adds[1].to, 3u);
+}
+
+TEST(Script, ValidateAcceptsExactTiling) {
+  const Script s = script_of({C(0, 0, 4), A(4, "ab"), C(2, 6, 2)});
+  EXPECT_NO_THROW(s.validate(/*reference_length=*/10, /*version_length=*/8));
+}
+
+TEST(Script, ValidateAcceptsEmptyScriptForEmptyVersion) {
+  EXPECT_NO_THROW(Script{}.validate(10, 0));
+}
+
+TEST(Script, ValidateRejectsZeroLengthCommand) {
+  const Script s = script_of({C(0, 0, 0)});
+  EXPECT_THROW(s.validate(10, 0), ValidationError);
+}
+
+TEST(Script, ValidateRejectsReadPastReference) {
+  const Script s = script_of({C(8, 0, 4)});
+  EXPECT_THROW(s.validate(10, 4), ValidationError);
+}
+
+TEST(Script, ValidateRejectsWritePastVersion) {
+  const Script s = script_of({C(0, 0, 4)});
+  EXPECT_THROW(s.validate(10, 3), ValidationError);
+}
+
+TEST(Script, ValidateRejectsOverlappingWrites) {
+  const Script s = script_of({C(0, 0, 4), C(0, 3, 4)});
+  EXPECT_THROW(s.validate(10, 7), ValidationError);
+}
+
+TEST(Script, ValidateRejectsCoverageGap) {
+  const Script s = script_of({C(0, 0, 4), C(0, 6, 4)});
+  EXPECT_THROW(s.validate(10, 10), ValidationError);
+}
+
+TEST(Script, ValidateRejectsTrailingGap) {
+  const Script s = script_of({C(0, 0, 4)});
+  EXPECT_THROW(s.validate(10, 5), ValidationError);
+}
+
+TEST(Script, ValidateOrderIndependent) {
+  // Valid scripts may list commands in any order (§3).
+  const Script s = script_of({C(2, 6, 2), C(0, 0, 4), A(4, "ab")});
+  EXPECT_NO_THROW(s.validate(10, 8));
+}
+
+TEST(Script, InWriteOrder) {
+  EXPECT_TRUE(script_of({C(0, 0, 4), A(4, "ab")}).in_write_order());
+  EXPECT_FALSE(script_of({A(4, "ab"), C(0, 0, 4)}).in_write_order());
+  // A gap breaks write order even if offsets increase.
+  EXPECT_FALSE(script_of({C(0, 0, 4), C(0, 5, 2)}).in_write_order());
+  EXPECT_TRUE(Script{}.in_write_order());
+}
+
+TEST(Script, SortByWriteOffset) {
+  Script s = script_of({C(2, 6, 2), A(4, "ab"), C(0, 0, 4)});
+  s.sort_by_write_offset();
+  EXPECT_TRUE(s.in_write_order());
+  EXPECT_EQ(command_to(s.commands()[0]), 0u);
+  EXPECT_EQ(command_to(s.commands()[1]), 4u);
+  EXPECT_EQ(command_to(s.commands()[2]), 6u);
+}
+
+TEST(Script, SameEffectIgnoresOrder) {
+  const Script a = script_of({C(0, 0, 4), A(4, "ab")});
+  Script b = script_of({A(4, "ab"), C(0, 0, 4)});
+  EXPECT_TRUE(same_effect(a, b));
+  b.push(C(0, 6, 1));
+  EXPECT_FALSE(same_effect(a, b));
+}
+
+TEST(Script, ToTextListsAndTruncates) {
+  Script s;
+  for (int i = 0; i < 10; ++i) {
+    s.push(CopyCommand{0, static_cast<offset_t>(i), 1});
+  }
+  const std::string text = s.to_text(3);
+  EXPECT_NE(text.find("0: copy"), std::string::npos);
+  EXPECT_NE(text.find("(7 more commands)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipd

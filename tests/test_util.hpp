@@ -1,0 +1,71 @@
+// Shared helpers for the ipdelta test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "delta/script.hpp"
+
+namespace ipd::test {
+
+/// Deterministic random buffer.
+inline Bytes random_bytes(std::uint64_t seed, std::size_t size) {
+  Rng rng(seed);
+  Bytes out(size);
+  rng.fill(out);
+  return out;
+}
+
+/// Buffer of `size` filled with a repeating 0..255 ramp — handy when a
+/// test failure needs recognisable content.
+inline Bytes ramp_bytes(std::size_t size) {
+  Bytes out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(i & 0xFF);
+  }
+  return out;
+}
+
+/// Shorthand copy/add constructors.
+inline Command C(offset_t from, offset_t to, length_t len) {
+  return CopyCommand{from, to, len};
+}
+inline Command A(offset_t to, std::string_view data) {
+  return AddCommand{to, to_bytes(data)};
+}
+inline Command A(offset_t to, Bytes data) {
+  return AddCommand{to, std::move(data)};
+}
+
+/// Build a Script from an initializer list of commands.
+inline Script script_of(std::initializer_list<Command> commands) {
+  Script s;
+  for (const Command& c : commands) {
+    s.push(c);
+  }
+  return s;
+}
+
+/// Gtest helper: assert two byte buffers equal with a useful message.
+inline ::testing::AssertionResult bytes_equal(ByteView expected,
+                                              ByteView actual) {
+  if (expected.size() != actual.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: expected " << expected.size() << ", got "
+           << actual.size();
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != actual[i]) {
+      return ::testing::AssertionFailure()
+             << "byte " << i << " differs: expected "
+             << static_cast<int>(expected[i]) << ", got "
+             << static_cast<int>(actual[i]);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace ipd::test

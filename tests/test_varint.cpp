@@ -1,0 +1,116 @@
+#include "core/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/rng.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(Varint, EncodesZeroAsSingleByte) {
+  Bytes out;
+  append_varint(out, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    EXPECT_EQ(varint_size(v), 1u) << v;
+  }
+}
+
+TEST(Varint, BoundaryLengths) {
+  // Every 7-bit boundary adds a byte.
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 255, 256, 16383, 16384, 0xFFFF, 0x10000,
+      0xFFFFFFFFull, 0x100000000ull, std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    Bytes out;
+    append_varint(out, v);
+    EXPECT_EQ(out.size(), varint_size(v)) << v;
+    const VarintResult r = decode_varint(out);
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.consumed, out.size());
+  }
+}
+
+TEST(Varint, RoundTripRandom) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    // Vary magnitude so all lengths are exercised.
+    const std::uint64_t v = rng.next() >> (rng.below(64));
+    Bytes out;
+    append_varint(out, v);
+    const VarintResult r = decode_varint(out);
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.consumed, out.size());
+  }
+}
+
+TEST(Varint, DecodeConsumesOnlyItsBytes) {
+  Bytes out;
+  append_varint(out, 300);
+  out.push_back(0xAB);  // trailing data
+  const VarintResult r = decode_varint(out);
+  EXPECT_EQ(r.value, 300u);
+  EXPECT_EQ(r.consumed, 2u);
+}
+
+TEST(Varint, ThrowsOnEmptyInput) {
+  EXPECT_THROW(decode_varint(ByteView{}), FormatError);
+}
+
+TEST(Varint, ThrowsOnTruncatedInput) {
+  Bytes out;
+  append_varint(out, 1u << 20);
+  out.pop_back();  // drop terminator byte
+  EXPECT_THROW(decode_varint(out), FormatError);
+}
+
+TEST(Varint, ThrowsOnOverlongEncoding) {
+  // 11 continuation bytes can never terminate within the 10-byte cap.
+  const Bytes overlong(11, 0x80);
+  EXPECT_THROW(decode_varint(overlong), FormatError);
+}
+
+TEST(Varint, ThrowsOnOverflowIn10thByte) {
+  // 9 continuation bytes then a 10th byte > 1 overflows 64 bits.
+  Bytes bad(9, 0x80);
+  bad.push_back(0x02);
+  EXPECT_THROW(decode_varint(bad), FormatError);
+}
+
+TEST(Varint, TryDecodeReturnsNulloptInsteadOfThrowing) {
+  EXPECT_FALSE(try_decode_varint(ByteView{}).has_value());
+  Bytes ok;
+  append_varint(ok, 7);
+  ASSERT_TRUE(try_decode_varint(ok).has_value());
+  EXPECT_EQ(try_decode_varint(ok)->value, 7u);
+}
+
+TEST(Varint, EncodeVarintMatchesAppendVarint) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next() >> rng.below(64);
+    std::uint8_t buf[kMaxVarintBytes];
+    const std::size_t n = encode_varint(buf, v);
+    Bytes appended;
+    append_varint(appended, v);
+    ASSERT_EQ(n, appended.size());
+    EXPECT_TRUE(std::equal(buf, buf + n, appended.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace ipd
