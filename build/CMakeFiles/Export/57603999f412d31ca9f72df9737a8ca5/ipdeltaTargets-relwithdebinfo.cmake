@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ipdelta::ipdelta_core" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_core )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_core "${_IMPORT_PREFIX}/lib/libipdelta_core.a" )
+
+# Import target "ipdelta::ipdelta_delta" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_delta APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_delta PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_delta.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_delta )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_delta "${_IMPORT_PREFIX}/lib/libipdelta_delta.a" )
+
+# Import target "ipdelta::ipdelta_inplace" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_inplace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_inplace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_inplace.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_inplace )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_inplace "${_IMPORT_PREFIX}/lib/libipdelta_inplace.a" )
+
+# Import target "ipdelta::ipdelta_apply" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_apply APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_apply PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_apply.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_apply )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_apply "${_IMPORT_PREFIX}/lib/libipdelta_apply.a" )
+
+# Import target "ipdelta::ipdelta_device" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_device APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_device PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_device.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_device )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_device "${_IMPORT_PREFIX}/lib/libipdelta_device.a" )
+
+# Import target "ipdelta::ipdelta_corpus" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_corpus APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_corpus PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_corpus.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_corpus )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_corpus "${_IMPORT_PREFIX}/lib/libipdelta_corpus.a" )
+
+# Import target "ipdelta::ipdelta_adversary" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_adversary APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_adversary PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_adversary.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_adversary )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_adversary "${_IMPORT_PREFIX}/lib/libipdelta_adversary.a" )
+
+# Import target "ipdelta::ipdelta_archive" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_archive APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_archive PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_archive.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_archive )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_archive "${_IMPORT_PREFIX}/lib/libipdelta_archive.a" )
+
+# Import target "ipdelta::ipdelta_api" for configuration "RelWithDebInfo"
+set_property(TARGET ipdelta::ipdelta_api APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ipdelta::ipdelta_api PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libipdelta_api.a"
+  )
+
+list(APPEND _cmake_import_check_targets ipdelta::ipdelta_api )
+list(APPEND _cmake_import_check_files_for_ipdelta::ipdelta_api "${_IMPORT_PREFIX}/lib/libipdelta_api.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_policies.dir/bench_cycle_policies.cpp.o"
+  "CMakeFiles/bench_cycle_policies.dir/bench_cycle_policies.cpp.o.d"
+  "bench_cycle_policies"
+  "bench_cycle_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

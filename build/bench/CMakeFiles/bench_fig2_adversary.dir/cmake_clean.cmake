@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_adversary.dir/bench_fig2_adversary.cpp.o"
+  "CMakeFiles/bench_fig2_adversary.dir/bench_fig2_adversary.cpp.o.d"
+  "bench_fig2_adversary"
+  "bench_fig2_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_upgrade.dir/fleet_upgrade.cpp.o"
+  "CMakeFiles/fleet_upgrade.dir/fleet_upgrade.cpp.o.d"
+  "fleet_upgrade"
+  "fleet_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_cli.dir/ipdelta_cli.cpp.o"
+  "CMakeFiles/ipdelta_cli.dir/ipdelta_cli.cpp.o.d"
+  "ipdelta"
+  "ipdelta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_sync.dir/mirror_sync.cpp.o"
+  "CMakeFiles/mirror_sync.dir/mirror_sync.cpp.o.d"
+  "mirror_sync"
+  "mirror_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

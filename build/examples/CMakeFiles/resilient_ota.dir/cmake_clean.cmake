@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_ota.dir/resilient_ota.cpp.o"
+  "CMakeFiles/resilient_ota.dir/resilient_ota.cpp.o.d"
+  "resilient_ota"
+  "resilient_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_adversary.dir/adversary/constructions.cpp.o"
+  "CMakeFiles/ipdelta_adversary.dir/adversary/constructions.cpp.o.d"
+  "libipdelta_adversary.a"
+  "libipdelta_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

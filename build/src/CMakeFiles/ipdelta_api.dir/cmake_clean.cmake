@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_api.dir/ipdelta.cpp.o"
+  "CMakeFiles/ipdelta_api.dir/ipdelta.cpp.o.d"
+  "libipdelta_api.a"
+  "libipdelta_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

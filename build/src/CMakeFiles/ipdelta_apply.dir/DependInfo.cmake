@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apply/apply.cpp" "src/CMakeFiles/ipdelta_apply.dir/apply/apply.cpp.o" "gcc" "src/CMakeFiles/ipdelta_apply.dir/apply/apply.cpp.o.d"
+  "/root/repo/src/apply/inplace_apply.cpp" "src/CMakeFiles/ipdelta_apply.dir/apply/inplace_apply.cpp.o" "gcc" "src/CMakeFiles/ipdelta_apply.dir/apply/inplace_apply.cpp.o.d"
+  "/root/repo/src/apply/oracle.cpp" "src/CMakeFiles/ipdelta_apply.dir/apply/oracle.cpp.o" "gcc" "src/CMakeFiles/ipdelta_apply.dir/apply/oracle.cpp.o.d"
+  "/root/repo/src/apply/stream_applier.cpp" "src/CMakeFiles/ipdelta_apply.dir/apply/stream_applier.cpp.o" "gcc" "src/CMakeFiles/ipdelta_apply.dir/apply/stream_applier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipdelta_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_apply.dir/apply/apply.cpp.o"
+  "CMakeFiles/ipdelta_apply.dir/apply/apply.cpp.o.d"
+  "CMakeFiles/ipdelta_apply.dir/apply/inplace_apply.cpp.o"
+  "CMakeFiles/ipdelta_apply.dir/apply/inplace_apply.cpp.o.d"
+  "CMakeFiles/ipdelta_apply.dir/apply/oracle.cpp.o"
+  "CMakeFiles/ipdelta_apply.dir/apply/oracle.cpp.o.d"
+  "CMakeFiles/ipdelta_apply.dir/apply/stream_applier.cpp.o"
+  "CMakeFiles/ipdelta_apply.dir/apply/stream_applier.cpp.o.d"
+  "libipdelta_apply.a"
+  "libipdelta_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

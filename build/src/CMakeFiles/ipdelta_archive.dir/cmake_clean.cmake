@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_archive.dir/archive/archive.cpp.o"
+  "CMakeFiles/ipdelta_archive.dir/archive/archive.cpp.o.d"
+  "CMakeFiles/ipdelta_archive.dir/archive/upgrade_planner.cpp.o"
+  "CMakeFiles/ipdelta_archive.dir/archive/upgrade_planner.cpp.o.d"
+  "libipdelta_archive.a"
+  "libipdelta_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer.cpp" "src/CMakeFiles/ipdelta_core.dir/core/buffer.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/buffer.cpp.o.d"
+  "/root/repo/src/core/checksum.cpp" "src/CMakeFiles/ipdelta_core.dir/core/checksum.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/checksum.cpp.o.d"
+  "/root/repo/src/core/hexdump.cpp" "src/CMakeFiles/ipdelta_core.dir/core/hexdump.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/hexdump.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/ipdelta_core.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/lzss.cpp" "src/CMakeFiles/ipdelta_core.dir/core/lzss.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/lzss.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/ipdelta_core.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/rolling_hash.cpp" "src/CMakeFiles/ipdelta_core.dir/core/rolling_hash.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/rolling_hash.cpp.o.d"
+  "/root/repo/src/core/varint.cpp" "src/CMakeFiles/ipdelta_core.dir/core/varint.cpp.o" "gcc" "src/CMakeFiles/ipdelta_core.dir/core/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_core.dir/core/buffer.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/buffer.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/checksum.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/checksum.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/hexdump.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/hexdump.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/io.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/io.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/lzss.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/lzss.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/rng.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/rolling_hash.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/rolling_hash.cpp.o.d"
+  "CMakeFiles/ipdelta_core.dir/core/varint.cpp.o"
+  "CMakeFiles/ipdelta_core.dir/core/varint.cpp.o.d"
+  "libipdelta_core.a"
+  "libipdelta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

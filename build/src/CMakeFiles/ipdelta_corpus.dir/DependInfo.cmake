@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cpp" "src/CMakeFiles/ipdelta_corpus.dir/corpus/generator.cpp.o" "gcc" "src/CMakeFiles/ipdelta_corpus.dir/corpus/generator.cpp.o.d"
+  "/root/repo/src/corpus/mutation.cpp" "src/CMakeFiles/ipdelta_corpus.dir/corpus/mutation.cpp.o" "gcc" "src/CMakeFiles/ipdelta_corpus.dir/corpus/mutation.cpp.o.d"
+  "/root/repo/src/corpus/workload.cpp" "src/CMakeFiles/ipdelta_corpus.dir/corpus/workload.cpp.o" "gcc" "src/CMakeFiles/ipdelta_corpus.dir/corpus/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipdelta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_corpus.dir/corpus/generator.cpp.o"
+  "CMakeFiles/ipdelta_corpus.dir/corpus/generator.cpp.o.d"
+  "CMakeFiles/ipdelta_corpus.dir/corpus/mutation.cpp.o"
+  "CMakeFiles/ipdelta_corpus.dir/corpus/mutation.cpp.o.d"
+  "CMakeFiles/ipdelta_corpus.dir/corpus/workload.cpp.o"
+  "CMakeFiles/ipdelta_corpus.dir/corpus/workload.cpp.o.d"
+  "libipdelta_corpus.a"
+  "libipdelta_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delta/block_differ.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/block_differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/block_differ.cpp.o.d"
+  "/root/repo/src/delta/codec.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/codec.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/codec.cpp.o.d"
+  "/root/repo/src/delta/command.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/command.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/command.cpp.o.d"
+  "/root/repo/src/delta/compose.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/compose.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/compose.cpp.o.d"
+  "/root/repo/src/delta/differ.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/differ.cpp.o.d"
+  "/root/repo/src/delta/greedy_differ.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/greedy_differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/greedy_differ.cpp.o.d"
+  "/root/repo/src/delta/onepass_differ.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/onepass_differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/onepass_differ.cpp.o.d"
+  "/root/repo/src/delta/optimize.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/optimize.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/optimize.cpp.o.d"
+  "/root/repo/src/delta/script.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/script.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/script.cpp.o.d"
+  "/root/repo/src/delta/stats.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/stats.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/stats.cpp.o.d"
+  "/root/repo/src/delta/suffix_differ.cpp" "src/CMakeFiles/ipdelta_delta.dir/delta/suffix_differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_delta.dir/delta/suffix_differ.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipdelta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_delta.dir/delta/block_differ.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/block_differ.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/codec.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/codec.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/command.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/command.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/compose.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/compose.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/differ.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/differ.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/greedy_differ.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/greedy_differ.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/onepass_differ.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/onepass_differ.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/optimize.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/optimize.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/script.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/script.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/stats.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/stats.cpp.o.d"
+  "CMakeFiles/ipdelta_delta.dir/delta/suffix_differ.cpp.o"
+  "CMakeFiles/ipdelta_delta.dir/delta/suffix_differ.cpp.o.d"
+  "libipdelta_delta.a"
+  "libipdelta_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

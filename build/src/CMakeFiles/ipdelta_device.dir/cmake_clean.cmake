@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_device.dir/device/channel.cpp.o"
+  "CMakeFiles/ipdelta_device.dir/device/channel.cpp.o.d"
+  "CMakeFiles/ipdelta_device.dir/device/flash_device.cpp.o"
+  "CMakeFiles/ipdelta_device.dir/device/flash_device.cpp.o.d"
+  "CMakeFiles/ipdelta_device.dir/device/resumable_updater.cpp.o"
+  "CMakeFiles/ipdelta_device.dir/device/resumable_updater.cpp.o.d"
+  "CMakeFiles/ipdelta_device.dir/device/updater.cpp.o"
+  "CMakeFiles/ipdelta_device.dir/device/updater.cpp.o.d"
+  "libipdelta_device.a"
+  "libipdelta_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

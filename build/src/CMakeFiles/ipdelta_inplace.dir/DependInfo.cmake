@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inplace/analysis.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/analysis.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/analysis.cpp.o.d"
+  "/root/repo/src/inplace/converter.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/converter.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/converter.cpp.o.d"
+  "/root/repo/src/inplace/crwi_graph.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/crwi_graph.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/crwi_graph.cpp.o.d"
+  "/root/repo/src/inplace/cycle_policy.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/cycle_policy.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/cycle_policy.cpp.o.d"
+  "/root/repo/src/inplace/exact_fvs.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/exact_fvs.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/exact_fvs.cpp.o.d"
+  "/root/repo/src/inplace/inplace_differ.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/inplace_differ.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/inplace_differ.cpp.o.d"
+  "/root/repo/src/inplace/interval_index.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/interval_index.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/interval_index.cpp.o.d"
+  "/root/repo/src/inplace/scc.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/scc.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/scc.cpp.o.d"
+  "/root/repo/src/inplace/topo_sort.cpp" "src/CMakeFiles/ipdelta_inplace.dir/inplace/topo_sort.cpp.o" "gcc" "src/CMakeFiles/ipdelta_inplace.dir/inplace/topo_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipdelta_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipdelta_inplace.dir/inplace/analysis.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/analysis.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/converter.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/converter.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/crwi_graph.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/crwi_graph.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/cycle_policy.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/cycle_policy.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/exact_fvs.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/exact_fvs.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/inplace_differ.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/inplace_differ.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/interval_index.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/interval_index.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/scc.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/scc.cpp.o.d"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/topo_sort.cpp.o"
+  "CMakeFiles/ipdelta_inplace.dir/inplace/topo_sort.cpp.o.d"
+  "libipdelta_inplace.a"
+  "libipdelta_inplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipdelta_inplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_differ.dir/test_block_differ.cpp.o"
+  "CMakeFiles/test_block_differ.dir/test_block_differ.cpp.o.d"
+  "test_block_differ"
+  "test_block_differ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_differ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

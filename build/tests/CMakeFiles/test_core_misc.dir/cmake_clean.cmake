@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_misc.dir/test_core_misc.cpp.o"
+  "CMakeFiles/test_core_misc.dir/test_core_misc.cpp.o.d"
+  "test_core_misc"
+  "test_core_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

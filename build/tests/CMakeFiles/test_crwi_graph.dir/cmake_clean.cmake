@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crwi_graph.dir/test_crwi_graph.cpp.o"
+  "CMakeFiles/test_crwi_graph.dir/test_crwi_graph.cpp.o.d"
+  "test_crwi_graph"
+  "test_crwi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crwi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

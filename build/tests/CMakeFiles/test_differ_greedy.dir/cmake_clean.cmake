@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differ_greedy.dir/test_differ_greedy.cpp.o"
+  "CMakeFiles/test_differ_greedy.dir/test_differ_greedy.cpp.o.d"
+  "test_differ_greedy"
+  "test_differ_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differ_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differ_onepass.dir/test_differ_onepass.cpp.o"
+  "CMakeFiles/test_differ_onepass.dir/test_differ_onepass.cpp.o.d"
+  "test_differ_onepass"
+  "test_differ_onepass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differ_onepass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

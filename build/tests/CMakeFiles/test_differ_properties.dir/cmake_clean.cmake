@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differ_properties.dir/test_differ_properties.cpp.o"
+  "CMakeFiles/test_differ_properties.dir/test_differ_properties.cpp.o.d"
+  "test_differ_properties"
+  "test_differ_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differ_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_fvs.dir/test_exact_fvs.cpp.o"
+  "CMakeFiles/test_exact_fvs.dir/test_exact_fvs.cpp.o.d"
+  "test_exact_fvs"
+  "test_exact_fvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_fvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_codec.dir/test_fuzz_codec.cpp.o"
+  "CMakeFiles/test_fuzz_codec.dir/test_fuzz_codec.cpp.o.d"
+  "test_fuzz_codec"
+  "test_fuzz_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

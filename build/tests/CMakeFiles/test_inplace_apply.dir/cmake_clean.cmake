@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inplace_apply.dir/test_inplace_apply.cpp.o"
+  "CMakeFiles/test_inplace_apply.dir/test_inplace_apply.cpp.o.d"
+  "test_inplace_apply"
+  "test_inplace_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inplace_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

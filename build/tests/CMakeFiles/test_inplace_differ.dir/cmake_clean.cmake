@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inplace_differ.dir/test_inplace_differ.cpp.o"
+  "CMakeFiles/test_inplace_differ.dir/test_inplace_differ.cpp.o.d"
+  "test_inplace_differ"
+  "test_inplace_differ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inplace_differ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline_matrix.cpp" "tests/CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipdelta_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_inplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_apply.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipdelta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resumable_updater.dir/test_resumable_updater.cpp.o"
+  "CMakeFiles/test_resumable_updater.dir/test_resumable_updater.cpp.o.d"
+  "test_resumable_updater"
+  "test_resumable_updater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resumable_updater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_applier.dir/test_stream_applier.cpp.o"
+  "CMakeFiles/test_stream_applier.dir/test_stream_applier.cpp.o.d"
+  "test_stream_applier"
+  "test_stream_applier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_applier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

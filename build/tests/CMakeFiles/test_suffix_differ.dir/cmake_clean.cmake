@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suffix_differ.dir/test_suffix_differ.cpp.o"
+  "CMakeFiles/test_suffix_differ.dir/test_suffix_differ.cpp.o.d"
+  "test_suffix_differ"
+  "test_suffix_differ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suffix_differ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

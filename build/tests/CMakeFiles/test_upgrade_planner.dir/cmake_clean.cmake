@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upgrade_planner.dir/test_upgrade_planner.cpp.o"
+  "CMakeFiles/test_upgrade_planner.dir/test_upgrade_planner.cpp.o.d"
+  "test_upgrade_planner"
+  "test_upgrade_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upgrade_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
