@@ -1,0 +1,172 @@
+// bench_server — load generator for the delta distribution service.
+//
+// Drives DeltaService over a standard_corpus()-style release history and
+// reports, for the warm-cache serving path, throughput vs. client thread
+// count (the scaling claim: request handling is sharded-lock + atomic
+// work only), plus hit rate and eviction behaviour vs. cache byte
+// budget. The cold section measures build amortization: first-touch
+// requests pay create_inplace_delta() once per distinct (from, to) pair,
+// everyone after rides the cache or coalesces.
+//
+// Runs standalone with no arguments (CI smoke); IPDELTA_BENCH_SERVE_OPS
+// scales the warm-phase request count for serious runs.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "server/delta_service.hpp"
+
+namespace {
+
+using namespace ipd;
+
+// One package evolved through 12 releases: 66 distinct (from, to) pairs,
+// the natural key population for a single-history service.
+std::vector<Bytes> make_history() {
+  CorpusOptions options;
+  options.packages = 1;
+  options.releases_per_package = 12;
+  options.min_file_size = 48 << 10;
+  options.max_file_size = 48 << 10;
+  options.edits_per_64k = 60;
+  options.mutation_model.length_scale = 64;
+  const std::vector<VersionPair> pairs = standard_corpus(options);
+  // Consecutive pairs of one package chain: reference of pair k+1 is the
+  // version of pair k, so the full history is the first reference plus
+  // every version in order.
+  std::vector<Bytes> history;
+  history.push_back(pairs.front().reference);
+  for (const VersionPair& pair : pairs) history.push_back(pair.version);
+  return history;
+}
+
+struct LoadResult {
+  double seconds = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Fire `total` random (from < to) requests at `service` from `threads`
+/// client threads; returns wall time for the whole volley.
+LoadResult run_load(DeltaService& service, std::size_t releases,
+                    std::size_t threads, std::size_t total,
+                    std::uint64_t seed) {
+  std::vector<std::thread> clients;
+  LoadResult result;
+  result.requests = total;
+  result.seconds = bench::time_seconds([&] {
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t quota = total / threads + (t == 0 ? total % threads : 0);
+      clients.emplace_back([&service, releases, quota, seed, t] {
+        Rng rng(seed + t);
+        for (std::size_t i = 0; i < quota; ++i) {
+          const auto from = static_cast<ReleaseId>(rng.below(releases - 1));
+          const auto to =
+              from + 1 +
+              static_cast<ReleaseId>(rng.below(releases - 1 - from));
+          (void)service.serve(from, to);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Bytes> history = make_history();
+  VersionStore store;
+  for (const Bytes& release : history) store.publish(release);
+  const std::size_t releases = store.release_count();
+
+  std::size_t warm_ops = 40'000;
+  if (const char* env = std::getenv("IPDELTA_BENCH_SERVE_OPS")) {
+    warm_ops = std::strtoull(env, nullptr, 10);
+  }
+
+  std::printf("bench_server: %zu releases x %zu KiB, %u hardware threads\n",
+              releases, history[0].size() >> 10,
+              std::thread::hardware_concurrency());
+  bench::rule('=');
+
+  // ---- cold start: build amortization --------------------------------
+  {
+    ServiceOptions options;
+    options.cache_budget = 64ull << 20;
+    options.workers = 4;
+    DeltaService service(store, options);
+    const LoadResult cold = run_load(service, releases, 8, 512, 0xC01D);
+    const ServiceMetrics& m = service.metrics();
+    std::printf(
+        "cold start: 512 requests / 8 threads in %.2fs\n"
+        "  builds %llu (each distinct delta at most once), coalesced %llu, "
+        "hits %llu\n",
+        cold.seconds,
+        static_cast<unsigned long long>(m.builds.load()),
+        static_cast<unsigned long long>(m.coalesced_waits.load()),
+        static_cast<unsigned long long>(m.cache_hits.load()));
+  }
+  bench::rule();
+
+  // ---- warm cache: throughput vs. client threads ---------------------
+  // One service, fully warmed, then each thread count fires the same
+  // request volume. The serving path never builds: it is store lookup +
+  // sharded LRU + atomics, which is what has to scale.
+  {
+    ServiceOptions options;
+    options.cache_budget = 64ull << 20;
+    options.workers = 4;
+    DeltaService service(store, options);
+    run_load(service, releases, 4, 2048, 0x3A3A);  // warm every pair
+
+    std::printf("warm cache, %zu requests per thread count:\n", warm_ops);
+    std::printf("  %-8s %12s %12s %10s\n", "threads", "req/s", "MiB/s",
+                "hit rate");
+    double base = 0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      service.metrics().reset();
+      const LoadResult warm =
+          run_load(service, releases, threads, warm_ops, 0xBEEF + threads);
+      const ServiceMetrics& m = service.metrics();
+      const double rate =
+          static_cast<double>(warm.requests) / warm.seconds;
+      const double mib =
+          static_cast<double>(m.bytes_served.load()) / warm.seconds / 1048576.0;
+      if (threads == 1) base = rate;
+      std::printf("  %-8zu %12.0f %12.1f %9.1f%% (%.2fx vs 1 thread)\n",
+                  threads, rate, mib, 100.0 * m.hit_rate(), rate / base);
+    }
+  }
+  bench::rule();
+
+  // ---- hit rate & evictions vs. cache budget -------------------------
+  {
+    std::printf("cache budget sweep (4 threads, 600 requests):\n");
+    std::printf("  %-12s %10s %10s %10s %8s\n", "budget", "hit rate",
+                "builds", "evictions", "rejects");
+    for (const std::uint64_t budget :
+         {std::uint64_t{64} << 10, std::uint64_t{512} << 10,
+          std::uint64_t{8} << 20}) {
+      ServiceOptions options;
+      options.cache_budget = budget;
+      options.workers = 4;
+      DeltaService service(store, options);
+      run_load(service, releases, 4, 600, 0xCAFE);
+      const ServiceMetrics& m = service.metrics();
+      const DeltaCache::Stats stats = service.cache().stats();
+      char label[32];
+      std::snprintf(label, sizeof label, "%llu KiB",
+                    static_cast<unsigned long long>(budget >> 10));
+      std::printf("  %-12s %9.1f%% %10llu %10llu %8llu\n", label,
+                  100.0 * m.hit_rate(),
+                  static_cast<unsigned long long>(m.builds.load()),
+                  static_cast<unsigned long long>(stats.evictions),
+                  static_cast<unsigned long long>(stats.rejected));
+    }
+  }
+  return 0;
+}

@@ -6,19 +6,24 @@
 //   ipdelta apply <delta> <reference> <output>
 //   ipdelta patch <delta> <file>          # in-place: rewrites <file>
 //   ipdelta info  <delta>
+//   ipdelta serve <releases...>           # delta service over a history
 //
 // Exit status: 0 on success, 1 on usage error, 2 on processing error.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/hexdump.hpp"
 #include "core/io.hpp"
+#include "core/rng.hpp"
 #include "delta/compose.hpp"
 #include "delta/stats.hpp"
 #include "inplace/analysis.hpp"
 #include "ipdelta.hpp"
+#include "server/delta_service.hpp"
 
 namespace {
 
@@ -37,7 +42,10 @@ int usage() {
       "  ipdelta patch <delta> <file>\n"
       "  ipdelta verify <delta> <reference>\n"
       "  ipdelta compose <deltaAB> <deltaBC> <deltaAC>\n"
-      "  ipdelta info  <delta> [--deep]\n");
+      "  ipdelta info  <delta> [--deep]\n"
+      "  ipdelta serve <release files, oldest first...>\n"
+      "                [--requests N] [--threads T] [--budget BYTES]\n"
+      "                [--seed S]\n");
   return 1;
 }
 
@@ -231,6 +239,95 @@ int cmd_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Stand up a DeltaService over the given release history and replay a
+// mixed-version fleet against it from `--threads` client threads: every
+// request picks a random (older, newer) pair, is served, applied to the
+// old body, and verified against the new one. Prints the service metrics
+// snapshot — the smallest end-to-end exercise of src/server/.
+int cmd_serve(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  std::size_t requests = 32;
+  std::size_t threads = 4;
+  std::uint64_t budget = 64ull << 20;
+  std::uint64_t seed = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw Error("missing value for " + a);
+      return args[++i];
+    };
+    const auto number = [&]() -> std::uint64_t {
+      const std::string& value = next();
+      try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return n;
+      } catch (const std::exception&) {
+        throw Error("expected a number for " + a + ", got: " + value);
+      }
+    };
+    if (a == "--requests") {
+      requests = number();
+    } else if (a == "--threads") {
+      threads = number();
+    } else if (a == "--budget") {
+      budget = number();
+    } else if (a == "--seed") {
+      seed = number();
+    } else if (!a.empty() && a[0] == '-') {
+      throw Error("unknown option: " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() < 2 || requests == 0 || threads == 0) return usage();
+
+  VersionStore store;
+  for (const std::string& file : files) {
+    store.publish(read_file(file));
+  }
+  ServiceOptions options;
+  options.cache_budget = budget;
+  DeltaService service(store, options);
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    // Thread 0 absorbs the remainder so exactly `requests` are issued.
+    const std::size_t quota =
+        requests / threads + (t == 0 ? requests % threads : 0);
+    clients.emplace_back([&, t, quota] {
+      Rng rng(seed + t);
+      const std::size_t n = store.release_count();
+      for (std::size_t i = 0; i < quota; ++i) {
+        const auto from = static_cast<ReleaseId>(rng.below(n - 1));
+        const auto to =
+            from + 1 + static_cast<ReleaseId>(rng.below(n - 1 - from));
+        try {
+          const ServeResult result = service.serve(from, to);
+          const Bytes rebuilt = apply_served(result, *store.body(from));
+          if (rebuilt != *store.body(to)) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  std::printf("%s", service.metrics_text().c_str());
+  if (failures.load() != 0) {
+    std::printf("serve: %llu of %zu reconstructions FAILED\n",
+                static_cast<unsigned long long>(failures.load()), requests);
+    return 2;
+  }
+  std::printf("serve: %zu releases, %zu requests, %zu threads — "
+              "all reconstructions verified\n",
+              store.release_count(), requests, threads);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +341,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(args);
     if (command == "compose") return cmd_compose(args);
     if (command == "info") return cmd_info(args);
+    if (command == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ipdelta: %s\n", e.what());

@@ -16,7 +16,8 @@ UpgradePlanner::UpgradePlanner(std::vector<ByteView> releases,
   }
 }
 
-std::uint64_t UpgradePlanner::edge_bytes(std::size_t from, std::size_t to) {
+std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
+                                                std::size_t to) {
   const auto key = std::make_pair(from, to);
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
@@ -25,7 +26,7 @@ std::uint64_t UpgradePlanner::edge_bytes(std::size_t from, std::size_t to) {
                                                 releases_[to],
                                                 options_.pipeline))
              .first;
-    ++deltas_built_;
+    deltas_built_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second.size();
 }
@@ -34,6 +35,7 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
   if (from >= to || to >= releases_.size()) {
     throw ValidationError("planner: need from < to < release_count");
   }
+  std::lock_guard lock(mutex_);
 
   // Dijkstra over releases from..to; edges (i, j) for j-i <= max_hop_span
   // weighted by delta size + per-hop overhead. The full-image fallback is
@@ -64,7 +66,7 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
     for (std::size_t hop = 1; hop <= span; ++hop) {
       const std::size_t v = u + hop;
       const std::uint64_t w =
-          edge_bytes(u_abs, from + v) + options_.per_hop_overhead;
+          edge_bytes_locked(u_abs, from + v) + options_.per_hop_overhead;
       if (d + w < dist[v]) {
         dist[v] = d + w;
         prev[v] = u;
@@ -104,7 +106,7 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
     step.to = from + order[i];
     step.full_image = full[i];
     step.bytes = step.full_image ? releases_[step.to].size()
-                                 : edge_bytes(step.from, step.to);
+                                 : edge_bytes_locked(step.from, step.to);
     plan.total_bytes += step.bytes;
     plan.steps.push_back(step);
     at = step.to;
@@ -116,7 +118,8 @@ Bytes UpgradePlanner::step_artifact(const UpgradeStep& step) {
   if (step.full_image) {
     return Bytes(releases_[step.to].begin(), releases_[step.to].end());
   }
-  edge_bytes(step.from, step.to);  // ensure cached
+  std::lock_guard lock(mutex_);
+  edge_bytes_locked(step.from, step.to);  // ensure cached
   return delta_cache_.at({step.from, step.to});
 }
 

@@ -11,9 +11,18 @@
 //
 // Every edge artifact is an in-place delta, so the device needs only the
 // storage for one version at every hop of the chosen path.
+//
+// Thread-safety: the lazy edge/delta cache is guarded by an internal
+// mutex, so concurrent plan() / step_artifact() / execute() / fold_plan()
+// calls are safe (the delta distribution service shares one planner
+// across request threads). Cache fills serialize — two threads that both
+// need a missing edge build it one after the other, not twice; for
+// parallel *builds* use the service's singleflight + worker pool instead.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -80,15 +89,19 @@ class UpgradePlanner {
   Bytes fold_plan(const UpgradePlan& plan);
 
   /// Deltas actually built so far (lazy-cache observability for tests).
-  std::size_t deltas_built() const noexcept { return deltas_built_; }
+  std::size_t deltas_built() const noexcept {
+    return deltas_built_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t edge_bytes(std::size_t from, std::size_t to);
+  /// Caller must hold mutex_.
+  std::uint64_t edge_bytes_locked(std::size_t from, std::size_t to);
 
   std::vector<ByteView> releases_;
   PlannerOptions options_;
+  std::mutex mutex_;  ///< guards delta_cache_
   std::map<std::pair<std::size_t, std::size_t>, Bytes> delta_cache_;
-  std::size_t deltas_built_ = 0;
+  std::atomic<std::size_t> deltas_built_{0};
 };
 
 }  // namespace ipd

@@ -1,0 +1,167 @@
+#include "server/delta_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "server/fingerprint.hpp"
+
+namespace ipd {
+
+DeltaService::DeltaService(const VersionStore& store,
+                           const ServiceOptions& options)
+    : store_(store),
+      options_(options),
+      fingerprint_(fingerprint_pipeline(options.pipeline)),
+      cache_(options.cache_budget, options.cache_shards, &metrics_),
+      pool_(options.workers) {
+  if (options_.direct_gain_threshold <= 0.0) {
+    throw ValidationError("delta service: direct_gain_threshold must be > 0");
+  }
+}
+
+std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
+                                                       ReleaseId to,
+                                                       bool* hit,
+                                                       bool* coalesced) {
+  const DeltaKey key{from, to, fingerprint_};
+  if (auto cached = cache_.get(key)) {
+    *hit = true;
+    return cached;
+  }
+  *hit = false;
+  bool leader = false;
+  auto value = flight_.run(
+      key,
+      [&]() -> std::shared_ptr<const Bytes> {
+        // Double-check under the flight: a previous leader may have
+        // finished (and cached) between our miss and our join, in which
+        // case there is nothing to build. This is what makes builds
+        // exactly-once per key while the entry stays resident.
+        if (auto cached = cache_.get(key)) return cached;
+        auto reference = store_.body(from);
+        auto version = store_.body(to);
+        auto future = pool_.submit(
+            [this, reference, version]() -> std::shared_ptr<const Bytes> {
+              const auto start = std::chrono::steady_clock::now();
+              Bytes delta = create_inplace_delta(*reference, *version,
+                                                 options_.pipeline);
+              const auto end = std::chrono::steady_clock::now();
+              metrics_.builds.fetch_add(1, std::memory_order_relaxed);
+              metrics_.build_ns.fetch_add(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      end - start)
+                      .count(),
+                  std::memory_order_relaxed);
+              return std::make_shared<const Bytes>(std::move(delta));
+            });
+        auto built = future.get();
+        cache_.put(key, built);
+        return built;
+      },
+      &leader);
+  if (!leader) {
+    *coalesced = true;
+    metrics_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {
+  const std::size_t releases = store_.release_count();
+  if (from >= to || to >= releases) {
+    throw ValidationError("delta service: need from < to < release_count");
+  }
+  metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  ServeResult result;
+  result.cache_hit = true;
+  bool hit = false;
+
+  const auto target = store_.body(to);
+  const std::uint64_t version_size = target->size();
+
+  auto direct = fetch_delta(from, to, &hit, &result.coalesced);
+  result.cache_hit = hit;
+
+  const bool direct_wins =
+      static_cast<double>(direct->size()) <=
+      options_.direct_gain_threshold * static_cast<double>(version_size);
+  const std::size_t hops = to - from;
+
+  if (!direct_wins && hops >= 2 && hops <= options_.max_chain_hops) {
+    // Drifted history: price the per-release chain (every hop delta is
+    // shared with all other stragglers, so building them is amortized)
+    // and the full image, and serve the byte-cheapest route.
+    std::vector<ServedStep> chain;
+    std::uint64_t chain_bytes = 0;
+    for (ReleaseId at = from; at < to; ++at) {
+      bool hop_hit = false;
+      auto hop = fetch_delta(at, at + 1, &hop_hit, &result.coalesced);
+      if (!hop_hit) result.cache_hit = false;
+      chain_bytes += hop->size() + options_.per_hop_overhead;
+      chain.push_back(ServedStep{at, at + 1, false, std::move(hop)});
+    }
+    const std::uint64_t direct_cost =
+        direct->size() + options_.per_hop_overhead;
+    const std::uint64_t image_cost =
+        version_size + options_.per_hop_overhead;
+    const std::uint64_t best =
+        std::min({chain_bytes, direct_cost, image_cost});
+    if (best == chain_bytes) {
+      result.steps = std::move(chain);
+      metrics_.chains_served.fetch_add(1, std::memory_order_relaxed);
+    } else if (best == image_cost) {
+      result.steps.push_back(ServedStep{from, to, true, target});
+      metrics_.full_images_served.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (!direct_wins &&
+             static_cast<std::uint64_t>(direct->size()) > version_size) {
+    // Single hop (or chain too long) and the delta is outright larger
+    // than the file: ship the image.
+    result.steps.push_back(ServedStep{from, to, true, target});
+    metrics_.full_images_served.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (result.steps.empty()) {
+    result.steps.push_back(ServedStep{from, to, false, std::move(direct)});
+    metrics_.deltas_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const ServedStep& step : result.steps) {
+    result.total_bytes += step.bytes->size();
+  }
+  metrics_.bytes_served.fetch_add(result.total_bytes,
+                                  std::memory_order_relaxed);
+  return result;
+}
+
+std::string DeltaService::metrics_text() const {
+  const DeltaCache::Stats stats = cache_.stats();
+  std::string text = metrics_.to_text();
+  text += "bytes cached:      " + std::to_string(stats.bytes_held) + " of " +
+          std::to_string(cache_.byte_budget()) + " budget (" +
+          std::to_string(stats.entries) + " entries, " +
+          std::to_string(cache_.shard_count()) + " shards)\n";
+  return text;
+}
+
+Bytes apply_served(const ServeResult& result, ByteView from_body) {
+  if (result.steps.empty()) {
+    throw ValidationError("apply_served: empty response");
+  }
+  Bytes image(from_body.begin(), from_body.end());
+  for (const ServedStep& step : result.steps) {
+    if (step.full_image) {
+      image.assign(step.bytes->begin(), step.bytes->end());
+      continue;
+    }
+    const DeltaFile parsed = deserialize_delta(*step.bytes);
+    image.resize(std::max<std::size_t>(parsed.reference_length,
+                                       parsed.version_length));
+    const length_t new_len = apply_delta_inplace(*step.bytes, image);
+    image.resize(static_cast<std::size_t>(new_len));
+  }
+  return image;
+}
+
+}  // namespace ipd

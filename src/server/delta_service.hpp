@@ -1,0 +1,114 @@
+// The delta distribution service core: answer "device at release i wants
+// release j" for a whole fleet, concurrently.
+//
+// Request path (store -> cache -> singleflight -> pool -> metrics):
+//
+//   serve(i, j)
+//     ├─ DeltaCache lookup on (i, j, pipeline fingerprint)   [sharded LRU]
+//     ├─ miss: Singleflight — first thread in becomes the build leader,
+//     │        concurrent requesters for the same key wait for free
+//     ├─ leader: create_inplace_delta(i, j) on the worker ThreadPool
+//     │          (bounded build parallelism), insert into the cache
+//     └─ response selection: the direct delta is served only while it is
+//        a real win; a drifted history where delta(i, j) approaches the
+//        full image falls back UpgradePlanner-style to the chain of
+//        per-release hops i -> i+1 -> ... -> j (each hop an in-place
+//        delta that every other straggler reuses) or to the full image,
+//        whichever is byte-cheapest.
+//
+// Every response artifact is an *in-place* delta (or a raw image), so the
+// requesting device needs no scratch space at any hop — the paper's §1
+// scenario operated at fleet scale.
+//
+// Thread-safe throughout; serve() may be called from any number of
+// threads. Artifacts are shared_ptr<const Bytes> handed out zero-copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ipdelta.hpp"
+#include "server/delta_cache.hpp"
+#include "server/metrics.hpp"
+#include "server/singleflight.hpp"
+#include "server/thread_pool.hpp"
+#include "server/version_store.hpp"
+
+namespace ipd {
+
+struct ServiceOptions {
+  /// How every delta this service builds is produced; part of the cache
+  /// key, so two services with different pipelines never share entries.
+  PipelineOptions pipeline;
+  /// Total bytes of built deltas kept resident across all cache shards.
+  std::uint64_t cache_budget = 64ull << 20;
+  std::size_t cache_shards = 16;
+  /// Build workers; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Serve the direct delta while
+  ///     direct_size <= direct_gain_threshold * version_size;
+  /// beyond that the delta stopped pulling its weight and the chain /
+  /// full-image fallbacks are evaluated.
+  double direct_gain_threshold = 0.5;
+  /// Per-artifact fixed response overhead used when comparing routes
+  /// (mirrors PlannerOptions::per_hop_overhead).
+  std::uint64_t per_hop_overhead = 512;
+  /// Longest per-release chain the fallback will consider building.
+  std::size_t max_chain_hops = 8;
+};
+
+/// One artifact of a response. `full_image` steps carry the raw release
+/// body; the rest carry in-place deltas for apply_delta_inplace().
+struct ServedStep {
+  ReleaseId from = 0;
+  ReleaseId to = 0;
+  bool full_image = false;
+  std::shared_ptr<const Bytes> bytes;
+};
+
+struct ServeResult {
+  std::vector<ServedStep> steps;  ///< apply in order
+  std::uint64_t total_bytes = 0;  ///< sum of step payloads
+  bool cache_hit = false;   ///< no build ran anywhere in this response
+  bool coalesced = false;   ///< waited behind another request's build
+};
+
+class DeltaService {
+ public:
+  /// `store` must outlive the service. Releases may keep being published
+  /// while the service runs; a request only sees ids it asks for.
+  explicit DeltaService(const VersionStore& store,
+                        const ServiceOptions& options = {});
+
+  /// Serve the upgrade `from` -> `to` (from < to). Blocks while a needed
+  /// delta builds; concurrent identical requests coalesce onto one build.
+  ServeResult serve(ReleaseId from, ReleaseId to);
+
+  const ServiceMetrics& metrics() const noexcept { return metrics_; }
+  /// Mutable access for bench warm-up/measure phase boundaries (reset()).
+  ServiceMetrics& metrics() noexcept { return metrics_; }
+  const DeltaCache& cache() const noexcept { return cache_; }
+  const ServiceOptions& options() const noexcept { return options_; }
+
+  /// Metrics counters plus cache residency, ready to print.
+  std::string metrics_text() const;
+
+ private:
+  std::shared_ptr<const Bytes> fetch_delta(ReleaseId from, ReleaseId to,
+                                           bool* hit, bool* coalesced);
+
+  const VersionStore& store_;
+  ServiceOptions options_;
+  std::uint64_t fingerprint_;
+  ServiceMetrics metrics_;
+  DeltaCache cache_;
+  Singleflight<DeltaKey, std::shared_ptr<const Bytes>, DeltaKeyHash> flight_;
+  ThreadPool pool_;
+};
+
+/// Client-side helper: apply a served response to a buffer holding the
+/// `from` release body and return the reconstructed `to` body. Used by
+/// the demo, the CLI `serve` verifier, and the tests.
+Bytes apply_served(const ServeResult& result, ByteView from_body);
+
+}  // namespace ipd

@@ -1,0 +1,37 @@
+#include "server/fingerprint.hpp"
+
+namespace ipd {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_pipeline(const PipelineOptions& options) noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(options.differ));
+  mix(h, options.differ_options.seed_length);
+  mix(h, options.differ_options.min_match);
+  mix(h, options.differ_options.max_chain);
+  mix(h, options.differ_options.table_bits);
+  mix(h, options.differ_options.block_size);
+  mix(h, static_cast<std::uint64_t>(options.convert.policy));
+  mix(h, static_cast<std::uint64_t>(options.convert.format.codeword));
+  mix(h, static_cast<std::uint64_t>(options.convert.format.offsets));
+  mix(h, options.convert.coalesce_adds ? 1 : 0);
+  mix(h, options.convert.exact.max_vertices);
+  mix(h, options.convert.exact.max_search_nodes);
+  mix(h, options.compress_payload ? 1 : 0);
+  return h;
+}
+
+}  // namespace ipd

@@ -1,0 +1,23 @@
+// Stable fingerprint of a delta-production configuration.
+//
+// The service's cache key is (from release, to release, *how the delta is
+// built*): two deltas over the same endpoints are interchangeable only if
+// every pipeline knob matches — differ, codeword format, cycle-breaking
+// policy, secondary compression, all of it. Rather than store the whole
+// PipelineOptions in every key, we fold each field into a 64-bit FNV-1a
+// fingerprint. The fingerprint is stable across processes (no pointer or
+// layout dependence), so it can later key an on-disk or remote cache too.
+#pragma once
+
+#include <cstdint>
+
+#include "ipdelta.hpp"
+
+namespace ipd {
+
+/// Fold every semantically relevant field of `options` into a 64-bit
+/// FNV-1a hash. Equal options always produce equal fingerprints; distinct
+/// options collide only with ordinary 64-bit-hash probability.
+std::uint64_t fingerprint_pipeline(const PipelineOptions& options) noexcept;
+
+}  // namespace ipd

@@ -1,0 +1,63 @@
+#include "server/metrics.hpp"
+
+#include <cstdio>
+
+namespace ipd {
+
+namespace {
+
+std::uint64_t load(const std::atomic<std::uint64_t>& a) noexcept {
+  return a.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string ServiceMetrics::to_text() const {
+  const std::uint64_t n_builds = load(builds);
+  const double mean_build_ms =
+      n_builds == 0 ? 0.0
+                    : static_cast<double>(load(build_ns)) / 1e6 /
+                          static_cast<double>(n_builds);
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "requests:          %llu\n"
+      "cache hits:        %llu (%.1f%% of lookups)\n"
+      "cache misses:      %llu\n"
+      "coalesced waits:   %llu\n"
+      "builds:            %llu (mean %.2f ms)\n"
+      "bytes served:      %llu\n"
+      "served as delta:   %llu direct, %llu chain, %llu full image\n"
+      "cache evictions:   %llu (+%llu oversized rejects)\n",
+      static_cast<unsigned long long>(load(requests)),
+      static_cast<unsigned long long>(load(cache_hits)), 100.0 * hit_rate(),
+      static_cast<unsigned long long>(load(cache_misses)),
+      static_cast<unsigned long long>(load(coalesced_waits)),
+      static_cast<unsigned long long>(n_builds), mean_build_ms,
+      static_cast<unsigned long long>(load(bytes_served)),
+      static_cast<unsigned long long>(load(deltas_served)),
+      static_cast<unsigned long long>(load(chains_served)),
+      static_cast<unsigned long long>(load(full_images_served)),
+      static_cast<unsigned long long>(load(evictions)),
+      static_cast<unsigned long long>(load(rejected_inserts)));
+  return buf;
+}
+
+void ServiceMetrics::reset() noexcept {
+  for (std::atomic<std::uint64_t>* a :
+       {&requests, &cache_hits, &cache_misses, &coalesced_waits, &builds,
+        &build_ns, &bytes_served, &deltas_served, &chains_served,
+        &full_images_served, &evictions, &rejected_inserts}) {
+    a->store(0, std::memory_order_relaxed);
+  }
+}
+
+double ServiceMetrics::hit_rate() const noexcept {
+  const std::uint64_t hits = load(cache_hits);
+  const std::uint64_t lookups = hits + load(cache_misses);
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+}
+
+}  // namespace ipd

@@ -1,0 +1,40 @@
+// Service observability: one cache-friendly block of atomic counters.
+//
+// Every hot-path event increments exactly one relaxed atomic — no locks,
+// no strings, nothing that can stall a request thread. Relaxed ordering
+// is sufficient: counters are statistics, not synchronization; readers
+// (benches, the CLI, tests) only need eventually-consistent totals, and
+// every counter is monotone except the bytes_cached gauge.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ipd {
+
+struct ServiceMetrics {
+  std::atomic<std::uint64_t> requests{0};        ///< serve() calls
+  std::atomic<std::uint64_t> cache_hits{0};      ///< delta found in cache
+  std::atomic<std::uint64_t> cache_misses{0};    ///< lookup found nothing
+  std::atomic<std::uint64_t> coalesced_waits{0}; ///< rode another build
+  std::atomic<std::uint64_t> builds{0};          ///< create_inplace_delta runs
+  std::atomic<std::uint64_t> build_ns{0};        ///< wall time inside builds
+  std::atomic<std::uint64_t> bytes_served{0};    ///< artifact bytes returned
+  std::atomic<std::uint64_t> deltas_served{0};   ///< direct-delta responses
+  std::atomic<std::uint64_t> chains_served{0};   ///< per-hop chain responses
+  std::atomic<std::uint64_t> full_images_served{0};
+  std::atomic<std::uint64_t> evictions{0};       ///< cache entries dropped
+  std::atomic<std::uint64_t> rejected_inserts{0};///< entry > shard budget
+
+  /// Multi-line human-readable snapshot (benches, CLI `serve`).
+  std::string to_text() const;
+
+  /// Zero every counter (bench warm-up/measure phase boundary).
+  void reset() noexcept;
+
+  /// cache_hits / (cache_hits + cache_misses), 0 when no lookups yet.
+  double hit_rate() const noexcept;
+};
+
+}  // namespace ipd

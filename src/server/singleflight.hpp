@@ -1,0 +1,74 @@
+// Request coalescing ("singleflight"): when N threads miss the cache on
+// the same key simultaneously, exactly one runs the build and the other
+// N-1 wait for its result instead of burning N-1 redundant differencer
+// runs. This is the guard that makes a release-day thundering herd — a
+// whole fleet asking for the same new hop at once — cost one build.
+//
+// The leader's exception, if any, propagates to every waiter; the flight
+// is always cleared (before the promise resolves) so a later request can
+// retry. Callers that re-check their cache inside `build` therefore get
+// at-most-once builds per key even across flight generations.
+#pragma once
+
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+namespace ipd {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class Singleflight {
+ public:
+  /// If no call for `key` is in flight, run `build()` (as the leader) and
+  /// hand its result to every thread that joins meanwhile. Otherwise
+  /// block until the in-flight leader finishes and return its result.
+  /// `was_leader`, when non-null, reports which role this call played.
+  template <typename Fn>
+  Value run(const Key& key, Fn&& build, bool* was_leader = nullptr) {
+    std::promise<Value> promise;
+    std::shared_future<Value> flight;
+    bool leader = false;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        flight = it->second;
+      } else {
+        flight = promise.get_future().share();
+        inflight_.emplace(key, flight);
+        leader = true;
+      }
+    }
+    if (was_leader != nullptr) *was_leader = leader;
+    if (!leader) {
+      return flight.get();  // rethrows the leader's exception, if any
+    }
+    try {
+      Value value = build();
+      finish(key);
+      promise.set_value(value);
+      return value;
+    } catch (...) {
+      finish(key);
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  /// Flights currently in progress (tests / introspection).
+  std::size_t inflight() {
+    std::lock_guard lock(mutex_);
+    return inflight_.size();
+  }
+
+ private:
+  void finish(const Key& key) {
+    std::lock_guard lock(mutex_);
+    inflight_.erase(key);
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<Key, std::shared_future<Value>, Hash> inflight_;
+};
+
+}  // namespace ipd

@@ -1,0 +1,63 @@
+// The service's release history: an append-only, content-addressed store.
+//
+// A publisher's history is an ordered sequence of immutable release
+// bodies. The store hands bodies out as shared_ptr<const Bytes> so a
+// request thread can diff or transmit a release while a publish is in
+// flight — once published, a body never changes and never moves. Each
+// release also carries a ContentKey (CRC-32C + length, the same pair the
+// delta container embeds) so a device that only knows the checksum of the
+// image it is running can be located in the history.
+//
+// Thread-safe: publishes take an exclusive lock, lookups a shared one.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// Index of a release within a VersionStore (0 = oldest).
+using ReleaseId = std::uint32_t;
+
+/// Content address of a release body: the (crc32c, length) pair a delta
+/// container already carries for its endpoints.
+struct ContentKey {
+  std::uint32_t crc = 0;
+  length_t length = 0;
+
+  auto operator<=>(const ContentKey&) const = default;
+};
+
+class VersionStore {
+ public:
+  /// Append a release to the history; returns its id (== prior count).
+  ReleaseId publish(Bytes body);
+
+  std::size_t release_count() const noexcept;
+
+  /// Immutable body of release `id`. Throws ValidationError on a bad id.
+  std::shared_ptr<const Bytes> body(ReleaseId id) const;
+
+  /// Content address of release `id`. Throws ValidationError on a bad id.
+  ContentKey content_key(ReleaseId id) const;
+
+  /// Most recent release with this content, if any — how a device that
+  /// reports only its image checksum is mapped into the history.
+  std::optional<ReleaseId> find(const ContentKey& key) const;
+
+  /// Id of the newest release. Throws ValidationError when empty.
+  ReleaseId latest() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::vector<std::shared_ptr<const Bytes>> bodies_;
+  std::vector<ContentKey> keys_;
+  std::map<ContentKey, ReleaseId> by_content_;  // latest id per content
+};
+
+}  // namespace ipd

@@ -64,6 +64,16 @@ if "$IPDELTA" compose bc.ipd ab.ipd x.ipd > /dev/null 2>&1; then
   fail "compose accepted non-chaining deltas"
 fi
 
+# serve: spin up the delta service over the 3-release history and replay
+# a small concurrent fleet against it; every reconstruction is verified.
+"$IPDELTA" serve ref.bin new.bin newer.bin \
+  --requests 24 --threads 4 --seed 7 > serve.out || fail "serve"
+grep -q "all reconstructions verified" serve.out || fail "serve verify line"
+grep -q "requests:          24" serve.out || fail "serve metrics"
+if "$IPDELTA" serve ref.bin > /dev/null 2>&1; then
+  fail "serve accepted a single-release history"
+fi
+
 # corrupted delta is rejected with exit code 2.
 cp d.ipd bad.ipd
 dd if=/dev/zero of=bad.ipd bs=1 seek=100 count=4 conv=notrunc 2> /dev/null

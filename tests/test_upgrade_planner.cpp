@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "corpus/generator.hpp"
 #include "corpus/mutation.hpp"
 #include "test_util.hpp"
@@ -206,6 +209,41 @@ TEST(UpgradePlanner, PicksChainWhenDirectDeltaIsBloated) {
   Bytes image = history[0];
   planner.execute(plan, image);
   EXPECT_TRUE(test::bytes_equal(history[6], image));
+}
+
+TEST(UpgradePlanner, ConcurrentPlansAreSafeAndBuildEachEdgeOnce) {
+  // Regression test for the planner's lazy edge cache: the delta
+  // distribution service shares one planner across request threads, so
+  // concurrent plan() + execute() must neither race on the cache map nor
+  // build an edge twice.
+  const auto history = make_history(8, 13);
+  UpgradePlanner serial(views(history));
+  const UpgradePlan expected = serial.plan(0, 7);
+  const std::size_t serial_builds = serial.deltas_built();
+
+  UpgradePlanner planner(views(history));
+  constexpr int kThreads = 8;
+  std::vector<UpgradePlan> plans(kThreads);
+  std::atomic<int> bad_executions{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      plans[t] = planner.plan(0, 7);
+      Bytes image = history[0];
+      planner.execute(plans[t], image);
+      if (image != history[7]) ++bad_executions;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(bad_executions.load(), 0);
+  for (const UpgradePlan& plan : plans) {
+    ASSERT_EQ(plan.steps.size(), expected.steps.size());
+    EXPECT_EQ(plan.total_bytes, expected.total_bytes);
+  }
+  // The shared lazy cache built exactly the serial planner's edge set —
+  // once — despite eight threads racing to fill it.
+  EXPECT_EQ(planner.deltas_built(), serial_builds);
 }
 
 }  // namespace
