@@ -1,0 +1,197 @@
+// bench_net — wire-path cost of the delta distribution service.
+//
+// bench_server measures DeltaService::serve() in-process; this bench adds
+// the src/net/ stack on top: framing + CRC, TCP on localhost, the
+// DeltaServer session loop, and the OTA client streaming the artifact
+// into a StreamingInplaceApplier. Three sections:
+//
+//   1. per-hop OTA latency percentiles over TCP (warm server cache), the
+//      number a fleet dashboard would alert on — same LatencyRecorder as
+//      bench_server so the two tables read side by side;
+//   2. fleet throughput: concurrent clients running full chain upgrades,
+//      upgrades/s and wire MiB/s;
+//   3. fault tax: the same upgrade over a link with injected drops,
+//      truncations and bit flips — wall-clock and retry overhead of the
+//      resume machinery.
+//
+// Runs standalone with no arguments (CI smoke); IPDELTA_BENCH_NET_OPS
+// scales the per-section operation counts. Exits 0 with a notice when
+// the sandbox forbids localhost sockets.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/delta_server.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/ota_client.hpp"
+#include "net/tcp_transport.hpp"
+#include "server/delta_service.hpp"
+
+namespace {
+
+using namespace ipd;
+
+std::vector<Bytes> make_history(std::size_t releases) {
+  CorpusOptions options;
+  options.packages = 1;
+  options.releases_per_package = static_cast<int>(releases);
+  options.min_file_size = 48 << 10;
+  options.max_file_size = 48 << 10;
+  options.edits_per_64k = 60;
+  options.mutation_model.length_scale = 64;
+  const std::vector<VersionPair> pairs = standard_corpus(options);
+  std::vector<Bytes> history;
+  history.push_back(pairs.front().reference);
+  for (const VersionPair& pair : pairs) history.push_back(pair.version);
+  return history;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Bytes> history = make_history(8);
+  VersionStore store;
+  for (const Bytes& release : history) store.publish(release);
+  const ReleaseId latest = static_cast<ReleaseId>(store.release_count() - 1);
+
+  std::size_t ops = 200;
+  if (const char* env = std::getenv("IPDELTA_BENCH_NET_OPS")) {
+    ops = std::strtoull(env, nullptr, 10);
+  }
+
+  ServiceOptions service_options;
+  service_options.cache_budget = 64ull << 20;
+  service_options.workers = 4;
+  DeltaService service(store, service_options);
+  NetServerOptions net_options;
+  net_options.max_sessions = 64;
+  DeltaServer server(service, net_options);
+  try {
+    server.start();
+  } catch (const TransportError& e) {
+    std::printf("bench_net: no localhost sockets here (%s); skipping\n",
+                e.what());
+    return 0;
+  }
+  const std::uint16_t port = server.port();
+  const auto tcp_factory = [port] {
+    return TcpTransport::connect("127.0.0.1", port);
+  };
+
+  std::printf("bench_net: %zu releases x %zu KiB over 127.0.0.1:%u\n",
+              store.release_count(), history[0].size() >> 10, port);
+  bench::rule('=');
+
+  // ---- 1. per-hop OTA latency (warm cache) ---------------------------
+  {
+    // Warm every single-hop artifact once, then measure.
+    for (ReleaseId r = 0; r < latest; ++r) (void)service.serve(r, r + 1);
+
+    bench::LatencyRecorder hop_latency;
+    Rng rng(0x0E7A);
+    for (std::size_t i = 0; i < ops; ++i) {
+      const auto from = static_cast<ReleaseId>(rng.below(latest));
+      Bytes image = history[from];
+      OtaClient client(tcp_factory);
+      hop_latency.time(
+          [&] { (void)client.update_streaming(image, from, from + 1); });
+    }
+    std::printf("single-hop OTA over TCP, %zu ops (connect + frame + "
+                "stream + apply):\n  %s\n",
+                ops, hop_latency.summary().c_str());
+  }
+  bench::rule();
+
+  // ---- 2. fleet throughput -------------------------------------------
+  {
+    std::printf("full chain upgrade 0 -> %u, fleet throughput:\n", latest);
+    std::printf("  %-8s %12s %12s   %s\n", "clients", "upgrades/s", "MiB/s",
+                "upgrade latency");
+    for (const std::size_t clients : {1u, 4u, 8u}) {
+      service.metrics().reset();
+      const std::size_t upgrades = std::max<std::size_t>(ops / 10, 2);
+      std::vector<bench::LatencyRecorder> recorders(clients);
+      std::vector<std::thread> fleet;
+      std::atomic<std::size_t> failures{0};
+      const double seconds = bench::time_seconds([&] {
+        for (std::size_t c = 0; c < clients; ++c) {
+          const std::size_t quota =
+              upgrades / clients + (c == 0 ? upgrades % clients : 0);
+          fleet.emplace_back([&, c, quota] {
+            for (std::size_t i = 0; i < quota; ++i) {
+              Bytes image = history[0];
+              OtaClient client(tcp_factory);
+              try {
+                recorders[c].time([&] {
+                  (void)client.update_streaming(image, 0, latest);
+                });
+              } catch (const std::exception&) {
+                failures.fetch_add(1);
+              }
+            }
+          });
+        }
+        for (std::thread& t : fleet) t.join();
+      });
+      bench::LatencyRecorder merged;
+      for (const bench::LatencyRecorder& r : recorders) merged.merge(r);
+      const double wire_mib =
+          static_cast<double>(service.metrics().net_bytes_sent.load()) /
+          seconds / 1048576.0;
+      std::printf("  %-8zu %12.1f %12.1f   %s%s\n", clients,
+                  static_cast<double>(upgrades) / seconds, wire_mib,
+                  merged.summary().c_str(),
+                  failures.load() ? "  [FAILURES]" : "");
+    }
+  }
+  bench::rule();
+
+  // ---- 3. fault tax ---------------------------------------------------
+  {
+    std::printf("fault tax, single client, chain upgrade 0 -> %u:\n", latest);
+    std::printf("  %-16s %10s %10s %10s\n", "link", "seconds", "retries",
+                "resumes");
+    for (const double rate : {0.0, 0.02, 0.08}) {
+      FaultStats stats;
+      std::atomic<std::uint64_t> conn{0};
+      OtaClientOptions client_options;
+      client_options.max_attempts = 256;
+      client_options.backoff_initial_ms = 0;
+      client_options.backoff_max_ms = 0;
+      client_options.max_chunk = 8u << 10;  // more frames, more exposure
+      OtaClient client(
+          [&, rate]() -> std::unique_ptr<Transport> {
+            auto tcp = TcpTransport::connect("127.0.0.1", port);
+            if (rate == 0.0) return tcp;
+            FaultOptions faults;
+            faults.seed = 0xBADF + conn.fetch_add(1);
+            faults.drop_rate = rate;
+            faults.truncate_rate = rate;
+            faults.flip_rate = rate;
+            return std::make_unique<FaultyTransport>(std::move(tcp), faults,
+                                                     &stats);
+          },
+          client_options);
+      OtaReport total;
+      const double seconds = bench::time_seconds([&] {
+        for (std::size_t i = 0; i < std::max<std::size_t>(ops / 20, 1); ++i) {
+          Bytes image = history[0];
+          const OtaReport r = client.update_streaming(image, 0, latest);
+          total.retries += r.retries;
+          total.resumes += r.resumes;
+        }
+      });
+      char label[32];
+      std::snprintf(label, sizeof label, rate == 0.0 ? "clean" : "%.0f%% faulty",
+                    rate * 100.0);
+      std::printf("  %-16s %10.2f %10zu %10zu\n", label, seconds,
+                  total.retries, total.resumes);
+    }
+  }
+  server.stop();
+  return 0;
+}

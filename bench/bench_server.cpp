@@ -46,32 +46,36 @@ std::vector<Bytes> make_history() {
 struct LoadResult {
   double seconds = 0;
   std::uint64_t requests = 0;
+  bench::LatencyRecorder latency;  ///< per-request serve() wall time
 };
 
 /// Fire `total` random (from < to) requests at `service` from `threads`
-/// client threads; returns wall time for the whole volley.
+/// client threads; returns wall time for the whole volley plus the
+/// per-request latency distribution.
 LoadResult run_load(DeltaService& service, std::size_t releases,
                     std::size_t threads, std::size_t total,
                     std::uint64_t seed) {
   std::vector<std::thread> clients;
+  std::vector<bench::LatencyRecorder> recorders(threads);
   LoadResult result;
   result.requests = total;
   result.seconds = bench::time_seconds([&] {
     for (std::size_t t = 0; t < threads; ++t) {
       const std::size_t quota = total / threads + (t == 0 ? total % threads : 0);
-      clients.emplace_back([&service, releases, quota, seed, t] {
+      clients.emplace_back([&service, &recorders, releases, quota, seed, t] {
         Rng rng(seed + t);
         for (std::size_t i = 0; i < quota; ++i) {
           const auto from = static_cast<ReleaseId>(rng.below(releases - 1));
           const auto to =
               from + 1 +
               static_cast<ReleaseId>(rng.below(releases - 1 - from));
-          (void)service.serve(from, to);
+          recorders[t].time([&] { (void)service.serve(from, to); });
         }
       });
     }
     for (std::thread& client : clients) client.join();
   });
+  for (const bench::LatencyRecorder& r : recorders) result.latency.merge(r);
   return result;
 }
 
@@ -99,16 +103,18 @@ int main() {
     options.cache_budget = 64ull << 20;
     options.workers = 4;
     DeltaService service(store, options);
-    const LoadResult cold = run_load(service, releases, 8, 512, 0xC01D);
+    LoadResult cold = run_load(service, releases, 8, 512, 0xC01D);
     const ServiceMetrics& m = service.metrics();
     std::printf(
         "cold start: 512 requests / 8 threads in %.2fs\n"
         "  builds %llu (each distinct delta at most once), coalesced %llu, "
-        "hits %llu\n",
+        "hits %llu\n"
+        "  serve latency: %s\n",
         cold.seconds,
         static_cast<unsigned long long>(m.builds.load()),
         static_cast<unsigned long long>(m.coalesced_waits.load()),
-        static_cast<unsigned long long>(m.cache_hits.load()));
+        static_cast<unsigned long long>(m.cache_hits.load()),
+        cold.latency.summary().c_str());
   }
   bench::rule();
 
@@ -124,12 +130,12 @@ int main() {
     run_load(service, releases, 4, 2048, 0x3A3A);  // warm every pair
 
     std::printf("warm cache, %zu requests per thread count:\n", warm_ops);
-    std::printf("  %-8s %12s %12s %10s\n", "threads", "req/s", "MiB/s",
-                "hit rate");
+    std::printf("  %-8s %12s %12s %10s   %s\n", "threads", "req/s", "MiB/s",
+                "hit rate", "serve latency");
     double base = 0;
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
       service.metrics().reset();
-      const LoadResult warm =
+      LoadResult warm =
           run_load(service, releases, threads, warm_ops, 0xBEEF + threads);
       const ServiceMetrics& m = service.metrics();
       const double rate =
@@ -137,8 +143,9 @@ int main() {
       const double mib =
           static_cast<double>(m.bytes_served.load()) / warm.seconds / 1048576.0;
       if (threads == 1) base = rate;
-      std::printf("  %-8zu %12.0f %12.1f %9.1f%% (%.2fx vs 1 thread)\n",
-                  threads, rate, mib, 100.0 * m.hit_rate(), rate / base);
+      std::printf("  %-8zu %12.0f %12.1f %9.1f%%   %s  (%.2fx vs 1 thread)\n",
+                  threads, rate, mib, 100.0 * m.hit_rate(),
+                  warm.latency.summary().c_str(), rate / base);
     }
   }
   bench::rule();

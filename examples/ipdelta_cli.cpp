@@ -7,6 +7,8 @@
 //   ipdelta patch <delta> <file>          # in-place: rewrites <file>
 //   ipdelta info  <delta>
 //   ipdelta serve <releases...>           # delta service over a history
+//   ipdelta serve <releases...> --port P  # ... exported over TCP
+//   ipdelta fetch <host:port> <image> ... # streaming OTA client
 //
 // Exit status: 0 on success, 1 on usage error, 2 on processing error.
 #include <atomic>
@@ -23,6 +25,9 @@
 #include "delta/stats.hpp"
 #include "inplace/analysis.hpp"
 #include "ipdelta.hpp"
+#include "net/delta_server.hpp"
+#include "net/ota_client.hpp"
+#include "net/tcp_transport.hpp"
 #include "server/delta_service.hpp"
 
 namespace {
@@ -45,7 +50,12 @@ int usage() {
       "  ipdelta info  <delta> [--deep]\n"
       "  ipdelta serve <release files, oldest first...>\n"
       "                [--requests N] [--threads T] [--budget BYTES]\n"
-      "                [--seed S]\n");
+      "                [--seed S]\n"
+      "                [--port P [--sessions N]]   # export over TCP;\n"
+      "                                            # runs until stdin closes\n"
+      "  ipdelta fetch <host:port> <image file> --to B\n"
+      "                [--from A] [--out FILE] [--chunk BYTES]\n"
+      "  ipdelta fetch <host:port> --metrics\n");
   return 1;
 }
 
@@ -250,6 +260,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::size_t threads = 4;
   std::uint64_t budget = 64ull << 20;
   std::uint64_t seed = 1;
+  std::uint64_t port = 0;
+  bool port_set = false;
+  std::uint64_t sessions = 32;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto next = [&]() -> const std::string& {
@@ -275,6 +288,12 @@ int cmd_serve(const std::vector<std::string>& args) {
       budget = number();
     } else if (a == "--seed") {
       seed = number();
+    } else if (a == "--port") {
+      port = number();
+      port_set = true;
+      if (port > 65535) throw Error("--port out of range");
+    } else if (a == "--sessions") {
+      sessions = number();
     } else if (!a.empty() && a[0] == '-') {
       throw Error("unknown option: " + a);
     } else {
@@ -290,6 +309,25 @@ int cmd_serve(const std::vector<std::string>& args) {
   ServiceOptions options;
   options.cache_budget = budget;
   DeltaService service(store, options);
+
+  if (port_set) {
+    // Export the service over TCP (src/net/) instead of replaying a
+    // synthetic fleet. Release ids are the publish order of the files.
+    NetServerOptions net;
+    net.port = static_cast<std::uint16_t>(port);
+    net.max_sessions = static_cast<std::size_t>(sessions);
+    DeltaServer server(service, net);
+    server.start();
+    std::printf("serving %zu releases on 127.0.0.1:%u "
+                "(close stdin to stop)\n",
+                store.release_count(), server.port());
+    std::fflush(stdout);
+    for (int c; (c = std::getchar()) != EOF;) {
+    }
+    server.stop();
+    std::printf("%s", service.metrics_text().c_str());
+    return 0;
+  }
 
   std::atomic<std::uint64_t> failures{0};
   std::vector<std::thread> clients;
@@ -328,6 +366,101 @@ int cmd_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Streaming OTA client against a `serve --port` endpoint: upgrade a
+// local image file release A -> B over TCP, applying each hop's delta
+// in place as it arrives (peak RAM: one command). With --metrics, just
+// print the server's counter snapshot.
+int cmd_fetch(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  ReleaseId from = 0;
+  ReleaseId to = 0;
+  bool to_set = false;
+  bool metrics = false;
+  std::string out;
+  std::uint64_t chunk = 64u << 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw Error("missing value for " + a);
+      return args[++i];
+    };
+    const auto number = [&]() -> std::uint64_t {
+      const std::string& value = next();
+      try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return n;
+      } catch (const std::exception&) {
+        throw Error("expected a number for " + a + ", got: " + value);
+      }
+    };
+    if (a == "--from") {
+      from = static_cast<ReleaseId>(number());
+    } else if (a == "--to") {
+      to = static_cast<ReleaseId>(number());
+      to_set = true;
+    } else if (a == "--out") {
+      out = next();
+    } else if (a == "--chunk") {
+      chunk = number();
+    } else if (a == "--metrics") {
+      metrics = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw Error("unknown option: " + a);
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.empty()) return usage();
+
+  // <host:port>, or a bare port for localhost.
+  const std::string& endpoint = positional[0];
+  const std::size_t colon = endpoint.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  std::uint64_t port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoull(port_text, &used);
+    if (used != port_text.size() || port == 0 || port > 65535) {
+      throw std::invalid_argument(port_text);
+    }
+  } catch (const std::exception&) {
+    throw Error("bad endpoint (want host:port): " + endpoint);
+  }
+
+  OtaClientOptions client_options;
+  client_options.max_chunk = static_cast<std::uint32_t>(chunk);
+  OtaClient client(
+      [host, port] {
+        return TcpTransport::connect(host,
+                                     static_cast<std::uint16_t>(port));
+      },
+      client_options);
+
+  if (metrics) {
+    std::printf("%s", client.fetch_metrics().c_str());
+    return 0;
+  }
+  if (positional.size() != 2 || !to_set) return usage();
+  const std::string& image_file = positional[1];
+  Bytes image = read_file(image_file);
+  const OtaReport report = client.update_streaming(image, from, to);
+  const std::string& dest = out.empty() ? image_file : out;
+  write_file(dest, image);
+  std::printf("%s: release %u -> %u in %zu hop%s (%llu wire bytes, "
+              "%zu retr%s) -> %s (%zu bytes)\n",
+              endpoint.c_str(), from, report.final_release, report.hops,
+              report.hops == 1 ? "" : "s",
+              static_cast<unsigned long long>(report.bytes_received),
+              report.retries, report.retries == 1 ? "y" : "ies",
+              dest.c_str(), image.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +475,7 @@ int main(int argc, char** argv) {
     if (command == "compose") return cmd_compose(args);
     if (command == "info") return cmd_info(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "fetch") return cmd_fetch(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ipdelta: %s\n", e.what());

@@ -1,0 +1,236 @@
+#include "net/delta_server.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "core/checksum.hpp"
+#include "delta/codec.hpp"
+
+namespace ipd {
+
+DeltaServer::DeltaServer(DeltaService& service,
+                         const NetServerOptions& options)
+    : service_(service), options_(options) {
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 4096;
+  options_.chunk_bytes = std::min(options_.chunk_bytes, kMaxFramePayload / 2);
+}
+
+DeltaServer::~DeltaServer() { stop(); }
+
+void DeltaServer::start() {
+  if (started_) throw Error("DeltaServer: already started");
+  listener_ = std::make_unique<TcpListener>(options_.port);
+  pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void DeltaServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    stopping_ = true;
+  }
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (Transport* session : sessions_) session->close();
+  }
+  pool_.reset();  // drains: every session sees its closed transport and exits
+  listener_.reset();
+  started_ = false;
+}
+
+std::uint16_t DeltaServer::port() const {
+  if (!listener_) throw Error("DeltaServer: not started");
+  return listener_->port();
+}
+
+std::size_t DeltaServer::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::size_t DeltaServer::send_counted(FramedConnection& conn,
+                                      const Message& message) {
+  // Count before the write: a client thread that has already consumed
+  // this frame must observe the counters it implies (tests and
+  // dashboards read the snapshot the instant a transfer completes).
+  const Bytes wire = encode_message(message);
+  ServiceMetrics& m = service_.metrics();
+  m.net_bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+  m.net_frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (std::holds_alternative<ErrorMsg>(message)) {
+    m.net_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return conn.send_encoded(wire);
+}
+
+void DeltaServer::accept_loop() {
+  while (std::unique_ptr<TcpTransport> accepted = listener_->accept()) {
+    std::unique_ptr<Transport> transport = std::move(accepted);
+    bool full = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      full = stopping_ || sessions_.size() >= options_.max_sessions;
+      if (!full) sessions_.insert(transport.get());
+    }
+    if (full) {
+      service_.metrics().net_rejected.fetch_add(1, std::memory_order_relaxed);
+      try {
+        FramedConnection conn(*transport);
+        send_counted(conn, ErrorMsg{ErrorCode::kBusy,
+                                    "connection limit reached, retry later"});
+      } catch (const Error&) {
+        // best effort — the client may already be gone
+      }
+      transport->close();
+      continue;
+    }
+    pool_->submit([this, session = std::move(transport)]() mutable {
+      serve_session(*session);
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.erase(session.get());
+    });
+  }
+}
+
+void DeltaServer::serve_session(Transport& transport) {
+  if (options_.idle_timeout_ms > 0) {
+    transport.set_read_timeout(options_.idle_timeout_ms);
+  }
+  ServiceMetrics& m = service_.metrics();
+  m.net_sessions.fetch_add(1, std::memory_order_relaxed);
+  FramedConnection conn(transport);
+  std::size_t chunk = options_.chunk_bytes;
+  try {
+    for (;;) {
+      const std::optional<Message> message = conn.receive();
+      if (!message) break;  // peer said goodbye cleanly
+      if (const auto* hello = std::get_if<HelloMsg>(&*message)) {
+        if (hello->protocol_version != kProtocolVersion) {
+          send_counted(conn,
+                       ErrorMsg{ErrorCode::kProtocol,
+                                "unsupported protocol version " +
+                                    std::to_string(hello->protocol_version)});
+          break;
+        }
+        chunk = std::min<std::size_t>(
+            options_.chunk_bytes,
+            std::max<std::uint32_t>(hello->max_chunk, 512));
+        HelloAckMsg ack;
+        ack.release_count =
+            static_cast<std::uint32_t>(service_.store().release_count());
+        ack.latest = ack.release_count == 0 ? 0 : service_.store().latest();
+        ack.chunk = static_cast<std::uint32_t>(chunk);
+        send_counted(conn, ack);
+      } else if (const auto* get = std::get_if<GetDeltaMsg>(&*message)) {
+        handle_transfer(conn, get->from, get->to, 0, 0, false, chunk);
+      } else if (const auto* resume = std::get_if<ResumeMsg>(&*message)) {
+        handle_transfer(conn, resume->from, resume->to, resume->offset,
+                        resume->artifact_crc, true, chunk);
+      } else if (std::get_if<MetricsReqMsg>(&*message)) {
+        send_counted(conn, MetricsMsg{service_.metrics_text()});
+      } else {
+        send_counted(conn, ErrorMsg{ErrorCode::kProtocol,
+                                    "unexpected message type"});
+      }
+    }
+  } catch (const TransportError&) {
+    // connection died or idled out — nothing to clean up, artifacts are
+    // immutable and the client resumes on its next connection
+  } catch (const FormatError&) {
+    // corrupt inbound frame: the stream cannot be trusted past this point
+  }
+  transport.close();
+}
+
+void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
+                                  ReleaseId to, std::uint64_t offset,
+                                  std::uint32_t resume_crc, bool is_resume,
+                                  std::size_t chunk) {
+  ServeResult result;
+  try {
+    result = service_.serve(from, to);
+  } catch (const ValidationError& e) {
+    send_counted(conn, ErrorMsg{ErrorCode::kBadRequest, e.what()});
+    return;
+  } catch (const std::exception& e) {
+    send_counted(conn, ErrorMsg{ErrorCode::kInternal, e.what()});
+    return;
+  }
+
+  // One artifact per request: the first step of the chosen route. On
+  // RESUME the client echoes the artifact CRC it was receiving; serve()
+  // is deterministic so the rebuilt artifact is byte-identical — but if
+  // route selection shifted (e.g. publisher reconfigured), refuse rather
+  // than splice two different artifacts.
+  const ServedStep* step = &result.steps.front();
+  std::uint32_t artifact_crc = crc32c(*step->bytes);
+  if (is_resume && artifact_crc != resume_crc) {
+    const auto match =
+        std::find_if(result.steps.begin(), result.steps.end(),
+                     [&](const ServedStep& s) {
+                       return crc32c(*s.bytes) == resume_crc;
+                     });
+    if (match == result.steps.end()) {
+      send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
+                                  "artifact changed since the transfer "
+                                  "started; restart from GET_DELTA"});
+      return;
+    }
+    step = &*match;
+    artifact_crc = resume_crc;
+  }
+  const Bytes& artifact = *step->bytes;
+  if (offset > artifact.size()) {
+    send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
+                                "resume offset beyond artifact end"});
+    return;
+  }
+
+  if (is_resume) {
+    // Count on acceptance, not completion: observers (tests, dashboards)
+    // that saw the resumed transfer finish must also see the counter.
+    service_.metrics().net_resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+  DeltaBeginMsg begin;
+  begin.from = step->from;
+  begin.to = step->to;
+  begin.full_image = step->full_image ? 1 : 0;
+  begin.last_hop = step->to == to ? 1 : 0;
+  begin.total_size = artifact.size();
+  begin.start_offset = offset;
+  begin.artifact_crc = artifact_crc;
+  if (step->full_image) {
+    begin.reference_length = 0;
+    begin.version_length = artifact.size();
+  } else {
+    // The container header is self-describing; lift the buffer-sizing
+    // fields a streaming device needs before its first payload byte.
+    const auto header = try_parse_header(artifact);
+    if (!header) {
+      send_counted(conn, ErrorMsg{ErrorCode::kInternal,
+                                  "artifact container header unreadable"});
+      return;
+    }
+    begin.reference_length = header->first.reference_length;
+    begin.version_length = header->first.version_length;
+  }
+  send_counted(conn, begin);
+
+  for (std::uint64_t pos = offset; pos < artifact.size();) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk, artifact.size() - pos));
+    DeltaDataMsg data;
+    data.offset = pos;
+    data.data.assign(artifact.begin() + static_cast<std::ptrdiff_t>(pos),
+                     artifact.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    send_counted(conn, data);
+    pos += n;
+  }
+  send_counted(conn, DeltaEndMsg{artifact.size(), artifact_crc});
+}
+
+}  // namespace ipd

@@ -1,0 +1,100 @@
+// DeltaServer: the wire front end of the delta distribution service.
+//
+// Owns a TCP accept loop (net/tcp_transport) and a session worker pool
+// (the existing server/thread_pool). Each accepted connection becomes a
+// session task that speaks the framed protocol (net/protocol) and
+// answers GET_DELTA / RESUME / METRICS_REQ against a DeltaService. The
+// session logic is transport-agnostic — serve_session() takes any
+// Transport, which is how the loopback tests drive the full protocol
+// without a socket.
+//
+// Operational guard rails:
+//   * connection limit — excess clients get ERROR{kBusy} and a close
+//     (retryable: the OTA client backs off and reconnects);
+//   * idle timeout — a session that sends nothing for idle_timeout_ms
+//     is dropped (SO_RCVTIMEO on TCP);
+//   * per-request errors (unknown release ids, bad resume offsets) are
+//     answered with typed ERROR frames and the session stays up.
+//
+// One request streams ONE artifact: the first step of the route the
+// service picked. A chain upgrade is the client asking hop by hop, so
+// every hop artifact is shared through the service cache across the
+// whole straggler fleet.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+#include "server/delta_service.hpp"
+#include "server/thread_pool.hpp"
+
+namespace ipd {
+
+struct NetServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Concurrent sessions; one pool worker each. Clients over the limit
+  /// receive ERROR{kBusy}.
+  std::size_t max_sessions = 32;
+  /// Drop a session that stays silent this long (0 = never).
+  int idle_timeout_ms = 10'000;
+  /// Server-preferred DELTA_DATA payload size; the effective chunk is
+  /// min(this, client HELLO max_chunk).
+  std::size_t chunk_bytes = 64u << 10;
+};
+
+class DeltaServer {
+ public:
+  /// `service` must outlive the server.
+  explicit DeltaServer(DeltaService& service,
+                       const NetServerOptions& options = {});
+  ~DeltaServer();
+
+  DeltaServer(const DeltaServer&) = delete;
+  DeltaServer& operator=(const DeltaServer&) = delete;
+
+  /// Bind the TCP listener and start accepting. Throws TransportError
+  /// if the bind fails.
+  void start();
+
+  /// Stop accepting, close every live session, and join all workers.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Actual listening port (after start()).
+  std::uint16_t port() const;
+
+  /// Run one protocol session over `transport`, blocking until the peer
+  /// hangs up or the connection faults. Used directly by the loopback
+  /// tests; the TCP accept loop calls it on pool workers.
+  void serve_session(Transport& transport);
+
+  std::size_t active_sessions() const;
+
+  const NetServerOptions& options() const noexcept { return options_; }
+
+ private:
+  void accept_loop();
+  void handle_transfer(FramedConnection& conn, ReleaseId from, ReleaseId to,
+                       std::uint64_t offset, std::uint32_t resume_crc,
+                       bool is_resume, std::size_t chunk);
+  std::size_t send_counted(FramedConnection& conn, const Message& message);
+
+  DeltaService& service_;
+  NetServerOptions options_;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  bool started_ = false;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_set<Transport*> sessions_;
+  bool stopping_ = false;
+};
+
+}  // namespace ipd

@@ -1,0 +1,153 @@
+#include "net/faulty_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ipd {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 const FaultOptions& options,
+                                 FaultStats* stats)
+    : inner_(std::move(inner)),
+      options_(options),
+      stats_(stats),
+      rng_(options.seed) {}
+
+void FaultyTransport::throttle(std::size_t bytes) {
+  if (options_.channel == nullptr || options_.time_scale <= 0) return;
+  const double seconds =
+      options_.channel->transfer_seconds(bytes) * options_.time_scale;
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+void FaultyTransport::die(const char* what) {
+  dead_.store(true, std::memory_order_relaxed);
+  inner_->close();  // peer observes EOF / reset
+  throw TransportError(std::string("injected fault: ") + what);
+}
+
+std::size_t FaultyTransport::read_some(MutByteView out) {
+  if (dead_.load(std::memory_order_relaxed)) {
+    throw TransportError("injected fault: connection already dead");
+  }
+  {
+    // Check the byte budget BEFORE blocking on the inner read: the bytes
+    // clamped away below were already consumed from the stream, so a
+    // post-read check would block forever waiting for data that the
+    // budget already swallowed.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.kill_after_bytes > 0 &&
+        bytes_ >= options_.kill_after_bytes) {
+      if (stats_ != nullptr) stats_->drops.fetch_add(1);
+      die("byte budget exhausted");
+    }
+  }
+  std::size_t n = inner_->read_some(out);
+  if (n == 0) return 0;
+  throttle(n);
+  bool drop = false;
+  std::size_t flip_bit = SIZE_MAX;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.kill_after_bytes > 0) {
+      // Deliver only the in-budget prefix; the tail dies with the link
+      // on the next operation.
+      n = static_cast<std::size_t>(std::min<std::uint64_t>(
+          n, options_.kill_after_bytes - bytes_));
+    }
+    bytes_ += n;
+    if (++ops_ > options_.grace_ops) {
+      if (rng_.chance(options_.drop_rate)) {
+        drop = true;
+      } else if (rng_.chance(options_.flip_rate)) {
+        flip_bit = static_cast<std::size_t>(rng_.below(n * 8));
+      }
+    }
+  }
+  if (drop) {
+    // The bytes read are discarded with the connection — the receiver's
+    // framing sees a stream that just stops.
+    if (stats_ != nullptr) stats_->drops.fetch_add(1);
+    die("read dropped");
+  }
+  if (flip_bit != SIZE_MAX) {
+    if (stats_ != nullptr) stats_->flips.fetch_add(1);
+    out[flip_bit / 8] ^= static_cast<std::uint8_t>(1u << (flip_bit % 8));
+  }
+  return n;
+}
+
+void FaultyTransport::write_all(ByteView data) {
+  if (dead_.load(std::memory_order_relaxed)) {
+    throw TransportError("injected fault: connection already dead");
+  }
+  throttle(data.size());
+  enum class Fault { kNone, kDrop, kTruncate, kFlip } fault = Fault::kNone;
+  std::size_t cut = 0;
+  std::size_t flip_bit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.kill_after_bytes > 0) {
+      if (bytes_ >= options_.kill_after_bytes) {
+        if (stats_ != nullptr) stats_->drops.fetch_add(1);
+        die("byte budget exhausted");
+      }
+      if (bytes_ + data.size() > options_.kill_after_bytes) {
+        fault = Fault::kTruncate;
+        cut = static_cast<std::size_t>(options_.kill_after_bytes - bytes_);
+      }
+      bytes_ += data.size();
+    } else {
+      bytes_ += data.size();
+    }
+    if (fault == Fault::kNone && ++ops_ > options_.grace_ops &&
+        !data.empty()) {
+      if (rng_.chance(options_.drop_rate)) {
+        fault = Fault::kDrop;
+      } else if (rng_.chance(options_.truncate_rate)) {
+        fault = Fault::kTruncate;
+        cut = static_cast<std::size_t>(rng_.below(data.size()));
+      } else if (rng_.chance(options_.flip_rate)) {
+        fault = Fault::kFlip;
+        flip_bit = static_cast<std::size_t>(rng_.below(data.size() * 8));
+      }
+    }
+  }
+  switch (fault) {
+    case Fault::kNone:
+      inner_->write_all(data);
+      return;
+    case Fault::kDrop:
+      if (stats_ != nullptr) stats_->drops.fetch_add(1);
+      die("write dropped");
+    case Fault::kTruncate:
+      if (cut > 0) inner_->write_all(data.first(cut));
+      if (stats_ != nullptr) stats_->truncations.fetch_add(1);
+      die("write truncated");
+    case Fault::kFlip: {
+      if (stats_ != nullptr) stats_->flips.fetch_add(1);
+      Bytes mangled(data.begin(), data.end());
+      mangled[flip_bit / 8] ^= static_cast<std::uint8_t>(1u << (flip_bit % 8));
+      inner_->write_all(mangled);
+      return;
+    }
+  }
+}
+
+void FaultyTransport::close() noexcept {
+  dead_.store(true, std::memory_order_relaxed);
+  inner_->close();
+}
+
+void FaultyTransport::set_read_timeout(int ms) {
+  inner_->set_read_timeout(ms);
+}
+
+std::string FaultyTransport::peer() const {
+  return inner_->peer() + " (faulty)";
+}
+
+}  // namespace ipd

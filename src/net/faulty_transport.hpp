@@ -1,0 +1,92 @@
+// Fault-injecting transport decorator: the chaos half of the test rig.
+//
+// Wraps any Transport and, with seeded deterministic randomness, injects
+// the failures a slow radio link actually produces:
+//
+//   * drops       — the connection dies before an operation completes;
+//   * truncations — a write delivers only a prefix, then the link dies
+//                   (the peer sees a torn final frame);
+//   * bit flips   — one bit of in-flight data is inverted (caught by the
+//                   per-frame CRC-32C on the receiving side);
+//   * delays      — transfer time modelled through the existing
+//                   device/channel ChannelModel, scaled so tests finish.
+//
+// A faulted connection stays dead: further operations throw
+// TransportError, and the inner transport is closed so the peer observes
+// EOF — exactly what the OTA client's retry/resume loop must absorb.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/rng.hpp"
+#include "device/channel.hpp"
+#include "net/transport.hpp"
+
+namespace ipd {
+
+struct FaultOptions {
+  std::uint64_t seed = 1;
+  /// Per-operation probability the connection dies cleanly (read: EOF
+  /// path on the peer; this side: TransportError).
+  double drop_rate = 0;
+  /// Per-write probability only a prefix is delivered before death.
+  double truncate_rate = 0;
+  /// Per-operation probability one random bit of the data is flipped.
+  double flip_rate = 0;
+  /// Operations (reads + writes) performed fault-free before injection
+  /// starts; lets the handshake through so tests exercise mid-transfer
+  /// faults rather than pure connect storms.
+  std::size_t grace_ops = 4;
+  /// Deterministic kill switch (0 = off): after this many bytes total
+  /// (reads + writes) the link dies, delivering only the in-budget
+  /// prefix of the crossing operation. Unlike the probabilistic rates
+  /// this does not depend on how TCP chunks the stream, so "die N bytes
+  /// into the transfer" tests are reproducible.
+  std::uint64_t kill_after_bytes = 0;
+  /// When set, every operation sleeps channel->transfer_seconds(bytes) *
+  /// time_scale — the bench/e2e knob for "28.8k modem, but fast".
+  const ChannelModel* channel = nullptr;
+  double time_scale = 0;
+};
+
+/// Counters shared by every FaultyTransport created from the same test
+/// scenario, so assertions can demand "faults actually happened".
+struct FaultStats {
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> truncations{0};
+  std::atomic<std::uint64_t> flips{0};
+
+  std::uint64_t total() const noexcept {
+    return drops.load() + truncations.load() + flips.load();
+  }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `stats` may be null; it must outlive the transport otherwise.
+  FaultyTransport(std::unique_ptr<Transport> inner,
+                  const FaultOptions& options, FaultStats* stats = nullptr);
+
+  std::size_t read_some(MutByteView out) override;
+  void write_all(ByteView data) override;
+  void close() noexcept override;
+  void set_read_timeout(int ms) override;
+  std::string peer() const override;
+
+ private:
+  void throttle(std::size_t bytes);
+  [[noreturn]] void die(const char* what);
+
+  std::unique_ptr<Transport> inner_;
+  FaultOptions options_;
+  FaultStats* stats_;
+  std::mutex mutex_;  // guards rng_, ops_, bytes_ (close() may race a read)
+  Rng rng_;
+  std::size_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace ipd

@@ -1,0 +1,128 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "core/checksum.hpp"
+
+namespace ipd {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'I', 'P', 'D', 'F'};
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kMetrics);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kGetDelta: return "GET_DELTA";
+    case FrameType::kResume: return "RESUME";
+    case FrameType::kDeltaBegin: return "DELTA_BEGIN";
+    case FrameType::kDeltaData: return "DELTA_DATA";
+    case FrameType::kDeltaEnd: return "DELTA_END";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kMetricsReq: return "METRICS_REQ";
+    case FrameType::kMetrics: return "METRICS";
+  }
+  return "?";
+}
+
+Bytes encode_frame(FrameType type, ByteView payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ValidationError("frame payload too large: " +
+                          std::to_string(payload.size()) + " > " +
+                          std::to_string(kMaxFramePayload));
+  }
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32c(out));
+  return out;
+}
+
+void FrameReader::feed(ByteView chunk) {
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* head = pending_.data() + pos_;
+  if (std::memcmp(head, kMagic, 4) != 0) {
+    throw FormatError("frame: bad magic");
+  }
+  if (head[4] != kProtocolVersion) {
+    throw FormatError("frame: unsupported protocol version " +
+                      std::to_string(head[4]));
+  }
+  if (!valid_type(head[5])) {
+    throw FormatError("frame: unknown type " + std::to_string(head[5]));
+  }
+  if (head[6] != 0 || head[7] != 0) {
+    throw FormatError("frame: nonzero reserved bytes");
+  }
+  const std::uint32_t len = get_u32(head + 8);
+  if (len > kMaxFramePayload) {
+    throw FormatError("frame: payload length " + std::to_string(len) +
+                      " exceeds limit");
+  }
+  const std::size_t total = kFrameHeaderSize + len + kFrameTrailerSize;
+  if (buffered() < total) return std::nullopt;
+  const std::uint32_t wire_crc = get_u32(head + kFrameHeaderSize + len);
+  const std::uint32_t computed =
+      crc32c(ByteView(head, kFrameHeaderSize + len));
+  if (wire_crc != computed) {
+    throw FormatError("frame: CRC mismatch (corrupted in transit)");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(head[5]);
+  frame.payload.assign(head + kFrameHeaderSize, head + kFrameHeaderSize + len);
+  pos_ += total;
+  ++decoded_;
+  compact();
+  return frame;
+}
+
+void FrameReader::finish() const {
+  if (buffered() != 0) {
+    throw FormatError("frame: stream truncated mid-frame (" +
+                      std::to_string(buffered()) + " trailing bytes)");
+  }
+}
+
+void FrameReader::compact() {
+  // Drop consumed bytes once they dominate the buffer; amortized O(1).
+  if (pos_ > 4096 && pos_ * 2 > pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace ipd

@@ -1,0 +1,89 @@
+// Length-framed wire format for the delta distribution protocol.
+//
+// Everything that crosses a transport is a frame:
+//
+//   offset size
+//   0      4    magic "IPDF" (0x49 0x50 0x44 0x46)
+//   4      1    protocol version (kProtocolVersion)
+//   5      1    frame type (FrameType)
+//   6      2    reserved, must be zero
+//   8      4    payload length, little-endian
+//   12     N    payload (message body, see protocol.hpp)
+//   12+N   4    CRC-32C over bytes [0, 12+N), little-endian
+//
+// The per-frame CRC-32C (core/checksum) is what makes the transport
+// fault-tolerant: a bit flipped anywhere in flight is caught *before* the
+// payload reaches the streaming applier, so a device never feeds corrupt
+// bytes into the only copy of its image. A frame that fails its CRC
+// poisons the whole connection (FormatError) — the peer cannot trust any
+// subsequent byte boundary — and recovery is reconnect + RESUME.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::size_t kFrameTrailerSize = 4;
+/// Upper bound on a frame payload; a peer announcing more is corrupt or
+/// hostile and is rejected before any allocation.
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       ///< client greeting: version + chunk preference
+  kHelloAck = 2,    ///< server reply: version + history extent
+  kGetDelta = 3,    ///< request the upgrade artifact for (from, to)
+  kResume = 4,      ///< re-request an artifact from a byte offset
+  kDeltaBegin = 5,  ///< artifact metadata, precedes its data frames
+  kDeltaData = 6,   ///< one chunk of artifact bytes
+  kDeltaEnd = 7,    ///< artifact trailer: total size + checksum
+  kError = 8,       ///< structured failure (code + text)
+  kMetricsReq = 9,  ///< ask the server for its metrics snapshot
+  kMetrics = 10,    ///< metrics snapshot text
+};
+
+const char* frame_type_name(FrameType type) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  Bytes payload;
+};
+
+/// Serialize one frame (header + payload + CRC-32C trailer).
+/// Throws ValidationError if payload exceeds kMaxFramePayload.
+Bytes encode_frame(FrameType type, ByteView payload);
+
+/// Incremental frame parser: feed transport bytes in any chunking, pop
+/// complete verified frames. Malformed input (bad magic, version, type,
+/// oversized length, CRC mismatch) throws FormatError; incomplete input
+/// just waits for more bytes.
+class FrameReader {
+ public:
+  void feed(ByteView chunk);
+
+  /// Next complete frame, or std::nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Declare end-of-stream: throws FormatError if a partial frame is
+  /// still buffered (the stream was truncated mid-frame).
+  void finish() const;
+
+  /// Bytes buffered but not yet consumed by a completed frame.
+  std::size_t buffered() const noexcept { return pending_.size() - pos_; }
+
+  /// Frames successfully decoded so far.
+  std::uint64_t frames_decoded() const noexcept { return decoded_; }
+
+ private:
+  void compact();
+
+  Bytes pending_;
+  std::size_t pos_ = 0;
+  std::uint64_t decoded_ = 0;
+};
+
+}  // namespace ipd

@@ -1,0 +1,46 @@
+#include "net/loopback_transport.hpp"
+
+#include <algorithm>
+
+namespace ipd {
+
+namespace detail {
+
+std::size_t LoopbackEndpoint::read_some(MutByteView out) {
+  if (out.empty()) return 0;
+  std::unique_lock<std::mutex> lock(core_->mutex);
+  std::deque<std::uint8_t>& queue = is_a_ ? core_->b_to_a : core_->a_to_b;
+  core_->cv.wait(lock, [&] { return !queue.empty() || core_->closed; });
+  if (queue.empty()) return 0;  // closed and drained: EOF
+  const std::size_t n = std::min(out.size(), queue.size());
+  std::copy_n(queue.begin(), n, out.begin());
+  queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+void LoopbackEndpoint::write_all(ByteView data) {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  if (core_->closed) {
+    throw TransportError("loopback: write to closed connection");
+  }
+  std::deque<std::uint8_t>& queue = is_a_ ? core_->a_to_b : core_->b_to_a;
+  queue.insert(queue.end(), data.begin(), data.end());
+  core_->cv.notify_all();
+}
+
+void LoopbackEndpoint::close() noexcept {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  core_->closed = true;
+  core_->cv.notify_all();
+}
+
+}  // namespace detail
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair() {
+  auto core = std::make_shared<detail::LoopbackCore>();
+  return {std::make_unique<detail::LoopbackEndpoint>(core, true),
+          std::make_unique<detail::LoopbackEndpoint>(core, false)};
+}
+
+}  // namespace ipd

@@ -1,0 +1,55 @@
+// Deterministic in-memory transport pair for tests.
+//
+// make_loopback_pair() returns two connected endpoints: bytes written to
+// one are readable from the other, FIFO, with no sockets, no timing, and
+// no partial-delivery surprises beyond what the reader asks for. close()
+// on either end wakes blocked readers on both; a reader drains whatever
+// was written before the close, then sees EOF — exactly the TCP
+// semantics the protocol code must handle, minus the nondeterminism.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/transport.hpp"
+
+namespace ipd {
+
+/// Create a connected endpoint pair. Both endpoints share state; either
+/// may outlive the other.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+namespace detail {
+
+/// Shared state of one loopback connection: two directed byte queues.
+struct LoopbackCore {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> a_to_b;
+  std::deque<std::uint8_t> b_to_a;
+  bool closed = false;  ///< either side hung up
+};
+
+class LoopbackEndpoint final : public Transport {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackCore> core, bool is_a)
+      : core_(std::move(core)), is_a_(is_a) {}
+  ~LoopbackEndpoint() override { close(); }
+
+  std::size_t read_some(MutByteView out) override;
+  void write_all(ByteView data) override;
+  void close() noexcept override;
+  std::string peer() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<LoopbackCore> core_;
+  bool is_a_;
+};
+
+}  // namespace detail
+
+}  // namespace ipd

@@ -1,0 +1,329 @@
+#include "net/ota_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <variant>
+
+#include "apply/stream_applier.hpp"
+#include "core/checksum.hpp"
+
+namespace ipd {
+
+namespace {
+
+/// Receive one message, translating the failure modes: clean EOF and
+/// server-busy are retryable (TransportError); any other ERROR frame is
+/// a permanent protocol answer and escapes the retry loop as Error.
+Message expect_message(FramedConnection& conn) {
+  std::optional<Message> message = conn.receive();
+  if (!message) {
+    throw TransportError("server closed the connection mid-conversation");
+  }
+  if (const auto* err = std::get_if<ErrorMsg>(&*message)) {
+    if (err->code == ErrorCode::kBusy) {
+      throw TransportError("server busy: " + err->message);
+    }
+    throw Error("server error: " + err->message);
+  }
+  return std::move(*message);
+}
+
+template <typename T>
+T expect(FramedConnection& conn, const char* what) {
+  Message message = expect_message(conn);
+  if (T* typed = std::get_if<T>(&message)) return std::move(*typed);
+  throw Error(std::string("protocol violation: expected ") + what);
+}
+
+}  // namespace
+
+OtaClient::OtaClient(TransportFactory factory, const OtaClientOptions& options,
+                     ServiceMetrics* metrics)
+    : factory_(std::move(factory)), options_(options), metrics_(metrics) {}
+
+OtaClient::Session OtaClient::connect_session() {
+  Session session;
+  session.transport = factory_();
+  if (session.transport == nullptr) {
+    throw TransportError("transport factory returned no connection");
+  }
+  if (options_.read_timeout_ms > 0) {
+    session.transport->set_read_timeout(options_.read_timeout_ms);
+  }
+  session.conn = std::make_unique<FramedConnection>(*session.transport);
+  session.conn->send(HelloMsg{kProtocolVersion, options_.max_chunk});
+  const auto ack = expect<HelloAckMsg>(*session.conn, "HELLO_ACK");
+  if (ack.protocol_version != kProtocolVersion) {
+    throw Error("server speaks protocol version " +
+                std::to_string(ack.protocol_version) + ", we speak " +
+                std::to_string(kProtocolVersion));
+  }
+  return session;
+}
+
+void OtaClient::backoff(std::size_t attempt, OtaReport& report) {
+  ++report.retries;
+  if (metrics_ != nullptr) {
+    metrics_->net_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  const int shift = attempt > 16 ? 16 : static_cast<int>(attempt);
+  const long long ms =
+      std::min<long long>(static_cast<long long>(options_.backoff_initial_ms)
+                              << (shift - 1),
+                          options_.backoff_max_ms);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+OtaReport OtaClient::update_streaming(Bytes& image, ReleaseId current,
+                                      ReleaseId target) {
+  OtaReport report;
+  while (current < target) {
+    current = stream_hop(image, current, target, report);
+    ++report.hops;
+  }
+  report.final_release = current;
+  return report;
+}
+
+ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
+                                ReleaseId target, OtaReport& report) {
+  // Hop state lives across attempts: the applier's consumed-byte count
+  // *is* the resume offset, so a reconnect continues mid-command without
+  // re-applying anything.
+  DeltaBeginMsg meta;
+  std::unique_ptr<StreamingInplaceApplier> applier;
+  std::uint64_t received = 0;
+  bool begun = false;
+
+  std::size_t attempt = 0;
+  for (;;) {
+    Session session;
+    try {
+      session = connect_session();
+      FramedConnection& conn = *session.conn;
+      if (!begun) {
+        conn.send(GetDeltaMsg{current, target});
+      } else {
+        ++report.resumes;
+        conn.send(ResumeMsg{meta.from, meta.to, received, meta.artifact_crc});
+      }
+      const auto begin = expect<DeltaBeginMsg>(conn, "DELTA_BEGIN");
+      if (!begun) {
+        if (begin.from != current || begin.start_offset != 0 ||
+            begin.to <= current) {
+          throw Error("protocol violation: DELTA_BEGIN does not match the "
+                      "request");
+        }
+        meta = begin;
+        if (begin.full_image) {
+          image.resize(static_cast<std::size_t>(
+              std::max<std::uint64_t>(image.size(), begin.version_length)));
+        } else {
+          image.resize(static_cast<std::size_t>(std::max(
+              begin.reference_length, begin.version_length)));
+          applier = std::make_unique<StreamingInplaceApplier>(
+              MutByteView(image));
+        }
+        begun = true;
+      } else if (begin.artifact_crc != meta.artifact_crc ||
+                 begin.start_offset != received) {
+        // The server refused or mangled the resume; the partially
+        // applied image cannot absorb a different artifact.
+        throw Error("resume mismatch: server offered a different artifact "
+                    "or offset");
+      }
+
+      for (;;) {
+        Message message = expect_message(conn);
+        if (auto* data = std::get_if<DeltaDataMsg>(&message)) {
+          if (data->offset != received) {
+            throw Error("protocol violation: DELTA_DATA at offset " +
+                        std::to_string(data->offset) + ", expected " +
+                        std::to_string(received));
+          }
+          if (applier != nullptr) {
+            try {
+              applier->feed(data->data);
+            } catch (const Error& e) {
+              // Frame CRCs passed, so these bytes are what the server
+              // sent: the artifact itself is bad. Retrying cannot help
+              // and the buffer is poisoned — fail the update loudly.
+              throw Error(std::string("artifact rejected mid-stream: ") +
+                          e.what());
+            }
+          } else {
+            std::copy(data->data.begin(), data->data.end(),
+                      image.begin() + static_cast<std::ptrdiff_t>(
+                                          data->offset));
+          }
+          received += data->data.size();
+          report.artifact_bytes += data->data.size();
+        } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
+          if (end->total_size != received ||
+              end->artifact_crc != meta.artifact_crc) {
+            throw TransportError("artifact ended early (" +
+                                 std::to_string(received) + " of " +
+                                 std::to_string(end->total_size) +
+                                 " bytes)");
+          }
+          if (applier != nullptr) {
+            if (!applier->finished()) {
+              throw Error("artifact complete on the wire but the delta "
+                          "stream did not finish: truncated or corrupt "
+                          "container");
+            }
+          } else if (crc32c(ByteView(image.data(),
+                                     static_cast<std::size_t>(
+                                         meta.version_length))) !=
+                     meta.artifact_crc) {
+            throw Error("full image failed its checksum after reassembly");
+          }
+          image.resize(static_cast<std::size_t>(meta.version_length));
+          report.bytes_received += conn.bytes_received();
+          return meta.to;
+        } else {
+          throw Error("protocol violation: unexpected frame inside a "
+                      "transfer");
+        }
+      }
+    } catch (const TransportError&) {
+      // fall through to retry
+    } catch (const FormatError&) {
+      // corrupt frame (e.g. injected bit flip) — stream unusable, resume
+    }
+    if (session.conn != nullptr) {
+      report.bytes_received += session.conn->bytes_received();
+    }
+    ++attempt;
+    if (attempt >= options_.max_attempts) {
+      throw Error("update failed after " + std::to_string(attempt) +
+                  " attempts (hop " + std::to_string(current) + " -> " +
+                  std::to_string(target) + ")");
+    }
+    backoff(attempt, report);
+  }
+}
+
+void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
+                             ReleaseId target, OtaReport& report) {
+  if (journal.active && journal.total_size > 0 &&
+      journal.received.size() == journal.total_size) {
+    return;  // download already complete; only the apply is pending
+  }
+  std::size_t attempt = 0;
+  for (;;) {
+    Session session;
+    try {
+      session = connect_session();
+      FramedConnection& conn = *session.conn;
+      if (!journal.active) {
+        conn.send(GetDeltaMsg{current, target});
+      } else {
+        ++report.resumes;
+        conn.send(ResumeMsg{journal.from, journal.hop_to,
+                            journal.received.size(), journal.artifact_crc});
+      }
+      const auto begin = expect<DeltaBeginMsg>(conn, "DELTA_BEGIN");
+      if (!journal.active) {
+        if (begin.from != current || begin.start_offset != 0 ||
+            begin.to <= current) {
+          throw Error("protocol violation: DELTA_BEGIN does not match the "
+                      "request");
+        }
+        journal.active = true;
+        journal.from = begin.from;
+        journal.hop_to = begin.to;
+        journal.full_image = begin.full_image != 0;
+        journal.total_size = begin.total_size;
+        journal.reference_length = begin.reference_length;
+        journal.version_length = begin.version_length;
+        journal.artifact_crc = begin.artifact_crc;
+        journal.received.clear();
+        journal.received.reserve(
+            static_cast<std::size_t>(begin.total_size));
+      } else if (begin.artifact_crc != journal.artifact_crc ||
+                 begin.start_offset != journal.received.size()) {
+        throw Error("resume mismatch: server offered a different artifact "
+                    "or offset");
+      }
+
+      for (;;) {
+        Message message = expect_message(conn);
+        if (auto* data = std::get_if<DeltaDataMsg>(&message)) {
+          if (data->offset != journal.received.size()) {
+            throw Error("protocol violation: DELTA_DATA out of order");
+          }
+          journal.received.insert(journal.received.end(), data->data.begin(),
+                                  data->data.end());
+        } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
+          if (end->total_size != journal.received.size() ||
+              end->artifact_crc != journal.artifact_crc) {
+            throw TransportError("artifact ended early");
+          }
+          // Defense in depth: per-frame CRCs already vetted every chunk,
+          // but the whole-artifact checksum is what the device trusts
+          // before it starts destroying its only reference copy.
+          if (crc32c(journal.received) != journal.artifact_crc) {
+            throw Error("artifact failed its end-to-end checksum");
+          }
+          report.bytes_received += conn.bytes_received();
+          report.artifact_bytes += journal.received.size();
+          return;
+        } else {
+          throw Error("protocol violation: unexpected frame inside a "
+                      "transfer");
+        }
+      }
+    } catch (const TransportError&) {
+    } catch (const FormatError&) {
+    }
+    if (session.conn != nullptr) {
+      report.bytes_received += session.conn->bytes_received();
+    }
+    ++attempt;
+    if (attempt >= options_.max_attempts) {
+      throw Error("download failed after " + std::to_string(attempt) +
+                  " attempts (hop " + std::to_string(current) + " -> " +
+                  std::to_string(target) + ")");
+    }
+    backoff(attempt, report);
+  }
+}
+
+OtaReport OtaClient::update_device(FlashDevice& device,
+                                   const JournalRegion& journal,
+                                   ReleaseId current, ReleaseId target,
+                                   const ChannelModel& channel,
+                                   TransferJournal* transfer) {
+  OtaReport report;
+  TransferJournal local;
+  TransferJournal& tj = transfer != nullptr ? *transfer : local;
+  if (tj.active && tj.from != current) {
+    tj = TransferJournal{};  // journal from another lifetime — discard
+  }
+  while (current < target) {
+    download_hop(tj, current, target, report);
+    if (tj.full_image) {
+      // Idempotent: a torn write is simply redone on the next call.
+      device.write(0, tj.received);
+    } else {
+      // PowerFailure propagates with `tj` intact; the next call skips
+      // the download and the flash journal resumes the apply.
+      apply_update_resumable(device, tj.received, channel, journal);
+    }
+    ++report.hops;
+    current = tj.hop_to;
+    tj = TransferJournal{};
+  }
+  report.final_release = current;
+  return report;
+}
+
+std::string OtaClient::fetch_metrics() {
+  Session session = connect_session();
+  session.conn->send(MetricsReqMsg{});
+  return expect<MetricsMsg>(*session.conn, "METRICS").text;
+}
+
+}  // namespace ipd

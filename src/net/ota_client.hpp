@@ -1,0 +1,132 @@
+// OtaClient: the device side of the wire protocol — stream an upgrade
+// over an unreliable link and survive everything the link does to you.
+//
+// Two consumption modes, matching the two device stories in the repo:
+//
+//  * update_streaming() — DELTA_DATA chunks are fed straight into a
+//    StreamingInplaceApplier as they arrive, so peak RAM is one command
+//    plus parser state (the paper's §1 constrained-device budget). The
+//    applier's position doubles as the transfer journal: after a drop,
+//    truncation, or detected bit flip the client reconnects with capped
+//    exponential backoff and sends RESUME at exactly the byte it has
+//    already applied — nothing is re-transferred, nothing is re-applied.
+//
+//  * update_device() — each hop's artifact is first downloaded into a
+//    TransferJournal (resumable at byte granularity across connection
+//    faults AND client restarts: hand the same journal to a fresh
+//    client and it picks up at the journaled offset), then applied to
+//    the FlashDevice through device/resumable_updater, whose on-flash
+//    journal makes the apply itself power-failure tolerant. A simulated
+//    PowerFailure propagates; call update_device() again with the same
+//    arguments to resume both halves.
+//
+// Both modes upgrade hop by hop: the server streams one artifact per
+// request (the first step of its chosen route), the client applies it
+// and asks again from its new release until it runs the target.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "device/resumable_updater.hpp"
+#include "net/transport.hpp"
+#include "server/metrics.hpp"
+
+namespace ipd {
+
+struct OtaClientOptions {
+  /// Connection attempts per hop before giving up (first try included).
+  std::size_t max_attempts = 8;
+  /// Exponential backoff between attempts: initial * 2^k, capped.
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 250;
+  /// Largest DELTA_DATA payload requested in HELLO.
+  std::uint32_t max_chunk = 64u << 10;
+  /// Receive timeout per read; 0 = wait forever.
+  int read_timeout_ms = 10'000;
+};
+
+/// What one update cost, for reports and assertions.
+struct OtaReport {
+  ReleaseId final_release = 0;
+  std::size_t hops = 0;          ///< artifacts applied
+  std::size_t retries = 0;       ///< reconnects forced by faults
+  std::size_t resumes = 0;       ///< RESUME requests issued
+  std::uint64_t bytes_received = 0;   ///< wire bytes read (all attempts)
+  std::uint64_t artifact_bytes = 0;   ///< payload bytes applied
+};
+
+/// Download-side journal for update_device(): persists the hop metadata
+/// and the artifact prefix received so far. Owned by the caller — on a
+/// real device this lives in NVRAM next to the apply journal — so a
+/// client killed mid-transfer resumes from the journaled offset after
+/// "reboot" (a fresh OtaClient handed the same journal).
+struct TransferJournal {
+  bool active = false;
+  ReleaseId from = 0;
+  ReleaseId hop_to = 0;
+  bool full_image = false;
+  std::uint64_t total_size = 0;
+  std::uint64_t reference_length = 0;
+  std::uint64_t version_length = 0;
+  std::uint32_t artifact_crc = 0;
+  Bytes received;  ///< artifact prefix; received.size() is the offset
+};
+
+class OtaClient {
+ public:
+  /// Fresh connection to the server; called once per attempt, so wrap
+  /// the result in FaultyTransport here to test fault recovery.
+  using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+
+  /// `metrics` (optional) receives net_retries increments so an
+  /// in-process fleet shows up in the server's snapshot; pass the
+  /// serving ServiceMetrics or your own block.
+  explicit OtaClient(TransportFactory factory,
+                     const OtaClientOptions& options = {},
+                     ServiceMetrics* metrics = nullptr);
+
+  /// Upgrade `image` (holding release `current`'s bytes) to `target`
+  /// in place, streaming each hop through StreamingInplaceApplier.
+  /// Throws Error when out of attempts or on a non-retryable failure;
+  /// the image may then hold a partially-applied hop (the reason
+  /// devices that cannot re-download pair this with update_device()).
+  OtaReport update_streaming(Bytes& image, ReleaseId current,
+                             ReleaseId target);
+
+  /// Upgrade a FlashDevice holding release `current` to `target`:
+  /// download each hop into `transfer` (resumable), then apply with the
+  /// journaled updater (`journal` is the on-flash journal region).
+  /// FlashDevice::PowerFailure propagates — call again to resume.
+  /// `transfer` may be null for a throwaway in-call journal.
+  OtaReport update_device(FlashDevice& device, const JournalRegion& journal,
+                          ReleaseId current, ReleaseId target,
+                          const ChannelModel& channel,
+                          TransferJournal* transfer = nullptr);
+
+  /// One-shot METRICS_REQ round trip: the server's snapshot text.
+  std::string fetch_metrics();
+
+ private:
+  struct Session {
+    std::unique_ptr<Transport> transport;
+    std::unique_ptr<FramedConnection> conn;
+  };
+
+  Session connect_session();
+  void backoff(std::size_t attempt, OtaReport& report);
+  /// Stream one hop into `image`, resuming across faults; returns the
+  /// release the image holds afterwards.
+  ReleaseId stream_hop(Bytes& image, ReleaseId current, ReleaseId target,
+                       OtaReport& report);
+  /// Download one hop's artifact into `journal`, resuming at its
+  /// current offset; returns when the artifact is complete + verified.
+  void download_hop(TransferJournal& journal, ReleaseId current,
+                    ReleaseId target, OtaReport& report);
+
+  TransportFactory factory_;
+  OtaClientOptions options_;
+  ServiceMetrics* metrics_;
+};
+
+}  // namespace ipd

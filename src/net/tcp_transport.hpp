@@ -1,0 +1,69 @@
+// Real POSIX TCP implementation of the Transport interface.
+//
+// Blocking sockets, one per session. close() uses shutdown(2) rather
+// than close(2) so a read blocked on another thread wakes immediately
+// without an fd-reuse race; the descriptor is released only by the
+// destructor. Idle timeouts map to SO_RCVTIMEO. The listener's accept
+// loop polls with a short timeout so stop requests take effect promptly
+// and deterministically on every platform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "net/transport.hpp"
+
+namespace ipd {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Connect to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  /// Throws TransportError on failure.
+  static std::unique_ptr<TcpTransport> connect(const std::string& host,
+                                               std::uint16_t port);
+
+  /// Adopt an already-connected descriptor (listener side).
+  TcpTransport(int fd, std::string peer);
+  ~TcpTransport() override;
+
+  std::size_t read_some(MutByteView out) override;
+  void write_all(ByteView data) override;
+  void close() noexcept override;
+  void set_read_timeout(int ms) override;
+  std::string peer() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::string peer_;
+};
+
+class TcpListener {
+ public:
+  /// Bind and listen on 127.0.0.1:`port`; 0 picks an ephemeral port
+  /// (read it back with port()). Throws TransportError on failure —
+  /// callers in sandboxed environments should treat that as "no network
+  /// here" and skip, not crash.
+  explicit TcpListener(std::uint16_t port, int backlog = 64);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block (in ~100 ms polls) for the next connection; nullptr once
+  /// close() has been called. Throws TransportError on accept failure.
+  std::unique_ptr<TcpTransport> accept();
+
+  /// Stop accepting; a blocked accept() returns nullptr within one poll.
+  void close() noexcept;
+
+ private:
+  int fd_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace ipd

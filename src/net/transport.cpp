@@ -1,0 +1,33 @@
+#include "net/transport.hpp"
+
+namespace ipd {
+
+std::optional<Message> FramedConnection::receive() {
+  for (;;) {
+    if (std::optional<Frame> frame = reader_.next()) {
+      return decode_message(*frame);
+    }
+    std::uint8_t buf[16 << 10];
+    const std::size_t n = transport_.read_some(MutByteView(buf, sizeof buf));
+    if (n == 0) {
+      // Clean EOF mid-frame is a truncation, not a quiet goodbye.
+      reader_.finish();
+      return std::nullopt;
+    }
+    bytes_received_ += n;
+    reader_.feed(ByteView(buf, n));
+  }
+}
+
+std::size_t FramedConnection::send(const Message& message) {
+  return send_encoded(encode_message(message));
+}
+
+std::size_t FramedConnection::send_encoded(ByteView wire) {
+  transport_.write_all(wire);
+  bytes_sent_ += wire.size();
+  ++frames_sent_;
+  return wire.size();
+}
+
+}  // namespace ipd

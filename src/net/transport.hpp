@@ -1,0 +1,84 @@
+// Byte-stream transport abstraction the protocol runs over.
+//
+// Three implementations ship: real POSIX TCP (net/tcp_transport.hpp), a
+// deterministic in-memory loopback for tests (net/loopback_transport.hpp),
+// and a fault-injecting decorator (net/faulty_transport.hpp). The server
+// and OTA client are written against this interface only, so every
+// protocol path can be exercised without a socket — and every fault the
+// decorator can invent is, by construction, survivable by the same code
+// that runs in production.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace ipd {
+
+/// Connection-level failure: reset, timeout, injected fault, write to a
+/// closed peer. Distinct from FormatError (corrupt bytes that *arrived*);
+/// both are retryable from the OTA client's point of view.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Block until at least one byte is available; return the number of
+  /// bytes placed in `out`. 0 means clean end-of-stream. Throws
+  /// TransportError on connection failure or read timeout.
+  virtual std::size_t read_some(MutByteView out) = 0;
+
+  /// Write all of `data` (handling partial writes). Throws TransportError.
+  virtual void write_all(ByteView data) = 0;
+
+  /// Shut the connection down; a blocked read_some on another thread
+  /// returns/throws promptly. Idempotent and thread-safe.
+  virtual void close() noexcept = 0;
+
+  /// Bound how long read_some blocks; 0 disables. Default: unsupported
+  /// no-op (the loopback pair is never idle in tests that use it).
+  virtual void set_read_timeout(int /*ms*/) {}
+
+  /// Peer description for diagnostics ("127.0.0.1:4242", "loopback", ...).
+  virtual std::string peer() const = 0;
+};
+
+/// One protocol conversation over a transport: pumps frames in and out
+/// and keeps the byte/frame accounting the server metrics report.
+class FramedConnection {
+ public:
+  explicit FramedConnection(Transport& transport) : transport_(transport) {}
+
+  /// Next decoded message, or std::nullopt on clean end-of-stream.
+  /// Throws FormatError on a corrupt frame, TransportError on failure.
+  std::optional<Message> receive();
+
+  /// Encode and write one message; returns wire bytes written.
+  std::size_t send(const Message& message);
+
+  /// Write an already-encoded frame (encode_message output); lets a
+  /// caller know the wire size before any byte hits the transport.
+  std::size_t send_encoded(ByteView wire);
+
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+  std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+
+  Transport& transport() noexcept { return transport_; }
+
+ private:
+  Transport& transport_;
+  FrameReader reader_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t frames_sent_ = 0;
+};
+
+}  // namespace ipd

@@ -137,7 +137,7 @@ ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {
 
 std::string DeltaService::metrics_text() const {
   const DeltaCache::Stats stats = cache_.stats();
-  std::string text = metrics_.to_text();
+  std::string text = metrics_.snapshot();
   text += "bytes cached:      " + std::to_string(stats.bytes_held) + " of " +
           std::to_string(cache_.byte_budget()) + " budget (" +
           std::to_string(stats.entries) + " entries, " +

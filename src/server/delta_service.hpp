@@ -85,6 +85,9 @@ class DeltaService {
   ServeResult serve(ReleaseId from, ReleaseId to);
 
   const ServiceMetrics& metrics() const noexcept { return metrics_; }
+  /// The release history this service fronts (HELLO advertises its
+  /// extent to wire clients).
+  const VersionStore& store() const noexcept { return store_; }
   /// Mutable access for bench warm-up/measure phase boundaries (reset()).
   ServiceMetrics& metrics() noexcept { return metrics_; }
   const DeltaCache& cache() const noexcept { return cache_; }

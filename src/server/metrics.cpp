@@ -12,13 +12,13 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) noexcept {
 
 }  // namespace
 
-std::string ServiceMetrics::to_text() const {
+std::string ServiceMetrics::snapshot() const {
   const std::uint64_t n_builds = load(builds);
   const double mean_build_ms =
       n_builds == 0 ? 0.0
                     : static_cast<double>(load(build_ns)) / 1e6 /
                           static_cast<double>(n_builds);
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "requests:          %llu\n"
@@ -28,7 +28,12 @@ std::string ServiceMetrics::to_text() const {
       "builds:            %llu (mean %.2f ms)\n"
       "bytes served:      %llu\n"
       "served as delta:   %llu direct, %llu chain, %llu full image\n"
-      "cache evictions:   %llu (+%llu oversized rejects)\n",
+      "cache evictions:   %llu (+%llu oversized)\n"
+      "net sessions:      %llu (+%llu rejected)\n"
+      "net frames sent:   %llu (%llu bytes)\n"
+      "net resumes:       %llu\n"
+      "net retries:       %llu\n"
+      "net errors sent:   %llu\n",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(cache_hits)), 100.0 * hit_rate(),
       static_cast<unsigned long long>(load(cache_misses)),
@@ -39,7 +44,14 @@ std::string ServiceMetrics::to_text() const {
       static_cast<unsigned long long>(load(chains_served)),
       static_cast<unsigned long long>(load(full_images_served)),
       static_cast<unsigned long long>(load(evictions)),
-      static_cast<unsigned long long>(load(rejected_inserts)));
+      static_cast<unsigned long long>(load(rejected_inserts)),
+      static_cast<unsigned long long>(load(net_sessions)),
+      static_cast<unsigned long long>(load(net_rejected)),
+      static_cast<unsigned long long>(load(net_frames_sent)),
+      static_cast<unsigned long long>(load(net_bytes_sent)),
+      static_cast<unsigned long long>(load(net_resumes)),
+      static_cast<unsigned long long>(load(net_retries)),
+      static_cast<unsigned long long>(load(net_errors)));
   return buf;
 }
 
@@ -47,7 +59,9 @@ void ServiceMetrics::reset() noexcept {
   for (std::atomic<std::uint64_t>* a :
        {&requests, &cache_hits, &cache_misses, &coalesced_waits, &builds,
         &build_ns, &bytes_served, &deltas_served, &chains_served,
-        &full_images_served, &evictions, &rejected_inserts}) {
+        &full_images_served, &evictions, &rejected_inserts, &net_sessions,
+        &net_rejected, &net_bytes_sent, &net_frames_sent, &net_resumes,
+        &net_retries, &net_errors}) {
     a->store(0, std::memory_order_relaxed);
   }
 }

@@ -27,8 +27,18 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> evictions{0};       ///< cache entries dropped
   std::atomic<std::uint64_t> rejected_inserts{0};///< entry > shard budget
 
-  /// Multi-line human-readable snapshot (benches, CLI `serve`).
-  std::string to_text() const;
+  // Wire transport (src/net/ DeltaServer / OtaClient) counters.
+  std::atomic<std::uint64_t> net_sessions{0};     ///< connections served
+  std::atomic<std::uint64_t> net_rejected{0};     ///< over connection limit
+  std::atomic<std::uint64_t> net_bytes_sent{0};   ///< wire bytes written
+  std::atomic<std::uint64_t> net_frames_sent{0};  ///< frames written
+  std::atomic<std::uint64_t> net_resumes{0};      ///< RESUME transfers honored
+  std::atomic<std::uint64_t> net_retries{0};      ///< client attempts after a fault
+  std::atomic<std::uint64_t> net_errors{0};       ///< ERROR frames sent
+
+  /// Multi-line human-readable snapshot (benches, CLI `serve`). Names
+  /// every counter exactly once (asserted by tests/test_server.cpp).
+  std::string snapshot() const;
 
   /// Zero every counter (bench warm-up/measure phase boundary).
   void reset() noexcept;

@@ -1,0 +1,308 @@
+// End-to-end acceptance tests (ctest label `net`): a DeltaServer on a
+// real localhost TCP socket, upgraded against by a multi-threaded client
+// fleet — clean links, fault-injected links, a client killed mid-transfer
+// and resumed from its journal, the connection limit, and the device-mode
+// power-failure story. Every path must end bit-identical to the release
+// bytes reconstructed directly.
+//
+// Environments without localhost sockets (heavily sandboxed CI) make
+// TcpListener::bind throw; these tests GTEST_SKIP in that case rather
+// than fail.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "net/delta_server.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/ota_client.hpp"
+#include "net/tcp_transport.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+std::vector<Bytes> make_history(std::size_t releases, std::uint64_t seed,
+                                std::size_t edits_per_release = 25,
+                                length_t size = 24 << 10) {
+  Rng rng(seed);
+  std::vector<Bytes> history;
+  history.push_back(generate_file(rng, size, FileProfile::kBinary));
+  MutationModel model;
+  model.length_scale = 48;
+  for (std::size_t i = 1; i < releases; ++i) {
+    history.push_back(mutate(history.back(), rng, edits_per_release, model));
+  }
+  return history;
+}
+
+/// A live TCP server over a published history, or skipped_ when the
+/// sandbox forbids localhost sockets.
+struct TcpRig {
+  VersionStore store;
+  std::unique_ptr<DeltaService> service;
+  std::unique_ptr<DeltaServer> server;
+  std::vector<Bytes> history;
+  bool skipped = false;
+
+  explicit TcpRig(std::size_t releases, std::uint64_t seed = 71,
+                  NetServerOptions net = {},
+                  std::size_t edits_per_release = 25) {
+    history = make_history(releases, seed, edits_per_release);
+    for (const Bytes& body : history) store.publish(body);
+    service = std::make_unique<DeltaService>(store, ServiceOptions{});
+    server = std::make_unique<DeltaServer>(*service, net);
+    try {
+      server->start();
+    } catch (const TransportError&) {
+      skipped = true;
+    }
+  }
+
+  OtaClient::TransportFactory factory() {
+    return [port = server->port()] {
+      return TcpTransport::connect("127.0.0.1", port);
+    };
+  }
+};
+
+#define SKIP_IF_NO_SOCKETS(rig)                              \
+  if ((rig).skipped) {                                       \
+    GTEST_SKIP() << "localhost sockets unavailable here";    \
+  }
+
+TEST(NetE2E, FleetUpgradesOverTcpBitIdentical) {
+  TcpRig rig(5);
+  SKIP_IF_NO_SOCKETS(rig);
+  constexpr std::size_t kClients = 8;
+  const ReleaseId target = static_cast<ReleaseId>(rig.history.size() - 1);
+
+  std::vector<Bytes> images(kClients);
+  std::vector<OtaReport> reports(kClients);
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> fleet;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    fleet.emplace_back([&, i] {
+      // Stragglers start at every release below the target.
+      const ReleaseId start = static_cast<ReleaseId>(i % target);
+      images[i] = rig.history[start];
+      OtaClient client(rig.factory());
+      try {
+        reports[i] = client.update_streaming(images[i], start, target);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    // Bit-identical to the release bytes reconstructed directly.
+    EXPECT_TRUE(test::bytes_equal(rig.history[target], images[i]))
+        << "client " << i;
+    EXPECT_EQ(reports[i].final_release, target);
+    EXPECT_EQ(reports[i].retries, 0u);
+  }
+  const ServiceMetrics& metrics = rig.service->metrics();
+  EXPECT_GE(metrics.net_sessions.load(), kClients);
+  EXPECT_GT(metrics.net_bytes_sent.load(), 0u);
+  EXPECT_GT(metrics.net_frames_sent.load(), 0u);
+}
+
+TEST(NetE2E, FaultyFleetConvergesThroughRetryAndResume) {
+  TcpRig rig(4);
+  SKIP_IF_NO_SOCKETS(rig);
+  constexpr std::size_t kClients = 6;
+  const ReleaseId target = static_cast<ReleaseId>(rig.history.size() - 1);
+
+  FaultStats stats;
+  std::vector<Bytes> images(kClients);
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> fleet;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    fleet.emplace_back([&, i] {
+      images[i] = rig.history[0];
+      std::atomic<std::uint64_t> attempt{0};
+      OtaClientOptions options;
+      options.max_chunk = 2048;  // more frames -> more fault exposure
+      options.max_attempts = 128;
+      options.backoff_initial_ms = 1;
+      options.backoff_max_ms = 4;
+      OtaClient client(
+          [&rig, &stats, &attempt, i]() -> std::unique_ptr<Transport> {
+            const std::uint64_t n = attempt.fetch_add(1);
+            FaultOptions faults;
+            faults.seed = 1000 * (i + 1) + n;
+            if (n == 0) {
+              // Every client's first link is guaranteed to die mid-
+              // transfer; later links misbehave probabilistically.
+              faults.kill_after_bytes = 900 + 100 * i;
+            } else {
+              faults.drop_rate = 0.05;
+              faults.truncate_rate = 0.05;
+              faults.flip_rate = 0.05;
+              faults.grace_ops = 4;
+            }
+            return std::make_unique<FaultyTransport>(
+                TcpTransport::connect("127.0.0.1", rig.server->port()),
+                faults, &stats);
+          },
+          options, &rig.service->metrics());
+      try {
+        client.update_streaming(images[i], 0, target);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(test::bytes_equal(rig.history[target], images[i]))
+        << "client " << i;
+  }
+  // The link really did misbehave, and every client still converged.
+  EXPECT_GE(stats.total(), kClients) << "fault injection never fired";
+  EXPECT_GE(rig.service->metrics().net_retries.load(), kClients);
+}
+
+TEST(NetE2E, KilledClientResumesFromJournaledOffset) {
+  // Heavier edits -> a delta comfortably larger than the kill budget
+  // below, so the first client always dies mid-transfer.
+  TcpRig rig(2, /*seed=*/74, {}, /*edits_per_release=*/60);
+  SKIP_IF_NO_SOCKETS(rig);
+  constexpr std::size_t kImageArea = 64 << 10;
+  constexpr JournalRegion kJournal{kImageArea, 16 << 10};
+  FlashDevice device(kImageArea + kJournal.size, 512, 96 << 10);
+  device.load_image(rig.history[0]);
+  clear_journal(device, kJournal);
+
+  // The journal lives with the caller (NVRAM), not the client.
+  TransferJournal journal;
+
+  // Client #1: its link dies a fixed number of bytes into the transfer
+  // and never recovers (max_attempts = 1) — the "kill" is this client
+  // being destroyed with the transfer incomplete.
+  {
+    OtaClientOptions options;
+    options.max_chunk = 256;  // many small chunks before the link dies
+    options.max_attempts = 1;
+    OtaClient doomed(
+        [&rig]() -> std::unique_ptr<Transport> {
+          FaultOptions faults;
+          faults.kill_after_bytes = 1500;  // handshake + a few chunks
+          return std::make_unique<FaultyTransport>(
+              TcpTransport::connect("127.0.0.1", rig.server->port()),
+              faults, nullptr);
+        },
+        options);
+    EXPECT_THROW(doomed.update_device(device, kJournal, 0, 1, channel_28k(),
+                                      &journal),
+                 Error);
+  }
+  ASSERT_TRUE(journal.active);
+  ASSERT_GT(journal.received.size(), 0u);
+  ASSERT_LT(journal.received.size(), journal.total_size)
+      << "fault fired too late to test resume";
+  const std::uint64_t journaled_offset = journal.received.size();
+  const std::uint64_t artifact_size = journal.total_size;
+
+  // Client #2 ("after reboot"): a fresh client, same journal, clean link.
+  OtaClient revived(rig.factory());
+  const OtaReport report =
+      revived.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+  EXPECT_EQ(report.final_release, 1u);
+  EXPECT_EQ(report.resumes, 1u);
+  EXPECT_GE(rig.service->metrics().net_resumes.load(), 1u);
+  // Only the tail crossed the wire the second time: the journaled
+  // prefix was not re-fetched.
+  EXPECT_GT(journaled_offset, 512u);
+  EXPECT_LT(report.bytes_received, artifact_size);
+  EXPECT_TRUE(test::bytes_equal(
+      rig.history[1], ByteView(device.inspect()).first(rig.history[1].size())));
+}
+
+TEST(NetE2E, PowerFailureMidApplyResumesBothJournals) {
+  TcpRig rig(2, /*seed=*/72);
+  SKIP_IF_NO_SOCKETS(rig);
+  constexpr std::size_t kImageArea = 64 << 10;
+  constexpr JournalRegion kJournal{kImageArea, 16 << 10};
+  FlashDevice device(kImageArea + kJournal.size, 512, 96 << 10);
+  device.load_image(rig.history[0]);
+  clear_journal(device, kJournal);
+
+  TransferJournal journal;
+  OtaClient client(rig.factory());
+
+  // Cut the power a little into the apply. The download completes first
+  // (it only reads), so the journal holds the whole artifact when the
+  // failure hits.
+  device.inject_power_failure_after(4096);
+  try {
+    client.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+    FAIL() << "expected the injected power failure";
+  } catch (const FlashDevice::PowerFailure&) {
+  }
+  ASSERT_TRUE(journal.active);
+  EXPECT_EQ(journal.received.size(), journal.total_size);
+
+  // Reboot: same device, same journals. The download is skipped (the
+  // transfer journal is complete) and the flash journal resumes the
+  // apply mid-delta.
+  device.clear_power_failure();
+  const std::uint64_t wire_before = rig.service->metrics().net_bytes_sent.load();
+  const OtaReport report =
+      client.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+  EXPECT_EQ(report.final_release, 1u);
+  EXPECT_EQ(rig.service->metrics().net_bytes_sent.load(), wire_before)
+      << "resume after power failure re-downloaded the artifact";
+  EXPECT_TRUE(test::bytes_equal(
+      rig.history[1], ByteView(device.inspect()).first(rig.history[1].size())));
+}
+
+TEST(NetE2E, ConnectionLimitRejectsWithBusyAndRecovers) {
+  NetServerOptions net;
+  net.max_sessions = 1;
+  TcpRig rig(2, /*seed=*/73, net);
+  SKIP_IF_NO_SOCKETS(rig);
+
+  // Occupy the only slot.
+  auto holder = TcpTransport::connect("127.0.0.1", rig.server->port());
+  FramedConnection held(*holder);
+  held.send(HelloMsg{});
+  ASSERT_TRUE(std::holds_alternative<HelloAckMsg>(*held.receive()));
+
+  // Second connection: typed busy error, then the server hangs up.
+  {
+    auto second = TcpTransport::connect("127.0.0.1", rig.server->port());
+    FramedConnection conn(*second);
+    conn.send(HelloMsg{});
+    const std::optional<Message> reply = conn.receive();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(std::get<ErrorMsg>(*reply).code, ErrorCode::kBusy);
+  }
+  EXPECT_GE(rig.service->metrics().net_rejected.load(), 1u);
+
+  // Free the slot. The server notices the hang-up asynchronously, so
+  // poll: fetch_metrics() throws retryable errors while the slot is
+  // still occupied.
+  holder->close();
+  std::string text;
+  for (int i = 0; i < 100 && text.empty(); ++i) {
+    try {
+      OtaClient client(rig.factory());
+      text = client.fetch_metrics();
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_NE(text.find("net sessions:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipd

@@ -1,0 +1,126 @@
+// Satellite regression: the wire framing and the delta container must
+// fail loudly, never half-apply. A deframed DELTA_DATA stream fed to the
+// StreamingInplaceApplier byte-at-a-time reconstructs exactly; the raw
+// framed byte stream (headers and CRC trailers still attached) is
+// rejected; a truncated final frame is caught by FrameReader::finish()
+// before the applier is ever declared done.
+#include <gtest/gtest.h>
+
+#include "apply/stream_applier.hpp"
+#include "ipdelta.hpp"
+#include "net/frame.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+struct Fixture {
+  Bytes ref;
+  Bytes ver;
+  Bytes delta;
+};
+
+Fixture make_fixture(std::uint64_t seed = 21) {
+  Fixture f;
+  f.ref = test::random_bytes(seed, 20000);
+  f.ver = f.ref;
+  for (int i = 0; i < 3000; ++i) std::swap(f.ver[i], f.ver[i + 10000]);
+  f.ver[4000] ^= 0xA5;
+  f.delta = create_inplace_delta(f.ref, f.ver);
+  return f;
+}
+
+/// Frame the delta the way DeltaServer does: a run of DELTA_DATA frames.
+Bytes frame_stream(ByteView delta, std::size_t chunk) {
+  Bytes wire;
+  for (std::size_t pos = 0; pos < delta.size(); pos += chunk) {
+    const Bytes frame = encode_frame(
+        FrameType::kDeltaData, delta.subspan(pos, std::min(chunk, delta.size() - pos)));
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  return wire;
+}
+
+TEST(NetStream, DeframedPayloadsReconstructByteAtATime) {
+  const Fixture f = make_fixture();
+  const Bytes wire = frame_stream(f.delta, 513);
+
+  Bytes buffer = f.ref;
+  buffer.resize(std::max(f.ref.size(), f.ver.size()));
+  StreamingInplaceApplier applier(buffer);
+  FrameReader reader;
+  // Byte-at-a-time off the wire: the worst-case chunking a network can
+  // produce must still deframe and apply cleanly.
+  for (const std::uint8_t byte : wire) {
+    reader.feed(ByteView(&byte, 1));
+    while (const std::optional<Frame> frame = reader.next()) {
+      ASSERT_EQ(frame->type, FrameType::kDeltaData);
+      applier.feed(frame->payload);
+    }
+  }
+  reader.finish();
+  ASSERT_TRUE(applier.finished());
+  buffer.resize(f.ver.size());
+  EXPECT_TRUE(test::bytes_equal(f.ver, buffer));
+}
+
+TEST(NetStream, RawFramedStreamIsRejectedByTheApplier) {
+  // Feeding the framed bytes straight into the applier (i.e. forgetting
+  // to deframe) must throw, not quietly corrupt the image.
+  const Fixture f = make_fixture();
+  const Bytes wire = frame_stream(f.delta, 4096);
+  Bytes buffer = f.ref;
+  buffer.resize(std::max(f.ref.size(), f.ver.size()));
+  StreamingInplaceApplier applier(buffer);
+  EXPECT_THROW(
+      {
+        applier.feed(wire);
+        if (!applier.finished()) {
+          throw FormatError("stream ended before the container finished");
+        }
+      },
+      Error);
+  EXPECT_FALSE(applier.finished());
+}
+
+TEST(NetStream, TruncatedFinalFrameThrowsAndApplierIsNotFinished) {
+  const Fixture f = make_fixture();
+  const Bytes wire = frame_stream(f.delta, 1024);
+
+  Bytes buffer = f.ref;
+  buffer.resize(std::max(f.ref.size(), f.ver.size()));
+  StreamingInplaceApplier applier(buffer);
+  FrameReader reader;
+  // Drop the connection 5 bytes short of the final frame's CRC trailer.
+  reader.feed(ByteView(wire).first(wire.size() - 5));
+  while (const std::optional<Frame> frame = reader.next()) {
+    applier.feed(frame->payload);
+  }
+  EXPECT_THROW(reader.finish(), FormatError);
+  // The partial frame's payload never reached the applier, so the delta
+  // container is incomplete — no silent half-apply.
+  EXPECT_FALSE(applier.finished());
+}
+
+TEST(NetStream, FlippedBitInsideAChunkNeverReachesTheApplier) {
+  const Fixture f = make_fixture();
+  Bytes wire = frame_stream(f.delta, 2048);
+  wire[wire.size() / 2] ^= 0x04;
+
+  Bytes buffer = f.ref;
+  buffer.resize(std::max(f.ref.size(), f.ver.size()));
+  StreamingInplaceApplier applier(buffer);
+  FrameReader reader;
+  reader.feed(wire);
+  EXPECT_THROW(
+      {
+        while (const std::optional<Frame> frame = reader.next()) {
+          applier.feed(frame->payload);
+        }
+      },
+      FormatError);
+  EXPECT_FALSE(applier.finished());
+}
+
+}  // namespace
+}  // namespace ipd

@@ -370,17 +370,34 @@ TEST(DeltaService, RejectsBadRequests) {
   EXPECT_THROW(service.serve(0, 2), ValidationError);
 }
 
-TEST(DeltaService, MetricsTextMentionsEveryCounter) {
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(DeltaService, SnapshotNamesEveryCounterExactlyOnce) {
   const auto history = make_history(2, 51);
   VersionStore store;
   publish_all(store, history);
   DeltaService service(store, {});
   service.serve(0, 1);
   const std::string text = service.metrics_text();
-  for (const char* field :
-       {"requests", "cache hits", "cache misses", "coalesced waits",
-        "builds", "bytes served", "cache evictions", "bytes cached"}) {
-    EXPECT_NE(text.find(field), std::string::npos) << field;
+  // One label per ServiceMetrics counter (the route-mix and paired
+  // counters share a line but keep distinct names), plus the cache
+  // residency line metrics_text() appends. Exactly once each: a label
+  // that vanishes or gets duplicated breaks dashboards scraping this.
+  for (const char* label :
+       {"requests:", "cache hits:", "cache misses:", "coalesced waits:",
+        "builds:", "bytes served:", "served as delta:", "direct", "chain",
+        "full image", "cache evictions:", "oversized", "net sessions:",
+        "rejected", "net frames sent:", "bytes)", "net resumes:",
+        "net retries:", "net errors sent:", "bytes cached:"}) {
+    EXPECT_EQ(count_occurrences(text, label), 1u) << label;
   }
 }
 
