@@ -22,6 +22,12 @@ void DeltaServer::start() {
   if (started_) throw Error("DeltaServer: already started");
   listener_ = std::make_unique<TcpListener>(options_.port);
   pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
+  {
+    // stop() leaves stopping_ set; a restarted server must accept again
+    // instead of answering every connection with ERROR{kBusy}.
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    stopping_ = false;
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   started_ = true;
 }
@@ -162,10 +168,12 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
   }
 
   // One artifact per request: the first step of the chosen route. On
-  // RESUME the client echoes the artifact CRC it was receiving; serve()
-  // is deterministic so the rebuilt artifact is byte-identical — but if
-  // route selection shifted (e.g. publisher reconfigured), refuse rather
-  // than splice two different artifacts.
+  // RESUME the client repeats its original (from, to) request — so
+  // serve() re-derives the same route and last_hop stays truthful — and
+  // echoes the artifact CRC it was receiving; serve() is deterministic
+  // so the rebuilt artifact is byte-identical — but if route selection
+  // shifted (e.g. publisher reconfigured), refuse rather than splice
+  // two different artifacts.
   const ServedStep* step = &result.steps.front();
   std::uint32_t artifact_crc = crc32c(*step->bytes);
   if (is_resume && artifact_crc != resume_crc) {

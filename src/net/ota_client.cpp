@@ -12,9 +12,22 @@ namespace ipd {
 
 namespace {
 
+/// The server refused a RESUME: the artifact changed since the transfer
+/// started and it advises restarting from GET_DELTA. Recoverable only
+/// where nothing has been applied yet — download_hop discards its
+/// journal and re-requests; stream_hop lets it escape as a fatal Error
+/// because the in-place buffer already absorbed part of the old
+/// artifact.
+class BadResumeError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Receive one message, translating the failure modes: clean EOF and
-/// server-busy are retryable (TransportError); any other ERROR frame is
-/// a permanent protocol answer and escapes the retry loop as Error.
+/// server-busy are retryable (TransportError); a refused resume is
+/// BadResumeError (recoverable only by restarting the transfer); any
+/// other ERROR frame is a permanent protocol answer and escapes the
+/// retry loop as Error.
 Message expect_message(FramedConnection& conn) {
   std::optional<Message> message = conn.receive();
   if (!message) {
@@ -23,6 +36,9 @@ Message expect_message(FramedConnection& conn) {
   if (const auto* err = std::get_if<ErrorMsg>(&*message)) {
     if (err->code == ErrorCode::kBusy) {
       throw TransportError("server busy: " + err->message);
+    }
+    if (err->code == ErrorCode::kBadResume) {
+      throw BadResumeError("server refused resume: " + err->message);
     }
     throw Error("server error: " + err->message);
   }
@@ -106,7 +122,10 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
         conn.send(GetDeltaMsg{current, target});
       } else {
         ++report.resumes;
-        conn.send(ResumeMsg{meta.from, meta.to, received, meta.artifact_crc});
+        // `to` is the original GET_DELTA target, not the hop target: the
+        // server re-derives the same route (deterministic pipeline), so
+        // DELTA_BEGIN.last_hop stays truthful on resumed transfers.
+        conn.send(ResumeMsg{meta.from, target, received, meta.artifact_crc});
       }
       const auto begin = expect<DeltaBeginMsg>(conn, "DELTA_BEGIN");
       if (!begun) {
@@ -142,6 +161,10 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
                         std::to_string(data->offset) + ", expected " +
                         std::to_string(received));
           }
+          if (data->data.size() > meta.total_size - received) {
+            throw Error("protocol violation: DELTA_DATA overruns the "
+                        "announced artifact size");
+          }
           if (applier != nullptr) {
             try {
               applier->feed(data->data);
@@ -153,6 +176,14 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
                           e.what());
             }
           } else {
+            // The applier path bounds-checks internally; this raw copy
+            // must not trust server-controlled sizes. total_size and
+            // version_length are announced independently, so check the
+            // actual destination buffer, not just the artifact size.
+            if (data->data.size() > image.size() - received) {
+              throw Error("protocol violation: DELTA_DATA overruns the "
+                          "image buffer");
+            }
             std::copy(data->data.begin(), data->data.end(),
                       image.begin() + static_cast<std::ptrdiff_t>(
                                           data->offset));
@@ -221,8 +252,10 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
         conn.send(GetDeltaMsg{current, target});
       } else {
         ++report.resumes;
-        conn.send(ResumeMsg{journal.from, journal.hop_to,
-                            journal.received.size(), journal.artifact_crc});
+        // As in stream_hop: echo the original target so the server
+        // re-derives the same route and last_hop stays truthful.
+        conn.send(ResumeMsg{journal.from, target, journal.received.size(),
+                            journal.artifact_crc});
       }
       const auto begin = expect<DeltaBeginMsg>(conn, "DELTA_BEGIN");
       if (!journal.active) {
@@ -239,9 +272,10 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
         journal.reference_length = begin.reference_length;
         journal.version_length = begin.version_length;
         journal.artifact_crc = begin.artifact_crc;
+        // No reserve(total_size): it is a server-supplied u64, and one
+        // hostile DELTA_BEGIN must not commit gigabytes up front. The
+        // buffer grows only as CRC-verified chunks actually arrive.
         journal.received.clear();
-        journal.received.reserve(
-            static_cast<std::size_t>(begin.total_size));
       } else if (begin.artifact_crc != journal.artifact_crc ||
                  begin.start_offset != journal.received.size()) {
         throw Error("resume mismatch: server offered a different artifact "
@@ -253,6 +287,11 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
         if (auto* data = std::get_if<DeltaDataMsg>(&message)) {
           if (data->offset != journal.received.size()) {
             throw Error("protocol violation: DELTA_DATA out of order");
+          }
+          if (data->data.size() >
+              journal.total_size - journal.received.size()) {
+            throw Error("protocol violation: DELTA_DATA overruns the "
+                        "announced artifact size");
           }
           journal.received.insert(journal.received.end(), data->data.begin(),
                                   data->data.end());
@@ -275,6 +314,14 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
                       "transfer");
         }
       }
+    } catch (const BadResumeError&) {
+      // The artifact changed between attempts and the server advises
+      // restarting from GET_DELTA. Nothing has been applied yet, so the
+      // journaled prefix is disposable: discard it and re-request the
+      // hop from scratch. (stream_hop cannot do this — its in-place
+      // buffer already absorbed part of the old artifact — so there the
+      // same error stays fatal.)
+      journal = TransferJournal{};
     } catch (const TransportError&) {
     } catch (const FormatError&) {
     }

@@ -18,12 +18,13 @@
 // time, never more than one artifact's state in flight.
 //
 // RESUME{from, to, offset, crc} restarts an interrupted artifact transfer
-// mid-stream: the server re-serves the same artifact (cache makes this
-// cheap, the deterministic pipeline makes it byte-identical — guarded by
-// the crc echo) starting at `offset`. ERROR carries a machine-readable
-// code so clients can tell retryable congestion (kBusy) from permanent
-// failures (kBadRequest). METRICS_REQ/METRICS expose the server's
-// ServiceMetrics snapshot for fleet dashboards.
+// mid-stream: `from`/`to` repeat the original GET_DELTA request, and the
+// server re-serves the same artifact (cache makes this cheap, the
+// deterministic pipeline makes it byte-identical — guarded by the crc
+// echo) starting at `offset`. ERROR carries a machine-readable code so
+// clients can tell retryable congestion (kBusy) from permanent failures
+// (kBadRequest). METRICS_REQ/METRICS expose the server's ServiceMetrics
+// snapshot for fleet dashboards.
 #pragma once
 
 #include <cstdint>
@@ -64,7 +65,11 @@ struct GetDeltaMsg {
 
 struct ResumeMsg {
   ReleaseId from = 0;
-  ReleaseId to = 0;  ///< the *hop* target announced by DELTA_BEGIN
+  /// The release the client ultimately wants — the same `to` as the
+  /// interrupted GET_DELTA, *not* the hop target. The server re-derives
+  /// the route from it, so DELTA_BEGIN.last_hop stays truthful on
+  /// resumed mid-route transfers; the CRC echo pins the artifact.
+  ReleaseId to = 0;
   std::uint64_t offset = 0;
   std::uint32_t artifact_crc = 0;  ///< CRC-32C of the whole artifact
 };

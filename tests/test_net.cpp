@@ -383,6 +383,92 @@ TEST(Session, ResumeSkipsAlreadyTransferredBytes) {
   third_session.join();
 }
 
+TEST(Session, FullImageOverrunIsRejectedBeforeTheCopy) {
+  // A hostile (or broken) server that streams more bytes than its
+  // DELTA_BEGIN announced must hit a typed protocol error, never the
+  // raw memcpy past the image buffer it would have caused.
+  auto [client_end, server_end] = make_loopback_pair();
+  std::thread evil([server = std::move(server_end)]() mutable {
+    try {
+      FramedConnection conn(*server);
+      (void)conn.receive();  // HELLO
+      conn.send(HelloAckMsg{});
+      (void)conn.receive();  // GET_DELTA
+      DeltaBeginMsg begin;
+      begin.from = 0;
+      begin.to = 1;
+      begin.full_image = 1;
+      begin.total_size = 64;
+      begin.version_length = 64;
+      conn.send(begin);
+      // Announce 64 bytes, stream 4096.
+      conn.send(DeltaDataMsg{0, Bytes(4096, 0x5A)});
+      conn.send(DeltaEndMsg{4096, 0});
+    } catch (const Error&) {
+      // the client hung up on us mid-lie — expected
+    }
+    server->close();
+  });
+  OtaClientOptions options;
+  options.max_attempts = 1;
+  OtaClient client(
+      [&]() -> std::unique_ptr<Transport> { return std::move(client_end); },
+      options);
+  Bytes image(32, 0x00);
+  try {
+    client.update_streaming(image, 0, 1);
+    FAIL() << "oversized stream was accepted";
+  } catch (const Error& e) {
+    // The overrun must be refused up front, not discovered later as a
+    // checksum mismatch over a trampled heap.
+    EXPECT_NE(std::string(e.what()).find("overruns"), std::string::npos)
+        << e.what();
+  }
+  evil.join();
+}
+
+TEST(Session, RefusedResumeRestartsTheDownloadFromScratch) {
+  LoopbackRig rig(2);
+  std::vector<std::thread> sessions;
+  OtaClientOptions options;
+  options.backoff_initial_ms = 0;
+  options.backoff_max_ms = 0;
+  OtaClient client(
+      [&] {
+        sessions.emplace_back();
+        return rig.connect(sessions.back());
+      },
+      options);
+
+  constexpr std::size_t kImageArea = 64 << 10;
+  constexpr JournalRegion kJournal{kImageArea, 16 << 10};
+  FlashDevice device(kImageArea + kJournal.size, 512, 96 << 10);
+  device.load_image(rig.history[0]);
+  clear_journal(device, kJournal);
+
+  // A journal from a previous life whose artifact no longer exists
+  // anywhere on the server: the resume is answered with kBadResume
+  // ("restart from GET_DELTA"), and the client must discard the stale
+  // prefix and complete the update from scratch instead of failing.
+  TransferJournal journal;
+  journal.active = true;
+  journal.from = 0;
+  journal.hop_to = 1;
+  journal.total_size = 4096;
+  journal.artifact_crc = 0xBAD0BAD0;
+  journal.received.assign(1024, 0x7E);
+
+  const OtaReport report =
+      client.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+  for (std::thread& t : sessions) t.join();
+  EXPECT_EQ(report.final_release, 1u);
+  EXPECT_EQ(report.resumes, 1u);  // the refused attempt
+  EXPECT_GE(report.retries, 1u);  // ... counted as an attempt
+  EXPECT_TRUE(test::bytes_equal(
+      rig.history[1],
+      ByteView(device.inspect()).first(rig.history[1].size())));
+}
+
 TEST(Session, MetricsRequestReturnsTheSnapshot) {
   LoopbackRig rig(2);
   std::vector<std::thread> sessions;

@@ -265,6 +265,24 @@ TEST(NetE2E, PowerFailureMidApplyResumesBothJournals) {
       rig.history[1], ByteView(device.inspect()).first(rig.history[1].size())));
 }
 
+TEST(NetE2E, RestartedServerAcceptsConnectionsAgain) {
+  TcpRig rig(2);
+  SKIP_IF_NO_SOCKETS(rig);
+  {
+    OtaClient client(rig.factory());
+    EXPECT_NE(client.fetch_metrics().find("net sessions:"),
+              std::string::npos);
+  }
+  rig.server->stop();
+  rig.server->start();
+  // stop() raises the internal stopping flag; a restarted server must
+  // accept sessions again, not answer each with ERROR{kBusy}. The
+  // factory is rebuilt because the ephemeral port may have changed.
+  OtaClient client(rig.factory());
+  EXPECT_NE(client.fetch_metrics().find("net sessions:"),
+            std::string::npos);
+}
+
 TEST(NetE2E, ConnectionLimitRejectsWithBusyAndRecovers) {
   NetServerOptions net;
   net.max_sessions = 1;
