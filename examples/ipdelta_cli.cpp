@@ -5,12 +5,14 @@
 //                 [--format paper|varint] [--no-write-offsets]
 //   ipdelta apply <delta> <reference> <output>
 //   ipdelta patch <delta> <file>          # in-place: rewrites <file>
+//   ipdelta lint  <delta> [--json]        # static safety verification
 //   ipdelta info  <delta>
 //   ipdelta serve <releases...>           # delta service over a history
 //   ipdelta serve <releases...> --port P  # ... exported over TCP
 //   ipdelta fetch <host:port> <image> ... # streaming OTA client
 //
-// Exit status: 0 on success, 1 on usage error, 2 on processing error.
+// Exit status: 0 on success, 1 on usage error, 2 on processing error,
+// 3 when `lint` found error-severity defects (or a self-check mismatch).
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -18,9 +20,11 @@
 #include <thread>
 #include <vector>
 
+#include "apply/oracle.hpp"
 #include "core/hexdump.hpp"
 #include "core/io.hpp"
 #include "core/rng.hpp"
+#include "corpus/workload.hpp"
 #include "delta/compose.hpp"
 #include "delta/stats.hpp"
 #include "inplace/analysis.hpp"
@@ -29,6 +33,7 @@
 #include "net/ota_client.hpp"
 #include "net/tcp_transport.hpp"
 #include "server/delta_service.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -46,6 +51,8 @@ int usage() {
       "  ipdelta apply <delta> <reference> <output>\n"
       "  ipdelta patch <delta> <file>\n"
       "  ipdelta verify <delta> <reference>\n"
+      "  ipdelta lint  <delta> [--json] [--require-in-place]\n"
+      "  ipdelta lint  --self-check [--seed S]    # verifier vs oracle\n"
       "  ipdelta compose <deltaAB> <deltaBC> <deltaAC>\n"
       "  ipdelta info  <delta> [--deep]\n"
       "  ipdelta serve <release files, oldest first...>\n"
@@ -204,6 +211,112 @@ int cmd_verify(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(r.version_length),
               r.in_place_capable ? " (in-place capable)" : "");
   return 0;
+}
+
+/// Differential self-check: for every corpus pair and a spread of
+/// pipeline configurations, the static verifier's verdict must agree
+/// with the dynamic ground truth — the scratch-space appliers and the
+/// conflict oracle. Any disagreement is a bug in one of them.
+int lint_self_check(std::uint64_t seed) {
+  struct Config {
+    const char* name;
+    bool in_place;
+    DeltaFormat format;
+    bool compress;
+  };
+  const Config configs[] = {
+      {"scratch/paper", false, kPaperSequential, false},
+      {"scratch/varint", false, kVarintSequential, false},
+      {"inplace/paper", true, kPaperExplicit, false},
+      {"inplace/varint", true, kVarintExplicit, false},
+      {"inplace/varint+lzss", true, kVarintExplicit, true},
+  };
+
+  std::size_t checked = 0, disagreements = 0;
+  const Verifier verifier;
+  for (const VersionPair& pair : small_corpus(seed)) {
+    for (const Config& config : configs) {
+      PipelineOptions options;
+      options.convert.format = config.format;
+      options.compress_payload = config.compress;
+      Bytes delta;
+      if (config.in_place) {
+        delta = create_inplace_delta(pair.reference, pair.version, options);
+      } else {
+        delta = create_delta(pair.reference, pair.version, config.format,
+                             options);
+      }
+
+      const Report report = verifier.check(delta);
+      const DeltaFile parsed = deserialize_delta(delta);
+      const ConflictAnalysis oracle = analyze_conflicts(parsed.script);
+      const Bytes applied = apply_delta(delta, pair.reference);
+
+      std::string complaint;
+      if (!report.well_formed || !report.ok()) {
+        complaint = "verifier rejected pipeline output";
+      } else if (report.in_place_safe != oracle.in_place_safe()) {
+        complaint = "verifier and conflict oracle disagree on in-place "
+                    "safety";
+      } else if (applied != pair.version) {
+        complaint = "applier did not reproduce the version";
+      } else if (config.in_place && !report.in_place_safe) {
+        complaint = "converter output not in-place safe";
+      }
+      ++checked;
+      if (!complaint.empty()) {
+        ++disagreements;
+        std::printf("DISAGREE %s %s: %s\n", pair.name.c_str(), config.name,
+                    complaint.c_str());
+        for (const Finding& f : report.findings) {
+          std::printf("  %s [%s] %s\n", severity_name(f.severity),
+                      check_name(f.check), f.message.c_str());
+        }
+      }
+    }
+  }
+  std::printf("self-check: %zu delta(s), %zu disagreement(s)\n", checked,
+              disagreements);
+  return disagreements == 0 ? 0 : 3;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  bool json = false;
+  bool self_check = false;
+  VerifyOptions options;
+  std::uint64_t seed = 7;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--require-in-place") {
+      options.require_in_place = true;
+    } else if (a == "--self-check") {
+      self_check = true;
+    } else if (a == "--seed") {
+      if (i + 1 >= args.size()) return usage();
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (self_check) {
+    if (!positional.empty()) return usage();
+    return lint_self_check(seed);
+  }
+  if (positional.size() != 1) return usage();
+
+  const Bytes delta = read_file(positional[0]);
+  const Report report = Verifier(options).check(delta);
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.ok() ? 0 : 3;
 }
 
 int cmd_info(const std::vector<std::string>& args) {
@@ -472,6 +585,7 @@ int main(int argc, char** argv) {
     if (command == "apply") return cmd_apply(args);
     if (command == "patch") return cmd_patch(args);
     if (command == "verify") return cmd_verify(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "compose") return cmd_compose(args);
     if (command == "info") return cmd_info(args);
     if (command == "serve") return cmd_serve(args);

@@ -5,6 +5,7 @@
 #include "apply/inplace_apply.hpp"
 #include "core/buffer.hpp"
 #include "core/checksum.hpp"
+#include "verify/verifier.hpp"
 
 namespace ipd {
 namespace {
@@ -128,6 +129,22 @@ Archive deserialize_archive(ByteView data) {
         const std::uint64_t len = r.read_varint();
         const ByteView bytes = r.read_bytes(static_cast<std::size_t>(len));
         entry.body.assign(bytes.begin(), bytes.end());
+        // Archives cross machines; the archive CRC only proves transit
+        // integrity, not that the embedded delta is safe to apply.
+        // Statically verify on load so a poisoned archive is refused
+        // here, naming the entry, instead of corrupting an apply later.
+        const Report verdict = Verifier().check(ByteView(entry.body));
+        if (!verdict.ok()) {
+          std::string why =
+              "delta entry failed static verification: " + entry.name;
+          for (const Finding& f : verdict.findings) {
+            if (f.severity == Severity::kError) {
+              why += ": " + f.message;
+              break;
+            }
+          }
+          throw FormatError(why);
+        }
         break;
       }
       case EntryKind::kLiteral: {

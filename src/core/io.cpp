@@ -1,37 +1,68 @@
 #include "core/io.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <string>
 
 namespace ipd {
 
+namespace {
+
+/// "permission denied" etc. when the C library recorded a cause; stream
+/// operations do not always set errno, so absence is not an error.
+std::string errno_suffix() {
+  return errno != 0 ? std::string(" (") + std::strerror(errno) + ")"
+                    : std::string();
+}
+
+}  // namespace
+
 Bytes read_file(const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw IoError("cannot open for reading: " + path.string());
+    throw IoError("cannot open for reading: " + path.string() +
+                  errno_suffix());
   }
   in.seekg(0, std::ios::end);
   const std::streamoff size = in.tellg();
   if (size < 0) {
-    throw IoError("cannot determine size of: " + path.string());
+    throw IoError("cannot determine size of: " + path.string() +
+                  errno_suffix());
   }
   in.seekg(0, std::ios::beg);
   Bytes data(static_cast<std::size_t>(size));
   if (size > 0 &&
       !in.read(reinterpret_cast<char*>(data.data()), size)) {
-    throw IoError("short read from: " + path.string());
+    throw IoError("short read from " + path.string() + ": got " +
+                  std::to_string(in.gcount()) + " of " +
+                  std::to_string(size) + " bytes" + errno_suffix());
   }
   return data;
 }
 
 void write_file(const std::filesystem::path& path, ByteView data) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw IoError("cannot open for writing: " + path.string());
+    throw IoError("cannot open for writing: " + path.string() +
+                  errno_suffix());
   }
   if (!data.empty() &&
       !out.write(reinterpret_cast<const char*>(data.data()),
                  static_cast<std::streamsize>(data.size()))) {
-    throw IoError("short write to: " + path.string());
+    // tellp() reports how far the stream got before failing (e.g. disk
+    // full), which is what the operator needs to size the problem.
+    const std::streamoff written = out.tellp();
+    throw IoError("short write to " + path.string() + ": wrote " +
+                  std::to_string(written < 0 ? 0 : written) + " of " +
+                  std::to_string(data.size()) + " bytes" + errno_suffix());
+  }
+  out.flush();
+  if (!out) {
+    throw IoError("cannot flush " + std::to_string(data.size()) +
+                  " bytes to " + path.string() + errno_suffix());
   }
 }
 

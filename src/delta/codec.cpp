@@ -275,6 +275,127 @@ class TryReader {
   std::size_t pos_ = 0;
 };
 
+/// Core single-command decode with field-precise failure reporting; the
+/// throwing/streaming entry points below are thin wrappers. `running_to`
+/// is committed only on kOk, so a truncated probe can be retried after
+/// more bytes arrive.
+CommandProbe probe_impl(ByteView data, DeltaFormat fmt, unsigned offset_width,
+                        offset_t& running_to) {
+  CommandProbe probe;
+  const auto truncated = [&](const char* field) {
+    probe.status = CommandProbe::Status::kTruncated;
+    probe.detail = std::string(field) + " truncated: stream ends mid-codeword";
+    return probe;
+  };
+  const auto malformed = [&](std::string why) {
+    probe.status = CommandProbe::Status::kMalformed;
+    probe.detail = std::move(why);
+    return probe;
+  };
+  const auto ok = [&](Command command, std::size_t consumed, offset_t next_to) {
+    probe.status = CommandProbe::Status::kOk;
+    probe.command = std::move(command);
+    probe.consumed = consumed;
+    running_to = next_to;
+    return probe;
+  };
+
+  TryReader r(data);
+  std::uint8_t op = 0;
+  if (!r.u8(op)) return truncated("opcode");
+  const bool exp = fmt.offsets == WriteOffsets::kExplicit;
+  const bool paper = fmt.codeword == Codeword::kPaperByte;
+
+  // TryReader::varint throws on an overlong encoding no suffix can fix;
+  // fold that into the malformed status so probing never raises.
+  enum class Field { kOk, kTruncated, kMalformed };
+  const auto read_varint = [&](std::uint64_t& out) {
+    try {
+      return r.varint(out) ? Field::kOk : Field::kTruncated;
+    } catch (const FormatError&) {
+      return Field::kMalformed;
+    }
+  };
+  const auto read_to = [&](std::uint64_t& to) {
+    if (!exp) {
+      to = running_to;
+      return Field::kOk;
+    }
+    if (paper) return r.fixed(offset_width, to) ? Field::kOk : Field::kTruncated;
+    return read_varint(to);
+  };
+  const auto field = [&](Field got, const char* name,
+                         CommandProbe& out) -> bool {
+    if (got == Field::kOk) return true;
+    out = got == Field::kTruncated
+              ? truncated(name)
+              : malformed("malformed varint in delta stream");
+    return false;
+  };
+
+  if (paper) {
+    if (op == kOpAdd) {
+      std::uint64_t to = 0, len = 0;
+      std::uint8_t len8 = 0;
+      CommandProbe fail;
+      if (!field(read_to(to), "add write offset", fail)) return fail;
+      if (!r.u8(len8)) return truncated("add length");
+      len = len8;
+      if (len == 0) return malformed("add command with zero length");
+      ByteView body;
+      if (!r.bytes(static_cast<std::size_t>(len), body)) {
+        probe.status = CommandProbe::Status::kTruncated;
+        probe.detail = "add payload shorter than declared: need " +
+                       std::to_string(len) + " bytes, have " +
+                       std::to_string(data.size() - r.position());
+        return probe;
+      }
+      return ok(Command(AddCommand{to, Bytes(body.begin(), body.end())}),
+                r.position(), to + len);
+    }
+    if (op >= kOpCopyBase && op < kOpCopyBase + 9) {
+      const unsigned fc = (op - kOpCopyBase) / 3;
+      const unsigned lc = (op - kOpCopyBase) % 3;
+      std::uint64_t to = 0, from = 0, len = 0;
+      CommandProbe fail;
+      if (!field(read_to(to), "copy write offset", fail)) return fail;
+      if (!r.fixed(f_width(fc), from)) return truncated("copy source offset");
+      if (!r.fixed(l_width(lc), len)) return truncated("copy length");
+      if (len == 0) return malformed("copy command with zero length");
+      return ok(Command(CopyCommand{from, to, len}), r.position(), to + len);
+    }
+    return malformed("unknown PaperByte opcode " + std::to_string(op));
+  }
+
+  if (op == kOpVarAdd) {
+    std::uint64_t to = 0, len = 0;
+    CommandProbe fail;
+    if (!field(read_to(to), "add write offset", fail)) return fail;
+    if (!field(read_varint(len), "add length", fail)) return fail;
+    if (len == 0) return malformed("add command with zero length");
+    ByteView body;
+    if (!r.bytes(static_cast<std::size_t>(len), body)) {
+      probe.status = CommandProbe::Status::kTruncated;
+      probe.detail = "add payload shorter than declared: need " +
+                     std::to_string(len) + " bytes, have " +
+                     std::to_string(data.size() - r.position());
+      return probe;
+    }
+    return ok(Command(AddCommand{to, Bytes(body.begin(), body.end())}),
+              r.position(), to + len);
+  }
+  if (op == kOpVarCopy) {
+    std::uint64_t to = 0, from = 0, len = 0;
+    CommandProbe fail;
+    if (!field(read_to(to), "copy write offset", fail)) return fail;
+    if (!field(read_varint(from), "copy source offset", fail)) return fail;
+    if (!field(read_varint(len), "copy length", fail)) return fail;
+    if (len == 0) return malformed("copy command with zero length");
+    return ok(Command(CopyCommand{from, to, len}), r.position(), to + len);
+  }
+  return malformed("unknown Varint opcode " + std::to_string(op));
+}
+
 /// Try to decode one command at the front of `data`. Returns the command
 /// and bytes consumed, or nullopt when more bytes are needed. Throws
 /// FormatError for malformed content. `running_to` supplies and receives
@@ -282,74 +403,25 @@ class TryReader {
 std::optional<std::pair<Command, std::size_t>> try_decode_command(
     ByteView data, DeltaFormat fmt, unsigned offset_width,
     offset_t& running_to) {
-  TryReader r(data);
-  std::uint8_t op = 0;
-  if (!r.u8(op)) return std::nullopt;
-  const bool exp = fmt.offsets == WriteOffsets::kExplicit;
-  const bool paper = fmt.codeword == Codeword::kPaperByte;
-
-  const auto read_to = [&](std::uint64_t& to) -> bool {
-    if (!exp) {
-      to = running_to;
-      return true;
-    }
-    return paper ? r.fixed(offset_width, to) : r.varint(to);
-  };
-
-  if (paper) {
-    if (op == kOpAdd) {
-      std::uint64_t to = 0, len = 0;
-      std::uint8_t len8 = 0;
-      if (!read_to(to) || !r.u8(len8)) return std::nullopt;
-      len = len8;
-      if (len == 0) throw FormatError("add command with zero length");
-      ByteView body;
-      if (!r.bytes(static_cast<std::size_t>(len), body)) return std::nullopt;
-      running_to = to + len;
-      return std::make_pair(
-          Command(AddCommand{to, Bytes(body.begin(), body.end())}),
-          r.position());
-    }
-    if (op >= kOpCopyBase && op < kOpCopyBase + 9) {
-      const unsigned fc = (op - kOpCopyBase) / 3;
-      const unsigned lc = (op - kOpCopyBase) % 3;
-      std::uint64_t to = 0, from = 0, len = 0;
-      if (!read_to(to) || !r.fixed(f_width(fc), from) ||
-          !r.fixed(l_width(lc), len)) {
-        return std::nullopt;
-      }
-      if (len == 0) throw FormatError("copy command with zero length");
-      running_to = to + len;
-      return std::make_pair(Command(CopyCommand{from, to, len}),
-                            r.position());
-    }
-    throw FormatError("unknown PaperByte opcode " + std::to_string(op));
-  }
-
-  if (op == kOpVarAdd) {
-    std::uint64_t to = 0, len = 0;
-    if (!read_to(to) || !r.varint(len)) return std::nullopt;
-    if (len == 0) throw FormatError("add command with zero length");
-    ByteView body;
-    if (!r.bytes(static_cast<std::size_t>(len), body)) return std::nullopt;
-    running_to = to + len;
-    return std::make_pair(
-        Command(AddCommand{to, Bytes(body.begin(), body.end())}),
-        r.position());
-  }
-  if (op == kOpVarCopy) {
-    std::uint64_t to = 0, from = 0, len = 0;
-    if (!read_to(to) || !r.varint(from) || !r.varint(len)) {
+  CommandProbe probe = probe_impl(data, fmt, offset_width, running_to);
+  switch (probe.status) {
+    case CommandProbe::Status::kOk:
+      return std::make_pair(std::move(*probe.command), probe.consumed);
+    case CommandProbe::Status::kTruncated:
       return std::nullopt;
-    }
-    if (len == 0) throw FormatError("copy command with zero length");
-    running_to = to + len;
-    return std::make_pair(Command(CopyCommand{from, to, len}), r.position());
+    case CommandProbe::Status::kMalformed:
+      break;
   }
-  throw FormatError("unknown Varint opcode " + std::to_string(op));
+  throw FormatError(probe.detail);
 }
 
 }  // namespace
+
+CommandProbe probe_command(ByteView data, DeltaFormat format,
+                           length_t version_length, offset_t& running_to) {
+  return probe_impl(data, format, paper_offset_width(version_length),
+                    running_to);
+}
 
 std::optional<std::pair<DeltaHeader, std::size_t>> try_parse_header(
     ByteView data) {

@@ -147,6 +147,29 @@ class StreamingCommandDecoder {
   std::size_t pending_pos_ = 0;
 };
 
+/// Outcome of probing one command at the front of a payload view — the
+/// delta verifier's well-formedness primitive. Unlike the throwing
+/// decoders above it never raises on bad input; instead it reports
+/// *which* field failed and why, so a static analyzer can turn the
+/// failure into a precise diagnostic ("add payload shorter than
+/// declared", "copy length field truncated", ...).
+struct CommandProbe {
+  enum class Status : std::uint8_t {
+    kOk = 0,         ///< one complete command decoded
+    kTruncated = 1,  ///< stream ends mid-codeword (field named in detail)
+    kMalformed = 2,  ///< invalid regardless of any further bytes
+  };
+  Status status = Status::kMalformed;
+  std::optional<Command> command;  ///< set when kOk
+  std::size_t consumed = 0;        ///< bytes this command occupies (kOk)
+  std::string detail;              ///< empty when kOk; else the failure
+};
+
+/// Probe one command at the front of `data`. `running_to` supplies and
+/// (only on kOk) receives the implicit write offset. Never throws.
+CommandProbe probe_command(ByteView data, DeltaFormat format,
+                           length_t version_length, offset_t& running_to);
+
 /// Exact encoded payload size of one command under a format, given the
 /// version length (which fixes the explicit-offset field width for
 /// PaperByte). This is the paper's |command| used in the cycle-breaking

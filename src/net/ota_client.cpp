@@ -7,6 +7,7 @@
 
 #include "apply/stream_applier.hpp"
 #include "core/checksum.hpp"
+#include "verify/verifier.hpp"
 
 namespace ipd {
 
@@ -355,6 +356,30 @@ OtaReport OtaClient::update_device(FlashDevice& device,
       // Idempotent: a torn write is simply redone on the next call.
       device.write(0, tj.received);
     } else {
+      // Last line of defense before the first flash write: the frame
+      // checksums only prove the bytes arrived intact, not that the
+      // delta is safe to apply without scratch space. A server bug (or
+      // a hostile server) must not be able to brick this device.
+      const Verifier verifier(VerifyOptions{.require_in_place = true});
+      const Report verdict = verifier.check(ByteView(tj.received));
+      if (metrics_ != nullptr && verdict.warning_count() > 0) {
+        metrics_->verify_warns.fetch_add(verdict.warning_count(),
+                                         std::memory_order_relaxed);
+      }
+      if (!verdict.ok()) {
+        if (metrics_ != nullptr) {
+          metrics_->verify_rejects.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::string why = "unsafe delta refused before flash write";
+        for (const Finding& f : verdict.findings) {
+          if (f.severity == Severity::kError) {
+            why += ": " + f.message;
+            break;
+          }
+        }
+        tj = TransferJournal{};  // the artifact is poison; never resume it
+        throw Error(why);
+      }
       // PowerFailure propagates with `tj` intact; the next call skips
       // the download and the flash journal resumes the apply.
       apply_update_resumable(device, tj.received, channel, journal);

@@ -13,11 +13,36 @@ DeltaService::DeltaService(const VersionStore& store,
     : store_(store),
       options_(options),
       fingerprint_(fingerprint_pipeline(options.pipeline)),
+      // Devices apply served deltas without scratch space, so
+      // write-before-read conflicts are fatal here, not advisory.
+      verifier_(VerifyOptions{.require_in_place = true}),
       cache_(options.cache_budget, options.cache_shards, &metrics_),
       pool_(options.workers) {
   if (options_.direct_gain_threshold <= 0.0) {
     throw ValidationError("delta service: direct_gain_threshold must be > 0");
   }
+}
+
+/// Verify one artifact at a trust boundary. Returns true when servable;
+/// counts warnings either way and counts the reject on failure.
+bool DeltaService::admit(ByteView artifact, std::string* why) {
+  const Report report = verifier_.check(artifact);
+  if (report.warning_count() > 0) {
+    metrics_.verify_warns.fetch_add(report.warning_count(),
+                                    std::memory_order_relaxed);
+  }
+  if (report.ok()) return true;
+  metrics_.verify_rejects.fetch_add(1, std::memory_order_relaxed);
+  if (why != nullptr) {
+    *why = "delta failed static verification";
+    for (const Finding& f : report.findings) {
+      if (f.severity == Severity::kError) {
+        *why += ": " + f.message;
+        break;
+      }
+    }
+  }
+  return false;
 }
 
 std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
@@ -56,6 +81,17 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
               return std::make_shared<const Bytes>(std::move(delta));
             });
         auto built = future.get();
+        if (options_.verify_artifacts) {
+          std::string why;
+          if (!admit(ByteView(*built), &why)) {
+            // Our own pipeline produced an unservable artifact — that is
+            // a converter bug, and serving it would push the corruption
+            // to every device on this hop. Fail the request instead.
+            throw Error("delta service: built artifact for hop " +
+                        std::to_string(from) + " -> " + std::to_string(to) +
+                        " rejected: " + why);
+          }
+        }
         cache_.put(key, built);
         return built;
       },
@@ -65,6 +101,33 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
     metrics_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
   }
   return value;
+}
+
+bool DeltaService::preload(ReleaseId from, ReleaseId to, Bytes delta) {
+  const std::size_t releases = store_.release_count();
+  if (from >= to || to >= releases) {
+    throw ValidationError("delta service: need from < to < release_count");
+  }
+  // Endpoint pinning first: a structurally perfect delta between the
+  // WRONG releases is just as much an attack as a conflicting one. The
+  // header's (length, crc) pair must match the store's content address.
+  std::optional<std::pair<DeltaHeader, std::size_t>> parsed;
+  try {
+    parsed = try_parse_header(delta);
+  } catch (const FormatError&) {
+    parsed.reset();
+  }
+  const ContentKey want = store_.content_key(to);
+  if (!parsed || parsed->first.reference_length != store_.body(from)->size() ||
+      parsed->first.version_length != want.length ||
+      parsed->first.version_crc != want.crc) {
+    metrics_.verify_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!admit(ByteView(delta), nullptr)) return false;
+  cache_.put(DeltaKey{from, to, fingerprint_},
+             std::make_shared<const Bytes>(std::move(delta)));
+  return true;
 }
 
 ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {

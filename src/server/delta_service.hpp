@@ -33,6 +33,7 @@
 #include "server/singleflight.hpp"
 #include "server/thread_pool.hpp"
 #include "server/version_store.hpp"
+#include "verify/verifier.hpp"
 
 namespace ipd {
 
@@ -55,6 +56,11 @@ struct ServiceOptions {
   std::uint64_t per_hop_overhead = 512;
   /// Longest per-release chain the fallback will consider building.
   std::size_t max_chain_hops = 8;
+  /// Statically verify every delta artifact (src/verify/) before it is
+  /// cached or served: no byte stream leaves this service that could
+  /// brick an in-place applier. Builds that fail verification throw —
+  /// a pipeline bug must be loud, not served.
+  bool verify_artifacts = true;
 };
 
 /// One artifact of a response. `full_image` steps carry the raw release
@@ -84,6 +90,15 @@ class DeltaService {
   /// delta builds; concurrent identical requests coalesce onto one build.
   ServeResult serve(ReleaseId from, ReleaseId to);
 
+  /// Admit an externally built delta artifact for the hop `from` -> `to`
+  /// (a publisher side-loading deltas it produced offline). This is a
+  /// trust boundary: the artifact is statically verified — container,
+  /// bounds, coverage, in-place safety — and its header endpoints must
+  /// match the store's bodies (lengths and version CRC). Returns true
+  /// when admitted into the cache; false (and counts verify_rejects)
+  /// when refused. Throws ValidationError only for out-of-range ids.
+  bool preload(ReleaseId from, ReleaseId to, Bytes delta);
+
   const ServiceMetrics& metrics() const noexcept { return metrics_; }
   /// The release history this service fronts (HELLO advertises its
   /// extent to wire clients).
@@ -99,11 +114,16 @@ class DeltaService {
  private:
   std::shared_ptr<const Bytes> fetch_delta(ReleaseId from, ReleaseId to,
                                            bool* hit, bool* coalesced);
+  /// Run the verifier over an artifact about to cross a trust boundary,
+  /// maintaining the verify_* counters. `why` (optional) receives the
+  /// first error finding on refusal.
+  bool admit(ByteView artifact, std::string* why);
 
   const VersionStore& store_;
   ServiceOptions options_;
   std::uint64_t fingerprint_;
   ServiceMetrics metrics_;
+  Verifier verifier_;
   DeltaCache cache_;
   Singleflight<DeltaKey, std::shared_ptr<const Bytes>, DeltaKeyHash> flight_;
   ThreadPool pool_;

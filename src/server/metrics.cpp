@@ -29,6 +29,8 @@ std::string ServiceMetrics::snapshot() const {
       "bytes served:      %llu\n"
       "served as delta:   %llu direct, %llu chain, %llu full image\n"
       "cache evictions:   %llu (+%llu oversized)\n"
+      "verify rejects:    %llu\n"
+      "verify warnings:   %llu\n"
       "net sessions:      %llu (+%llu rejected)\n"
       "net frames sent:   %llu (%llu bytes)\n"
       "net resumes:       %llu\n"
@@ -45,6 +47,8 @@ std::string ServiceMetrics::snapshot() const {
       static_cast<unsigned long long>(load(full_images_served)),
       static_cast<unsigned long long>(load(evictions)),
       static_cast<unsigned long long>(load(rejected_inserts)),
+      static_cast<unsigned long long>(load(verify_rejects)),
+      static_cast<unsigned long long>(load(verify_warns)),
       static_cast<unsigned long long>(load(net_sessions)),
       static_cast<unsigned long long>(load(net_rejected)),
       static_cast<unsigned long long>(load(net_frames_sent)),
@@ -59,7 +63,8 @@ void ServiceMetrics::reset() noexcept {
   for (std::atomic<std::uint64_t>* a :
        {&requests, &cache_hits, &cache_misses, &coalesced_waits, &builds,
         &build_ns, &bytes_served, &deltas_served, &chains_served,
-        &full_images_served, &evictions, &rejected_inserts, &net_sessions,
+        &full_images_served, &evictions, &rejected_inserts, &verify_rejects,
+        &verify_warns, &net_sessions,
         &net_rejected, &net_bytes_sent, &net_frames_sent, &net_resumes,
         &net_retries, &net_errors}) {
     a->store(0, std::memory_order_relaxed);

@@ -27,6 +27,10 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> evictions{0};       ///< cache entries dropped
   std::atomic<std::uint64_t> rejected_inserts{0};///< entry > shard budget
 
+  // Static safety verification (src/verify/) at the trust boundaries.
+  std::atomic<std::uint64_t> verify_rejects{0};  ///< unsafe deltas refused
+  std::atomic<std::uint64_t> verify_warns{0};    ///< warning findings seen
+
   // Wire transport (src/net/ DeltaServer / OtaClient) counters.
   std::atomic<std::uint64_t> net_sessions{0};     ///< connections served
   std::atomic<std::uint64_t> net_rejected{0};     ///< over connection limit

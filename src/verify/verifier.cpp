@@ -1,0 +1,376 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "core/checksum.hpp"
+#include "core/lzss.hpp"
+#include "inplace/interval_index.hpp"
+
+namespace ipd {
+namespace {
+
+std::string interval_text(const Interval& iv) {
+  return "[" + std::to_string(iv.first) + ", " + std::to_string(iv.last) + "]";
+}
+
+std::string cmd_text(std::size_t index) {
+  return "cmd#" + std::to_string(index);
+}
+
+/// Capped sink for findings. The boolean verdicts must stay exact even
+/// when an adversarial delta produces more violations than we are willing
+/// to materialize, so the structural flags live here, not in the vector.
+class Sink {
+ public:
+  Sink(Report& report, const VerifyOptions& options)
+      : report_(report), cap_(options.max_findings) {}
+
+  void add(Severity severity, Check check, std::string message,
+           std::optional<std::size_t> command = std::nullopt,
+           std::optional<std::size_t> other = std::nullopt,
+           std::optional<Interval> bytes = std::nullopt) {
+    if (severity == Severity::kError) {
+      switch (check) {
+        case Check::kCodeword:
+        case Check::kOffsetOverflow:
+        case Check::kReadBounds:
+        case Check::kWriteBounds:
+        case Check::kWriteOverlap:
+        case Check::kCoverage:
+          structural_error_ = true;
+          break;
+        default:
+          break;
+      }
+      ++errors_;
+    }
+    if (report_.findings.size() >= cap_) {
+      report_.findings_truncated = true;
+      return;
+    }
+    report_.findings.push_back(Finding{severity, check, std::move(message),
+                                       command, other, bytes});
+  }
+
+  bool structural_error() const noexcept { return structural_error_; }
+  std::size_t errors() const noexcept { return errors_; }
+
+ private:
+  Report& report_;
+  std::size_t cap_;
+  bool structural_error_ = false;
+  std::size_t errors_ = 0;
+};
+
+/// Script-level analysis shared by the serialized and in-memory entry
+/// points: bounds, overflow, coverage, and — when the write intervals
+/// turn out disjoint — Equation 2 via the §4.3 interval index.
+void analyze_script(const std::vector<Command>& commands, length_t ref_len,
+                    length_t ver_len, bool in_place_claimed,
+                    const VerifyOptions& opts, Report& report) {
+  Sink sink(report, opts);
+  constexpr offset_t kMaxOffset = std::numeric_limits<offset_t>::max();
+  const bool in_place_wanted = in_place_claimed || opts.require_in_place;
+
+  // Pass 1: per-command checks. `usable[i]` marks commands whose write
+  // interval is representable (nonzero length, no u64 wraparound) and
+  // may therefore participate in the coverage and conflict passes.
+  std::vector<char> usable(commands.size(), 0);
+  std::vector<char> read_usable(commands.size(), 0);
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const Command& cmd = commands[i];
+    const length_t len = command_length(cmd);
+    const offset_t to = command_to(cmd);
+    if (len == 0) {
+      sink.add(Severity::kError, Check::kCodeword,
+               cmd_text(i) + ": command with zero length", i);
+      continue;
+    }
+    if (to > kMaxOffset - (len - 1)) {
+      sink.add(Severity::kError, Check::kOffsetOverflow,
+               cmd_text(i) + ": write offset " + std::to_string(to) +
+                   " + length " + std::to_string(len) + " overflows u64",
+               i);
+      continue;
+    }
+    usable[i] = 1;
+    const Interval w = Interval::of(to, len);
+    if (ver_len == 0 || w.last >= ver_len) {
+      sink.add(Severity::kError, Check::kWriteBounds,
+               cmd_text(i) + ": writes " + interval_text(w) +
+                   " outside the version file of " + std::to_string(ver_len) +
+                   " bytes",
+               i, std::nullopt, w);
+    }
+    if (const auto* copy = std::get_if<CopyCommand>(&cmd)) {
+      if (copy->from > kMaxOffset - (len - 1)) {
+        sink.add(Severity::kError, Check::kOffsetOverflow,
+                 cmd_text(i) + ": read offset " + std::to_string(copy->from) +
+                     " + length " + std::to_string(len) + " overflows u64",
+                 i);
+        continue;
+      }
+      read_usable[i] = 1;
+      const Interval r = Interval::of(copy->from, len);
+      if (ref_len == 0 || r.last >= ref_len) {
+        sink.add(Severity::kError, Check::kReadBounds,
+                 cmd_text(i) + ": copy reads " + interval_text(r) +
+                     " outside the reference file of " +
+                     std::to_string(ref_len) + " bytes",
+                 i, std::nullopt, r);
+      }
+    }
+  }
+
+  // Pass 2: coverage — write intervals sorted by offset must be pairwise
+  // disjoint and tile [0, V) exactly. Unlike Script::validate, which
+  // throws citing only the first offender, enumerate every gap and
+  // overlap pair (up to the cap) so the report is a complete diagnosis.
+  struct Slot {
+    Interval write;
+    std::uint32_t serial;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(commands.size());
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    if (usable[i]) {
+      slots.push_back(Slot{command_write_interval(commands[i]),
+                           static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return a.write.first != b.write.first ? a.write.first < b.write.first
+                                          : a.write.last < b.write.last;
+  });
+  bool disjoint = true;
+  offset_t next = 0;           // first version byte not yet written
+  bool next_saturated = false;  // a write reached offset u64-max
+  std::size_t prev_slot = 0;    // slot index with the furthest write end
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const Interval& w = slots[s].write;
+    if (s > 0 && !next_saturated && w.first < next) {
+      disjoint = false;
+      const Interval& pw = slots[prev_slot].write;
+      const Interval overlap{w.first, std::min(w.last, pw.last)};
+      sink.add(Severity::kError, Check::kWriteOverlap,
+               cmd_text(slots[s].serial) + " and " +
+                   cmd_text(slots[prev_slot].serial) +
+                   " both write bytes " + interval_text(overlap),
+               slots[s].serial, slots[prev_slot].serial, overlap);
+    } else if (!next_saturated && w.first > next && next < ver_len) {
+      const Interval gap{next, std::min<offset_t>(w.first - 1, ver_len - 1)};
+      sink.add(Severity::kError, Check::kCoverage,
+               "coverage gap: bytes " + interval_text(gap) +
+                   " are never written",
+               std::nullopt, std::nullopt, gap);
+    }
+    if (s == 0 || w.last > slots[prev_slot].write.last) prev_slot = s;
+    if (w.last == kMaxOffset) {
+      next_saturated = true;
+    } else if (!next_saturated) {
+      next = std::max(next, w.last + 1);
+    }
+  }
+  if (!next_saturated && next < ver_len) {
+    const Interval gap{next, ver_len - 1};
+    sink.add(Severity::kError, Check::kCoverage,
+             "coverage gap: bytes " + interval_text(gap) +
+                 " are never written",
+             std::nullopt, std::nullopt, gap);
+  }
+
+  // Pass 3: Equation 2. Needs pairwise-disjoint writes (the interval
+  // index's precondition); every command — add or copy — is a writer,
+  // every copy a reader. A copy overlapping its OWN write interval is
+  // legal (§4.1); only a strictly earlier writer conflicts.
+  std::size_t conflict_count = 0;
+  if (disjoint && slots.size() == commands.size()) {
+    std::vector<CopyCommand> writers;
+    writers.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      writers.push_back(
+          CopyCommand{0, slot.write.first, slot.write.length()});
+    }
+    const IntervalIndex index(writers);
+    for (std::size_t ri = 0; ri < commands.size(); ++ri) {
+      const auto* copy = std::get_if<CopyCommand>(&commands[ri]);
+      if (copy == nullptr || !read_usable[ri]) continue;
+      const Interval read = copy->read_interval();
+      index.for_each_overlapping(read, [&](std::uint32_t slot_idx) {
+        const std::size_t wi = slots[slot_idx].serial;
+        if (wi >= ri) return;  // later or self: no conflict
+        ++conflict_count;
+        if (in_place_wanted) {
+          const Interval& w = slots[slot_idx].write;
+          const Interval overlap{std::max(read.first, w.first),
+                                 std::min(read.last, w.last)};
+          sink.add(Severity::kError, Check::kWriteBeforeRead,
+                   "conflict: " + cmd_text(ri) + " reads " +
+                       interval_text(overlap) + " after " + cmd_text(wi) +
+                       " wrote it",
+                   ri, wi, overlap);
+        }
+      });
+    }
+    if (in_place_claimed && conflict_count > 0) {
+      sink.add(Severity::kError, Check::kInPlaceFlag,
+               "header claims in-place applicability but the script has " +
+                   std::to_string(conflict_count) +
+                   " write-before-read conflict(s)");
+    }
+  }
+
+  // Style warnings, calibrated so pipeline output is silent: the paper
+  // schedules adds after all copies in an in-place script (§4.2), and a
+  // sequential (non-in-place) delta is expected to write contiguously.
+  if (in_place_wanted && !sink.structural_error()) {
+    std::size_t last_copy = commands.size();
+    for (std::size_t i = commands.size(); i-- > 0;) {
+      if (is_copy(commands[i])) {
+        last_copy = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; last_copy < commands.size() && i < last_copy;
+         ++i) {
+      if (is_add(commands[i])) {
+        sink.add(Severity::kWarning, Check::kAddPlacement,
+                 cmd_text(i) + " is an add placed before copy " +
+                     cmd_text(last_copy) +
+                     "; in-place scripts schedule adds last",
+                 i, last_copy);
+        break;
+      }
+    }
+  }
+  if (!in_place_wanted && sink.errors() == 0) {
+    offset_t expected = 0;
+    for (std::size_t i = 0; i < commands.size(); ++i) {
+      const offset_t to = command_to(commands[i]);
+      if (to != expected) {
+        sink.add(Severity::kWarning, Check::kWriteDiscontinuity,
+                 cmd_text(i) + " writes at " + std::to_string(to) +
+                     " where " + std::to_string(expected) +
+                     " was expected; sequential deltas write contiguously",
+                 i);
+        break;
+      }
+      expected = to + command_length(commands[i]);
+    }
+  }
+
+  report.command_count = commands.size();
+  report.in_place_safe =
+      report.well_formed && !sink.structural_error() && conflict_count == 0 &&
+      disjoint && slots.size() == commands.size();
+}
+
+}  // namespace
+
+Report Verifier::check(ByteView delta) const {
+  Report report;
+  const auto reject = [&report](Check check, std::string message) {
+    report.findings.push_back(
+        Finding{Severity::kError, check, std::move(message)});
+  };
+
+  std::optional<std::pair<DeltaHeader, std::size_t>> parsed;
+  try {
+    parsed = try_parse_header(delta);
+  } catch (const FormatError& e) {
+    reject(Check::kContainer, e.what());
+    return report;
+  }
+  if (!parsed) {
+    reject(Check::kContainer, "delta header truncated");
+    return report;
+  }
+  const DeltaHeader& header = parsed->first;
+  const std::size_t header_bytes = parsed->second;
+  report.header = header;
+
+  if (header.payload_length > delta.size() - header_bytes) {
+    reject(Check::kContainer,
+           "payload truncated: header declares " +
+               std::to_string(header.payload_length) + " bytes, " +
+               std::to_string(delta.size() - header_bytes) + " present");
+    return report;
+  }
+  if (header_bytes + header.payload_length != delta.size()) {
+    reject(Check::kContainer, "trailing garbage after payload");
+    return report;
+  }
+  const ByteView payload = delta.subspan(
+      header_bytes, static_cast<std::size_t>(header.payload_length));
+  if (adler32(payload) != header.payload_adler) {
+    reject(Check::kPayload, "payload checksum mismatch");
+    return report;
+  }
+
+  Bytes decompressed;
+  ByteView stream = payload;
+  if (header.compress_payload) {
+    if (header.payload_uncompressed > options_.max_payload_bytes) {
+      reject(Check::kPayload,
+             "declared uncompressed payload of " +
+                 std::to_string(header.payload_uncompressed) +
+                 " bytes exceeds the " +
+                 std::to_string(options_.max_payload_bytes) + "-byte limit");
+      return report;
+    }
+    try {
+      decompressed = lzss_decode(
+          payload, static_cast<std::size_t>(header.payload_uncompressed));
+    } catch (const Error& e) {
+      reject(Check::kPayload, e.what());
+      return report;
+    }
+    stream = decompressed;
+  }
+
+  std::vector<Command> commands;
+  offset_t running_to = 0;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    CommandProbe probe = probe_command(stream.subspan(pos), header.format,
+                                       header.version_length, running_to);
+    if (probe.status != CommandProbe::Status::kOk) {
+      reject(Check::kCodeword,
+             cmd_text(commands.size()) + ": " + probe.detail);
+      report.command_count = commands.size();
+      return report;
+    }
+    commands.push_back(std::move(*probe.command));
+    pos += probe.consumed;
+  }
+
+  report.well_formed = true;
+  analyze_script(commands, header.reference_length, header.version_length,
+                 header.in_place, options_, report);
+  return report;
+}
+
+Report Verifier::check(const DeltaFile& file) const {
+  Report report;
+  report.well_formed = true;  // in-memory scripts have no container to fail
+  analyze_script(file.script.commands(), file.reference_length,
+                 file.version_length, file.in_place, options_, report);
+  return report;
+}
+
+std::size_t Report::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.severity == Severity::kError;
+  return n;
+}
+
+std::size_t Report::warning_count() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.severity == Severity::kWarning;
+  return n;
+}
+
+}  // namespace ipd

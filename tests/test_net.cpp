@@ -3,10 +3,13 @@
 // pair (no sockets — the TCP path is covered by test_net_e2e.cpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
+#include "core/checksum.hpp"
 #include "corpus/generator.hpp"
 #include "corpus/mutation.hpp"
+#include "delta/codec.hpp"
 #include "net/delta_server.hpp"
 #include "net/faulty_transport.hpp"
 #include "net/loopback_transport.hpp"
@@ -517,6 +520,113 @@ TEST(Session, StreamingClientSurvivesInjectedFaults) {
   EXPECT_GT(stats.total(), 0u) << "fault injection never fired";
   EXPECT_GE(report.retries, 2u);  // the two deterministic kills
   EXPECT_EQ(report.retries, rig.service->metrics().net_retries.load());
+}
+
+TEST(Session, HostileInPlaceDeltaIsRefusedBeforeAnyFlashWrite) {
+  // A server streaming a conflicting "in-place" delta: the frames and
+  // the whole-artifact CRC all check out — the bytes arrive exactly as
+  // sent — but applying the script in place would destroy reference
+  // bytes before they are read. The device-side static verifier must
+  // refuse it before the first flash write.
+  Rng rng(0xEB11);
+  const Bytes ref = generate_file(rng, 8 << 10, FileProfile::kBinary);
+  const length_t half = ref.size() / 2;
+  DeltaFile file;
+  file.format = kVarintExplicit;
+  file.in_place = true;  // the lie
+  file.reference_length = ref.size();
+  file.version_length = ref.size();
+  file.script.push(CopyCommand{half, 0, half});  // writes what...
+  file.script.push(CopyCommand{0, half, half});  // ...this one reads
+  const Bytes evil = serialize_delta(file);
+
+  auto [client_end, server_end] = make_loopback_pair();
+  std::thread hostile([server = std::move(server_end),
+                       evil = evil]() mutable {
+    try {
+      FramedConnection conn(*server);
+      (void)conn.receive();  // HELLO
+      conn.send(HelloAckMsg{});
+      (void)conn.receive();  // GET_DELTA
+      DeltaBeginMsg begin;
+      begin.from = 0;
+      begin.to = 1;
+      begin.last_hop = 1;
+      begin.total_size = evil.size();
+      begin.reference_length = evil.size();
+      begin.version_length = evil.size();
+      begin.artifact_crc = crc32c(evil);
+      conn.send(begin);
+      conn.send(DeltaDataMsg{0, evil});
+      conn.send(DeltaEndMsg{evil.size(), crc32c(evil)});
+    } catch (const Error&) {
+      // the client hung up on us — expected
+    }
+    server->close();
+  });
+
+  ServiceMetrics metrics;
+  OtaClientOptions options;
+  options.max_attempts = 1;
+  OtaClient client(
+      [&]() -> std::unique_ptr<Transport> { return std::move(client_end); },
+      options, &metrics);
+
+  constexpr std::size_t kImageArea = 16 << 10;
+  constexpr JournalRegion kJournal{kImageArea, 16 << 10};
+  FlashDevice device(kImageArea + kJournal.size, 512, 96 << 10);
+  device.load_image(ref);
+  clear_journal(device, kJournal);
+
+  TransferJournal journal;
+  try {
+    client.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+    FAIL() << "hostile in-place delta was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsafe delta refused"),
+              std::string::npos)
+        << e.what();
+  }
+  hostile.join();
+  EXPECT_EQ(metrics.verify_rejects.load(), 1u);
+  // The artifact was refused before apply: the image is untouched, and
+  // the poisoned download will never be resumed.
+  EXPECT_TRUE(
+      test::bytes_equal(ref, ByteView(device.inspect()).first(ref.size())));
+  EXPECT_FALSE(journal.active);
+}
+
+TEST(Session, PoisonedPreloadIsRefusedAndCleanUpgradeStillServes) {
+  // End-to-end across the trust boundary on the *server* side: an
+  // operator preloads a conflicting artifact whose header matches the
+  // hop endpoints exactly. The service must refuse to cache it, and the
+  // next wire client must get a freshly built, safe delta.
+  LoopbackRig rig(2);
+  DeltaFile file;
+  file.format = kVarintExplicit;
+  file.in_place = true;
+  file.reference_length = rig.history[0].size();
+  file.version_length = rig.history[1].size();
+  file.version_crc = rig.store.content_key(1).crc;
+  const length_t half =
+      std::min(file.reference_length, file.version_length) / 2;
+  file.script.push(CopyCommand{half, 0, half});
+  file.script.push(CopyCommand{0, half, file.version_length - half});
+  EXPECT_FALSE(rig.service->preload(0, 1, serialize_delta(file)));
+  EXPECT_EQ(rig.service->metrics().verify_rejects.load(), 1u);
+
+  std::vector<std::thread> sessions;
+  OtaClient client([&] {
+    sessions.emplace_back();
+    return rig.connect(sessions.back());
+  });
+  Bytes image = rig.history[0];
+  const OtaReport report = client.update_streaming(image, 0, 1);
+  for (std::thread& t : sessions) t.join();
+  EXPECT_TRUE(test::bytes_equal(rig.history[1], image));
+  EXPECT_EQ(report.final_release, 1u);
+  // Still exactly one rejection: the refused preload, not the build.
+  EXPECT_EQ(rig.service->metrics().verify_rejects.load(), 1u);
 }
 
 }  // namespace
