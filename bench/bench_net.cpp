@@ -6,7 +6,7 @@
 // into a StreamingInplaceApplier. Three sections:
 //
 //   1. per-hop OTA latency percentiles over TCP (warm server cache), the
-//      number a fleet dashboard would alert on — same LatencyRecorder as
+//      number a fleet dashboard would alert on — same obs::Histogram as
 //      bench_server so the two tables read side by side;
 //   2. fleet throughput: concurrent clients running full chain upgrades,
 //      upgrades/s and wire MiB/s;
@@ -91,18 +91,19 @@ int main() {
     // Warm every single-hop artifact once, then measure.
     for (ReleaseId r = 0; r < latest; ++r) (void)service.serve(r, r + 1);
 
-    bench::LatencyRecorder hop_latency;
+    obs::Histogram hop_latency;
     Rng rng(0x0E7A);
     for (std::size_t i = 0; i < ops; ++i) {
       const auto from = static_cast<ReleaseId>(rng.below(latest));
       Bytes image = history[from];
       OtaClient client(tcp_factory);
-      hop_latency.time(
-          [&] { (void)client.update_streaming(image, from, from + 1); });
+      bench::time_into(hop_latency, [&] {
+        (void)client.update_streaming(image, from, from + 1);
+      });
     }
     std::printf("single-hop OTA over TCP, %zu ops (connect + frame + "
                 "stream + apply):\n  %s\n",
-                ops, hop_latency.summary().c_str());
+                ops, bench::latency_summary(hop_latency).c_str());
   }
   bench::rule();
 
@@ -114,7 +115,7 @@ int main() {
     for (const std::size_t clients : {1u, 4u, 8u}) {
       service.metrics().reset();
       const std::size_t upgrades = std::max<std::size_t>(ops / 10, 2);
-      std::vector<bench::LatencyRecorder> recorders(clients);
+      obs::Histogram upgrade_latency;  // thread-safe: fleet records directly
       std::vector<std::thread> fleet;
       std::atomic<std::size_t> failures{0};
       const double seconds = bench::time_seconds([&] {
@@ -126,7 +127,7 @@ int main() {
               Bytes image = history[0];
               OtaClient client(tcp_factory);
               try {
-                recorders[c].time([&] {
+                bench::time_into(upgrade_latency, [&] {
                   (void)client.update_streaming(image, 0, latest);
                 });
               } catch (const std::exception&) {
@@ -137,14 +138,12 @@ int main() {
         }
         for (std::thread& t : fleet) t.join();
       });
-      bench::LatencyRecorder merged;
-      for (const bench::LatencyRecorder& r : recorders) merged.merge(r);
       const double wire_mib =
           static_cast<double>(service.metrics().net_bytes_sent.load()) /
           seconds / 1048576.0;
       std::printf("  %-8zu %12.1f %12.1f   %s%s\n", clients,
                   static_cast<double>(upgrades) / seconds, wire_mib,
-                  merged.summary().c_str(),
+                  bench::latency_summary(upgrade_latency).c_str(),
                   failures.load() ? "  [FAILURES]" : "");
     }
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "server/delta_service.hpp"
 
 namespace {
@@ -46,37 +47,69 @@ std::vector<Bytes> make_history() {
 struct LoadResult {
   double seconds = 0;
   std::uint64_t requests = 0;
-  bench::LatencyRecorder latency;  ///< per-request serve() wall time
 };
 
 /// Fire `total` random (from < to) requests at `service` from `threads`
-/// client threads; returns wall time for the whole volley plus the
-/// per-request latency distribution.
+/// client threads; returns wall time for the whole volley. Per-request
+/// serve() latency accumulates into `latency` — the histogram is
+/// thread-safe, so all client threads record into it directly.
 LoadResult run_load(DeltaService& service, std::size_t releases,
                     std::size_t threads, std::size_t total,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, obs::Histogram& latency) {
   std::vector<std::thread> clients;
-  std::vector<bench::LatencyRecorder> recorders(threads);
   LoadResult result;
   result.requests = total;
   result.seconds = bench::time_seconds([&] {
     for (std::size_t t = 0; t < threads; ++t) {
       const std::size_t quota = total / threads + (t == 0 ? total % threads : 0);
-      clients.emplace_back([&service, &recorders, releases, quota, seed, t] {
+      clients.emplace_back([&service, &latency, releases, quota, seed, t] {
         Rng rng(seed + t);
         for (std::size_t i = 0; i < quota; ++i) {
           const auto from = static_cast<ReleaseId>(rng.below(releases - 1));
           const auto to =
               from + 1 +
               static_cast<ReleaseId>(rng.below(releases - 1 - from));
-          recorders[t].time([&] { (void)service.serve(from, to); });
+          bench::time_into(latency, [&] { (void)service.serve(from, to); });
         }
       });
     }
     for (std::thread& client : clients) client.join();
   });
-  for (const bench::LatencyRecorder& r : recorders) result.latency.merge(r);
   return result;
+}
+
+/// CI gate: the stats exposition must name every registered metric.
+/// Re-runs the same X-macro iterations the renderer consumed, against
+/// the rendered text — a counter or histogram added to the registry but
+/// dropped from the exposition fails the bench (and the smoke job).
+int check_stats_exposition(const DeltaService& service) {
+  const std::string text = service.stats_text();
+  int missing = 0;
+  const auto require = [&](const std::string& needle, const char* what) {
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "stats exposition MISSING %s: %s\n", what,
+                   needle.c_str());
+      ++missing;
+    }
+  };
+  service.metrics().for_each([&](const char* name, std::uint64_t) {
+    require("ipdelta_" + std::string(name) + " ", "counter");
+  });
+  service.histograms().for_each([&](const char* name, const obs::Histogram&) {
+    require("ipdelta_" + std::string(name) + "{quantile=", "histogram");
+  });
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    for (const char* series : {"stage_ns", "stage_bytes", "stage_ops"}) {
+      require(std::string("ipdelta_") + series + "{stage=\"" +
+                  obs::stage_name(stage) + "\"}",
+              "stage series");
+    }
+  }
+  if (missing == 0) {
+    std::printf("stats exposition: every registered metric present\n");
+  }
+  return missing;
 }
 
 }  // namespace
@@ -103,7 +136,8 @@ int main() {
     options.cache_budget = 64ull << 20;
     options.workers = 4;
     DeltaService service(store, options);
-    LoadResult cold = run_load(service, releases, 8, 512, 0xC01D);
+    obs::Histogram latency;
+    LoadResult cold = run_load(service, releases, 8, 512, 0xC01D, latency);
     const ServiceMetrics& m = service.metrics();
     std::printf(
         "cold start: 512 requests / 8 threads in %.2fs\n"
@@ -114,7 +148,7 @@ int main() {
         static_cast<unsigned long long>(m.builds.load()),
         static_cast<unsigned long long>(m.coalesced_waits.load()),
         static_cast<unsigned long long>(m.cache_hits.load()),
-        cold.latency.summary().c_str());
+        bench::latency_summary(latency).c_str());
   }
   bench::rule();
 
@@ -122,12 +156,14 @@ int main() {
   // One service, fully warmed, then each thread count fires the same
   // request volume. The serving path never builds: it is store lookup +
   // sharded LRU + atomics, which is what has to scale.
+  int exposition_missing = 0;
   {
     ServiceOptions options;
     options.cache_budget = 64ull << 20;
     options.workers = 4;
     DeltaService service(store, options);
-    run_load(service, releases, 4, 2048, 0x3A3A);  // warm every pair
+    obs::Histogram latency;
+    run_load(service, releases, 4, 2048, 0x3A3A, latency);  // warm every pair
 
     std::printf("warm cache, %zu requests per thread count:\n", warm_ops);
     std::printf("  %-8s %12s %12s %10s   %s\n", "threads", "req/s", "MiB/s",
@@ -135,8 +171,9 @@ int main() {
     double base = 0;
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
       service.metrics().reset();
-      LoadResult warm =
-          run_load(service, releases, threads, warm_ops, 0xBEEF + threads);
+      latency.reset();
+      LoadResult warm = run_load(service, releases, threads, warm_ops,
+                                 0xBEEF + threads, latency);
       const ServiceMetrics& m = service.metrics();
       const double rate =
           static_cast<double>(warm.requests) / warm.seconds;
@@ -145,8 +182,9 @@ int main() {
       if (threads == 1) base = rate;
       std::printf("  %-8zu %12.0f %12.1f %9.1f%%   %s  (%.2fx vs 1 thread)\n",
                   threads, rate, mib, 100.0 * m.hit_rate(),
-                  warm.latency.summary().c_str(), rate / base);
+                  bench::latency_summary(latency).c_str(), rate / base);
     }
+    exposition_missing = check_stats_exposition(service);
   }
   bench::rule();
 
@@ -162,7 +200,8 @@ int main() {
       options.cache_budget = budget;
       options.workers = 4;
       DeltaService service(store, options);
-      run_load(service, releases, 4, 600, 0xCAFE);
+      obs::Histogram latency;
+      run_load(service, releases, 4, 600, 0xCAFE, latency);
       const ServiceMetrics& m = service.metrics();
       const DeltaCache::Stats stats = service.cache().stats();
       char label[32];
@@ -175,5 +214,5 @@ int main() {
                   static_cast<unsigned long long>(stats.rejected));
     }
   }
-  return 0;
+  return exposition_missing == 0 ? 0 : 1;
 }

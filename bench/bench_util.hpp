@@ -1,15 +1,16 @@
-// Shared helpers for the paper-table benches: wall-clock timing, the
-// corpus E1-E3 use, and the latency-percentile recorder shared by
-// bench_server and bench_net.
+// Shared helpers for the paper-table benches: wall-clock timing and the
+// corpus E1-E3 use. Latency distributions go through obs::Histogram
+// (src/obs/) — the same lock-free recorder production code uses — so
+// bench_server and bench_net no longer carry their own percentile math.
 #pragma once
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "corpus/workload.hpp"
+#include "obs/histogram.hpp"
 
 namespace ipd::bench {
 
@@ -48,49 +49,22 @@ inline void rule(char c = '-', int width = 78) {
   std::putchar('\n');
 }
 
-/// Per-operation latency samples with percentile readout. Not thread
-/// safe: give each load thread its own recorder and merge() after join.
-class LatencyRecorder {
- public:
-  void record(double seconds) { samples_.push_back(seconds); }
+/// Time fn() and record the elapsed nanoseconds into `histogram`.
+/// The histogram is thread-safe, so every load thread records into the
+/// same instance — no per-thread recorders, no merge step.
+template <typename Fn>
+void time_into(obs::Histogram& histogram, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  histogram.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count()));
+}
 
-  /// Time fn() and record the elapsed wall clock.
-  template <typename Fn>
-  void time(Fn&& fn) {
-    record(time_seconds(static_cast<Fn&&>(fn)));
-  }
-
-  void merge(const LatencyRecorder& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
-  }
-
-  std::size_t count() const { return samples_.size(); }
-
-  /// Nearest-rank percentile, p in [0, 100]. Sorts on demand.
-  double percentile(double p) {
-    if (samples_.empty()) return 0;
-    std::sort(samples_.begin(), samples_.end());
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
-  }
-
-  /// "p50 420.1us  p95 1300.0us  p99 3870.5us" — one line for tables.
-  /// Microseconds: warm serve() calls are sub-microsecond and would
-  /// all round to 0.000 in ms.
-  std::string summary() {
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "p50 %9.1fus  p95 %9.1fus  p99 %9.1fus",
-                  percentile(50) * 1e6, percentile(95) * 1e6,
-                  percentile(99) * 1e6);
-    return buf;
-  }
-
- private:
-  std::vector<double> samples_;
-};
+/// "p50 420.1us  p95 1300.0us  p99 3870.5us" — one line for tables.
+inline std::string latency_summary(const obs::Histogram& histogram) {
+  return histogram.snapshot().latency_line();
+}
 
 }  // namespace ipd::bench

@@ -10,12 +10,18 @@
 //   ipdelta serve <releases...>           # delta service over a history
 //   ipdelta serve <releases...> --port P  # ... exported over TCP
 //   ipdelta fetch <host:port> <image> ... # streaming OTA client
+//   ipdelta stats <host:port>             # live Prometheus-style stats
+//   ipdelta trace <cmd> [args...]         # run any command traced,
+//                                         # write Chrome trace JSON
 //
 // Exit status: 0 on success, 1 on usage error, 2 on processing error,
 // 3 when `lint` found error-severity defects (or a self-check mismatch).
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,12 +38,19 @@
 #include "net/delta_server.hpp"
 #include "net/ota_client.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/trace.hpp"
 #include "server/delta_service.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
 
 using namespace ipd;
+
+// Defined after every cmd_* so `trace` can re-dispatch the wrapped
+// command through the same table main() uses.
+int run_command(const std::string& command,
+                const std::vector<std::string>& args);
 
 int usage() {
   std::fprintf(
@@ -61,9 +74,33 @@ int usage() {
       "                [--port P [--sessions N]]   # export over TCP;\n"
       "                                            # runs until stdin closes\n"
       "  ipdelta fetch <host:port> <image file> --to B\n"
-      "                [--from A] [--out FILE] [--chunk BYTES]\n"
-      "  ipdelta fetch <host:port> --metrics\n");
+      "                [--from A] [--out FILE] [--chunk BYTES] [--verbose]\n"
+      "  ipdelta fetch <host:port> --metrics\n"
+      "  ipdelta stats <host:port>        # Prometheus-style live stats\n"
+      "  ipdelta trace <command> [args...] [--trace-out FILE]\n"
+      "                # run any command with stage tracing enabled and\n"
+      "                # write Chrome trace-event JSON (default trace.json)\n");
   return 1;
+}
+
+/// Split "<host>:<port>" (or a bare port, meaning localhost) and
+/// validate the port range.
+void parse_endpoint(const std::string& endpoint, std::string* host,
+                    std::uint16_t* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  *host = colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t n = std::stoull(port_text, &used);
+    if (used != port_text.size() || n == 0 || n > 65535) {
+      throw std::invalid_argument(port_text);
+    }
+    *port = static_cast<std::uint16_t>(n);
+  } catch (const std::exception&) {
+    throw Error("bad endpoint (want host:port): " + endpoint);
+  }
 }
 
 int cmd_diff(const std::vector<std::string>& args) {
@@ -435,10 +472,45 @@ int cmd_serve(const std::vector<std::string>& args) {
                 "(close stdin to stop)\n",
                 store.release_count(), server.port());
     std::fflush(stdout);
+    // Periodic one-line stats heartbeat while the server runs, so an
+    // operator tailing the log sees load and latency without polling
+    // `ipdelta stats`.
+    std::mutex ticker_mutex;
+    std::condition_variable ticker_cv;
+    bool ticker_stop = false;
+    std::thread ticker([&] {
+      std::unique_lock<std::mutex> lock(ticker_mutex);
+      while (!ticker_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return ticker_stop; })) {
+        const ServiceMetrics& m = service.metrics();
+        const obs::HistogramSnapshot serve_lat =
+            service.histograms().serve_ns.snapshot();
+        std::printf(
+            "stats: %llu requests (%.0f%% cache hits), %llu wire bytes, "
+            "serve %s\n",
+            static_cast<unsigned long long>(
+                m.requests.load(std::memory_order_relaxed)),
+            100.0 * m.hit_rate(),
+            static_cast<unsigned long long>(
+                m.net_bytes_sent.load(std::memory_order_relaxed)),
+            serve_lat.latency_line().c_str());
+        std::fflush(stdout);
+      }
+    });
     for (int c; (c = std::getchar()) != EOF;) {
     }
+    {
+      const std::lock_guard<std::mutex> lock(ticker_mutex);
+      ticker_stop = true;
+    }
+    ticker_cv.notify_all();
+    ticker.join();
     server.stop();
     std::printf("%s", service.metrics_text().c_str());
+    const std::string events = obs::global_events().dump();
+    if (!events.empty()) {
+      std::printf("recent events:\n%s", events.c_str());
+    }
     return 0;
   }
 
@@ -489,6 +561,7 @@ int cmd_fetch(const std::vector<std::string>& args) {
   ReleaseId to = 0;
   bool to_set = false;
   bool metrics = false;
+  bool verbose = false;
   std::string out;
   std::uint64_t chunk = 64u << 10;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -519,6 +592,8 @@ int cmd_fetch(const std::vector<std::string>& args) {
       chunk = number();
     } else if (a == "--metrics") {
       metrics = true;
+    } else if (a == "--verbose") {
+      verbose = true;
     } else if (!a.empty() && a[0] == '-') {
       throw Error("unknown option: " + a);
     } else {
@@ -527,31 +602,15 @@ int cmd_fetch(const std::vector<std::string>& args) {
   }
   if (positional.empty()) return usage();
 
-  // <host:port>, or a bare port for localhost.
   const std::string& endpoint = positional[0];
-  const std::size_t colon = endpoint.rfind(':');
-  const std::string host =
-      colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
-  const std::string port_text =
-      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
-  std::uint64_t port = 0;
-  try {
-    std::size_t used = 0;
-    port = std::stoull(port_text, &used);
-    if (used != port_text.size() || port == 0 || port > 65535) {
-      throw std::invalid_argument(port_text);
-    }
-  } catch (const std::exception&) {
-    throw Error("bad endpoint (want host:port): " + endpoint);
-  }
+  std::string host;
+  std::uint16_t port = 0;
+  parse_endpoint(endpoint, &host, &port);
 
   OtaClientOptions client_options;
   client_options.max_chunk = static_cast<std::uint32_t>(chunk);
   OtaClient client(
-      [host, port] {
-        return TcpTransport::connect(host,
-                                     static_cast<std::uint16_t>(port));
-      },
+      [host, port] { return TcpTransport::connect(host, port); },
       client_options);
 
   if (metrics) {
@@ -571,7 +630,76 @@ int cmd_fetch(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(report.bytes_received),
               report.retries, report.retries == 1 ? "y" : "ies",
               dest.c_str(), image.size());
+  if (verbose) {
+    std::printf("  session: %zu retries, %zu resumes, %.1f ms in backoff\n",
+                report.retries, report.resumes,
+                static_cast<double>(report.backoff_ns) / 1e6);
+    const std::string events = obs::global_events().dump();
+    if (!events.empty()) {
+      std::printf("  client events:\n%s", events.c_str());
+    }
+  }
   return 0;
+}
+
+// Poll a running `serve --port` endpoint for its Prometheus-style stats
+// exposition: every ServiceMetrics counter, the latency/size histogram
+// quantiles, cache gauges and per-stage pipeline time.
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::string host;
+  std::uint16_t port = 0;
+  parse_endpoint(args[0], &host, &port);
+  OtaClient client(
+      [host, port] { return TcpTransport::connect(host, port); });
+  std::printf("%s", client.fetch_stats().c_str());
+  return 0;
+}
+
+// Run any other command with stage tracing enabled and export the
+// captured spans as Chrome trace-event JSON (chrome://tracing,
+// Perfetto, speedscope). The wrapped command's exit status is preserved.
+int cmd_trace(const std::vector<std::string>& args) {
+  std::string trace_out = "trace.json";
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace-out") {
+      if (i + 1 >= args.size()) throw Error("missing value for --trace-out");
+      trace_out = args[++i];
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.empty()) return usage();
+  const std::string inner = rest.front();
+  if (inner == "trace") throw Error("trace: cannot trace itself");
+  rest.erase(rest.begin());
+
+  obs::clear_trace_events();
+  obs::set_tracing(true);
+  const int rc = run_command(inner, rest);
+  obs::set_tracing(false);
+  const std::string json = obs::trace_events_json();
+  write_file(trace_out, Bytes(json.begin(), json.end()));
+  std::fprintf(stderr, "trace: %zu span(s) -> %s\n", obs::trace_event_count(),
+               trace_out.c_str());
+  return rc;
+}
+
+int run_command(const std::string& command,
+                const std::vector<std::string>& args) {
+  if (command == "diff") return cmd_diff(args);
+  if (command == "apply") return cmd_apply(args);
+  if (command == "patch") return cmd_patch(args);
+  if (command == "verify") return cmd_verify(args);
+  if (command == "lint") return cmd_lint(args);
+  if (command == "compose") return cmd_compose(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "fetch") return cmd_fetch(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "trace") return cmd_trace(args);
+  return usage();
 }
 
 }  // namespace
@@ -581,18 +709,15 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
-    if (command == "diff") return cmd_diff(args);
-    if (command == "apply") return cmd_apply(args);
-    if (command == "patch") return cmd_patch(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "lint") return cmd_lint(args);
-    if (command == "compose") return cmd_compose(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "serve") return cmd_serve(args);
-    if (command == "fetch") return cmd_fetch(args);
-    return usage();
+    return run_command(command, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ipdelta: %s\n", e.what());
+    // Crash-path flight record: whatever notable events led up to the
+    // failure (verify rejects, net errors, poisoned journals).
+    const std::string events = obs::global_events().dump();
+    if (!events.empty()) {
+      std::fprintf(stderr, "recent events:\n%s", events.c_str());
+    }
     return 2;
   }
 }

@@ -4,6 +4,7 @@
 
 #include "apply/oracle.hpp"
 #include "core/checksum.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
 
@@ -36,6 +37,7 @@ Bytes apply_script(const Script& script, ByteView reference) {
 }
 
 Bytes apply_delta(ByteView delta, ByteView reference) {
+  obs::Span span(obs::Stage::kApplyScratch, delta.size());
   const DeltaFile file = deserialize_delta(delta);
   if (file.reference_length != reference.size()) {
     throw FormatError("apply: reference length mismatch (delta expects " +

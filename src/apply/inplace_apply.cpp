@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/checksum.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
 namespace {
@@ -99,6 +100,7 @@ void apply_inplace_checked(const Script& script, MutByteView buffer,
 }
 
 length_t apply_delta_inplace(ByteView delta, MutByteView buffer) {
+  obs::Span span(obs::Stage::kApplyInplace, delta.size());
   const DeltaFile file = deserialize_delta(delta);
   if (!file.in_place) {
     throw ValidationError(

@@ -5,6 +5,7 @@
 
 #include "core/checksum.hpp"
 #include "inplace/scc.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
 namespace {
@@ -49,7 +50,10 @@ ConvertResult convert_to_inplace(const Script& input, ByteView reference,
   report.adds_in = adds.size();
 
   // Step 3: the CRWI digraph.
-  const CrwiGraph graph = CrwiGraph::build(copies, version_length);
+  const CrwiGraph graph = [&] {
+    obs::Span span(obs::Stage::kCrwiGraph, reference.size());
+    return CrwiGraph::build(copies, version_length);
+  }();
   report.edges = graph.edge_count();
 
   const CodewordCostModel cost_model(options.format, version_length);
@@ -61,10 +65,12 @@ ConvertResult convert_to_inplace(const Script& input, ByteView reference,
       options.policy == BreakPolicy::kSccGlobalMin) {
     std::vector<std::uint32_t> feedback_set;
     if (options.policy == BreakPolicy::kExactOptimal) {
+      obs::Span span(obs::Stage::kCycleBreakExact);
       ExactFvsResult fvs = exact_min_fvs(graph, costs, options.exact);
       report.exact_was_optimal = fvs.optimal;
       feedback_set = std::move(fvs.removed);
     } else {
+      obs::Span span(obs::Stage::kCycleBreakScc);
       feedback_set = scc_greedy_fvs(graph, costs, &report.scc_rounds);
     }
     std::vector<bool> pre_deleted(graph.vertex_count(), false);
@@ -72,11 +78,15 @@ ConvertResult convert_to_inplace(const Script& input, ByteView reference,
       pre_deleted[v] = true;
     }
     // The remainder is acyclic; constant-time policy never fires.
+    obs::Span span(obs::Stage::kTopoSort);
     topo = topo_sort_breaking_cycles(graph, BreakPolicy::kConstantTime, costs,
                                      pre_deleted);
     topo.deleted.assign(feedback_set.begin(), feedback_set.end());
     report.cycles_found = topo.cycles_found;  // 0 expected
   } else {
+    // The constant-time and local-min policies break cycles inside the
+    // sort itself, so their cost shows up under this span.
+    obs::Span span(obs::Stage::kTopoSort);
     topo = topo_sort_breaking_cycles(graph, options.policy, costs);
     report.cycles_found = topo.cycles_found;
     report.cycles_already_broken = topo.cycles_already_broken;
@@ -84,6 +94,7 @@ ConvertResult convert_to_inplace(const Script& input, ByteView reference,
   report.passes = topo.passes;
   report.cycle_length_sum = topo.cycle_length_sum;
 
+  obs::Span emit_span(obs::Stage::kConvertEmit);
   // Deleted vertices: re-encode their copies as adds, fetching the bytes
   // from the reference (Equation 2 makes this the same data the copy
   // would have read at reconstruction time).
@@ -161,7 +172,10 @@ Bytes make_inplace_delta(const Script& input, ByteView reference,
   file.version_length = version.size();
   file.version_crc = crc32c(version);
   file.script = std::move(converted.script);
-  return serialize_delta(file);
+  obs::Span span(obs::Stage::kEncode);
+  Bytes out = serialize_delta(file);
+  span.add_bytes(out.size());
+  return out;
 }
 
 }  // namespace ipd

@@ -1,13 +1,17 @@
 #include "ipdelta.hpp"
 
 #include "core/checksum.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
 
 Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
                    const PipelineOptions& options) {
-  Script script = diff_bytes(options.differ, reference, version,
-                             options.differ_options);
+  Script script = [&] {
+    obs::Span span(obs::Stage::kDiff, reference.size() + version.size());
+    return diff_bytes(options.differ, reference, version,
+                      options.differ_options);
+  }();
   DeltaFile file;
   file.format = format;
   // Some scripts are conflict-free as produced (e.g. all-add deltas, or
@@ -18,14 +22,20 @@ Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
   file.version_length = version.size();
   file.version_crc = crc32c(version);
   file.script = std::move(script);
-  return serialize_delta(file);
+  obs::Span span(obs::Stage::kEncode);
+  Bytes out = serialize_delta(file);
+  span.add_bytes(out.size());
+  return out;
 }
 
 Bytes create_inplace_delta(ByteView reference, ByteView version,
                            const PipelineOptions& options,
                            ConvertReport* report_out) {
-  const Script script = diff_bytes(options.differ, reference, version,
-                                   options.differ_options);
+  const Script script = [&] {
+    obs::Span span(obs::Stage::kDiff, reference.size() + version.size());
+    return diff_bytes(options.differ, reference, version,
+                      options.differ_options);
+  }();
   return make_inplace_delta(script, reference, version, options.convert,
                             report_out, options.compress_payload);
 }

@@ -5,6 +5,8 @@
 
 #include "core/checksum.hpp"
 #include "delta/codec.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
 
@@ -67,8 +69,11 @@ std::size_t DeltaServer::send_counted(FramedConnection& conn,
   ServiceMetrics& m = service_.metrics();
   m.net_bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
   m.net_frames_sent.fetch_add(1, std::memory_order_relaxed);
-  if (std::holds_alternative<ErrorMsg>(message)) {
+  if (const auto* err = std::get_if<ErrorMsg>(&message)) {
     m.net_errors.fetch_add(1, std::memory_order_relaxed);
+    obs::global_events().push(obs::EventType::kNetError,
+                              static_cast<std::uint64_t>(err->code), 0,
+                              err->message);
   }
   return conn.send_encoded(wire);
 }
@@ -84,6 +89,8 @@ void DeltaServer::accept_loop() {
     }
     if (full) {
       service_.metrics().net_rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::global_events().push(obs::EventType::kConnRejected,
+                                active_sessions(), options_.max_sessions);
       try {
         FramedConnection conn(*transport);
         send_counted(conn, ErrorMsg{ErrorCode::kBusy,
@@ -138,6 +145,8 @@ void DeltaServer::serve_session(Transport& transport) {
                         resume->artifact_crc, true, chunk);
       } else if (std::get_if<MetricsReqMsg>(&*message)) {
         send_counted(conn, MetricsMsg{service_.metrics_text()});
+      } else if (std::get_if<StatsReqMsg>(&*message)) {
+        send_counted(conn, StatsMsg{service_.stats_text()});
       } else {
         send_counted(conn, ErrorMsg{ErrorCode::kProtocol,
                                     "unexpected message type"});
@@ -202,7 +211,12 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     // Count on acceptance, not completion: observers (tests, dashboards)
     // that saw the resumed transfer finish must also see the counter.
     service_.metrics().net_resumes.fetch_add(1, std::memory_order_relaxed);
+    obs::global_events().push(obs::EventType::kNetResume, offset,
+                              artifact.size());
   }
+  const std::uint64_t transfer_start = obs::now_ns();
+  obs::Span span(obs::Stage::kNetTransfer, artifact.size() - offset);
+  std::uint64_t frames_this_transfer = 0;
   DeltaBeginMsg begin;
   begin.from = step->from;
   begin.to = step->to;
@@ -227,6 +241,7 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     begin.version_length = header->first.version_length;
   }
   send_counted(conn, begin);
+  ++frames_this_transfer;
 
   for (std::uint64_t pos = offset; pos < artifact.size();) {
     const std::size_t n = static_cast<std::size_t>(
@@ -236,9 +251,13 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     data.data.assign(artifact.begin() + static_cast<std::ptrdiff_t>(pos),
                      artifact.begin() + static_cast<std::ptrdiff_t>(pos + n));
     send_counted(conn, data);
+    ++frames_this_transfer;
     pos += n;
   }
   send_counted(conn, DeltaEndMsg{artifact.size(), artifact_crc});
+  ++frames_this_transfer;
+  service_.histograms().transfer_ns.record(obs::now_ns() - transfer_start);
+  service_.histograms().transfer_frames.record(frames_this_transfer);
 }
 
 }  // namespace ipd

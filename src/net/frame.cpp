@@ -27,7 +27,7 @@ std::uint32_t get_u32(const std::uint8_t* p) noexcept {
 
 bool valid_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kMetrics);
+         t <= static_cast<std::uint8_t>(FrameType::kStats);
 }
 
 }  // namespace
@@ -44,6 +44,8 @@ const char* frame_type_name(FrameType type) noexcept {
     case FrameType::kError: return "ERROR";
     case FrameType::kMetricsReq: return "METRICS_REQ";
     case FrameType::kMetrics: return "METRICS";
+    case FrameType::kStatsReq: return "STATS_REQ";
+    case FrameType::kStats: return "STATS";
   }
   return "?";
 }

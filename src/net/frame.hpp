@@ -44,6 +44,8 @@ enum class FrameType : std::uint8_t {
   kError = 8,       ///< structured failure (code + text)
   kMetricsReq = 9,  ///< ask the server for its metrics snapshot
   kMetrics = 10,    ///< metrics snapshot text
+  kStatsReq = 11,   ///< ask for the Prometheus-style stats exposition
+  kStats = 12,      ///< stats exposition text (counters + histograms)
 };
 
 const char* frame_type_name(FrameType type) noexcept;

@@ -7,6 +7,7 @@
 
 #include "apply/stream_applier.hpp"
 #include "core/checksum.hpp"
+#include "obs/event_ring.hpp"
 #include "verify/verifier.hpp"
 
 namespace ipd {
@@ -89,6 +90,9 @@ void OtaClient::backoff(std::size_t attempt, OtaReport& report) {
       std::min<long long>(static_cast<long long>(options_.backoff_initial_ms)
                               << (shift - 1),
                           options_.backoff_max_ms);
+  const std::uint64_t ns = static_cast<std::uint64_t>(ms) * 1'000'000;
+  report.backoff_ns += ns;
+  obs::global_events().push(obs::EventType::kNetRetry, attempt, ns);
   if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
@@ -377,6 +381,8 @@ OtaReport OtaClient::update_device(FlashDevice& device,
             break;
           }
         }
+        obs::global_events().push(obs::EventType::kJournalPoison, current,
+                                  tj.hop_to, why);
         tj = TransferJournal{};  // the artifact is poison; never resume it
         throw Error(why);
       }
@@ -396,6 +402,12 @@ std::string OtaClient::fetch_metrics() {
   Session session = connect_session();
   session.conn->send(MetricsReqMsg{});
   return expect<MetricsMsg>(*session.conn, "METRICS").text;
+}
+
+std::string OtaClient::fetch_stats() {
+  Session session = connect_session();
+  session.conn->send(StatsReqMsg{});
+  return expect<StatsMsg>(*session.conn, "STATS").text;
 }
 
 }  // namespace ipd

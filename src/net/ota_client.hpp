@@ -54,6 +54,7 @@ struct OtaReport {
   std::size_t resumes = 0;       ///< RESUME requests issued
   std::uint64_t bytes_received = 0;   ///< wire bytes read (all attempts)
   std::uint64_t artifact_bytes = 0;   ///< payload bytes applied
+  std::uint64_t backoff_ns = 0;  ///< total time spent sleeping in backoff
 };
 
 /// Download-side journal for update_device(): persists the hop metadata
@@ -106,6 +107,10 @@ class OtaClient {
 
   /// One-shot METRICS_REQ round trip: the server's snapshot text.
   std::string fetch_metrics();
+
+  /// One-shot STATS_REQ round trip: the server's Prometheus-style stats
+  /// exposition (`ipdelta stats <host:port>`).
+  std::string fetch_stats();
 
  private:
   struct Session {

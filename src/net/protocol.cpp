@@ -143,6 +143,12 @@ Bytes payload_of(const MetricsMsg& m) {
   return Bytes(m.text.begin(), m.text.end());
 }
 
+Bytes payload_of(const StatsReqMsg&) { return {}; }
+
+Bytes payload_of(const StatsMsg& m) {
+  return Bytes(m.text.begin(), m.text.end());
+}
+
 }  // namespace
 
 FrameType message_type(const Message& message) noexcept {
@@ -161,6 +167,8 @@ FrameType message_type(const Message& message) noexcept {
       return FrameType::kMetricsReq;
     }
     FrameType operator()(const MetricsMsg&) { return FrameType::kMetrics; }
+    FrameType operator()(const StatsReqMsg&) { return FrameType::kStatsReq; }
+    FrameType operator()(const StatsMsg&) { return FrameType::kStats; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -245,6 +253,15 @@ Message decode_message(const Frame& frame) {
     }
     case FrameType::kMetrics: {
       MetricsMsg m;
+      m.text = c.rest_string();
+      return m;
+    }
+    case FrameType::kStatsReq: {
+      c.done();
+      return StatsReqMsg{};
+    }
+    case FrameType::kStats: {
+      StatsMsg m;
       m.text = c.rest_string();
       return m;
     }

@@ -107,10 +107,20 @@ struct MetricsMsg {
   std::string text;
 };
 
+/// STATS_REQ/STATS carry the machine-readable sibling of METRICS: the
+/// Prometheus-style exposition (DeltaService::stats_text()) with every
+/// counter, histogram quantiles, cache gauges and stage timings — what
+/// `ipdelta stats <host:port>` polls and a scraper would ingest.
+struct StatsReqMsg {};
+
+struct StatsMsg {
+  std::string text;
+};
+
 using Message =
     std::variant<HelloMsg, HelloAckMsg, GetDeltaMsg, ResumeMsg, DeltaBeginMsg,
                  DeltaDataMsg, DeltaEndMsg, ErrorMsg, MetricsReqMsg,
-                 MetricsMsg>;
+                 MetricsMsg, StatsReqMsg, StatsMsg>;
 
 /// Wire type of an encoded message.
 FrameType message_type(const Message& message) noexcept;

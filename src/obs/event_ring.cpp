@@ -1,0 +1,106 @@
+#include "obs/event_ring.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace ipd::obs {
+
+const char* event_type_name(EventType type) noexcept {
+  switch (type) {
+#define IPD_OBS_EVENT_NAME(id, name) \
+  case EventType::id:                \
+    return name;
+    IPD_OBS_EVENTS(IPD_OBS_EVENT_NAME)
+#undef IPD_OBS_EVENT_NAME
+  }
+  return "?";
+}
+
+void EventRing::push(EventType type, std::uint64_t a, std::uint64_t b,
+                     std::string_view detail) noexcept {
+  const std::uint64_t ticket =
+      cursor_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[ticket % kSlots];
+  // Seqlock write: odd = in progress. Payload words are atomics, so a
+  // racing reader observes values, never a data race; the seq check
+  // tells it whether they were consistent.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.ns.store(now_ns(), std::memory_order_relaxed);
+  slot.type.store(static_cast<std::uint32_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  for (std::size_t w = 0; w < kDetailWords; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t pos = w * 8 + i;
+      if (pos < detail.size()) {
+        word |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(detail[pos]))
+                << (8 * i);
+      }
+    }
+    slot.detail[w].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket, std::memory_order_release);
+}
+
+std::vector<Event> EventRing::recent(std::size_t max) const {
+  const std::uint64_t newest = cursor_.load(std::memory_order_acquire);
+  if (newest == 0) return {};
+  if (max > kSlots) max = kSlots;
+  const std::uint64_t oldest =
+      newest > max ? newest - max + 1 : std::uint64_t{1};
+
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(newest - oldest + 1));
+  for (std::uint64_t ticket = oldest; ticket <= newest; ++ticket) {
+    const Slot& slot = slots_[ticket % kSlots];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before != 2 * ticket) continue;  // lapped or mid-write: drop
+    Event e;
+    e.seq = ticket;
+    e.ns = slot.ns.load(std::memory_order_relaxed);
+    e.type = static_cast<EventType>(
+        slot.type.load(std::memory_order_relaxed));
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    char text[kDetailBytes + 1];
+    for (std::size_t w = 0; w < kDetailWords; ++w) {
+      const std::uint64_t word = slot.detail[w].load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < 8; ++i) {
+        text[w * 8 + i] = static_cast<char>((word >> (8 * i)) & 0xFF);
+      }
+    }
+    text[kDetailBytes] = '\0';
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying: drop
+    e.detail = text;  // stops at the first NUL
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string EventRing::dump(std::size_t max) const {
+  std::string out;
+  char line[160];
+  for (const Event& e : recent(max)) {
+    std::snprintf(line, sizeof line,
+                  "  +%10.3fs #%llu %-14s a=%llu b=%llu %s\n",
+                  static_cast<double>(e.ns) / 1e9,
+                  static_cast<unsigned long long>(e.seq),
+                  event_type_name(e.type),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b), e.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+EventRing& global_events() noexcept {
+  static EventRing* ring = new EventRing;
+  return *ring;
+}
+
+}  // namespace ipd::obs

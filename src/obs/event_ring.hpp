@@ -1,0 +1,98 @@
+// Bounded lock-free ring of the last N notable events.
+//
+// Counters say how often something happens; the event ring says what
+// happened *last* — the flight recorder a crashed serve or a refused
+// update gets dumped from. Writers are hot paths (verify rejects, cache
+// evictions, net errors), so push() takes a slot ticket with one relaxed
+// fetch_add and then writes only atomics: every slot is a tiny seqlock
+// whose payload words are themselves relaxed atomics, which keeps
+// concurrent readers race-free (and TSan-clean) without any mutex.
+// A reader that catches a slot mid-write (odd sequence, or the sequence
+// moved while copying) simply drops that slot; with 256 slots and rare
+// events a torn read requires the ring to lap itself mid-copy.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipd::obs {
+
+// Every event type exactly once: X(enum_id, wire_name).
+#define IPD_OBS_EVENTS(X)                \
+  X(kVerifyReject, "verify_reject")      \
+  X(kCacheEvict, "cache_evict")          \
+  X(kNetError, "net_error")              \
+  X(kJournalPoison, "journal_poison")    \
+  X(kNetRetry, "net_retry")              \
+  X(kNetResume, "net_resume")            \
+  X(kConnRejected, "conn_rejected")
+
+enum class EventType : std::uint8_t {
+#define IPD_OBS_EVENT_ENUM(id, name) id,
+  IPD_OBS_EVENTS(IPD_OBS_EVENT_ENUM)
+#undef IPD_OBS_EVENT_ENUM
+};
+
+const char* event_type_name(EventType type) noexcept;
+
+/// One decoded event. `a` and `b` are type-specific numeric arguments
+/// (an attempt number, a byte count, an error code); `detail` is a
+/// short free-text tail, truncated to the slot's fixed capacity.
+struct Event {
+  std::uint64_t seq = 0;  ///< 1-based global push order
+  std::uint64_t ns = 0;   ///< obs::now_ns() at push
+  EventType type = EventType::kNetError;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+class EventRing {
+ public:
+  static constexpr std::size_t kSlots = 256;
+  static constexpr std::size_t kDetailBytes = 48;
+
+  void push(EventType type, std::uint64_t a = 0, std::uint64_t b = 0,
+            std::string_view detail = {}) noexcept;
+
+  /// Events pushed over the ring's lifetime (>= what is still held).
+  std::uint64_t pushed() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// The most recent events still resident, oldest first, at most
+  /// `max`. Slots caught mid-write are skipped.
+  std::vector<Event> recent(std::size_t max = kSlots) const;
+
+  /// Human-readable dump of recent(max), one line per event:
+  /// "  +12.345s verify_reject a=1 b=0 hop 3 -> 4". Empty string when
+  /// nothing has been recorded.
+  std::string dump(std::size_t max = 32) const;
+
+ private:
+  static constexpr std::size_t kDetailWords = kDetailBytes / 8;
+
+  struct Slot {
+    /// 2*ticket while stable, 2*ticket+1 while being written, 0 empty.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint32_t> type{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> detail[kDetailWords] = {};
+  };
+
+  std::array<Slot, kSlots> slots_{};
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+/// The process-wide ring every subsystem pushes into. Never destroyed,
+/// so events survive into static teardown (the crash path that most
+/// wants them).
+EventRing& global_events() noexcept;
+
+}  // namespace ipd::obs

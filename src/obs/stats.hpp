@@ -1,0 +1,56 @@
+// Prometheus-style text exposition for counters, gauges and histograms.
+//
+// The renderer is deliberately dumb: callers iterate their own metric
+// sources (ServiceMetrics::for_each, ServiceHistograms::for_each, the
+// stage totals) and feed name/value pairs in; the renderer only owns
+// the format. That keeps obs/ free of dependencies on the subsystems it
+// observes, and makes "every registered metric appears in the output"
+// checkable by re-running the same iteration over the rendered text —
+// which is exactly what the CI smoke gate does.
+//
+// Output shape (prefix "ipdelta_"):
+//
+//   # TYPE ipdelta_requests counter
+//   ipdelta_requests 1234
+//   # TYPE ipdelta_serve_ns summary
+//   ipdelta_serve_ns{quantile="0.5"} 417
+//   ipdelta_serve_ns{quantile="0.9"} 1234
+//   ipdelta_serve_ns{quantile="0.99"} 56789
+//   ipdelta_serve_ns_sum 123456
+//   ipdelta_serve_ns_count 789
+//   # TYPE ipdelta_stage_ns counter
+//   ipdelta_stage_ns{stage="diff"} 42
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+
+namespace ipd::obs {
+
+class PrometheusRenderer {
+ public:
+  explicit PrometheusRenderer(std::string prefix = "ipdelta_")
+      : prefix_(std::move(prefix)) {}
+
+  void counter(std::string_view name, std::uint64_t value);
+  /// Labeled counter series; the # TYPE line is emitted once per name.
+  void counter(std::string_view name, std::string_view label_key,
+               std::string_view label_value, std::uint64_t value);
+  void gauge(std::string_view name, std::uint64_t value);
+  /// Summary with p50/p90/p99 quantiles plus _sum and _count.
+  void histogram(std::string_view name, const HistogramSnapshot& snap);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void type_line(std::string_view name, const char* type);
+
+  std::string prefix_;
+  std::string out_;
+  std::string last_typed_;  ///< dedup # TYPE for labeled series
+};
+
+}  // namespace ipd::obs

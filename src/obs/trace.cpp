@@ -1,0 +1,214 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace ipd::obs {
+
+namespace {
+
+const char* const kStageNames[kStageCount] = {
+#define IPD_OBS_STAGE_NAME(id, name) name,
+    IPD_OBS_STAGES(IPD_OBS_STAGE_NAME)
+#undef IPD_OBS_STAGE_NAME
+};
+
+struct GlobalTotals {
+  std::atomic<std::uint64_t> ns[kStageCount] = {};
+  std::atomic<std::uint64_t> bytes[kStageCount] = {};
+  std::atomic<std::uint64_t> count[kStageCount] = {};
+};
+
+GlobalTotals& global_totals() noexcept {
+  // Trivially destructible: safe for thread-local sink destructors that
+  // flush during late thread teardown.
+  static GlobalTotals totals;
+  return totals;
+}
+
+std::atomic<bool> g_tracing{false};
+
+struct TraceEvent {
+  Stage stage;
+  std::uint32_t tid;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t bytes;
+};
+
+/// Captured events. Heap-allocated and never destroyed so that threads
+/// flushing during process teardown cannot touch a dead vector.
+struct TraceCollector {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  bool overflowed = false;
+};
+
+TraceCollector& collector() {
+  static TraceCollector* c = new TraceCollector;
+  return *c;
+}
+
+/// Hard cap on captured events: tracing a long-running serve must not
+/// grow without bound. Past the cap new events are dropped and the
+/// export notes the overflow.
+constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+std::uint32_t next_thread_id() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Per-thread accumulation: plain memory, no contention. Flushes to the
+/// global atomics when the outermost span ends (bounded staleness: one
+/// in-flight pipeline) and on thread exit.
+struct ThreadSink {
+  StageCell cells[kStageCount] = {};
+  std::vector<TraceEvent> events;
+  int depth = 0;
+  bool dirty = false;
+  std::uint32_t tid = next_thread_id();
+
+  ~ThreadSink() { flush(); }
+
+  void flush() noexcept {
+    if (dirty) {
+      GlobalTotals& g = global_totals();
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        if (cells[i].count == 0) continue;
+        g.ns[i].fetch_add(cells[i].ns, std::memory_order_relaxed);
+        g.bytes[i].fetch_add(cells[i].bytes, std::memory_order_relaxed);
+        g.count[i].fetch_add(cells[i].count, std::memory_order_relaxed);
+        cells[i] = StageCell{};
+      }
+      dirty = false;
+    }
+    if (!events.empty()) {
+      TraceCollector& c = collector();
+      const std::lock_guard<std::mutex> lock(c.mutex);
+      for (TraceEvent& e : events) {
+        if (c.events.size() >= kMaxTraceEvents) {
+          c.overflowed = true;
+          break;
+        }
+        c.events.push_back(e);
+      }
+      events.clear();
+    }
+  }
+};
+
+ThreadSink& sink() noexcept {
+  thread_local ThreadSink s;
+  return s;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+std::uint64_t now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+StageTotals stage_totals() noexcept {
+  const GlobalTotals& g = global_totals();
+  StageTotals totals;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    totals.cells[i].ns = g.ns[i].load(std::memory_order_relaxed);
+    totals.cells[i].bytes = g.bytes[i].load(std::memory_order_relaxed);
+    totals.cells[i].count = g.count[i].load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+void reset_stage_totals() noexcept {
+  GlobalTotals& g = global_totals();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    g.ns[i].store(0, std::memory_order_relaxed);
+    g.bytes[i].store(0, std::memory_order_relaxed);
+    g.count[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void flush_thread_stats() noexcept { sink().flush(); }
+
+void set_tracing(bool on) noexcept {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void clear_trace_events() {
+  TraceCollector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.events.clear();
+  c.overflowed = false;
+}
+
+std::size_t trace_event_count() {
+  TraceCollector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return c.events.size();
+}
+
+std::string trace_events_json() {
+  flush_thread_stats();
+  TraceCollector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const TraceEvent& e : c.events) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\","
+        "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"bytes\":%llu}}",
+        stage_name(e.stage), e.tid, static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3,
+        static_cast<unsigned long long>(e.bytes));
+    out += buf;
+  }
+  out += "]";
+  if (c.overflowed) {
+    out += ",\"otherData\":{\"truncated\":\"event cap reached\"}";
+  }
+  out += "}";
+  return out;
+}
+
+Span::Span(Stage stage, std::uint64_t bytes) noexcept
+    : stage_(stage), bytes_(bytes), start_ns_(now_ns()) {
+  ++sink().depth;
+}
+
+Span::~Span() {
+  const std::uint64_t end = now_ns();
+  const std::uint64_t dur = end - start_ns_;
+  ThreadSink& s = sink();
+  StageCell& cell = s.cells[static_cast<std::size_t>(stage_)];
+  cell.ns += dur;
+  cell.bytes += bytes_;
+  cell.count += 1;
+  s.dirty = true;
+  if (tracing_enabled()) {
+    s.events.push_back(TraceEvent{stage_, s.tid, start_ns_, dur, bytes_});
+  }
+  if (--s.depth == 0) s.flush();
+}
+
+}  // namespace ipd::obs

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/event_ring.hpp"
 #include "verify/verifier.hpp"
 
 namespace ipd {
@@ -102,6 +103,9 @@ bool DeltaCache::put(const DeltaKey& key,
     if (rejected) {
       metrics_->rejected_inserts.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  if (evicted > 0) {
+    obs::global_events().push(obs::EventType::kCacheEvict, evicted, size);
   }
   return !rejected;
 }

@@ -1,9 +1,11 @@
 #include "server/delta_service.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 
+#include "obs/event_ring.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "server/fingerprint.hpp"
 
 namespace ipd {
@@ -33,15 +35,16 @@ bool DeltaService::admit(ByteView artifact, std::string* why) {
   }
   if (report.ok()) return true;
   metrics_.verify_rejects.fetch_add(1, std::memory_order_relaxed);
-  if (why != nullptr) {
-    *why = "delta failed static verification";
-    for (const Finding& f : report.findings) {
-      if (f.severity == Severity::kError) {
-        *why += ": " + f.message;
-        break;
-      }
+  std::string reason = "delta failed static verification";
+  for (const Finding& f : report.findings) {
+    if (f.severity == Severity::kError) {
+      reason += ": " + f.message;
+      break;
     }
   }
+  obs::global_events().push(obs::EventType::kVerifyReject, artifact.size(), 0,
+                            reason);
+  if (why != nullptr) *why = reason;
   return false;
 }
 
@@ -68,16 +71,13 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
         auto version = store_.body(to);
         auto future = pool_.submit(
             [this, reference, version]() -> std::shared_ptr<const Bytes> {
-              const auto start = std::chrono::steady_clock::now();
+              const std::uint64_t start = obs::now_ns();
               Bytes delta = create_inplace_delta(*reference, *version,
                                                  options_.pipeline);
-              const auto end = std::chrono::steady_clock::now();
+              const std::uint64_t elapsed = obs::now_ns() - start;
               metrics_.builds.fetch_add(1, std::memory_order_relaxed);
-              metrics_.build_ns.fetch_add(
-                  std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      end - start)
-                      .count(),
-                  std::memory_order_relaxed);
+              metrics_.build_ns.fetch_add(elapsed, std::memory_order_relaxed);
+              histograms_.build_latency_ns.record(elapsed);
               return std::make_shared<const Bytes>(std::move(delta));
             });
         auto built = future.get();
@@ -122,6 +122,8 @@ bool DeltaService::preload(ReleaseId from, ReleaseId to, Bytes delta) {
       parsed->first.version_length != want.length ||
       parsed->first.version_crc != want.crc) {
     metrics_.verify_rejects.fetch_add(1, std::memory_order_relaxed);
+    obs::global_events().push(obs::EventType::kVerifyReject, from, to,
+                              "preload endpoint mismatch");
     return false;
   }
   if (!admit(ByteView(delta), nullptr)) return false;
@@ -136,6 +138,8 @@ ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {
     throw ValidationError("delta service: need from < to < release_count");
   }
   metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t serve_start = obs::now_ns();
+  obs::Span span(obs::Stage::kServe);
 
   ServeResult result;
   result.cache_hit = true;
@@ -195,6 +199,9 @@ ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {
   }
   metrics_.bytes_served.fetch_add(result.total_bytes,
                                   std::memory_order_relaxed);
+  span.add_bytes(result.total_bytes);
+  histograms_.serve_ns.record(obs::now_ns() - serve_start);
+  histograms_.artifact_bytes.record(result.total_bytes);
   return result;
 }
 
@@ -206,6 +213,40 @@ std::string DeltaService::metrics_text() const {
           std::to_string(stats.entries) + " entries, " +
           std::to_string(cache_.shard_count()) + " shards)\n";
   return text;
+}
+
+std::string DeltaService::stats_text() const {
+  obs::PrometheusRenderer r;
+  metrics_.for_each([&](const char* name, std::uint64_t value) {
+    r.counter(name, value);
+  });
+  histograms_.for_each([&](const char* name, const obs::Histogram& h) {
+    r.histogram(name, h.snapshot());
+  });
+  const DeltaCache::Stats stats = cache_.stats();
+  r.gauge("cache_bytes_held", stats.bytes_held);
+  r.gauge("cache_byte_budget", cache_.byte_budget());
+  r.gauge("cache_entries", stats.entries);
+  // Pipeline stage aggregates cover every build this process ran, not
+  // only this service's — they are process-global by design.
+  obs::flush_thread_stats();
+  const obs::StageTotals totals = obs::stage_totals();
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    r.counter("stage_ns", "stage", obs::stage_name(stage), totals[stage].ns);
+  }
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    r.counter("stage_bytes", "stage", obs::stage_name(stage),
+              totals[stage].bytes);
+  }
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    r.counter("stage_ops", "stage", obs::stage_name(stage),
+              totals[stage].count);
+  }
+  r.counter("events_recorded", obs::global_events().pushed());
+  return r.str();
 }
 
 Bytes apply_served(const ServeResult& result, ByteView from_body) {

@@ -105,11 +105,19 @@ class DeltaService {
   const VersionStore& store() const noexcept { return store_; }
   /// Mutable access for bench warm-up/measure phase boundaries (reset()).
   ServiceMetrics& metrics() noexcept { return metrics_; }
+  const ServiceHistograms& histograms() const noexcept { return histograms_; }
+  ServiceHistograms& histograms() noexcept { return histograms_; }
   const DeltaCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
 
   /// Metrics counters plus cache residency, ready to print.
   std::string metrics_text() const;
+
+  /// Prometheus-style text exposition: every ServiceMetrics counter,
+  /// every ServiceHistograms summary (p50/p90/p99), cache residency
+  /// gauges, per-stage pipeline time and the event-ring depth. This is
+  /// the payload behind the wire STATS message and `ipdelta stats`.
+  std::string stats_text() const;
 
  private:
   std::shared_ptr<const Bytes> fetch_delta(ReleaseId from, ReleaseId to,
@@ -123,6 +131,7 @@ class DeltaService {
   ServiceOptions options_;
   std::uint64_t fingerprint_;
   ServiceMetrics metrics_;
+  ServiceHistograms histograms_;
   Verifier verifier_;
   DeltaCache cache_;
   Singleflight<DeltaKey, std::shared_ptr<const Bytes>, DeltaKeyHash> flight_;

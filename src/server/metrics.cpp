@@ -13,62 +13,34 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) noexcept {
 }  // namespace
 
 std::string ServiceMetrics::snapshot() const {
+  std::string out;
+  char label[40];
+  char line[128];
+  for_each([&](const char* name, std::uint64_t value) {
+    std::snprintf(label, sizeof label, "%s:", name);
+    std::snprintf(line, sizeof line, "%-19s %llu\n", label,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  });
+  // Derived summaries. Worded so no counter name appears as a substring —
+  // the exactly-once invariant on the generated lines above must hold.
   const std::uint64_t n_builds = load(builds);
   const double mean_build_ms =
       n_builds == 0 ? 0.0
                     : static_cast<double>(load(build_ns)) / 1e6 /
                           static_cast<double>(n_builds);
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof buf,
-      "requests:          %llu\n"
-      "cache hits:        %llu (%.1f%% of lookups)\n"
-      "cache misses:      %llu\n"
-      "coalesced waits:   %llu\n"
-      "builds:            %llu (mean %.2f ms)\n"
-      "bytes served:      %llu\n"
-      "served as delta:   %llu direct, %llu chain, %llu full image\n"
-      "cache evictions:   %llu (+%llu oversized)\n"
-      "verify rejects:    %llu\n"
-      "verify warnings:   %llu\n"
-      "net sessions:      %llu (+%llu rejected)\n"
-      "net frames sent:   %llu (%llu bytes)\n"
-      "net resumes:       %llu\n"
-      "net retries:       %llu\n"
-      "net errors sent:   %llu\n",
-      static_cast<unsigned long long>(load(requests)),
-      static_cast<unsigned long long>(load(cache_hits)), 100.0 * hit_rate(),
-      static_cast<unsigned long long>(load(cache_misses)),
-      static_cast<unsigned long long>(load(coalesced_waits)),
-      static_cast<unsigned long long>(n_builds), mean_build_ms,
-      static_cast<unsigned long long>(load(bytes_served)),
-      static_cast<unsigned long long>(load(deltas_served)),
-      static_cast<unsigned long long>(load(chains_served)),
-      static_cast<unsigned long long>(load(full_images_served)),
-      static_cast<unsigned long long>(load(evictions)),
-      static_cast<unsigned long long>(load(rejected_inserts)),
-      static_cast<unsigned long long>(load(verify_rejects)),
-      static_cast<unsigned long long>(load(verify_warns)),
-      static_cast<unsigned long long>(load(net_sessions)),
-      static_cast<unsigned long long>(load(net_rejected)),
-      static_cast<unsigned long long>(load(net_frames_sent)),
-      static_cast<unsigned long long>(load(net_bytes_sent)),
-      static_cast<unsigned long long>(load(net_resumes)),
-      static_cast<unsigned long long>(load(net_retries)),
-      static_cast<unsigned long long>(load(net_errors)));
-  return buf;
+  std::snprintf(line, sizeof line,
+                "hit rate:           %.1f%% of lookups\n"
+                "mean build:         %.2f ms\n",
+                100.0 * hit_rate(), mean_build_ms);
+  out += line;
+  return out;
 }
 
 void ServiceMetrics::reset() noexcept {
-  for (std::atomic<std::uint64_t>* a :
-       {&requests, &cache_hits, &cache_misses, &coalesced_waits, &builds,
-        &build_ns, &bytes_served, &deltas_served, &chains_served,
-        &full_images_served, &evictions, &rejected_inserts, &verify_rejects,
-        &verify_warns, &net_sessions,
-        &net_rejected, &net_bytes_sent, &net_frames_sent, &net_resumes,
-        &net_retries, &net_errors}) {
-    a->store(0, std::memory_order_relaxed);
-  }
+#define IPD_RESET_COUNTER(name) name.store(0, std::memory_order_relaxed);
+  IPD_SERVICE_COUNTERS(IPD_RESET_COUNTER)
+#undef IPD_RESET_COUNTER
 }
 
 double ServiceMetrics::hit_rate() const noexcept {

@@ -1,47 +1,70 @@
-// Service observability: one cache-friendly block of atomic counters.
+// Service observability: one cache-friendly block of atomic counters
+// plus the latency/size histograms served next to them.
 //
 // Every hot-path event increments exactly one relaxed atomic — no locks,
 // no strings, nothing that can stall a request thread. Relaxed ordering
 // is sufficient: counters are statistics, not synchronization; readers
 // (benches, the CLI, tests) only need eventually-consistent totals, and
 // every counter is monotone except the bytes_cached gauge.
+//
+// The counter and histogram inventories are single X-macro lists:
+// member declarations, for_each(), snapshot() and reset() are all
+// generated from the same line, so a metric cannot be added to one and
+// silently missed by another (the drift that once threatened
+// snapshot()/reset()). tests/test_server.cpp and the stats exposition
+// iterate the same lists.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
+
 namespace ipd {
 
+// Every ServiceMetrics counter exactly once: X(name).
+#define IPD_SERVICE_COUNTERS(X)                                         \
+  X(requests)           /* serve() calls                             */ \
+  X(cache_hits)         /* delta found in cache                      */ \
+  X(cache_misses)       /* lookup found nothing                      */ \
+  X(coalesced_waits)    /* rode another build                        */ \
+  X(builds)             /* create_inplace_delta runs                 */ \
+  X(build_ns)           /* wall time inside builds                   */ \
+  X(bytes_served)       /* artifact bytes returned                   */ \
+  X(deltas_served)      /* direct-delta responses                    */ \
+  X(chains_served)      /* per-hop chain responses                   */ \
+  X(full_images_served) /* raw-image responses                       */ \
+  X(evictions)          /* cache entries dropped                     */ \
+  X(rejected_inserts)   /* entry > shard budget                      */ \
+  X(verify_rejects)     /* unsafe deltas refused (src/verify/)       */ \
+  X(verify_warns)       /* warning findings seen                     */ \
+  X(net_sessions)       /* connections served                        */ \
+  X(net_rejected)       /* over connection limit                     */ \
+  X(net_bytes_sent)     /* wire bytes written                        */ \
+  X(net_frames_sent)    /* frames written                            */ \
+  X(net_resumes)        /* RESUME transfers honored                  */ \
+  X(net_retries)        /* client attempts after a fault             */ \
+  X(net_errors)         /* ERROR frames sent                         */
+
 struct ServiceMetrics {
-  std::atomic<std::uint64_t> requests{0};        ///< serve() calls
-  std::atomic<std::uint64_t> cache_hits{0};      ///< delta found in cache
-  std::atomic<std::uint64_t> cache_misses{0};    ///< lookup found nothing
-  std::atomic<std::uint64_t> coalesced_waits{0}; ///< rode another build
-  std::atomic<std::uint64_t> builds{0};          ///< create_inplace_delta runs
-  std::atomic<std::uint64_t> build_ns{0};        ///< wall time inside builds
-  std::atomic<std::uint64_t> bytes_served{0};    ///< artifact bytes returned
-  std::atomic<std::uint64_t> deltas_served{0};   ///< direct-delta responses
-  std::atomic<std::uint64_t> chains_served{0};   ///< per-hop chain responses
-  std::atomic<std::uint64_t> full_images_served{0};
-  std::atomic<std::uint64_t> evictions{0};       ///< cache entries dropped
-  std::atomic<std::uint64_t> rejected_inserts{0};///< entry > shard budget
+#define IPD_DECLARE_COUNTER(name) std::atomic<std::uint64_t> name{0};
+  IPD_SERVICE_COUNTERS(IPD_DECLARE_COUNTER)
+#undef IPD_DECLARE_COUNTER
 
-  // Static safety verification (src/verify/) at the trust boundaries.
-  std::atomic<std::uint64_t> verify_rejects{0};  ///< unsafe deltas refused
-  std::atomic<std::uint64_t> verify_warns{0};    ///< warning findings seen
+  /// Visit every counter as (name, current value) — the one iteration
+  /// the snapshot, the Prometheus exposition and the drift tests share.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+#define IPD_VISIT_COUNTER(name) \
+  fn(#name, name.load(std::memory_order_relaxed));
+    IPD_SERVICE_COUNTERS(IPD_VISIT_COUNTER)
+#undef IPD_VISIT_COUNTER
+  }
 
-  // Wire transport (src/net/ DeltaServer / OtaClient) counters.
-  std::atomic<std::uint64_t> net_sessions{0};     ///< connections served
-  std::atomic<std::uint64_t> net_rejected{0};     ///< over connection limit
-  std::atomic<std::uint64_t> net_bytes_sent{0};   ///< wire bytes written
-  std::atomic<std::uint64_t> net_frames_sent{0};  ///< frames written
-  std::atomic<std::uint64_t> net_resumes{0};      ///< RESUME transfers honored
-  std::atomic<std::uint64_t> net_retries{0};      ///< client attempts after a fault
-  std::atomic<std::uint64_t> net_errors{0};       ///< ERROR frames sent
-
-  /// Multi-line human-readable snapshot (benches, CLI `serve`). Names
-  /// every counter exactly once (asserted by tests/test_server.cpp).
+  /// Multi-line human-readable snapshot (benches, CLI `serve`): one
+  /// generated line per counter — names every counter exactly once
+  /// (asserted by tests/test_server.cpp) — plus derived summary lines.
   std::string snapshot() const;
 
   /// Zero every counter (bench warm-up/measure phase boundary).
@@ -49,6 +72,37 @@ struct ServiceMetrics {
 
   /// cache_hits / (cache_hits + cache_misses), 0 when no lookups yet.
   double hit_rate() const noexcept;
+};
+
+// Every ServiceHistograms member exactly once: X(name). Values are
+// nanoseconds for *_ns, counts/bytes otherwise.
+#define IPD_SERVICE_HISTOGRAMS(X)                                        \
+  X(serve_ns)        /* serve() wall time per request                 */ \
+  X(build_latency_ns) /* create_inplace_delta wall time per build     */ \
+  X(artifact_bytes)  /* response payload bytes per request            */ \
+  X(transfer_ns)     /* wire transfer wall time per artifact          */ \
+  X(transfer_frames) /* frames sent per artifact transfer             */
+
+/// The latency/size distributions recorded alongside ServiceMetrics.
+/// Same discipline as the counters: relaxed atomics only, generated
+/// iteration, reset at phase boundaries.
+struct ServiceHistograms {
+#define IPD_DECLARE_HISTOGRAM(name) obs::Histogram name;
+  IPD_SERVICE_HISTOGRAMS(IPD_DECLARE_HISTOGRAM)
+#undef IPD_DECLARE_HISTOGRAM
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+#define IPD_VISIT_HISTOGRAM(name) fn(#name, name);
+    IPD_SERVICE_HISTOGRAMS(IPD_VISIT_HISTOGRAM)
+#undef IPD_VISIT_HISTOGRAM
+  }
+
+  void reset() noexcept {
+#define IPD_RESET_HISTOGRAM(name) name.reset();
+    IPD_SERVICE_HISTOGRAMS(IPD_RESET_HISTOGRAM)
+#undef IPD_RESET_HISTOGRAM
+  }
 };
 
 }  // namespace ipd

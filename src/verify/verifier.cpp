@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/checksum.hpp"
+#include "obs/trace.hpp"
 #include "core/lzss.hpp"
 #include "inplace/interval_index.hpp"
 
@@ -271,6 +272,7 @@ void analyze_script(const std::vector<Command>& commands, length_t ref_len,
 }  // namespace
 
 Report Verifier::check(ByteView delta) const {
+  obs::Span span(obs::Stage::kVerify, delta.size());
   Report report;
   const auto reject = [&report](Check check, std::string message) {
     report.findings.push_back(

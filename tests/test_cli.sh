@@ -69,9 +69,23 @@ fi
 "$IPDELTA" serve ref.bin new.bin newer.bin \
   --requests 24 --threads 4 --seed 7 > serve.out || fail "serve"
 grep -q "all reconstructions verified" serve.out || fail "serve verify line"
-grep -q "requests:          24" serve.out || fail "serve metrics"
+grep -Eq "^requests: +24$" serve.out || fail "serve metrics"
 if "$IPDELTA" serve ref.bin > /dev/null 2>&1; then
   fail "serve accepted a single-release history"
+fi
+
+# trace: wrap a subcommand and capture Chrome trace-event JSON.
+"$IPDELTA" trace diff ref.bin new.bin traced.ipd --in-place \
+  --trace-out trace.json > /dev/null 2> trace.err || fail "trace diff"
+grep -q "traceEvents" trace.json || fail "trace JSON header"
+grep -q '"name":"diff"' trace.json || fail "trace missing diff span"
+grep -q '"name":"crwi_graph"' trace.json || fail "trace missing graph span"
+grep -q "span(s)" trace.err || fail "trace summary line"
+"$IPDELTA" apply traced.ipd ref.bin traced_out.bin > /dev/null \
+  || fail "apply traced delta"
+cmp -s traced_out.bin new.bin || fail "traced delta output mismatch"
+if "$IPDELTA" trace trace diff ref.bin new.bin x.ipd > /dev/null 2>&1; then
+  fail "trace accepted recursive trace"
 fi
 
 # corrupted delta is rejected with exit code 2.

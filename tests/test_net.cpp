@@ -481,7 +481,7 @@ TEST(Session, MetricsRequestReturnsTheSnapshot) {
   });
   const std::string text = client.fetch_metrics();
   for (std::thread& t : sessions) t.join();
-  EXPECT_NE(text.find("net sessions:"), std::string::npos);
+  EXPECT_NE(text.find("net_sessions:"), std::string::npos);
   EXPECT_NE(text.find("bytes cached:"), std::string::npos);
 }
 

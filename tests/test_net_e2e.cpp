@@ -270,7 +270,7 @@ TEST(NetE2E, RestartedServerAcceptsConnectionsAgain) {
   SKIP_IF_NO_SOCKETS(rig);
   {
     OtaClient client(rig.factory());
-    EXPECT_NE(client.fetch_metrics().find("net sessions:"),
+    EXPECT_NE(client.fetch_metrics().find("net_sessions:"),
               std::string::npos);
   }
   rig.server->stop();
@@ -279,7 +279,7 @@ TEST(NetE2E, RestartedServerAcceptsConnectionsAgain) {
   // accept sessions again, not answer each with ERROR{kBusy}. The
   // factory is rebuilt because the ephemeral port may have changed.
   OtaClient client(rig.factory());
-  EXPECT_NE(client.fetch_metrics().find("net sessions:"),
+  EXPECT_NE(client.fetch_metrics().find("net_sessions:"),
             std::string::npos);
 }
 
@@ -319,7 +319,70 @@ TEST(NetE2E, ConnectionLimitRejectsWithBusyAndRecovers) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
-  EXPECT_NE(text.find("net sessions:"), std::string::npos);
+  EXPECT_NE(text.find("net_sessions:"), std::string::npos);
+}
+
+TEST(NetE2E, StatsServedMidLoadNamesEveryMetric) {
+  TcpRig rig(4);
+  SKIP_IF_NO_SOCKETS(rig);
+  const ReleaseId target = static_cast<ReleaseId>(rig.history.size() - 1);
+
+  // A background fleet keeps the serve and transfer paths hot while the
+  // scraper hits the STATS endpoint: the exposition must be servable
+  // concurrently with real traffic, not only from a quiesced server.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> fleet;
+  for (std::size_t i = 0; i < 3; ++i) {
+    fleet.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Bytes image = rig.history[0];
+        OtaClient client(rig.factory());
+        try {
+          client.update_streaming(image, 0, target);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::string text;
+  for (int attempt = 0; attempt < 100 && text.empty(); ++attempt) {
+    try {
+      OtaClient scraper(rig.factory());
+      text = scraper.fetch_stats();
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : fleet) t.join();
+
+  ASSERT_FALSE(text.empty()) << "STATS never answered under load";
+  EXPECT_EQ(failures.load(), 0u);
+  // Every ServiceMetrics counter appears, by its registry name.
+  rig.service->metrics().for_each([&](const char* name, std::uint64_t) {
+    EXPECT_NE(text.find("ipdelta_" + std::string(name) + " "),
+              std::string::npos)
+        << name;
+  });
+  // Every registered histogram renders as a summary with quantiles.
+  std::size_t summaries = 0;
+  rig.service->histograms().for_each(
+      [&](const char* name, const obs::Histogram&) {
+        ++summaries;
+        EXPECT_NE(
+            text.find("ipdelta_" + std::string(name) + "{quantile=\"0.5\"}"),
+            std::string::npos)
+            << name;
+      });
+  EXPECT_GE(summaries, 4u);
+  // The serve path really ran while we scraped, so its histogram and
+  // the per-stage aggregates carry live data.
+  EXPECT_NE(text.find("ipdelta_stage_ns{stage=\"serve\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipdelta_cache_bytes_held"), std::string::npos);
 }
 
 }  // namespace

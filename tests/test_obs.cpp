@@ -1,0 +1,336 @@
+// src/obs/ unit tests: histogram quantile accuracy against a
+// sorted-vector oracle, snapshot merging, the event ring, stage span
+// aggregation, the Chrome trace JSON export, and the Prometheus
+// renderer's text format. Concurrency hammering lives in
+// test_obs_stress.cpp (label "stress", run under TSan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/histogram.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace ipd::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---- histogram ------------------------------------------------------
+
+TEST(Histogram, BucketLayout) {
+  // Bucket k holds exactly the values with bit_width == k.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_low(k)), k);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_high(k)), k);
+  }
+}
+
+TEST(Histogram, CountSumAndReset) {
+  Histogram h;
+  for (std::uint64_t v : {5u, 10u, 100u}) h.record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.snapshot().sum, 115u);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 115.0 / 3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().sum, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileWithinFactorTwoOfOracle) {
+  // Log-uniform samples spanning ~6 decades: the regime where a linear
+  // histogram would be useless and the log-bucket error bound matters.
+  Rng rng(0x0B5E);
+  std::vector<std::uint64_t> samples;
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t magnitude = 1 + rng.below(20);  // bit widths 1..20
+    const std::uint64_t v =
+        (std::uint64_t{1} << (magnitude - 1)) + rng.below(1u << (magnitude - 1));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    const double truth = static_cast<double>(samples[rank]);
+    const double est = snap.quantile(q);
+    // Estimate and true sample share a power-of-two bucket, so the
+    // ratio is bounded by 2 in both directions (histogram.hpp contract).
+    EXPECT_LE(est, truth * 2.0) << "q=" << q;
+    EXPECT_GE(est, truth / 2.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileExactForSingleBucketValues) {
+  // All mass in one bucket with one entry: interpolation must return
+  // the bucket floor, not invent spread.
+  Histogram h;
+  h.record(1024);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 1024.0);
+}
+
+TEST(Histogram, MergeIsOrderIndependent) {
+  Histogram a;
+  Histogram b;
+  Rng rng(0x3E46E);
+  for (int i = 0; i < 500; ++i) a.record(rng.below(1u << 20));
+  for (int i = 0; i < 300; ++i) b.record(1 + rng.below(1u << 10));
+
+  HistogramSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  HistogramSnapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+
+  EXPECT_EQ(ab.count, 800u);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_EQ(ab.sum, ba.sum);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(ab.quantile(q), ba.quantile(q));
+  }
+}
+
+TEST(Histogram, LatencyLineFormat) {
+  Histogram h;
+  h.record(500'000);  // 500us in ns
+  const std::string line = h.snapshot().latency_line();
+  EXPECT_NE(line.find("p50"), std::string::npos);
+  EXPECT_NE(line.find("p95"), std::string::npos);
+  EXPECT_NE(line.find("p99"), std::string::npos);
+  EXPECT_NE(line.find("us"), std::string::npos);
+}
+
+// ---- event ring -----------------------------------------------------
+
+TEST(EventRing, OrderAndPayload) {
+  EventRing ring;
+  ring.push(EventType::kNetRetry, 1, 250, "attempt 1");
+  ring.push(EventType::kNetResume, 2, 4096);
+  ring.push(EventType::kVerifyReject, 0, 0, "hop 3 -> 4");
+  EXPECT_EQ(ring.pushed(), 3u);
+
+  const std::vector<Event> events = ring.recent();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest first, sequence numbers 1-based and contiguous.
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].type, EventType::kNetRetry);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 250u);
+  EXPECT_EQ(events[0].detail, "attempt 1");
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].detail, "");
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(events[2].type, EventType::kVerifyReject);
+  EXPECT_EQ(events[2].detail, "hop 3 -> 4");
+}
+
+TEST(EventRing, WrapsKeepingNewest) {
+  EventRing ring;
+  const std::size_t total = EventRing::kSlots + 40;
+  for (std::size_t i = 1; i <= total; ++i) {
+    ring.push(EventType::kCacheEvict, i);
+  }
+  EXPECT_EQ(ring.pushed(), total);
+  const std::vector<Event> events = ring.recent();
+  ASSERT_EQ(events.size(), EventRing::kSlots);
+  // The oldest surviving event is total - kSlots + 1; order preserved.
+  EXPECT_EQ(events.front().seq, total - EventRing::kSlots + 1);
+  EXPECT_EQ(events.back().seq, total);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(EventRing, RecentHonoursMax) {
+  EventRing ring;
+  for (int i = 0; i < 10; ++i) ring.push(EventType::kNetError, i);
+  const std::vector<Event> last3 = ring.recent(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3.back().seq, 10u);
+  EXPECT_EQ(last3.front().seq, 8u);
+}
+
+TEST(EventRing, DetailTruncatedToSlotCapacity) {
+  EventRing ring;
+  const std::string longtail(200, 'x');
+  ring.push(EventType::kJournalPoison, 0, 0, longtail);
+  const std::vector<Event> events = ring.recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, longtail.substr(0, EventRing::kDetailBytes));
+}
+
+TEST(EventRing, DumpNamesEveryEventType) {
+  EventRing ring;
+  EXPECT_TRUE(ring.dump().empty());
+#define IPD_TEST_PUSH(id, name) ring.push(EventType::id);
+  IPD_OBS_EVENTS(IPD_TEST_PUSH)
+#undef IPD_TEST_PUSH
+  const std::string dump = ring.dump();
+#define IPD_TEST_EXPECT(id, name) \
+  EXPECT_NE(dump.find(name), std::string::npos) << name;
+  IPD_OBS_EVENTS(IPD_TEST_EXPECT)
+#undef IPD_TEST_EXPECT
+}
+
+TEST(EventRing, TypeNamesAreDistinct) {
+  std::vector<std::string> names;
+#define IPD_TEST_NAME(id, name) \
+  names.emplace_back(event_type_name(EventType::id));
+  IPD_OBS_EVENTS(IPD_TEST_NAME)
+#undef IPD_TEST_NAME
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+// ---- stage spans ----------------------------------------------------
+
+TEST(Trace, SpanAccumulatesIntoStageTotals) {
+  reset_stage_totals();
+  {
+    Span outer(Stage::kDiff, 100);
+    Span inner(Stage::kEncode);
+    inner.add_bytes(42);
+  }
+  flush_thread_stats();
+  const StageTotals totals = stage_totals();
+  EXPECT_EQ(totals[Stage::kDiff].count, 1u);
+  EXPECT_EQ(totals[Stage::kDiff].bytes, 100u);
+  EXPECT_EQ(totals[Stage::kEncode].count, 1u);
+  EXPECT_EQ(totals[Stage::kEncode].bytes, 42u);
+  EXPECT_EQ(totals[Stage::kVerify].count, 0u);
+  reset_stage_totals();
+}
+
+TEST(Trace, StageNamesCoverEnumAndAreDistinct) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    names.emplace_back(stage_name(static_cast<Stage>(i)));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Trace, JsonSchemaAndStageCoverage) {
+  set_tracing(true);
+  clear_trace_events();
+  {
+    Span s1(Stage::kDiff, 10);
+  }
+  {
+    Span s2(Stage::kCrwiGraph);
+  }
+  {
+    Span s3(Stage::kTopoSort);
+  }
+  {
+    Span s4(Stage::kEncode);
+  }
+  {
+    Span s5(Stage::kApplyInplace, 7);
+  }
+  set_tracing(false);
+
+  EXPECT_EQ(trace_event_count(), 5u);
+  const std::string json = trace_events_json();
+  clear_trace_events();
+
+  // Chrome trace-event envelope.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Five complete events, each with the required keys.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 5u);
+  EXPECT_EQ(count_occurrences(json, "\"ts\":"), 5u);
+  EXPECT_EQ(count_occurrences(json, "\"dur\":"), 5u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":1"), 5u);
+  // All five distinct stages present by wire name.
+  for (const char* name :
+       {"diff", "crwi_graph", "topo_sort", "encode", "apply_inplace"}) {
+    EXPECT_EQ(count_occurrences(json, std::string("\"name\":\"") + name + "\""),
+              1u)
+        << name;
+  }
+  EXPECT_NE(json.find("\"args\":{\"bytes\":10}"), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefaultCapturesNothing) {
+  clear_trace_events();
+  ASSERT_FALSE(tracing_enabled());
+  {
+    Span span(Stage::kVerify);
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+// ---- prometheus renderer --------------------------------------------
+
+TEST(PrometheusRenderer, CounterAndGaugeFormat) {
+  PrometheusRenderer r;
+  r.counter("requests", 1234);
+  r.gauge("cache_bytes_held", 77);
+  EXPECT_EQ(r.str(),
+            "# TYPE ipdelta_requests counter\n"
+            "ipdelta_requests 1234\n"
+            "# TYPE ipdelta_cache_bytes_held gauge\n"
+            "ipdelta_cache_bytes_held 77\n");
+}
+
+TEST(PrometheusRenderer, LabeledSeriesEmitTypeOnce) {
+  PrometheusRenderer r;
+  r.counter("stage_ns", "stage", "diff", 5);
+  r.counter("stage_ns", "stage", "encode", 9);
+  const std::string& text = r.str();
+  EXPECT_EQ(count_occurrences(text, "# TYPE ipdelta_stage_ns counter"), 1u);
+  EXPECT_NE(text.find("ipdelta_stage_ns{stage=\"diff\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipdelta_stage_ns{stage=\"encode\"} 9\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusRenderer, HistogramRendersSummary) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  PrometheusRenderer r;
+  r.histogram("serve_ns", h.snapshot());
+  const std::string& text = r.str();
+  EXPECT_NE(text.find("# TYPE ipdelta_serve_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("ipdelta_serve_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipdelta_serve_ns{quantile=\"0.9\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipdelta_serve_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipdelta_serve_ns_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("ipdelta_serve_ns_count 100\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipd::obs
