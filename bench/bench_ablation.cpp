@@ -46,8 +46,10 @@ void ablation_granularity(const std::vector<VersionPair>& corpus) {
                      {"greedy (byte)", {}}};
   for (const VersionPair& pair : corpus) {
     const Script scripts[] = {
-        BlockDiffer({4096}).diff(pair.reference, pair.version),
-        BlockDiffer({512}).diff(pair.reference, pair.version),
+        BlockDiffer(DifferOptions{.block_size = 4096})
+            .diff(pair.reference, pair.version),
+        BlockDiffer(DifferOptions{.block_size = 512})
+            .diff(pair.reference, pair.version),
         diff_bytes(DifferKind::kOnePass, pair.reference, pair.version),
         diff_bytes(DifferKind::kGreedy, pair.reference, pair.version)};
     for (std::size_t i = 0; i < 4; ++i) {
@@ -100,7 +102,7 @@ void ablation_granularity(const std::vector<VersionPair>& corpus) {
         generate_file(rng, 512 * kRecordSize, FileProfile::kRecords);
     const Bytes ver = mutate(ref, rng, 40, record_aligned_model());
     const Script scripts[] = {
-        BlockDiffer({kRecordSize}).diff(ref, ver),
+        BlockDiffer(DifferOptions{.block_size = kRecordSize}).diff(ref, ver),
         diff_bytes(DifferKind::kOnePass, ref, ver)};
     for (std::size_t s = 0; s < 2; ++s) {
       rec_entries[s].agg.add(CompressionSample{
@@ -172,8 +174,8 @@ void ablation_optimizer(const std::vector<VersionPair>& corpus) {
   std::uint64_t onepass_ref = 0;
   std::size_t merges = 0, demotions = 0;
   for (const VersionPair& pair : corpus) {
-    const Script script = BlockDiffer({512}).diff(pair.reference,
-                                                  pair.version);
+    const Script script = BlockDiffer(DifferOptions{.block_size = 512})
+                              .diff(pair.reference, pair.version);
     plain += encoded_size(script, pair.reference.size(),
                           pair.version.size(), kPaperExplicit);
     OptimizeReport report;

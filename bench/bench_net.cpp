@@ -154,9 +154,15 @@ int main() {
     std::printf("fault tax, single client, chain upgrade 0 -> %u:\n", latest);
     std::printf("  %-16s %10s %10s %10s\n", "link", "seconds", "retries",
                 "resumes");
+    std::size_t repetition = 0;
     for (const double rate : {0.0, 0.02, 0.08}) {
       FaultStats stats;
       std::atomic<std::uint64_t> conn{0};
+      // Every rate repetition used to restart the fault-schedule seeds
+      // at the same literal, replaying one schedule; derive a distinct
+      // per-repetition base instead (bench_util.hpp).
+      const std::uint64_t fault_seed_base =
+          bench::repetition_seed(0xBADF, repetition++);
       OtaClientOptions client_options;
       client_options.max_attempts = 256;
       client_options.backoff_initial_ms = 0;
@@ -167,7 +173,7 @@ int main() {
             auto tcp = TcpTransport::connect("127.0.0.1", port);
             if (rate == 0.0) return tcp;
             FaultOptions faults;
-            faults.seed = 0xBADF + conn.fetch_add(1);
+            faults.seed = fault_seed_base + conn.fetch_add(1);
             faults.drop_rate = rate;
             faults.truncate_rate = rate;
             faults.flip_rate = rate;

@@ -106,6 +106,12 @@ int check_stats_exposition(const DeltaService& service) {
               "stage series");
     }
   }
+  // Spelled out (not just via the registry loop above) so the smoke job
+  // fails loudly if the parallel-build stages are ever renamed/dropped.
+  require("ipdelta_stage_ns{stage=\"diff.parallel\"}", "parallel stage");
+  require("ipdelta_stage_ns{stage=\"crwi.parallel\"}", "parallel stage");
+  require("ipdelta_diff_fanout{quantile=", "fan-out histogram");
+  require("ipdelta_crwi_fanout{quantile=", "fan-out histogram");
   if (missing == 0) {
     std::printf("stats exposition: every registered metric present\n");
   }
@@ -193,6 +199,7 @@ int main() {
     std::printf("cache budget sweep (4 threads, 600 requests):\n");
     std::printf("  %-12s %10s %10s %10s %8s\n", "budget", "hit rate",
                 "builds", "evictions", "rejects");
+    std::size_t repetition = 0;
     for (const std::uint64_t budget :
          {std::uint64_t{64} << 10, std::uint64_t{512} << 10,
           std::uint64_t{8} << 20}) {
@@ -201,7 +208,9 @@ int main() {
       options.workers = 4;
       DeltaService service(store, options);
       obs::Histogram latency;
-      run_load(service, releases, 4, 600, 0xCAFE, latency);
+      // Distinct request stream per repetition (bench_util.hpp).
+      run_load(service, releases, 4, 600,
+               bench::repetition_seed(0xCAFE, repetition++), latency);
       const ServiceMetrics& m = service.metrics();
       const DeltaCache::Stats stats = service.cache().stats();
       char label[32];

@@ -60,7 +60,7 @@ int usage() {
       "                [--differ greedy|onepass|suffix|block]\n"
       "                [--policy constant|localmin|exact|scc]\n"
       "                [--format paper|varint] [--no-write-offsets]\n"
-      "                [--compress]\n"
+      "                [--compress] [--jobs N]     # N=0: all cores\n"
       "  ipdelta apply <delta> <reference> <output>\n"
       "  ipdelta patch <delta> <file>\n"
       "  ipdelta verify <delta> <reference>\n"
@@ -136,34 +136,39 @@ int cmd_diff(const std::vector<std::string>& args) {
       else throw Error("unknown policy: " + v);
     } else if (a == "--format") {
       const std::string& v = next();
-      if (v == "paper") options.convert.format.codeword = Codeword::kPaperByte;
-      else if (v == "varint") options.convert.format.codeword = Codeword::kVarint;
+      if (v == "paper") options.format.codeword = Codeword::kPaperByte;
+      else if (v == "varint") options.format.codeword = Codeword::kVarint;
       else throw Error("unknown format: " + v);
+    } else if (a == "--jobs") {
+      options.parallelism = std::stoull(next());
     } else {
       throw Error("unknown option: " + a);
     }
   }
+  options.format.offsets =
+      write_offsets ? WriteOffsets::kExplicit : WriteOffsets::kImplicit;
 
   const Bytes reference = read_file(args[0]);
   const Bytes version = read_file(args[1]);
 
-  Bytes delta;
+  const Pipeline pipeline(options);
+  const BuildResult result = in_place ? pipeline.build_inplace(reference, version)
+                                      : pipeline.build_delta(reference, version);
   if (in_place) {
-    options.convert.format.offsets = WriteOffsets::kExplicit;
-    ConvertReport report;
-    delta = create_inplace_delta(reference, version, options, &report);
+    const ConvertReport& report = result.report;
     std::printf(
         "in-place delta: %zu commands in, %zu cycles broken, %zu copies "
         "converted (%llu bytes of compression given up)\n",
         report.copies_in + report.adds_in, report.cycles_found,
         report.copies_converted,
         static_cast<unsigned long long>(report.conversion_cost));
-  } else {
-    DeltaFormat format = options.convert.format;
-    format.offsets = write_offsets ? WriteOffsets::kExplicit
-                                   : WriteOffsets::kImplicit;
-    delta = create_delta(reference, version, format, options);
   }
+  if (result.timing.diff_segments > 1) {
+    std::printf("built on %zu segments (%zu-way), %.1f ms diff\n",
+                result.timing.diff_segments, pipeline.parallelism(),
+                static_cast<double>(result.timing.diff_ns) / 1e6);
+  }
+  const Bytes& delta = result.delta;
   write_file(args[2], delta);
   std::printf("%s -> %s: %zu bytes (%s of version)\n", args[0].c_str(),
               args[2].c_str(), delta.size(),

@@ -92,19 +92,30 @@ int main() {
   std::printf("reconstruction %s\n",
               buffer == version ? "MATCHES the new version" : "FAILED");
 
-  // -- the one-call API ---------------------------------------------------
-  banner("one-call API");
-  const Bytes wire = create_inplace_delta(reference, version, options);
+  // -- the Pipeline API ---------------------------------------------------
+  // One configured handle does the whole chain — diff, convert, encode —
+  // and returns the artifact next to its conversion report, size stats
+  // and per-stage timing. (Large inputs additionally fan the diff and
+  // CRWI stages across a thread pool; output is byte-identical at any
+  // PipelineOptions::parallelism.)
+  banner("Pipeline API");
+  const Pipeline pipeline(options);
+  const BuildResult built = pipeline.build_inplace(reference, version);
   Bytes device = reference;
   device.resize(std::max(reference.size(), version.size()));
-  const length_t new_len = apply_delta_inplace(wire, device);
+  const length_t new_len = apply_delta_inplace(built.delta, device);
   std::printf(
-      "serialized in-place delta: %zu bytes (version is %zu bytes); "
-      "apply_delta_inplace -> %llu bytes, %s\n",
-      wire.size(), version.size(),
+      "serialized in-place delta: %zu bytes (%.1f%% of the %zu-byte "
+      "version, %.2f ms); apply_delta_inplace -> %llu bytes, %s\n",
+      built.delta.size(), built.stats.compression.percent(), version.size(),
+      static_cast<double>(built.timing.total_ns) / 1e6,
       static_cast<unsigned long long>(new_len),
       std::equal(version.begin(), version.end(), device.begin())
           ? "verified"
           : "MISMATCH");
+  // The server-side apply helper round-trips the same artifact.
+  const Bytes replayed = pipeline.apply(built.delta, reference);
+  std::printf("Pipeline::apply round-trip %s\n",
+              replayed == version ? "verified" : "MISMATCH");
   return buffer == version ? 0 : 1;
 }

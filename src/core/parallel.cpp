@@ -1,0 +1,87 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ipd {
+
+std::size_t effective_parallelism(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// Shared by the caller and every helper; owned via shared_ptr because
+/// a helper that loses every claim race may still touch it after the
+/// caller has already returned.
+struct ForState {
+  std::function<void(std::size_t)> body;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+void drain(const std::shared_ptr<ForState>& state) {
+  for (;;) {
+    const std::size_t i =
+        state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->chunks) return;
+    try {
+      state->body(i);
+    } catch (...) {
+      std::lock_guard lock(state->mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    // acq_rel: publishes this chunk's writes to whoever observes the
+    // final count (the caller reads `done` with acquire below).
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->chunks) {
+      std::lock_guard lock(state->mutex);
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for(const ParallelContext& ctx, std::size_t chunks,
+                  const std::function<void(std::size_t)>& body) {
+  if (chunks == 0) return;
+  if (!ctx.enabled() || chunks == 1) {
+    for (std::size_t i = 0; i < chunks; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = body;
+  state->chunks = chunks;
+
+  const std::size_t helpers = std::min(ctx.parallelism - 1, chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    try {
+      ctx.pool->post([state] { drain(state); });
+    } catch (const Error&) {
+      break;  // pool shutting down: the caller runs what is left
+    }
+  }
+
+  drain(state);  // caller participation — guarantees progress
+
+  {
+    std::unique_lock lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace ipd

@@ -1,0 +1,50 @@
+// Deterministic fork/join helper over a shared ThreadPool.
+//
+// Everything parallel in this library runs through parallel_for, and it
+// obeys two rules that the rest of the system leans on:
+//
+//  1. WHAT runs never depends on the parallelism — callers decide the
+//     chunking from input content and options alone, so the same input
+//     yields byte-identical output at any thread count (the determinism
+//     contract the pipeline tests enforce).
+//
+//  2. The CALLER PARTICIPATES. Helpers are posted to the pool, but the
+//     calling thread claims chunks too and is always sufficient on its
+//     own. That makes the scheme deadlock-free even when the caller IS
+//     a pool worker (a DeltaService build fanning sub-work into the
+//     pool it runs on): a saturated or shut-down pool degrades to a
+//     serial loop on the caller, never to a wait on threads that cannot
+//     make progress.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/thread_pool.hpp"
+
+namespace ipd {
+
+/// Resolve a user-facing parallelism knob: 0 means "hardware
+/// concurrency" (at least 1), anything else passes through.
+std::size_t effective_parallelism(std::size_t requested) noexcept;
+
+/// Where parallel work may run. A default-constructed context (or
+/// parallelism <= 1, or no pool) means "inline on the caller" — the
+/// zero-thread path every algorithm must also be correct on.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;
+  std::size_t parallelism = 1;
+
+  bool enabled() const noexcept { return pool != nullptr && parallelism > 1; }
+};
+
+/// Run body(0) .. body(chunks-1), each exactly once, using up to
+/// parallelism-1 pool helpers plus the calling thread. Returns after
+/// every chunk finished; all body side effects happen-before the
+/// return. The first exception thrown by any chunk is rethrown on the
+/// caller (remaining chunks still run — chunk work must be exception-
+/// safe but need not be cancellable).
+void parallel_for(const ParallelContext& ctx, std::size_t chunks,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace ipd

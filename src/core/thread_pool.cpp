@@ -1,4 +1,4 @@
-#include "server/thread_pool.hpp"
+#include "core/thread_pool.hpp"
 
 namespace ipd {
 

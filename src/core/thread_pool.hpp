@@ -1,0 +1,78 @@
+// Fixed-size worker pool shared by whole delta builds and the
+// intra-build parallelism inside them.
+//
+// Request threads are cheap — they mostly wait on caches and sockets —
+// but a delta build is a full differencer + conversion pass over two
+// release bodies. Running builds on an unbounded number of request
+// threads would let a burst of distinct cache misses oversubscribe the
+// machine; funnelling them through a pool sized to the hardware caps
+// build parallelism while singleflight caps build *redundancy*. The
+// same pool also absorbs the per-segment work `parallel_for` fans out
+// (core/parallel.hpp), so one machine-sized pool bounds every thread
+// the library creates.
+//
+// Deliberately minimal: FIFO queue, std::future results, no priorities.
+// The destructor finishes every queued task before joining (a submitted
+// build owns shared_ptrs into the store; dropping it would be safe but
+// wasteful — and deterministic drain makes tests simple).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Tasks queued but not yet started.
+  std::size_t pending() const;
+
+  /// Enqueue `fn`; the returned future carries its result or exception.
+  /// Throws Error after shutdown has begun.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    // std::function requires copyability; packaged_task is move-only, so
+    // it rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Fire-and-forget submit for jobs whose completion is tracked out of
+  /// band (parallel_for counts chunks itself). Throws Error after
+  /// shutdown has begun, exactly like submit().
+  void post(std::function<void()> job) { enqueue(std::move(job)); }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ipd

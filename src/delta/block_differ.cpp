@@ -6,30 +6,50 @@
 #include "core/rolling_hash.hpp"
 
 namespace ipd {
+namespace {
 
-BlockDiffer::BlockDiffer(const BlockDifferOptions& options)
-    : options_(options) {
+struct BlockIndex final : public DifferIndex {
+  /// Whole reference blocks by content hash (block-aligned on both
+  /// sides — the defining restriction of this baseline).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> blocks;
+};
+
+std::uint64_t block_hash(ByteView content) noexcept {
+  std::uint64_t h = 0;
+  for (const std::uint8_t byte : content) {
+    h = h * RollingHash::kMultiplier + byte;
+  }
+  return RollingHash::mix(h);
+}
+
+}  // namespace
+
+BlockDiffer::BlockDiffer(const DifferOptions& options) : options_(options) {
   if (options_.block_size == 0) {
     throw ValidationError("block differ: block_size must be >= 1");
   }
 }
 
-Script BlockDiffer::diff(ByteView reference, ByteView version) const {
+std::unique_ptr<DifferIndex> BlockDiffer::build_index(
+    ByteView reference, const ParallelContext& /*ctx*/) const {
   const std::size_t block = options_.block_size;
-  ScriptBuilder builder;
-
-  // Index whole reference blocks by content hash (block-aligned on both
-  // sides — the defining restriction of this baseline).
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  auto index = std::make_unique<BlockIndex>();
   const std::size_t ref_blocks = reference.size() / block;
   for (std::size_t b = 0; b < ref_blocks; ++b) {
-    const ByteView content = reference.subspan(b * block, block);
-    std::uint64_t h = 0;
-    for (const std::uint8_t byte : content) {
-      h = h * RollingHash::kMultiplier + byte;
-    }
-    index[RollingHash::mix(h)].push_back(static_cast<std::uint32_t>(b));
+    index->blocks[block_hash(reference.subspan(b * block, block))].push_back(
+        static_cast<std::uint32_t>(b));
   }
+  return index;
+}
+
+Script BlockDiffer::scan(const DifferIndex& index, ByteView reference,
+                         ByteView version) const {
+  const auto* aligned = dynamic_cast<const BlockIndex*>(&index);
+  if (aligned == nullptr) {
+    throw ValidationError("block differ: foreign index");
+  }
+  const std::size_t block = options_.block_size;
+  ScriptBuilder builder;
 
   std::size_t pos = 0;
   while (pos < version.size()) {
@@ -39,12 +59,9 @@ Script BlockDiffer::diff(ByteView reference, ByteView version) const {
       break;
     }
     const ByteView candidate = version.subspan(pos, block);
-    std::uint64_t h = 0;
-    for (const std::uint8_t byte : candidate) {
-      h = h * RollingHash::kMultiplier + byte;
-    }
     bool matched = false;
-    if (const auto it = index.find(RollingHash::mix(h)); it != index.end()) {
+    if (const auto it = aligned->blocks.find(block_hash(candidate));
+        it != aligned->blocks.end()) {
       for (const std::uint32_t b : it->second) {
         const ByteView ref_block = reference.subspan(b * block, block);
         if (std::equal(candidate.begin(), candidate.end(),

@@ -14,19 +14,23 @@
 
 namespace ipd {
 
-struct BlockDifferOptions {
-  std::size_t block_size = 512;
-};
-
-class BlockDiffer final : public Differ {
+class BlockDiffer final : public SegmentedDiffer {
  public:
-  explicit BlockDiffer(const BlockDifferOptions& options = {});
+  /// Only options.block_size is consulted — the alignment granularity.
+  /// (The separate BlockDifferOptions struct is gone; every differ now
+  /// configures from the one DifferOptions.)
+  explicit BlockDiffer(const DifferOptions& options = {});
 
-  Script diff(ByteView reference, ByteView version) const override;
+  std::unique_ptr<DifferIndex> build_index(
+      ByteView reference, const ParallelContext& ctx = {}) const override;
+
+  Script scan(const DifferIndex& index, ByteView reference,
+              ByteView version) const override;
+
   const char* name() const noexcept override { return "block-aligned"; }
 
  private:
-  BlockDifferOptions options_;
+  DifferOptions options_;
 };
 
 }  // namespace ipd

@@ -29,10 +29,13 @@ std::unique_ptr<Differ> make_differ(DifferKind kind,
     case DifferKind::kSuffixGreedy:
       return std::make_unique<SuffixDiffer>(options);
     case DifferKind::kBlockAligned:
-      return std::make_unique<BlockDiffer>(
-          BlockDifferOptions{options.block_size});
+      return std::make_unique<BlockDiffer>(options);
   }
   throw ValidationError("unknown differ kind");
+}
+
+Script SegmentedDiffer::diff(ByteView reference, ByteView version) const {
+  return scan(*build_index(reference), reference, version);
 }
 
 Script diff_bytes(DifferKind kind, ByteView reference, ByteView version,

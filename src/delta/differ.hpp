@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "core/parallel.hpp"
 #include "delta/script.hpp"
 
 namespace ipd {
@@ -52,6 +53,46 @@ class Differ {
   virtual Script diff(ByteView reference, ByteView version) const = 0;
 
   virtual const char* name() const noexcept = 0;
+};
+
+/// Opaque reference index a SegmentedDiffer builds once and scans many
+/// times. Indexes may hold views into the reference bytes, so the
+/// reference must outlive the index. Indexes are immutable after
+/// construction — concurrent scan() calls against one index are safe.
+class DifferIndex {
+ public:
+  virtual ~DifferIndex() = default;
+
+ protected:
+  DifferIndex() = default;
+};
+
+/// A differ whose work splits into "index the reference" and "scan a
+/// version against that index". The split is what makes segmented
+/// parallel differencing possible (delta/parallel_differ.hpp): the
+/// index is built once — itself parallel when a ParallelContext is
+/// supplied — and version segments are scanned concurrently against it.
+///
+/// Contract: scan(*build_index(R), R, V) == diff(R, V), and scan's
+/// output depends only on (index contents, R, V) — never on which
+/// thread runs it.
+class SegmentedDiffer : public Differ {
+ public:
+  /// diff() via the split: build the index, scan the whole version.
+  Script diff(ByteView reference, ByteView version) const override;
+
+  /// Build the reference index. `ctx` parallelizes construction where
+  /// the index structure permits; the resulting index is byte-identical
+  /// at any parallelism.
+  virtual std::unique_ptr<DifferIndex> build_index(
+      ByteView reference, const ParallelContext& ctx = {}) const = 0;
+
+  /// Scan `version` (typically a segment of a larger file) against an
+  /// index previously built for `reference`. Write offsets in the
+  /// result are relative to the start of `version`. Throws
+  /// ValidationError when handed another differ's index.
+  virtual Script scan(const DifferIndex& index, ByteView reference,
+                      ByteView version) const = 0;
 };
 
 std::unique_ptr<Differ> make_differ(DifferKind kind,

@@ -58,6 +58,12 @@ class ChainIndex {
   std::vector<std::uint32_t> next_;
 };
 
+struct GreedyIndex final : public DifferIndex {
+  GreedyIndex(ByteView reference, std::size_t seed_length)
+      : chains(reference, seed_length) {}
+  ChainIndex chains;
+};
+
 std::size_t match_forward(ByteView a, std::size_t ai, ByteView b,
                           std::size_t bi) noexcept {
   const std::size_t limit = std::min(a.size() - ai, b.size() - bi);
@@ -80,9 +86,19 @@ GreedyDiffer::GreedyDiffer(const DifferOptions& options) : options_(options) {
   assert(options_.min_match >= options_.seed_length);
 }
 
-Script GreedyDiffer::diff(ByteView reference, ByteView version) const {
+std::unique_ptr<DifferIndex> GreedyDiffer::build_index(
+    ByteView reference, const ParallelContext& /*ctx*/) const {
   if (reference.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw ValidationError("greedy differ: reference larger than 4 GiB");
+  }
+  return std::make_unique<GreedyIndex>(reference, options_.seed_length);
+}
+
+Script GreedyDiffer::scan(const DifferIndex& index, ByteView reference,
+                          ByteView version) const {
+  const auto* greedy = dynamic_cast<const GreedyIndex*>(&index);
+  if (greedy == nullptr) {
+    throw ValidationError("greedy differ: foreign index");
   }
   ScriptBuilder builder;
   const std::size_t seed = options_.seed_length;
@@ -94,7 +110,7 @@ Script GreedyDiffer::diff(ByteView reference, ByteView version) const {
     return builder.finish();
   }
 
-  const ChainIndex index(reference, seed);
+  const ChainIndex& chains = greedy->chains;
   RollingHash rh(seed);
 
   std::size_t pos = 0;                   // version scan cursor
@@ -134,9 +150,9 @@ Script GreedyDiffer::diff(ByteView reference, ByteView version) const {
     std::size_t probes = 0;
     const std::size_t max_back = builder.pending_literals();
 
-    for (std::uint32_t cand = index.head(h);
+    for (std::uint32_t cand = chains.head(h);
          cand != kNil && probes < options_.max_chain;
-         cand = index.next(cand), ++probes) {
+         cand = chains.next(cand), ++probes) {
       // Verify the seed (hash buckets collide), then extend.
       if (!std::equal(version.begin() + static_cast<std::ptrdiff_t>(pos),
                       version.begin() + static_cast<std::ptrdiff_t>(pos + seed),

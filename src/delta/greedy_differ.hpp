@@ -14,11 +14,19 @@
 
 namespace ipd {
 
-class GreedyDiffer final : public Differ {
+class GreedyDiffer final : public SegmentedDiffer {
  public:
-  explicit GreedyDiffer(const DifferOptions& options);
+  explicit GreedyDiffer(const DifferOptions& options = {});
 
-  Script diff(ByteView reference, ByteView version) const override;
+  /// Chain construction stays serial: each link records the previous
+  /// head, so chain order — and with it probe order and output — is a
+  /// strictly sequential property. Scans parallelize instead.
+  std::unique_ptr<DifferIndex> build_index(
+      ByteView reference, const ParallelContext& ctx = {}) const override;
+
+  Script scan(const DifferIndex& index, ByteView reference,
+              ByteView version) const override;
+
   const char* name() const noexcept override { return "greedy"; }
 
  private:

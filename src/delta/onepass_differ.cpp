@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 #include "core/rolling_hash.hpp"
 
 namespace ipd {
 namespace {
 
-constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
+// Below this many reference positions a parallel table build costs more
+// in fork/join than the fill saves.
+constexpr std::size_t kParallelIndexMinPositions = std::size_t{1} << 20;
 
 std::size_t match_forward(ByteView a, std::size_t ai, ByteView b,
                           std::size_t bi) noexcept {
@@ -26,6 +27,24 @@ std::size_t match_backward(ByteView a, std::size_t ai, ByteView b,
   return n;
 }
 
+/// Fill `table` with the first occurrence of each fingerprint over
+/// reference positions [begin, end).
+void fill_first_occurrences(ByteView reference, std::size_t seed,
+                            std::size_t mask, std::size_t begin,
+                            std::size_t end, std::vector<std::uint64_t>& table) {
+  if (begin >= end) return;
+  RollingHash rh(seed);
+  std::uint64_t h = rh.init(reference.subspan(begin));
+  for (std::size_t pos = begin;; ++pos) {
+    std::uint64_t& slot = table[RollingHash::mix(h) & mask];
+    if (slot == OnePassIndex::kEmpty) {
+      slot = pos;  // first occurrence wins, as in [5]
+    }
+    if (pos + 1 >= end) break;
+    h = rh.roll(h, reference[pos], reference[pos + seed]);
+  }
+}
+
 }  // namespace
 
 OnePassDiffer::OnePassDiffer(const DifferOptions& options)
@@ -35,37 +54,74 @@ OnePassDiffer::OnePassDiffer(const DifferOptions& options)
   assert(options_.table_bits >= 8 && options_.table_bits <= 28);
 }
 
-Script OnePassDiffer::diff(ByteView reference, ByteView version) const {
+std::unique_ptr<DifferIndex> OnePassDiffer::build_index(
+    ByteView reference, const ParallelContext& ctx) const {
+  auto index = std::make_unique<OnePassIndex>();
+  const std::size_t seed = options_.seed_length;
+  index->seed = seed;
+  if (reference.size() < seed) {
+    return index;  // nothing can match; scan() emits pure literals
+  }
+  const std::size_t table_size = std::size_t{1} << options_.table_bits;
+  index->mask = table_size - 1;
+  const std::size_t positions = reference.size() - seed + 1;
+
+  std::size_t chunks = 1;
+  if (ctx.enabled() && positions >= kParallelIndexMinPositions) {
+    chunks = std::min({ctx.parallelism, std::size_t{16},
+                       positions / (kParallelIndexMinPositions / 4)});
+    chunks = std::max<std::size_t>(chunks, 1);
+  }
+
+  if (chunks <= 1) {
+    index->table.assign(table_size, OnePassIndex::kEmpty);
+    fill_first_occurrences(reference, seed, index->mask, 0, positions,
+                           index->table);
+    return index;
+  }
+
+  // Parallel build: private per-chunk tables over ascending position
+  // ranges, then keep the first non-empty slot in range order — i.e.
+  // the lowest position, exactly what the serial pass would have kept.
+  std::vector<std::vector<std::uint64_t>> local(chunks);
+  parallel_for(ctx, chunks, [&](std::size_t k) {
+    local[k].assign(table_size, OnePassIndex::kEmpty);
+    fill_first_occurrences(reference, seed, index->mask,
+                           k * positions / chunks,
+                           (k + 1) * positions / chunks, local[k]);
+  });
+  index->table.assign(table_size, OnePassIndex::kEmpty);
+  for (std::size_t s = 0; s < table_size; ++s) {
+    for (std::size_t k = 0; k < chunks; ++k) {
+      if (local[k][s] != OnePassIndex::kEmpty) {
+        index->table[s] = local[k][s];
+        break;
+      }
+    }
+  }
+  return index;
+}
+
+Script OnePassDiffer::scan(const DifferIndex& index, ByteView reference,
+                           ByteView version) const {
+  const auto* fp = dynamic_cast<const OnePassIndex*>(&index);
+  if (fp == nullptr) {
+    throw ValidationError("one-pass differ: foreign index");
+  }
   ScriptBuilder builder;
   const std::size_t seed = options_.seed_length;
   if (version.empty()) {
     return builder.finish();
   }
-  if (reference.size() < seed || version.size() < seed) {
+  if (fp->table.empty() || version.size() < seed) {
     builder.literals(version);
     return builder.finish();
   }
+  const std::size_t mask = fp->mask;
+  const std::vector<std::uint64_t>& table = fp->table;
 
-  // Pass 1 — fingerprint the reference into the fixed-size table.
-  const std::size_t table_size = std::size_t{1} << options_.table_bits;
-  const std::size_t mask = table_size - 1;
-  std::vector<std::uint64_t> table(table_size, kEmptySlot);
-
+  // Scan the version, probing the table.
   RollingHash rh(seed);
-  {
-    std::uint64_t h = rh.init(reference);
-    const std::size_t positions = reference.size() - seed + 1;
-    for (std::size_t pos = 0;; ++pos) {
-      std::uint64_t& slot = table[RollingHash::mix(h) & mask];
-      if (slot == kEmptySlot) {
-        slot = pos;  // first occurrence wins, as in [5]
-      }
-      if (pos + 1 >= positions) break;
-      h = rh.roll(h, reference[pos], reference[pos + seed]);
-    }
-  }
-
-  // Pass 2 — scan the version, probing the table.
   std::size_t pos = 0;
   std::uint64_t h = rh.init(version);
   bool hash_valid = true;
@@ -95,7 +151,7 @@ Script OnePassDiffer::diff(ByteView reference, ByteView version) const {
     }
 
     const std::uint64_t cand = table[RollingHash::mix(h) & mask];
-    if (cand != kEmptySlot) {
+    if (cand != OnePassIndex::kEmpty) {
       const std::size_t from = static_cast<std::size_t>(cand);
       if (std::equal(
               version.begin() + static_cast<std::ptrdiff_t>(pos),

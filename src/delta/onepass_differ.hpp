@@ -11,15 +11,41 @@
 // reach linear time.
 #pragma once
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "delta/differ.hpp"
 
 namespace ipd {
 
-class OnePassDiffer final : public Differ {
- public:
-  explicit OnePassDiffer(const DifferOptions& options);
+/// The fixed-size fingerprint table, exposed so tests can assert the
+/// parallel construction path produces the exact serial table.
+struct OnePassIndex final : public DifferIndex {
+  static constexpr std::uint64_t kEmpty =
+      std::numeric_limits<std::uint64_t>::max();
 
-  Script diff(ByteView reference, ByteView version) const override;
+  std::size_t seed = 0;
+  std::size_t mask = 0;
+  /// slot -> first reference position with that fingerprint; empty()
+  /// when the reference is shorter than one seed (nothing can match).
+  std::vector<std::uint64_t> table;
+};
+
+class OnePassDiffer final : public SegmentedDiffer {
+ public:
+  explicit OnePassDiffer(const DifferOptions& options = {});
+
+  /// Table construction parallelizes cleanly: each chunk of reference
+  /// positions fills a private table with its own first occurrences,
+  /// and a lowest-position merge reproduces the serial
+  /// first-occurrence-wins table bit for bit.
+  std::unique_ptr<DifferIndex> build_index(
+      ByteView reference, const ParallelContext& ctx = {}) const override;
+
+  Script scan(const DifferIndex& index, ByteView reference,
+              ByteView version) const override;
+
   const char* name() const noexcept override { return "one-pass"; }
 
  private:

@@ -84,11 +84,30 @@ SuffixMatcher::Match SuffixMatcher::longest_match(ByteView query) const {
   return best;
 }
 
+namespace {
+
+struct SuffixIndex final : public DifferIndex {
+  explicit SuffixIndex(ByteView reference) : matcher(reference) {}
+  SuffixMatcher matcher;
+};
+
+}  // namespace
+
 SuffixDiffer::SuffixDiffer(const DifferOptions& options) : options_(options) {
   assert(options_.min_match >= 1);
 }
 
-Script SuffixDiffer::diff(ByteView reference, ByteView version) const {
+std::unique_ptr<DifferIndex> SuffixDiffer::build_index(
+    ByteView reference, const ParallelContext& /*ctx*/) const {
+  return std::make_unique<SuffixIndex>(reference);
+}
+
+Script SuffixDiffer::scan(const DifferIndex& index, ByteView reference,
+                          ByteView version) const {
+  const auto* suffix = dynamic_cast<const SuffixIndex*>(&index);
+  if (suffix == nullptr) {
+    throw ValidationError("suffix differ: foreign index");
+  }
   ScriptBuilder builder;
   if (version.empty()) {
     return builder.finish();
@@ -98,7 +117,7 @@ Script SuffixDiffer::diff(ByteView reference, ByteView version) const {
     return builder.finish();
   }
 
-  const SuffixMatcher matcher(reference);
+  const SuffixMatcher& matcher = suffix->matcher;
   std::size_t pos = 0;
   while (pos < version.size()) {
     const SuffixMatcher::Match match =

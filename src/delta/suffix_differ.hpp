@@ -43,11 +43,19 @@ class SuffixMatcher {
   std::vector<std::uint32_t> sa_;
 };
 
-class SuffixDiffer final : public Differ {
+class SuffixDiffer final : public SegmentedDiffer {
  public:
   explicit SuffixDiffer(const DifferOptions& options = {});
 
-  Script diff(ByteView reference, ByteView version) const override;
+  /// The suffix array is built once per reference (the expensive part);
+  /// longest_match() queries against it are read-only and scan freely
+  /// from many threads.
+  std::unique_ptr<DifferIndex> build_index(
+      ByteView reference, const ParallelContext& ctx = {}) const override;
+
+  Script scan(const DifferIndex& index, ByteView reference,
+              ByteView version) const override;
+
   const char* name() const noexcept override { return "suffix-greedy"; }
 
  private:

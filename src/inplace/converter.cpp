@@ -32,7 +32,8 @@ std::vector<AddCommand> coalesce(std::vector<AddCommand> adds) {
 }  // namespace
 
 ConvertResult convert_to_inplace(const Script& input, ByteView reference,
-                                 const ConvertOptions& options) {
+                                 const ConvertOptions& options,
+                                 const ParallelContext& ctx) {
   const length_t version_length = input.version_length();
   input.validate(reference.size(), version_length);
 
@@ -52,7 +53,8 @@ ConvertResult convert_to_inplace(const Script& input, ByteView reference,
   // Step 3: the CRWI digraph.
   const CrwiGraph graph = [&] {
     obs::Span span(obs::Stage::kCrwiGraph, reference.size());
-    return CrwiGraph::build(copies, version_length);
+    return CrwiGraph::build(copies, version_length, ctx,
+                            &report.crwi_parallel_chunks);
   }();
   report.edges = graph.edge_count();
 
@@ -153,15 +155,11 @@ bool satisfies_equation2(const Script& script) {
   return true;
 }
 
-Bytes make_inplace_delta(const Script& input, ByteView reference,
-                         ByteView version, const ConvertOptions& options,
-                         ConvertReport* report_out, bool compress_payload) {
-  ConvertResult converted = convert_to_inplace(input, reference, options);
-  if (report_out != nullptr) {
-    *report_out = converted.report;
-  }
+Bytes serialize_inplace(Script script, const DeltaFormat& format,
+                        ByteView reference, ByteView version,
+                        bool compress_payload) {
   DeltaFile file;
-  file.format = options.format;
+  file.format = format;
   if (file.format.offsets != WriteOffsets::kExplicit) {
     throw ValidationError(
         "in-place delta files require explicit write offsets");
@@ -171,11 +169,23 @@ Bytes make_inplace_delta(const Script& input, ByteView reference,
   file.reference_length = reference.size();
   file.version_length = version.size();
   file.version_crc = crc32c(version);
-  file.script = std::move(converted.script);
+  file.script = std::move(script);
   obs::Span span(obs::Stage::kEncode);
   Bytes out = serialize_delta(file);
   span.add_bytes(out.size());
   return out;
+}
+
+Bytes make_inplace_delta(const Script& input, ByteView reference,
+                         ByteView version, const ConvertOptions& options,
+                         ConvertReport* report_out, bool compress_payload,
+                         const ParallelContext& ctx) {
+  ConvertResult converted = convert_to_inplace(input, reference, options, ctx);
+  if (report_out != nullptr) {
+    *report_out = converted.report;
+  }
+  return serialize_inplace(std::move(converted.script), options.format,
+                           reference, version, compress_payload);
 }
 
 }  // namespace ipd

@@ -52,6 +52,7 @@ struct ConvertReport {
   std::uint64_t conversion_cost = 0;
   bool exact_was_optimal = true;      ///< kExactOptimal search completed
   std::size_t scc_rounds = 0;         ///< kSccGlobalMin recomputation rounds
+  std::size_t crwi_parallel_chunks = 1;  ///< CRWI edge-discovery fan-out
 };
 
 struct ConvertResult {
@@ -63,8 +64,12 @@ struct ConvertResult {
 /// reconstructible script. Deleted copies pull their literal bytes out of
 /// `reference` — safe precisely because Equation 2 guarantees every copy
 /// in the output reads original reference data.
+///
+/// `ctx` parallelizes CRWI edge discovery (crwi_graph.hpp); the output
+/// is byte-identical at any parallelism.
 ConvertResult convert_to_inplace(const Script& input, ByteView reference,
-                                 const ConvertOptions& options = {});
+                                 const ConvertOptions& options = {},
+                                 const ParallelContext& ctx = {});
 
 /// Directly verify the paper's Equation 2 on a script: no command's read
 /// interval intersects the union of the write intervals of the commands
@@ -79,6 +84,14 @@ bool satisfies_equation2(const Script& script);
 Bytes make_inplace_delta(const Script& input, ByteView reference,
                          ByteView version, const ConvertOptions& options = {},
                          ConvertReport* report_out = nullptr,
-                         bool compress_payload = false);
+                         bool compress_payload = false,
+                         const ParallelContext& ctx = {});
+
+/// Serialize an already-converted in-place script into a delta file
+/// (explicit-offset format, in_place flag, version CRC). Shared by
+/// make_inplace_delta and Pipeline::build_inplace.
+Bytes serialize_inplace(Script script, const DeltaFormat& format,
+                        ByteView reference, ByteView version,
+                        bool compress_payload);
 
 }  // namespace ipd

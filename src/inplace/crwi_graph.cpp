@@ -1,32 +1,92 @@
 #include "inplace/crwi_graph.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
 #include "inplace/interval_index.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd {
+namespace {
+
+// Below this many copy vertices, forking costs more than the probes.
+constexpr std::size_t kParallelCrwiMinCopies = 2048;
+
+/// Probe the index for vertices [u0, u1), appending successor lists to
+/// `targets` and per-vertex end positions (relative to the start of
+/// `targets`) to `ends`. Exactly the serial loop over a subrange.
+void discover_edges(const std::vector<CopyCommand>& copies,
+                    const IntervalIndex& index, std::uint32_t u0,
+                    std::uint32_t u1, std::vector<std::uint32_t>& targets,
+                    std::vector<std::size_t>& ends) {
+  for (std::uint32_t u = u0; u < u1; ++u) {
+    const Interval read = copies[u].read_interval();
+    index.for_each_overlapping(read, [&](std::uint32_t v) {
+      if (v != u) {  // a command does not conflict with itself (§4.1)
+        targets.push_back(v);
+      }
+    });
+    ends.push_back(targets.size());
+  }
+}
+
+}  // namespace
 
 CrwiGraph CrwiGraph::build(const std::vector<CopyCommand>& copies,
                            length_t version_length) {
+  return build(copies, version_length, ParallelContext{});
+}
+
+CrwiGraph CrwiGraph::build(const std::vector<CopyCommand>& copies,
+                           length_t version_length, const ParallelContext& ctx,
+                           std::size_t* chunks_out) {
   if (copies.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw ValidationError("CRWI graph: more than 2^32 copy commands");
   }
   const IntervalIndex index(copies);
+  const std::size_t n = copies.size();
+
+  std::size_t chunks = 1;
+  if (ctx.enabled() && n >= kParallelCrwiMinCopies) {
+    chunks = std::min({ctx.parallelism, std::size_t{32},
+                       n / (kParallelCrwiMinCopies / 2)});
+    chunks = std::max<std::size_t>(chunks, 1);
+  }
+  if (chunks_out != nullptr) *chunks_out = chunks;
 
   CrwiGraph g;
   g.offsets_.clear();
-  g.offsets_.reserve(copies.size() + 1);
+  g.offsets_.reserve(n + 1);
   g.offsets_.push_back(0);
 
-  for (std::uint32_t u = 0; u < copies.size(); ++u) {
-    const Interval read = copies[u].read_interval();
-    index.for_each_overlapping(read, [&](std::uint32_t v) {
-      if (v != u) {  // a command does not conflict with itself (§4.1)
-        g.targets_.push_back(v);
-      }
+  if (chunks <= 1) {
+    std::vector<std::size_t> ends;
+    ends.reserve(n);
+    discover_edges(copies, index, 0, static_cast<std::uint32_t>(n),
+                   g.targets_, ends);
+    g.offsets_.insert(g.offsets_.end(), ends.begin(), ends.end());
+  } else {
+    // Each vertex range probes the immutable index into private
+    // buffers; concatenating them in range order reproduces the serial
+    // CSR arrays exactly.
+    std::vector<std::vector<std::uint32_t>> targets(chunks);
+    std::vector<std::vector<std::size_t>> ends(chunks);
+    parallel_for(ctx, chunks, [&](std::size_t c) {
+      const auto u0 = static_cast<std::uint32_t>(c * n / chunks);
+      const auto u1 = static_cast<std::uint32_t>((c + 1) * n / chunks);
+      obs::Span span(obs::Stage::kCrwiParallel, u1 - u0);
+      ends[c].reserve(u1 - u0);
+      discover_edges(copies, index, u0, u1, targets[c], ends[c]);
     });
-    g.offsets_.push_back(g.targets_.size());
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t base = g.targets_.size();
+      g.targets_.insert(g.targets_.end(), targets[c].begin(),
+                        targets[c].end());
+      for (const std::size_t end : ends[c]) {
+        g.offsets_.push_back(base + end);
+      }
+    }
   }
 
   // Lemma 1: a copy of length l conflicts with at most l writers, and the

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "delta/command.hpp"
 
 namespace ipd {
@@ -22,6 +23,18 @@ class CrwiGraph {
   /// `version_length` is L_V, used to verify the Lemma 1 edge bound.
   static CrwiGraph build(const std::vector<CopyCommand>& copies,
                          length_t version_length);
+
+  /// Parallel edge discovery: copy vertices are partitioned into
+  /// contiguous ranges, each range probes the (immutable) IntervalIndex
+  /// concurrently, and the per-range adjacency lists are concatenated
+  /// in range order — every vertex's successor list is the one the
+  /// serial probe produces, so the CSR arrays are bit-identical at any
+  /// parallelism. The chunking is a function of copies.size() alone,
+  /// never of the context. `chunks_out` (optional) reports the fan-out
+  /// actually used (1 == serial path).
+  static CrwiGraph build(const std::vector<CopyCommand>& copies,
+                         length_t version_length, const ParallelContext& ctx,
+                         std::size_t* chunks_out = nullptr);
 
   std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
   std::size_t edge_count() const noexcept { return targets_.size(); }

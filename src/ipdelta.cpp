@@ -1,43 +1,150 @@
 #include "ipdelta.hpp"
 
+#include <algorithm>
+
 #include "core/checksum.hpp"
 #include "obs/trace.hpp"
 
 namespace ipd {
 
-Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
-                   const PipelineOptions& options) {
-  Script script = [&] {
+Pipeline::Pipeline(const PipelineOptions& options, ThreadPool* shared_pool)
+    : options_(options),
+      differ_(make_differ(options.differ, options.differ_options)),
+      parallelism_(effective_parallelism(options.parallelism)),
+      shared_pool_(shared_pool) {
+  if (shared_pool_ != nullptr) {
+    // The calling thread participates, so fan-out beyond the pool's
+    // width + 1 could never run concurrently anyway.
+    parallelism_ = std::min(parallelism_, shared_pool_->worker_count() + 1);
+  }
+}
+
+SegmentPlanOptions Pipeline::segment_plan() const noexcept {
+  SegmentPlanOptions plan;
+  plan.min_input = options_.min_parallel_input;
+  plan.segment_bytes = options_.parallel_segment_bytes;
+  return plan;
+}
+
+ParallelContext Pipeline::context(std::size_t version_size) const {
+  if (parallelism_ <= 1 || version_size < options_.min_parallel_input) {
+    return {};
+  }
+  ThreadPool* pool = shared_pool_;
+  if (pool == nullptr) {
+    // Lazy: a pipeline that only ever sees small inputs spawns nothing.
+    std::call_once(pool_once_, [this] {
+      owned_pool_ = std::make_unique<ThreadPool>(parallelism_ - 1);
+    });
+    pool = owned_pool_.get();
+  }
+  return ParallelContext{pool, parallelism_};
+}
+
+BuildResult Pipeline::build_delta(ByteView reference, ByteView version) const {
+  const std::uint64_t t0 = obs::now_ns();
+  BuildResult result;
+
+  ParallelDiffResult diffed = [&] {
     obs::Span span(obs::Stage::kDiff, reference.size() + version.size());
-    return diff_bytes(options.differ, reference, version,
-                      options.differ_options);
+    return diff_parallel(*differ_, reference, version, segment_plan(),
+                         context(version.size()));
   }();
+  result.timing.diff_ns = obs::now_ns() - t0;
+  result.timing.diff_segments = diffed.segments;
+  result.stats.script = diffed.script.summary();
+
   DeltaFile file;
-  file.format = format;
+  file.format = options_.plain_format();
   // Some scripts are conflict-free as produced (e.g. all-add deltas, or
   // pure forward moves); mark them so devices can skip conversion.
-  file.in_place = satisfies_equation2(script);
-  file.compress_payload = options.compress_payload;
+  file.in_place = satisfies_equation2(diffed.script);
+  file.compress_payload = options_.compress_payload;
   file.reference_length = reference.size();
   file.version_length = version.size();
   file.version_crc = crc32c(version);
-  file.script = std::move(script);
-  obs::Span span(obs::Stage::kEncode);
-  Bytes out = serialize_delta(file);
-  span.add_bytes(out.size());
-  return out;
+  file.script = std::move(diffed.script);
+  const std::uint64_t t1 = obs::now_ns();
+  {
+    obs::Span span(obs::Stage::kEncode);
+    result.delta = serialize_delta(file);
+    span.add_bytes(result.delta.size());
+  }
+  result.timing.encode_ns = obs::now_ns() - t1;
+  result.timing.total_ns = obs::now_ns() - t0;
+  result.stats.compression = CompressionSample{
+      reference.size(), version.size(), result.delta.size()};
+  return result;
+}
+
+BuildResult Pipeline::build_inplace(ByteView reference,
+                                    ByteView version) const {
+  const std::uint64_t t0 = obs::now_ns();
+  BuildResult result;
+  const ParallelContext ctx = context(version.size());
+
+  const ParallelDiffResult diffed = [&] {
+    obs::Span span(obs::Stage::kDiff, reference.size() + version.size());
+    return diff_parallel(*differ_, reference, version, segment_plan(), ctx);
+  }();
+  result.timing.diff_ns = obs::now_ns() - t0;
+  result.timing.diff_segments = diffed.segments;
+
+  ConvertOptions convert = options_.convert;
+  convert.format = options_.inplace_format();
+  const std::uint64_t t1 = obs::now_ns();
+  ConvertResult converted =
+      convert_to_inplace(diffed.script, reference, convert, ctx);
+  result.timing.convert_ns = obs::now_ns() - t1;
+  result.report = converted.report;
+  result.timing.crwi_chunks = converted.report.crwi_parallel_chunks;
+  result.stats.script = converted.script.summary();
+
+  const std::uint64_t t2 = obs::now_ns();
+  result.delta =
+      serialize_inplace(std::move(converted.script), convert.format, reference,
+                        version, options_.compress_payload);
+  result.timing.encode_ns = obs::now_ns() - t2;
+  result.timing.total_ns = obs::now_ns() - t0;
+  result.stats.compression = CompressionSample{
+      reference.size(), version.size(), result.delta.size()};
+  return result;
+}
+
+Bytes Pipeline::apply(ByteView delta, ByteView reference) const {
+  const auto parsed = try_parse_header(delta);
+  if (!parsed) {
+    throw FormatError("delta shorter than its header");
+  }
+  const DeltaHeader& header = parsed->first;
+  if (header.in_place) {
+    // The device-side contract: one buffer sized for whichever of the
+    // two versions is larger, holding the reference on entry.
+    Bytes buffer(reference.begin(), reference.end());
+    buffer.resize(std::max<std::size_t>(header.reference_length,
+                                        header.version_length));
+    const length_t version_length = apply_delta_inplace(delta, buffer);
+    buffer.resize(version_length);
+    return buffer;
+  }
+  return apply_delta(delta, reference);
+}
+
+Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
+                   const PipelineOptions& options) {
+  PipelineOptions resolved = options;
+  resolved.format = format;  // the explicit argument wins, as it always has
+  return Pipeline(resolved).build_delta(reference, version).delta;
 }
 
 Bytes create_inplace_delta(ByteView reference, ByteView version,
                            const PipelineOptions& options,
                            ConvertReport* report_out) {
-  const Script script = [&] {
-    obs::Span span(obs::Stage::kDiff, reference.size() + version.size());
-    return diff_bytes(options.differ, reference, version,
-                      options.differ_options);
-  }();
-  return make_inplace_delta(script, reference, version, options.convert,
-                            report_out, options.compress_payload);
+  BuildResult result = Pipeline(options).build_inplace(reference, version);
+  if (report_out != nullptr) {
+    *report_out = result.report;
+  }
+  return std::move(result.delta);
 }
 
 }  // namespace ipd

@@ -3,49 +3,177 @@
 // Reproduces Burns & Long, "In-Place Reconstruction of Delta Compressed
 // Files" (PODC '98). The typical flow:
 //
-//   // server side
-//   ipd::Bytes delta = ipd::create_inplace_delta(old_bytes, new_bytes);
+//   // server side: one configured handle, reused across builds
+//   ipd::Pipeline pipeline({.differ = ipd::DifferKind::kOnePass});
+//   ipd::BuildResult r = pipeline.build_inplace(old_bytes, new_bytes);
+//   // r.delta is the wire artifact; r.report / r.stats / r.timing
+//   // carry conversion counts, compression and per-stage timing.
 //
 //   // device side: `storage` holds the old version, sized for either
-//   ipd::length_t new_len = ipd::apply_delta_inplace(delta, storage);
+//   ipd::length_t new_len = ipd::apply_delta_inplace(r.delta, storage);
+//
+// A Pipeline is immutable and thread-safe: many threads may build
+// through one handle concurrently, and each build additionally fans its
+// own work (segmented differencing, CRWI edge discovery) across a
+// thread pool — PipelineOptions::parallelism controls the width, and
+// the output is byte-identical at every setting.
 //
 // Lower-level building blocks live in the subsystem headers:
 //   delta/differ.hpp     differencing algorithms (greedy, one-pass)
+//   delta/parallel_differ.hpp segmented parallel differencing
 //   delta/codec.hpp      codeword formats & the container format
 //   inplace/converter.hpp the in-place conversion algorithm itself
 //   apply/*.hpp          scratch-space and in-place reconstruction
 //   device/*.hpp         constrained-device + channel simulation
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "apply/apply.hpp"
 #include "apply/inplace_apply.hpp"
 #include "apply/oracle.hpp"
+#include "core/thread_pool.hpp"
 #include "delta/codec.hpp"
 #include "delta/differ.hpp"
+#include "delta/parallel_differ.hpp"
+#include "delta/stats.hpp"
 #include "inplace/converter.hpp"
 
 namespace ipd {
 
-/// Knobs for the end-to-end delta producers below.
+/// Knobs for the end-to-end delta pipeline. One struct configures
+/// everything: differencing, conversion, encoding, and parallelism.
 struct PipelineOptions {
   DifferKind differ = DifferKind::kOnePass;
   DifferOptions differ_options;
-  ConvertOptions convert;  ///< in-place conversion (policy, format, ...)
+  ConvertOptions convert;  ///< in-place conversion (policy, coalescing, ...)
   /// Secondary LZSS compression of the container payload. Batch appliers
   /// handle it transparently; the streaming applier rejects it.
   bool compress_payload = false;
+
+  /// Encoding format for build_delta(). build_inplace() derives its
+  /// format from this codeword with explicit offsets (in-place scripts
+  /// are in topological, not write, order). Migration shim: while this
+  /// field is untouched, a legacy ConvertOptions::format continues to
+  /// govern in-place encoding — see DESIGN.md §pipeline.
+  DeltaFormat format = kPaperSequential;
+
+  /// Build fan-out: 0 means hardware concurrency, 1 disables threading
+  /// (same output either way — parallelism never changes bytes).
+  std::size_t parallelism = 0;
+  /// Versions smaller than this are built single-threaded AND
+  /// unsegmented. Output-relevant (it gates segmentation), so it is
+  /// part of the cache fingerprint; parallelism is not.
+  std::size_t min_parallel_input = std::size_t{4} << 20;
+  /// Target segment size for parallel differencing. Output-relevant.
+  std::size_t parallel_segment_bytes = std::size_t{1} << 20;
+
+  /// Format used by build_delta().
+  DeltaFormat plain_format() const noexcept { return format; }
+  /// Format used by build_inplace(): explicit offsets always, codeword
+  /// from `format` — or the whole legacy convert.format while `format`
+  /// is left at its default.
+  DeltaFormat inplace_format() const noexcept {
+    if (format == kPaperSequential && !(convert.format == kPaperExplicit)) {
+      return convert.format;
+    }
+    return DeltaFormat{format.codeword, WriteOffsets::kExplicit};
+  }
 };
 
-/// Diff `reference` -> `version` and serialize as an ordinary
-/// (scratch-space) delta file in `format`.
+/// Wall-clock decomposition of one build, plus the parallel fan-out the
+/// build actually used (1 = stage ran unsegmented/serial).
+struct TimingBreakdown {
+  std::uint64_t diff_ns = 0;
+  std::uint64_t convert_ns = 0;  ///< 0 for build_delta()
+  std::uint64_t encode_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::size_t diff_segments = 1;  ///< segmented-differencing fan-out
+  std::size_t crwi_chunks = 1;    ///< CRWI edge-discovery fan-out
+};
+
+/// Size accounting for one build.
+struct DeltaStats {
+  CompressionSample compression;  ///< reference/version/delta sizes
+  ScriptSummary script;           ///< command counts of the emitted script
+};
+
+/// Everything one build produces. `delta` is the serialized artifact;
+/// the rest is observability (report is all-defaults for build_delta(),
+/// which performs no conversion).
+struct BuildResult {
+  Bytes delta;
+  ConvertReport report;
+  DeltaStats stats;
+  TimingBreakdown timing;
+};
+
+/// One configured delta-build pipeline: differ + converter + encoder +
+/// parallelism policy behind a single handle.
+///
+/// Thread-safe: build_delta/build_inplace/apply are const and may run
+/// concurrently from any number of threads. Intra-build parallel work
+/// runs on `shared_pool` when one is supplied (the DeltaService passes
+/// its worker pool, so concurrent builds and intra-build fan-out share
+/// one machine-sized pool — see docs/SERVER.md), otherwise on a lazily
+/// created owned pool sized to `parallelism - 1` (the calling thread
+/// always participates, so a Pipeline at parallelism p uses at most p
+/// threads and a serial Pipeline creates none).
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineOptions& options = {},
+                    ThreadPool* shared_pool = nullptr);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Diff reference -> version and serialize as an ordinary
+  /// (scratch-space) delta file in plain_format(). Conflict-free
+  /// scripts are flagged in_place so devices can skip conversion.
+  BuildResult build_delta(ByteView reference, ByteView version) const;
+
+  /// Diff, convert for in-place reconstruction (§4), and serialize.
+  /// The artifact applies with apply_delta_inplace().
+  BuildResult build_inplace(ByteView reference, ByteView version) const;
+
+  /// Apply any delta this pipeline (or anything else) produced:
+  /// dispatches on the container's in_place flag, reconstructing either
+  /// in a scratch buffer or in place in a copy of the reference.
+  Bytes apply(ByteView delta, ByteView reference) const;
+
+  const PipelineOptions& options() const noexcept { return options_; }
+
+  /// Resolved build fan-out (options.parallelism with 0 expanded, and
+  /// capped at a shared pool's width + 1).
+  std::size_t parallelism() const noexcept { return parallelism_; }
+
+ private:
+  ParallelContext context(std::size_t version_size) const;
+  SegmentPlanOptions segment_plan() const noexcept;
+
+  PipelineOptions options_;
+  std::unique_ptr<Differ> differ_;  // stateless; shared by all builds
+  std::size_t parallelism_ = 1;
+  ThreadPool* shared_pool_ = nullptr;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+// ---- legacy one-shot entry points -----------------------------------
+// Thin wrappers over Pipeline, kept so existing callers compile
+// unchanged. Prefer ipd::Pipeline: it reuses the differ and pool across
+// builds and returns the report/stats/timing instead of an out-param.
+
+/// DEPRECATED(use Pipeline::build_delta): diff `reference` -> `version`
+/// and serialize as an ordinary (scratch-space) delta file in `format`.
 Bytes create_delta(ByteView reference, ByteView version,
                    DeltaFormat format = kPaperSequential,
                    const PipelineOptions& options = {});
 
-/// Diff, convert for in-place reconstruction, and serialize. The result
-/// applies with apply_delta_inplace(). When `report_out` is non-null the
-/// conversion statistics (cycles broken, compression cost, ...) are
-/// written there.
+/// DEPRECATED(use Pipeline::build_inplace): diff, convert for in-place
+/// reconstruction, and serialize. When `report_out` is non-null the
+/// conversion statistics are written there.
 Bytes create_inplace_delta(ByteView reference, ByteView version,
                            const PipelineOptions& options = {},
                            ConvertReport* report_out = nullptr);

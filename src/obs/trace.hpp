@@ -31,7 +31,9 @@ namespace ipd::obs {
 // cost is part of the topo_sort stage.
 #define IPD_OBS_STAGES(X)                  \
   X(kDiff, "diff")                         \
+  X(kDiffParallel, "diff.parallel")        \
   X(kCrwiGraph, "crwi_graph")              \
+  X(kCrwiParallel, "crwi.parallel")        \
   X(kCycleBreakExact, "cycle_break_exact") \
   X(kCycleBreakScc, "cycle_break_scc")     \
   X(kTopoSort, "topo_sort")                \

@@ -19,7 +19,8 @@ DeltaService::DeltaService(const VersionStore& store,
       // write-before-read conflicts are fatal here, not advisory.
       verifier_(VerifyOptions{.require_in_place = true}),
       cache_(options.cache_budget, options.cache_shards, &metrics_),
-      pool_(options.workers) {
+      pool_(options.workers),
+      pipeline_(options.pipeline, &pool_) {
   if (options_.direct_gain_threshold <= 0.0) {
     throw ValidationError("delta service: direct_gain_threshold must be > 0");
   }
@@ -71,14 +72,20 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
         auto version = store_.body(to);
         auto future = pool_.submit(
             [this, reference, version]() -> std::shared_ptr<const Bytes> {
-              const std::uint64_t start = obs::now_ns();
-              Bytes delta = create_inplace_delta(*reference, *version,
-                                                 options_.pipeline);
-              const std::uint64_t elapsed = obs::now_ns() - start;
+              // Runs ON a pool worker; any intra-build fan-out posts
+              // helper tasks back to the same pool (parallel_for's
+              // caller participation makes that deadlock-free), so
+              // concurrent builds and parallel stages share one
+              // machine-sized pool with no oversubscription.
+              BuildResult built =
+                  pipeline_.build_inplace(*reference, *version);
               metrics_.builds.fetch_add(1, std::memory_order_relaxed);
-              metrics_.build_ns.fetch_add(elapsed, std::memory_order_relaxed);
-              histograms_.build_latency_ns.record(elapsed);
-              return std::make_shared<const Bytes>(std::move(delta));
+              metrics_.build_ns.fetch_add(built.timing.total_ns,
+                                          std::memory_order_relaxed);
+              histograms_.build_latency_ns.record(built.timing.total_ns);
+              histograms_.diff_fanout.record(built.timing.diff_segments);
+              histograms_.crwi_fanout.record(built.timing.crwi_chunks);
+              return std::make_shared<const Bytes>(std::move(built.delta));
             });
         auto built = future.get();
         if (options_.verify_artifacts) {

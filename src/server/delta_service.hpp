@@ -7,8 +7,9 @@
 //     ├─ DeltaCache lookup on (i, j, pipeline fingerprint)   [sharded LRU]
 //     ├─ miss: Singleflight — first thread in becomes the build leader,
 //     │        concurrent requesters for the same key wait for free
-//     ├─ leader: create_inplace_delta(i, j) on the worker ThreadPool
-//     │          (bounded build parallelism), insert into the cache
+//     ├─ leader: Pipeline::build_inplace(i, j) on the worker ThreadPool
+//     │          (which also absorbs the build's own parallel fan-out,
+//     │          so total build threads stay bounded), insert the cache
 //     └─ response selection: the direct delta is served only while it is
 //        a real win; a drifted history where delta(i, j) approaches the
 //        full image falls back UpgradePlanner-style to the chain of
@@ -136,6 +137,11 @@ class DeltaService {
   DeltaCache cache_;
   Singleflight<DeltaKey, std::shared_ptr<const Bytes>, DeltaKeyHash> flight_;
   ThreadPool pool_;
+  /// Shares pool_: builds run ON the pool and their intra-build fan-out
+  /// posts helper tasks to the same pool, so total build threads never
+  /// exceed `workers` regardless of how many requests are in flight
+  /// (see docs/SERVER.md). Declared after pool_ — construction order.
+  Pipeline pipeline_;
 };
 
 /// Client-side helper: apply a served response to a buffer holding the

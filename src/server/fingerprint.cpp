@@ -31,6 +31,13 @@ std::uint64_t fingerprint_pipeline(const PipelineOptions& options) noexcept {
   mix(h, options.convert.exact.max_vertices);
   mix(h, options.convert.exact.max_search_nodes);
   mix(h, options.compress_payload ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(options.format.codeword));
+  mix(h, static_cast<std::uint64_t>(options.format.offsets));
+  // Segmentation knobs change the emitted bytes, so they fingerprint;
+  // `parallelism` deliberately does not — output is byte-identical at
+  // every width, so caches stay valid across it.
+  mix(h, options.min_parallel_input);
+  mix(h, options.parallel_segment_bytes);
   return h;
 }
 

@@ -78,10 +78,12 @@ struct ServiceMetrics {
 // nanoseconds for *_ns, counts/bytes otherwise.
 #define IPD_SERVICE_HISTOGRAMS(X)                                        \
   X(serve_ns)        /* serve() wall time per request                 */ \
-  X(build_latency_ns) /* create_inplace_delta wall time per build     */ \
+  X(build_latency_ns) /* Pipeline::build_inplace wall time per build  */ \
   X(artifact_bytes)  /* response payload bytes per request            */ \
   X(transfer_ns)     /* wire transfer wall time per artifact          */ \
-  X(transfer_frames) /* frames sent per artifact transfer             */
+  X(transfer_frames) /* frames sent per artifact transfer             */ \
+  X(diff_fanout)     /* diff segments per build (1 == serial)         */ \
+  X(crwi_fanout)     /* CRWI discovery chunks per build (1 == serial) */
 
 /// The latency/size distributions recorded alongside ServiceMetrics.
 /// Same discipline as the counters: relaxed atomics only, generated

@@ -12,7 +12,7 @@ namespace {
 using test::random_bytes;
 
 Script diff(ByteView ref, ByteView ver, std::size_t block = 512) {
-  return BlockDiffer({block}).diff(ref, ver);
+  return BlockDiffer(DifferOptions{.block_size = block}).diff(ref, ver);
 }
 
 void expect_roundtrip(ByteView ref, ByteView ver, const Script& script) {
@@ -47,7 +47,7 @@ TEST(BlockDiffer, SingleInsertedByteDestroysAllDownstreamMatches) {
   EXPECT_EQ(s.summary().copied_bytes, 0u);  // nothing aligns any more
 
   // The byte-granularity differ shrugs it off.
-  const Script g = GreedyDiffer({}).diff(ref, ver);
+  const Script g = GreedyDiffer().diff(ref, ver);
   expect_roundtrip(ref, ver, g);
   EXPECT_GT(g.summary().copied_bytes, 8000u);
 }
@@ -82,7 +82,7 @@ TEST(BlockDiffer, EmptyInputs) {
 }
 
 TEST(BlockDiffer, RejectsZeroBlockSize) {
-  EXPECT_THROW(BlockDiffer({0}), ValidationError);
+  EXPECT_THROW(BlockDiffer(DifferOptions{.block_size = 0}), ValidationError);
 }
 
 TEST(BlockDiffer, NeverBeatsByteGranularityOnVersionedData) {
@@ -98,7 +98,7 @@ TEST(BlockDiffer, NeverBeatsByteGranularityOnVersionedData) {
                ins.begin(), ins.end());
   }
   const Script block = diff(ref, ver, 512);
-  const Script byte_level = GreedyDiffer({}).diff(ref, ver);
+  const Script byte_level = GreedyDiffer().diff(ref, ver);
   expect_roundtrip(ref, ver, block);
   expect_roundtrip(ref, ver, byte_level);
   EXPECT_GT(block.summary().added_bytes,

@@ -99,7 +99,7 @@ TEST(OnePassDiffer, CompressionCloseToGreedyOnVersionedData) {
               ver.begin() + static_cast<std::ptrdiff_t>(at));
   }
   const Script onepass = diff(ref, ver);
-  const Script greedy = GreedyDiffer({}).diff(ref, ver);
+  const Script greedy = GreedyDiffer().diff(ref, ver);
   expect_roundtrip(ref, ver, onepass);
   expect_roundtrip(ref, ver, greedy);
   EXPECT_LE(onepass.summary().added_bytes,

@@ -1,0 +1,104 @@
+// Concurrency hammering for ipd::Pipeline: many threads drive ONE
+// handle — concurrent build_delta, build_inplace and apply calls, all
+// fanning intra-build work onto the same lazily created pool. Run under
+// IPDELTA_SANITIZE=thread via `ctest -L stress` (see README); the
+// assertions double as a determinism check under real contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "corpus/mutation.hpp"
+#include "ipdelta.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+TEST(PipelineStress, ConcurrentBuildsOnOneHandleAreIdentical) {
+  Rng rng(0x5712e55);
+  const Bytes ref = generate_file(rng, 160 << 10, FileProfile::kBinary);
+  const Bytes ver = mutate(ref, rng, 192);
+
+  PipelineOptions options;
+  options.parallelism = 4;
+  options.min_parallel_input = 32 << 10;
+  options.parallel_segment_bytes = 16 << 10;
+  const Pipeline pipeline(options);
+
+  // Expected artifacts, built before any contention exists.
+  const Bytes plain = pipeline.build_delta(ref, ver).delta;
+  const Bytes inplace = pipeline.build_inplace(ref, ver).delta;
+  ASSERT_GT(pipeline.build_delta(ref, ver).timing.diff_segments, 1u);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        switch ((t + i) % 3) {
+          case 0:
+            if (pipeline.build_delta(ref, ver).delta != plain) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case 1:
+            if (pipeline.build_inplace(ref, ver).delta != inplace) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          default:
+            if (pipeline.apply(inplace, ref) != ver) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(PipelineStress, SharedPoolWithConcurrentCallers) {
+  // The DeltaService topology: builds run on pool workers and their
+  // parallel_for helpers land on the same pool — no oversubscription,
+  // no deadlock (caller participation), identical bytes.
+  Rng rng(0xBADC0DE);
+  const Bytes ref = generate_file(rng, 96 << 10, FileProfile::kText);
+  const Bytes ver = mutate(ref, rng, 128);
+
+  PipelineOptions options;
+  options.parallelism = 0;  // hardware width, capped by the pool
+  options.min_parallel_input = 32 << 10;
+  options.parallel_segment_bytes = 16 << 10;
+  ThreadPool pool(4);
+  const Pipeline pipeline(options, &pool);
+  const Bytes expected = pipeline.build_inplace(ref, ver).delta;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::future<void>> builds;
+  builds.reserve(12);
+  for (int i = 0; i < 12; ++i) {
+    builds.push_back(pool.submit([&] {
+      if (pipeline.build_inplace(ref, ver).delta != expected) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }));
+  }
+  for (std::future<void>& build : builds) {
+    build.get();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ipd
