@@ -1,0 +1,178 @@
+// bench_store — cost model of the durable artifact store (src/store/).
+//
+// Three sections:
+//
+//   1. publish throughput: releases/s and the storage ratio (segment
+//      bytes appended vs logical history bytes) with durable fsyncs on
+//      and off — the gap is the price of the sync-before-manifest
+//      durability invariant;
+//   2. cold start: time to reopen a populated store (manifest replay +
+//      orphan-tail scan), and with verify_on_open=true the full
+//      deep-verification pass `store check` runs;
+//   3. reconstruct latency vs chain policy: body() percentiles at the
+//      chain tip for several max_chain_length settings with the disk
+//      cache disabled, showing the chain-length/baseline-spacing knob
+//      the ChainPolicy trades storage against.
+//
+// Prints a human table, then one `JSON {...}` line for the tracked
+// trajectory: redirect with
+//   bench_store | grep '^JSON ' | cut -c6- > BENCH_STORE.json
+// Runs standalone with no arguments (CI smoke);
+// IPDELTA_BENCH_STORE_RELEASES scales the history length.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "store/artifact_store.hpp"
+
+namespace {
+
+using namespace ipd;
+
+std::vector<Bytes> make_history(std::size_t releases) {
+  CorpusOptions options;
+  options.seed = 0x57025;  // "STORE"
+  options.packages = 1;
+  options.releases_per_package = static_cast<int>(releases);
+  options.min_file_size = 48 << 10;
+  options.max_file_size = 48 << 10;
+  options.edits_per_64k = 60;
+  options.mutation_model.length_scale = 64;
+  const std::vector<VersionPair> pairs = standard_corpus(options);
+  std::vector<Bytes> history;
+  history.push_back(pairs.front().reference);
+  for (const VersionPair& pair : pairs) history.push_back(pair.version);
+  return history;
+}
+
+std::uint64_t logical_bytes(const std::vector<Bytes>& history) {
+  std::uint64_t total = 0;
+  for (const Bytes& body : history) total += body.size();
+  return total;
+}
+
+struct PublishRun {
+  double seconds = 0;
+  std::uint64_t segment_bytes = 0;
+};
+
+PublishRun publish_all(const std::filesystem::path& dir,
+                       const std::vector<Bytes>& history, bool sync) {
+  std::filesystem::remove_all(dir);
+  ArtifactStore::init(dir);
+  StoreOptions options;
+  options.sync_writes = sync;
+  ArtifactStore store(dir, options);
+  PublishRun run;
+  run.seconds = ipd::bench::time_seconds([&] {
+    for (const Bytes& body : history) store.publish(body);
+  });
+  run.segment_bytes = store.segment_bytes();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t releases = 24;
+  if (const char* env = std::getenv("IPDELTA_BENCH_STORE_RELEASES")) {
+    releases = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  const std::vector<Bytes> history = make_history(releases);
+  const std::uint64_t logical = logical_bytes(history);
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("ipd_bench_store_" + std::to_string(::getpid()));
+  std::string json = "{\"bench\":\"store\",\"releases\":" +
+                     std::to_string(history.size()) +
+                     ",\"logical_bytes\":" + std::to_string(logical);
+
+  // ---- 1. publish throughput --------------------------------------
+  ipd::bench::rule('=');
+  std::printf("publish throughput  (%zu releases, %.1f MiB logical)\n",
+              history.size(), static_cast<double>(logical) / (1 << 20));
+  ipd::bench::rule();
+  for (const bool sync : {true, false}) {
+    const PublishRun run = publish_all(root / "publish", history, sync);
+    const double per_sec =
+        static_cast<double>(history.size()) / run.seconds;
+    const double ratio = static_cast<double>(run.segment_bytes) /
+                         static_cast<double>(logical);
+    std::printf("  sync=%-5s  %6.1f publishes/s   segment %.2f MiB"
+                "   storage ratio %.3f\n",
+                sync ? "true" : "false", per_sec,
+                static_cast<double>(run.segment_bytes) / (1 << 20), ratio);
+    json += std::string(",\"publish_per_sec_sync_") +
+            (sync ? "on" : "off") + "\":" + std::to_string(per_sec);
+    if (sync) {
+      json += ",\"storage_ratio\":" + std::to_string(ratio);
+    }
+  }
+
+  // ---- 2. cold start ----------------------------------------------
+  // The sync=true store from section 1 is still on disk; reopen it.
+  ipd::bench::rule('=');
+  std::printf("cold start  (manifest replay over the published store)\n");
+  ipd::bench::rule();
+  publish_all(root / "publish", history, true);
+  for (const bool verify : {false, true}) {
+    obs::Histogram open_ns;
+    for (int rep = 0; rep < 5; ++rep) {
+      StoreOptions options;
+      options.verify_on_open = verify;
+      ipd::bench::time_into(open_ns,
+                            [&] { ArtifactStore store(root / "publish",
+                                                      options); });
+    }
+    const double ms = open_ns.snapshot().quantile(0.5) / 1e6;
+    std::printf("  verify_on_open=%-5s  median %8.3f ms\n",
+                verify ? "true" : "false", ms);
+    json += std::string(",\"open_ms_verify_") + (verify ? "on" : "off") +
+            "\":" + std::to_string(ms);
+  }
+
+  // ---- 3. reconstruct latency vs chain length ---------------------
+  ipd::bench::rule('=');
+  std::printf("tip reconstruct latency vs max_chain_length"
+              "  (disk cache off)\n");
+  ipd::bench::rule();
+  json += ",\"reconstruct\":[";
+  bool first = true;
+  for (const std::size_t chain_len : {2u, 4u, 8u, 16u}) {
+    const auto dir = root / ("chain" + std::to_string(chain_len));
+    std::filesystem::remove_all(dir);
+    ArtifactStore::init(dir);
+    StoreOptions options;
+    options.chain.max_chain_length = chain_len;
+    options.cache_budget = 0;  // every body() walks the chain
+    ArtifactStore store(dir, options);
+    for (const Bytes& body : history) store.publish(body);
+    const ReleaseId tip = store.latest();
+    const ChainStats stats = store.chain_stats(tip);
+
+    obs::Histogram reconstruct_ns;
+    for (int rep = 0; rep < 20; ++rep) {
+      ipd::bench::time_into(reconstruct_ns, [&] { (void)store.body(tip); });
+    }
+    const auto snapshot = reconstruct_ns.snapshot();
+    std::printf("  max_chain_length %2zu  tip chain %2zu hops   %s\n",
+                chain_len, stats.chain_length,
+                snapshot.latency_line().c_str());
+    json += std::string(first ? "" : ",") +
+            "{\"max_chain_length\":" + std::to_string(chain_len) +
+            ",\"tip_hops\":" + std::to_string(stats.chain_length) +
+            ",\"p50_us\":" + std::to_string(snapshot.quantile(0.5) / 1e3) +
+            ",\"p99_us\":" + std::to_string(snapshot.quantile(0.99) / 1e3) +
+            "}";
+    first = false;
+  }
+  json += "]}";
+
+  ipd::bench::rule('=');
+  std::printf("JSON %s\n", json.c_str());
+  std::filesystem::remove_all(root);
+  return 0;
+}

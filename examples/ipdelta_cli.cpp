@@ -41,6 +41,8 @@
 #include "obs/event_ring.hpp"
 #include "obs/trace.hpp"
 #include "server/delta_service.hpp"
+#include "store/artifact_store.hpp"
+#include "store/store_backed_version_store.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
@@ -73,6 +75,15 @@ int usage() {
       "                [--seed S]\n"
       "                [--port P [--sessions N]]   # export over TCP;\n"
       "                                            # runs until stdin closes\n"
+      "  ipdelta serve --store-dir DIR [more release files...]\n"
+      "                # serve a durable on-disk store (files, if any,\n"
+      "                # are published first); stored chain deltas are\n"
+      "                # preloaded into the cache\n"
+      "  ipdelta store init <dir>\n"
+      "  ipdelta store publish <dir> <release files, oldest first...>\n"
+      "  ipdelta store list <dir>         # releases, chains, metrics\n"
+      "  ipdelta store gc <dir>           # drop superseded artifacts\n"
+      "  ipdelta store check <dir>        # deep integrity check\n"
       "  ipdelta fetch <host:port> <image file> --to B\n"
       "                [--from A] [--out FILE] [--chunk BYTES] [--verbose]\n"
       "  ipdelta fetch <host:port> --metrics\n"
@@ -418,6 +429,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::uint64_t port = 0;
   bool port_set = false;
   std::uint64_t sessions = 32;
+  std::string store_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto next = [&]() -> const std::string& {
@@ -435,7 +447,9 @@ int cmd_serve(const std::vector<std::string>& args) {
         throw Error("expected a number for " + a + ", got: " + value);
       }
     };
-    if (a == "--requests") {
+    if (a == "--store-dir") {
+      store_dir = next();
+    } else if (a == "--requests") {
       requests = number();
     } else if (a == "--threads") {
       threads = number();
@@ -455,15 +469,37 @@ int cmd_serve(const std::vector<std::string>& args) {
       files.push_back(a);
     }
   }
-  if (files.size() < 2 || requests == 0 || threads == 0) return usage();
+  if ((store_dir.empty() && files.size() < 2) || requests == 0 ||
+      threads == 0) {
+    return usage();
+  }
 
-  VersionStore store;
+  // Either the in-memory embedded history (non-durable; gone at exit) or
+  // a durable on-disk artifact store behind the same interface.
+  std::shared_ptr<ArtifactStore> artifacts;
+  std::unique_ptr<VersionStore> owned_store;
+  if (store_dir.empty()) {
+    owned_store = std::make_unique<VersionStore>();
+  } else {
+    artifacts = std::make_shared<ArtifactStore>(store_dir);
+    owned_store = std::make_unique<StoreBackedVersionStore>(artifacts);
+  }
+  VersionStore& store = *owned_store;
   for (const std::string& file : files) {
     store.publish(read_file(file));
+  }
+  if (store.release_count() < 2) {
+    throw Error("serve: need at least 2 releases (store has " +
+                std::to_string(store.release_count()) + ")");
   }
   ServiceOptions options;
   options.cache_budget = budget;
   DeltaService service(store, options);
+  if (artifacts) {
+    const std::size_t warmed = preload_stored_edges(*artifacts, service);
+    std::printf("store: %zu releases from %s, %zu chain deltas preloaded\n",
+                store.release_count(), store_dir.c_str(), warmed);
+  }
 
   if (port_set) {
     // Export the service over TCP (src/net/) instead of replaying a
@@ -554,6 +590,91 @@ int cmd_serve(const std::vector<std::string>& args) {
               "all reconstructions verified\n",
               store.release_count(), requests, threads);
   return 0;
+}
+
+// Durable artifact-store administration: init/publish/list/gc/check over
+// a store directory (src/store/). `publish` appends releases through the
+// chain policy exactly as `serve --store-dir` would; `list` is the
+// operator's view of the chain layout and recovery/metrics state.
+int cmd_store(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string& verb = args[0];
+  const std::string& dir = args[1];
+
+  if (verb == "init") {
+    ArtifactStore::init(dir);
+    std::printf("store: initialized empty store in %s\n", dir.c_str());
+    return 0;
+  }
+
+  if (verb == "publish") {
+    if (args.size() < 3) return usage();
+    ArtifactStore store(dir);
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      Bytes body = read_file(args[i]);
+      const std::uint64_t body_bytes = body.size();
+      const ReleaseId id = store.publish(std::move(body));
+      const StoredRelease rel = store.record(id);
+      std::printf(
+          "store: release %u  %-8s  %llu bytes stored (%.1f%% of body)"
+          "  chain %zu\n",
+          id, rel.kind == StoredKind::kBaseline ? "baseline" : "delta",
+          static_cast<unsigned long long>(rel.stored_bytes),
+          body_bytes == 0 ? 100.0 : 100.0 * rel.stored_bytes / body_bytes,
+          store.chain_stats(id).chain_length);
+    }
+    return 0;
+  }
+
+  if (verb == "list") {
+    ArtifactStore store(dir);
+    const RecoveryReport& rec = store.recovery();
+    std::printf("store: %zu releases in %s (%llu segment bytes)\n",
+                store.release_count(), dir.c_str(),
+                static_cast<unsigned long long>(store.segment_bytes()));
+    if (rec.manifest_truncated || rec.segment_orphan_bytes != 0) {
+      std::printf(
+          "recovery: dropped %llu torn manifest bytes, "
+          "%llu orphan segment bytes\n",
+          static_cast<unsigned long long>(rec.manifest_bytes_dropped),
+          static_cast<unsigned long long>(rec.segment_orphan_bytes));
+    }
+    for (const StoredRelease& rel : store.releases()) {
+      if (rel.kind == StoredKind::kBaseline) {
+        std::printf("  %4u  baseline  %10llu bytes  crc %08x\n", rel.id,
+                    static_cast<unsigned long long>(rel.stored_bytes),
+                    rel.key.crc);
+      } else {
+        std::printf(
+            "  %4u  delta <- %-4u %7llu bytes  crc %08x  chain %zu\n",
+            rel.id, rel.base,
+            static_cast<unsigned long long>(rel.stored_bytes), rel.key.crc,
+            store.chain_stats(rel.id).chain_length);
+      }
+    }
+    std::printf("%s", store.metrics().snapshot().c_str());
+    return 0;
+  }
+
+  if (verb == "gc") {
+    ArtifactStore store(dir);
+    const std::uint64_t reclaimed = store.gc();
+    std::printf("store: gc reclaimed %llu bytes (%llu segment bytes live)\n",
+                static_cast<unsigned long long>(reclaimed),
+                static_cast<unsigned long long>(store.segment_bytes()));
+    return 0;
+  }
+
+  if (verb == "check") {
+    ArtifactStore store(dir);
+    store.check();
+    std::printf("store: %zu releases verified clean\n",
+                store.release_count());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown store verb: %s\n", verb.c_str());
+  return usage();
 }
 
 // Streaming OTA client against a `serve --port` endpoint: upgrade a
@@ -701,6 +822,7 @@ int run_command(const std::string& command,
   if (command == "compose") return cmd_compose(args);
   if (command == "info") return cmd_info(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "store") return cmd_store(args);
   if (command == "fetch") return cmd_fetch(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "trace") return cmd_trace(args);

@@ -4,16 +4,62 @@
 #include <limits>
 #include <queue>
 
+#include "core/checksum.hpp"
 #include "delta/compose.hpp"
 
 namespace ipd {
 
-UpgradePlanner::UpgradePlanner(std::vector<ByteView> releases,
-                               const PlannerOptions& options)
+UpgradePlanner::UpgradePlanner(
+    std::vector<std::shared_ptr<const Bytes>> releases,
+    const PlannerOptions& options)
     : releases_(std::move(releases)), options_(options) {
   if (options_.max_hop_span == 0) {
     throw ValidationError("planner: max_hop_span must be >= 1");
   }
+  for (const auto& body : releases_) {
+    if (!body) throw ValidationError("planner: null release body");
+  }
+}
+
+namespace {
+
+std::vector<std::shared_ptr<const Bytes>> copy_views(
+    const std::vector<ByteView>& releases) {
+  std::vector<std::shared_ptr<const Bytes>> owned;
+  owned.reserve(releases.size());
+  for (const ByteView view : releases) {
+    owned.push_back(
+        std::make_shared<const Bytes>(view.begin(), view.end()));
+  }
+  return owned;
+}
+
+}  // namespace
+
+UpgradePlanner::UpgradePlanner(const std::vector<ByteView>& releases,
+                               const PlannerOptions& options)
+    : UpgradePlanner(copy_views(releases), options) {}
+
+std::size_t UpgradePlanner::release_count() const {
+  std::lock_guard lock(mutex_);
+  return releases_.size();
+}
+
+std::size_t UpgradePlanner::append_release(
+    std::shared_ptr<const Bytes> body) {
+  if (!body) throw ValidationError("planner: null release body");
+  std::lock_guard lock(mutex_);
+  releases_.push_back(std::move(body));
+  return releases_.size() - 1;
+}
+
+std::shared_ptr<const Bytes> UpgradePlanner::body_ref(
+    std::size_t id) const {
+  std::lock_guard lock(mutex_);
+  if (id >= releases_.size()) {
+    throw ValidationError("planner: no release " + std::to_string(id));
+  }
+  return releases_[id];
 }
 
 std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
@@ -22,8 +68,8 @@ std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
     it = delta_cache_
-             .emplace(key, create_inplace_delta(releases_[from],
-                                                releases_[to],
+             .emplace(key, create_inplace_delta(*releases_[from],
+                                                *releases_[to],
                                                 options_.pipeline))
              .first;
     deltas_built_.fetch_add(1, std::memory_order_relaxed);
@@ -31,15 +77,76 @@ std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
   return it->second.size();
 }
 
-UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
+void UpgradePlanner::seed_edge(std::size_t from, std::size_t to,
+                               Bytes artifact) {
+  std::lock_guard lock(mutex_);
   if (from >= to || to >= releases_.size()) {
     throw ValidationError("planner: need from < to < release_count");
   }
+  std::optional<std::pair<DeltaHeader, std::size_t>> parsed;
+  try {
+    parsed = try_parse_header(artifact);
+  } catch (const FormatError&) {
+    parsed.reset();
+  }
+  if (!parsed) {
+    throw ValidationError("planner: seeded edge is not a delta container");
+  }
+  const DeltaHeader& header = parsed->first;
+  const Bytes& reference = *releases_[from];
+  const Bytes& version = *releases_[to];
+  if (header.reference_length != reference.size() ||
+      header.version_length != version.size() ||
+      header.version_crc != crc32c(version)) {
+    throw ValidationError(
+        "planner: seeded edge " + std::to_string(from) + " -> " +
+        std::to_string(to) + " does not match the release bodies");
+  }
+  delta_cache_[{from, to}] = std::move(artifact);
+}
+
+std::uint64_t UpgradePlanner::prebuild(std::size_t from, std::size_t to) {
   std::lock_guard lock(mutex_);
+  if (from >= to || to >= releases_.size()) {
+    throw ValidationError("planner: need from < to < release_count");
+  }
+  return edge_bytes_locked(from, to);
+}
+
+bool UpgradePlanner::materialized(std::size_t from,
+                                  std::size_t to) const {
+  std::lock_guard lock(mutex_);
+  return delta_cache_.contains({from, to});
+}
+
+UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
+  std::lock_guard lock(mutex_);
+  if (from >= to || to >= releases_.size()) {
+    throw ValidationError("planner: need from < to < release_count");
+  }
+
+  // Edges materialized before this plan serve without a differencing
+  // pass. With a build-cost penalty configured, an un-built edge is not
+  // built just to learn its weight — it is priced pessimistically at the
+  // full target body (a delta never serves worse than the image) plus
+  // the penalty, and only the edges of the CHOSEN route get built below.
+  // With no penalty the planner measures lazily, as it always has.
+  std::set<std::pair<std::size_t, std::size_t>> pre_built;
+  for (const auto& [key, artifact] : delta_cache_) pre_built.insert(key);
+  const auto edge_weight = [&](std::size_t a, std::size_t b) {
+    if (pre_built.contains({a, b})) {
+      return edge_bytes_locked(a, b) + options_.per_hop_overhead;
+    }
+    if (options_.build_cost_penalty != 0) {
+      return releases_[b]->size() + options_.per_hop_overhead +
+             options_.build_cost_penalty;
+    }
+    return edge_bytes_locked(a, b) + options_.per_hop_overhead;
+  };
 
   // Dijkstra over releases from..to; edges (i, j) for j-i <= max_hop_span
-  // weighted by delta size + per-hop overhead. The full-image fallback is
-  // an edge from anywhere straight to `to`.
+  // weighted by delta size + per-hop overhead (+ build penalty). The
+  // full-image fallback is an edge from anywhere straight to `to`.
   constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
   const std::size_t n = to - from + 1;
   std::vector<std::uint64_t> dist(n, kInf);
@@ -65,8 +172,7 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
         std::min(options_.max_hop_span, n - 1 - u);
     for (std::size_t hop = 1; hop <= span; ++hop) {
       const std::size_t v = u + hop;
-      const std::uint64_t w =
-          edge_bytes_locked(u_abs, from + v) + options_.per_hop_overhead;
+      const std::uint64_t w = edge_weight(u_abs, from + v);
       if (d + w < dist[v]) {
         dist[v] = d + w;
         prev[v] = u;
@@ -74,9 +180,9 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
         queue.emplace(dist[v], v);
       }
     }
-    // Full-image jump straight to the target.
+    // Full-image jump straight to the target (nothing to build).
     const std::uint64_t w_full =
-        releases_[to].size() + options_.per_hop_overhead;
+        releases_[to]->size() + options_.per_hop_overhead;
     if (d + w_full < dist[n - 1]) {
       dist[n - 1] = d + w_full;
       prev[n - 1] = u;
@@ -105,7 +211,7 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
     step.from = at;
     step.to = from + order[i];
     step.full_image = full[i];
-    step.bytes = step.full_image ? releases_[step.to].size()
+    step.bytes = step.full_image ? releases_[step.to]->size()
                                  : edge_bytes_locked(step.from, step.to);
     plan.total_bytes += step.bytes;
     plan.steps.push_back(step);
@@ -116,9 +222,12 @@ UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
 
 Bytes UpgradePlanner::step_artifact(const UpgradeStep& step) {
   if (step.full_image) {
-    return Bytes(releases_[step.to].begin(), releases_[step.to].end());
+    return *body_ref(step.to);  // copy of the shared body
   }
   std::lock_guard lock(mutex_);
+  if (step.to >= releases_.size() || step.from >= step.to) {
+    throw ValidationError("planner: bad step");
+  }
   edge_bytes_locked(step.from, step.to);  // ensure cached
   return delta_cache_.at({step.from, step.to});
 }
@@ -143,22 +252,25 @@ Bytes UpgradePlanner::fold_plan(const UpgradePlan& plan) {
         deserialize_delta(step_artifact(plan.steps[i])).script;
     folded = compose_scripts(folded, next);
   }
-  const ByteView reference = releases_[plan.steps.front().from];
-  const ByteView version = releases_[plan.steps.back().to];
-  return make_inplace_delta(folded, reference, version,
+  // Shared refs keep both endpoint bodies alive without the lock.
+  const std::shared_ptr<const Bytes> reference =
+      body_ref(plan.steps.front().from);
+  const std::shared_ptr<const Bytes> version =
+      body_ref(plan.steps.back().to);
+  return make_inplace_delta(folded, *reference, *version,
                             options_.pipeline.convert, nullptr,
                             options_.pipeline.compress_payload);
 }
 
 void UpgradePlanner::execute(const UpgradePlan& plan, Bytes& image) {
   for (const UpgradeStep& step : plan.steps) {
-    const ByteView target = releases_[step.to];
+    const std::shared_ptr<const Bytes> target = body_ref(step.to);
     if (step.full_image) {
-      image.assign(target.begin(), target.end());
+      image = *target;
       continue;
     }
     const Bytes delta = step_artifact(step);
-    image.resize(std::max(image.size(), target.size()));
+    image.resize(std::max(image.size(), target->size()));
     const length_t new_len = apply_delta_inplace(delta, image);
     image.resize(static_cast<std::size_t>(new_len));
   }

@@ -9,21 +9,39 @@
 // building all O(n²) deltas eagerly is the naive alternative) plus the
 // full-image fallback, and finds the byte-cheapest path with Dijkstra.
 //
+// Edges can also be *seeded* from a durable artifact store
+// (store/artifact_store.hpp): a chain delta that already exists on disk
+// costs the server nothing to serve, while an un-built edge charges the
+// server a differencing pass before the first byte moves. Following the
+// delta-compression-network observation that routing must price server
+// build cost alongside bytes on the wire, un-materialized edges carry
+// PlannerOptions::build_cost_penalty in the route weight, steering plans
+// along stored chains unless a fresh delta genuinely pays for itself.
+//
 // Every edge artifact is an in-place delta, so the device needs only the
 // storage for one version at every hop of the chosen path.
 //
-// Thread-safety: the lazy edge/delta cache is guarded by an internal
-// mutex, so concurrent plan() / step_artifact() / execute() / fold_plan()
-// calls are safe (the delta distribution service shares one planner
-// across request threads). Cache fills serialize — two threads that both
-// need a missing edge build it one after the other, not twice; for
-// parallel *builds* use the service's singleflight + worker pool instead.
+// Lifetime: the planner holds shared ownership of every release body
+// (shared_ptr<const Bytes>), so a caller may publish new releases —
+// append_release() — or drop its own references while plans are being
+// computed on other threads; bodies a plan is using cannot go away under
+// it. (The planner once borrowed ByteViews and made destruction of the
+// history a use-after-free hazard; the view constructor now copies.)
+//
+// Thread-safety: the release list and the lazy edge/delta cache share an
+// internal mutex, so concurrent plan() / step_artifact() / execute() /
+// fold_plan() / append_release() calls are safe. Cache fills serialize —
+// two threads that both need a missing edge build it one after the
+// other, not twice; for parallel *builds* use the service's singleflight
+// + worker pool instead.
 #pragma once
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "device/channel.hpp"
@@ -39,6 +57,16 @@ struct PlannerOptions {
   /// Consider direct deltas between releases at most this far apart
   /// (bounds the lazy O(n²) edge set; adjacent releases always exist).
   std::size_t max_hop_span = 8;
+  /// Extra route weight (in bytes-equivalent) for an edge whose delta is
+  /// not already materialized — the server must run a differencing pass
+  /// to serve it. Edges seeded from a store, prebuilt, or built by an
+  /// earlier plan are exempt. When set, un-built candidate edges are NOT
+  /// built just to be priced: they are estimated pessimistically at the
+  /// full target body plus this penalty, so planning over a fully
+  /// materialized chain builds nothing, and only the chosen route's
+  /// missing deltas are ever built. 0 = plan on measured wire bytes
+  /// alone (every candidate edge is built lazily, the original mode).
+  std::uint64_t build_cost_penalty = 0;
 };
 
 struct UpgradeStep {
@@ -63,15 +91,41 @@ struct UpgradePlan {
 
 class UpgradePlanner {
  public:
-  /// `releases` is the full ordered history (index 0 oldest). Bodies are
-  /// borrowed views — the caller keeps them alive.
-  UpgradePlanner(std::vector<ByteView> releases,
+  /// `releases` is the full ordered history (index 0 oldest), shared
+  /// with the caller — the planner keeps each body alive as long as it
+  /// needs it.
+  UpgradePlanner(std::vector<std::shared_ptr<const Bytes>> releases,
                  const PlannerOptions& options = {});
 
-  std::size_t release_count() const noexcept { return releases_.size(); }
+  /// Convenience for callers holding views: each body is COPIED into
+  /// owned storage (views may dangle the moment this returns).
+  UpgradePlanner(const std::vector<ByteView>& releases,
+                 const PlannerOptions& options = {});
+
+  std::size_t release_count() const;
+
+  /// Extend the history with a new newest release (id == prior count).
+  /// Safe to call while other threads plan over the existing prefix.
+  std::size_t append_release(std::shared_ptr<const Bytes> body);
 
   /// Byte-cheapest plan from release `from` to release `to` (from < to).
   UpgradePlan plan(std::size_t from, std::size_t to);
+
+  /// Admit an externally built in-place delta artifact as the edge
+  /// from -> to (e.g. a chain delta the artifact store already holds).
+  /// The container header must match the endpoint bodies (reference
+  /// length; version length + CRC) — throws ValidationError otherwise.
+  /// The edge is marked materialized: plans treat it as free to serve.
+  void seed_edge(std::size_t from, std::size_t to, Bytes artifact);
+
+  /// Build (and mark materialized) the edge from -> to now — pre-warming
+  /// for pairs known to be hot, so later plans neither pay the build nor
+  /// charge the penalty. Returns the artifact size.
+  std::uint64_t prebuild(std::size_t from, std::size_t to);
+
+  /// True when the edge's artifact already exists (seeded, prebuilt, or
+  /// built by an earlier plan) and serves without a differencing pass.
+  bool materialized(std::size_t from, std::size_t to) const;
 
   /// The serialized artifact for one step (in-place delta, or the raw
   /// image for a full_image step). Cached.
@@ -96,10 +150,12 @@ class UpgradePlanner {
  private:
   /// Caller must hold mutex_.
   std::uint64_t edge_bytes_locked(std::size_t from, std::size_t to);
+  /// Shared reference to one body (locks internally).
+  std::shared_ptr<const Bytes> body_ref(std::size_t id) const;
 
-  std::vector<ByteView> releases_;
+  mutable std::mutex mutex_;  ///< guards releases_ and delta_cache_
+  std::vector<std::shared_ptr<const Bytes>> releases_;
   PlannerOptions options_;
-  std::mutex mutex_;  ///< guards delta_cache_
   std::map<std::pair<std::size_t, std::size_t>, Bytes> delta_cache_;
   std::atomic<std::size_t> deltas_built_{0};
 };

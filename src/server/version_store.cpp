@@ -14,11 +14,12 @@ ReleaseId VersionStore::publish(Bytes body) {
   const ReleaseId id = static_cast<ReleaseId>(bodies_.size());
   bodies_.push_back(std::move(shared));
   keys_.push_back(key);
+  if (by_content_.contains(key)) count_duplicate_publish();
   by_content_[key] = id;  // newer release wins the content address
   return id;
 }
 
-std::size_t VersionStore::release_count() const noexcept {
+std::size_t VersionStore::release_count() const {
   std::shared_lock lock(mutex_);
   return bodies_.size();
 }

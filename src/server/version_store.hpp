@@ -8,9 +8,28 @@
 // delta container embeds) so a device that only knows the checksum of the
 // image it is running can be located in the history.
 //
+// VersionStore is both the concrete in-memory store and the interface
+// the DeltaService consumes: every method is virtual, so a durable
+// backend (store/store_backed_version_store.hpp, which reconstructs
+// bodies from on-disk delta chains) slots in without the service
+// noticing. The in-memory store remains the right choice for embedded
+// and test use, but it is NOT durable — a process restart loses the
+// whole history. Deployments that must survive restarts use the
+// ArtifactStore-backed subclass; see docs/STORE.md.
+//
+// Duplicate content: publishing bytes that already exist in the history
+// is allowed and creates a distinct release id (a rollback re-release is
+// a new event in the history, not an alias of the old one). find() then
+// resolves the shared ContentKey to the NEWEST such release — latest
+// wins — because a device reporting that checksum should be routed from
+// the most recent occurrence, where materialized deltas are likeliest to
+// exist. Each shadowing publish increments the `duplicate_publishes`
+// counter so operators can spot republished content.
+//
 // Thread-safe: publishes take an exclusive lock, lookups a shared one.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -35,29 +54,50 @@ struct ContentKey {
 
 class VersionStore {
  public:
-  /// Append a release to the history; returns its id (== prior count).
-  ReleaseId publish(Bytes body);
+  VersionStore() = default;
+  virtual ~VersionStore() = default;
 
-  std::size_t release_count() const noexcept;
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Append a release to the history; returns its id (== prior count).
+  virtual ReleaseId publish(Bytes body);
+
+  virtual std::size_t release_count() const;
 
   /// Immutable body of release `id`. Throws ValidationError on a bad id.
-  std::shared_ptr<const Bytes> body(ReleaseId id) const;
+  virtual std::shared_ptr<const Bytes> body(ReleaseId id) const;
 
   /// Content address of release `id`. Throws ValidationError on a bad id.
-  ContentKey content_key(ReleaseId id) const;
+  virtual ContentKey content_key(ReleaseId id) const;
 
   /// Most recent release with this content, if any — how a device that
-  /// reports only its image checksum is mapped into the history.
-  std::optional<ReleaseId> find(const ContentKey& key) const;
+  /// reports only its image checksum is mapped into the history. When
+  /// the same bytes were published more than once, the newest release
+  /// shadows the older ones (latest wins; see the header comment).
+  virtual std::optional<ReleaseId> find(const ContentKey& key) const;
 
   /// Id of the newest release. Throws ValidationError when empty.
-  ReleaseId latest() const;
+  virtual ReleaseId latest() const;
+
+  /// How many publishes re-used content an earlier release already had
+  /// (each one shadows the older release in find()).
+  std::uint64_t duplicate_publishes() const noexcept {
+    return duplicate_publishes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Subclasses count their own shadowing publishes through this.
+  void count_duplicate_publish() noexcept {
+    duplicate_publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   mutable std::shared_mutex mutex_;
   std::vector<std::shared_ptr<const Bytes>> bodies_;
   std::vector<ContentKey> keys_;
   std::map<ContentKey, ReleaseId> by_content_;  // latest id per content
+  std::atomic<std::uint64_t> duplicate_publishes_{0};
 };
 
 }  // namespace ipd

@@ -1,0 +1,73 @@
+#include "store/chain_policy.hpp"
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+ChainPolicy::ChainPolicy(const ChainPolicyOptions& options)
+    : options_(options) {
+  if (options_.max_chain_length == 0) {
+    throw ValidationError("chain policy: max_chain_length must be >= 1");
+  }
+  if (options_.max_inflation <= 0.0) {
+    throw ValidationError("chain policy: max_inflation must be > 0");
+  }
+  if (options_.baseline_ratio <= 0.0 || options_.baseline_ratio > 1.0) {
+    throw ValidationError("chain policy: baseline_ratio must be in (0, 1]");
+  }
+}
+
+ChainDecision ChainPolicy::decide(const ChainStats& chain,
+                                  std::uint64_t delta_bytes,
+                                  std::uint64_t body_bytes) const {
+  // A delta near the body's size buys nothing and costs a chain hop at
+  // every future reconstruction — the gate fossil applies per artifact.
+  if (static_cast<double>(delta_bytes) >=
+      options_.baseline_ratio * static_cast<double>(body_bytes)) {
+    return {ChainAction::kNewBaseline,
+            "delta " + std::to_string(delta_bytes) + "B >= " +
+                std::to_string(options_.baseline_ratio) + " of body " +
+                std::to_string(body_bytes) + "B"};
+  }
+  if (options_.baseline_interval != 0 &&
+      chain.releases_since_baseline + 1 >= options_.baseline_interval) {
+    return {ChainAction::kNewBaseline,
+            "baseline interval " +
+                std::to_string(options_.baseline_interval) + " reached"};
+  }
+  if (chain.chain_length + 1 > options_.max_chain_length) {
+    return {ChainAction::kFoldToBaseline,
+            "chain length " + std::to_string(chain.chain_length + 1) +
+                " > cap " + std::to_string(options_.max_chain_length)};
+  }
+  const double inflation =
+      body_bytes == 0
+          ? 0.0
+          : static_cast<double>(chain.chain_bytes + delta_bytes) /
+                static_cast<double>(body_bytes);
+  if (inflation > options_.max_inflation) {
+    return {ChainAction::kFoldToBaseline,
+            "chain inflation " + std::to_string(inflation) + " > cap " +
+                std::to_string(options_.max_inflation)};
+  }
+  return {ChainAction::kAppendDelta,
+          "chain length " + std::to_string(chain.chain_length + 1) +
+              ", inflation " + std::to_string(inflation)};
+}
+
+bool ChainPolicy::accept_fold(std::uint64_t folded_bytes,
+                              std::uint64_t body_bytes) const {
+  return static_cast<double>(folded_bytes) <
+         options_.baseline_ratio * static_cast<double>(body_bytes);
+}
+
+const char* chain_action_name(ChainAction action) noexcept {
+  switch (action) {
+    case ChainAction::kAppendDelta: return "delta";
+    case ChainAction::kFoldToBaseline: return "fold";
+    case ChainAction::kNewBaseline: return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace ipd

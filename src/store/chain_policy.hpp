@@ -1,0 +1,83 @@
+// Chain layout policy for the artifact store: when does a new release
+// ride the existing delta chain, when does the chain get folded back
+// onto its baseline, and when does the release become a fresh baseline?
+//
+// fossil keeps its history exactly this way (a chain-length cap plus
+// baseline re-selection as chains grow), and the erasure-coding work on
+// delta-based versioning systems shows why the layout must be a
+// first-class tunable: chain length trades publish-time bytes against
+// reconstruct-time cost, and cumulative chain inflation is what decides
+// whether a chain is still cheaper than a full image. The policy here is
+// deliberately pure — a function from chain statistics to a decision —
+// so tests can table-drive it and the store can log the reason string
+// for every layout choice it makes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ipd {
+
+struct ChainPolicyOptions {
+  /// Longest run of deltas between a baseline and a chain tip. A publish
+  /// that would exceed it triggers fold-to-baseline (or a new baseline).
+  std::size_t max_chain_length = 12;
+  /// Cumulative stored chain bytes (all deltas from the baseline to the
+  /// tip, inclusive of the candidate) may not exceed this multiple of
+  /// the new body's size — past that, reconstruction reads more delta
+  /// bytes than a full image would cost, so the chain has gone cold.
+  double max_inflation = 1.5;
+  /// A single delta at least this fraction of the body it encodes is
+  /// not pulling its weight; store the body as a baseline instead.
+  double baseline_ratio = 0.7;
+  /// Force a full baseline every N releases regardless of delta sizes
+  /// (0 = never force; policy-driven only). Periodic baselines bound
+  /// the blast radius of a damaged chain record.
+  std::size_t baseline_interval = 0;
+};
+
+/// What the store should do with one incoming release.
+enum class ChainAction : std::uint8_t {
+  kAppendDelta = 0,      ///< chain the delta on the current tip
+  kFoldToBaseline = 1,   ///< compose the chain into one direct delta
+                         ///< from the baseline (chain length resets to 1)
+  kNewBaseline = 2,      ///< store the full body; start a fresh chain
+};
+
+struct ChainDecision {
+  ChainAction action = ChainAction::kNewBaseline;
+  std::string reason;  ///< human-readable, logged and shown by `store list`
+};
+
+/// Statistics of the chain the candidate would extend.
+struct ChainStats {
+  std::size_t chain_length = 0;        ///< deltas tip is away from baseline
+  std::uint64_t chain_bytes = 0;       ///< stored bytes of those deltas
+  std::size_t releases_since_baseline = 0;  ///< releases after the baseline
+};
+
+class ChainPolicy {
+ public:
+  ChainPolicy() = default;
+  explicit ChainPolicy(const ChainPolicyOptions& options);
+
+  /// Decide the layout for a release of `body_bytes` whose delta against
+  /// the current tip came out at `delta_bytes`, extending `chain`.
+  ChainDecision decide(const ChainStats& chain, std::uint64_t delta_bytes,
+                       std::uint64_t body_bytes) const;
+
+  /// Second-stage decision after a fold: the folded direct delta came
+  /// out at `folded_bytes`. True = keep it as a length-1 chain; false =
+  /// it is no better than a baseline, store the full body.
+  bool accept_fold(std::uint64_t folded_bytes,
+                   std::uint64_t body_bytes) const;
+
+  const ChainPolicyOptions& options() const noexcept { return options_; }
+
+ private:
+  ChainPolicyOptions options_;
+};
+
+const char* chain_action_name(ChainAction action) noexcept;
+
+}  // namespace ipd

@@ -1,0 +1,259 @@
+#include "store/record_log.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/checksum.hpp"
+
+namespace ipd {
+
+namespace {
+
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kRecordMagic = 0x52445049;  // "IPDR" little-endian
+constexpr std::size_t kFileHeaderSize = 16;
+constexpr std::size_t kRecordHeaderSize = 16;
+
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw StoreError("store: " + what + " " + path.string() + ": " +
+                   std::strerror(errno));
+}
+
+/// pread the full range or return the bytes actually available.
+std::size_t read_fully(int fd, std::uint8_t* out, std::size_t n,
+                       std::uint64_t offset,
+                       const std::filesystem::path& path) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::pread(fd, out + got, n - got,
+                              static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read", path);
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_fully(int fd, const std::uint8_t* data, std::size_t n,
+                 std::uint64_t offset, const std::filesystem::path& path) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::pwrite(fd, data + put, n - put,
+                               static_cast<off_t>(offset + put));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    put += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+RecordLog::~RecordLog() { close(); }
+
+RecordLog::RecordLog(RecordLog&& other) noexcept
+    : fd_(other.fd_), end_(other.end_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.end_ = 0;
+}
+
+RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    end_ = other.end_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.end_ = 0;
+  }
+  return *this;
+}
+
+void RecordLog::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t RecordLog::framed_size(std::uint64_t payload_bytes) noexcept {
+  return kRecordHeaderSize + payload_bytes;
+}
+
+std::uint64_t RecordLog::first_record_offset() noexcept {
+  return kFileHeaderSize;
+}
+
+RecordLog RecordLog::create(const std::filesystem::path& path,
+                            const char (&magic)[9]) {
+  RecordLog log;
+  log.path_ = path;
+  log.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (log.fd_ < 0) throw_errno("create", path);
+
+  std::uint8_t header[kFileHeaderSize];
+  std::memcpy(header, magic, 8);
+  put_u32(header + 8, kFormatVersion);
+  put_u32(header + 12, crc32c(ByteView(header, 12)));
+  write_fully(log.fd_, header, kFileHeaderSize, 0, path);
+  log.end_ = kFileHeaderSize;
+  log.sync();
+  return log;
+}
+
+RecordLog RecordLog::open(const std::filesystem::path& path,
+                          const char (&magic)[9]) {
+  RecordLog log;
+  log.path_ = path;
+  log.fd_ = ::open(path.c_str(), O_RDWR, 0644);
+  if (log.fd_ < 0) throw_errno("open", path);
+
+  std::uint8_t header[kFileHeaderSize];
+  const std::size_t got =
+      read_fully(log.fd_, header, kFileHeaderSize, 0, path);
+  if (got < kFileHeaderSize) {
+    throw StoreError("store: " + path.string() +
+                     " is shorter than a file header");
+  }
+  if (std::memcmp(header, magic, 8) != 0) {
+    throw StoreError("store: " + path.string() + " has the wrong magic");
+  }
+  if (get_u32(header + 8) != kFormatVersion) {
+    throw StoreError("store: " + path.string() +
+                     " has unsupported format version " +
+                     std::to_string(get_u32(header + 8)));
+  }
+  if (get_u32(header + 12) != crc32c(ByteView(header, 12))) {
+    throw StoreError("store: " + path.string() + " file header CRC mismatch");
+  }
+
+  struct stat st {};
+  if (::fstat(log.fd_, &st) != 0) throw_errno("stat", path);
+  log.end_ = static_cast<std::uint64_t>(st.st_size);
+  return log;
+}
+
+RecoverStats RecordLog::recover(
+    const std::function<void(std::uint64_t, Bytes)>& fn) {
+  RecoverStats stats;
+  std::uint64_t at = kFileHeaderSize;
+  const std::uint64_t file_size = end_;
+  while (at < file_size) {
+    std::uint8_t header[kRecordHeaderSize];
+    const std::size_t got = read_fully(fd_, header, kRecordHeaderSize, at,
+                                       path_);
+    if (got < kRecordHeaderSize) break;  // torn header
+    if (get_u32(header) != kRecordMagic) break;
+    if (get_u32(header + 12) != crc32c(ByteView(header, 12))) break;
+    const std::uint32_t len = get_u32(header + 4);
+    if (at + kRecordHeaderSize + len > file_size) break;  // torn payload
+    Bytes payload(len);
+    if (read_fully(fd_, payload.data(), len, at + kRecordHeaderSize,
+                   path_) < len) {
+      break;
+    }
+    if (crc32c(payload) != get_u32(header + 8)) break;  // corrupt payload
+    fn(at, std::move(payload));
+    ++stats.records;
+    at += kRecordHeaderSize + len;
+  }
+  if (at < file_size) {
+    stats.truncated = true;
+    stats.truncated_bytes = file_size - at;
+    if (::ftruncate(fd_, static_cast<off_t>(at)) != 0) {
+      throw_errno("truncate torn tail of", path_);
+    }
+    sync();
+  }
+  end_ = at;
+  stats.durable_bytes = at;
+  return stats;
+}
+
+std::uint64_t RecordLog::append(ByteView payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    throw StoreError("store: record payload over 4 GiB");
+  }
+  const std::uint64_t offset = end_;
+  Bytes frame(kRecordHeaderSize + payload.size());
+  put_u32(frame.data(), kRecordMagic);
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame.data() + 8, crc32c(payload));
+  put_u32(frame.data() + 12, crc32c(ByteView(frame.data(), 12)));
+  std::memcpy(frame.data() + kRecordHeaderSize, payload.data(),
+              payload.size());
+  write_fully(fd_, frame.data(), frame.size(), offset, path_);
+  end_ = offset + frame.size();
+  return offset;
+}
+
+void RecordLog::truncate_to(std::uint64_t end) {
+  if (end > end_) {
+    throw StoreError("store: truncate_to beyond end of " + path_.string());
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(end)) != 0) {
+    throw_errno("truncate", path_);
+  }
+  end_ = end;
+}
+
+void RecordLog::sync() {
+  if (::fdatasync(fd_) != 0) throw_errno("sync", path_);
+}
+
+Bytes RecordLog::read_at(std::uint64_t offset) const {
+  if (offset + kRecordHeaderSize > end_) {
+    throw StoreError("store: record offset " + std::to_string(offset) +
+                     " out of bounds in " + path_.string());
+  }
+  std::uint8_t header[kRecordHeaderSize];
+  if (read_fully(fd_, header, kRecordHeaderSize, offset, path_) <
+      kRecordHeaderSize) {
+    throw StoreError("store: short record header in " + path_.string());
+  }
+  if (get_u32(header) != kRecordMagic ||
+      get_u32(header + 12) != crc32c(ByteView(header, 12))) {
+    throw StoreError("store: record header corrupt at offset " +
+                     std::to_string(offset) + " in " + path_.string());
+  }
+  const std::uint32_t len = get_u32(header + 4);
+  if (offset + kRecordHeaderSize + len > end_) {
+    throw StoreError("store: record payload out of bounds at offset " +
+                     std::to_string(offset) + " in " + path_.string());
+  }
+  Bytes payload(len);
+  if (read_fully(fd_, payload.data(), len, offset + kRecordHeaderSize,
+                 path_) < len) {
+    throw StoreError("store: short record payload in " + path_.string());
+  }
+  if (crc32c(payload) != get_u32(header + 8)) {
+    throw StoreError("store: record payload CRC mismatch at offset " +
+                     std::to_string(offset) + " in " + path_.string());
+  }
+  return payload;
+}
+
+}  // namespace ipd

@@ -1,0 +1,110 @@
+// Append-only record log: the durability primitive under the artifact
+// store's manifest and segment files.
+//
+// Both files share one framing so one recovery scan serves both: a
+// 16-byte file header (magic, format version, CRC) followed by records,
+// each wrapped as
+//
+//     u32 record magic | u32 payload length | u32 payload crc32c
+//     | u32 header crc32c | payload bytes...
+//
+// The header CRC covers the first twelve bytes, so a torn header and a
+// torn payload are both detectable without trusting any length field.
+// Recovery scans from the front and truncates the file at the first
+// record that is short or fails either CRC — everything before that
+// point is the durable prefix, everything after is a torn tail from a
+// crashed writer. Writers append records and explicitly sync(); the
+// artifact store orders segment sync before the manifest record that
+// references it, so a recovered manifest never points past the durable
+// segment prefix.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// The artifact store's typed failure: corrupt or inconsistent on-disk
+/// state that recovery could not (or must not) silently repair. Callers
+/// get this instead of unverified bytes — never both.
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error(what) {}
+};
+
+/// What a recovery scan found and did.
+struct RecoverStats {
+  std::size_t records = 0;          ///< intact records in the durable prefix
+  std::uint64_t durable_bytes = 0;  ///< file size after any truncation
+  std::uint64_t truncated_bytes = 0;  ///< torn-tail bytes dropped
+  bool truncated = false;             ///< a torn tail was cut
+};
+
+class RecordLog {
+ public:
+  RecordLog() = default;
+  ~RecordLog();
+  RecordLog(RecordLog&& other) noexcept;
+  RecordLog& operator=(RecordLog&& other) noexcept;
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Create a fresh log (truncating any existing file) with the given
+  /// 8-byte magic. Throws StoreError on I/O failure.
+  static RecordLog create(const std::filesystem::path& path,
+                          const char (&magic)[9]);
+
+  /// Open an existing log, validating the file header against `magic`.
+  /// Throws StoreError when the file is missing, unreadable, or carries
+  /// the wrong magic/version (a foreign file must never be "recovered"
+  /// into an empty store).
+  static RecordLog open(const std::filesystem::path& path,
+                        const char (&magic)[9]);
+
+  /// Scan every record from the front, invoking `fn(offset, payload)`
+  /// for each intact one (offset = start of the record frame). Stops at
+  /// the first short or CRC-failing record and truncates the file there.
+  /// The durable prefix is exactly the records `fn` saw.
+  RecoverStats recover(
+      const std::function<void(std::uint64_t, Bytes)>& fn);
+
+  /// Append one record; returns the offset of its frame. Not synced —
+  /// call sync() to make the append durable.
+  std::uint64_t append(ByteView payload);
+
+  /// fsync the file (fdatasync semantics are enough: record framing is
+  /// self-validating, so metadata-only loss truncates, never corrupts).
+  void sync();
+
+  /// Read and validate the record at `offset`. Throws StoreError when
+  /// the frame is out of bounds or fails a CRC.
+  Bytes read_at(std::uint64_t offset) const;
+
+  /// Current end offset (== file size).
+  std::uint64_t size() const noexcept { return end_; }
+
+  /// Cut the file to `end` (recovery of unreferenced tail bytes and gc).
+  /// `end` must not exceed the current size.
+  void truncate_to(std::uint64_t end);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Bytes one record with `payload_bytes` of payload occupies on disk.
+  static std::uint64_t framed_size(std::uint64_t payload_bytes) noexcept;
+
+  /// Offset of the first record in any log (just past the file header).
+  static std::uint64_t first_record_offset() noexcept;
+
+ private:
+  void close() noexcept;
+
+  int fd_ = -1;
+  std::uint64_t end_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace ipd

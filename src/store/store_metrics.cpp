@@ -1,0 +1,28 @@
+#include "store/store_metrics.hpp"
+
+#include <cstdio>
+
+namespace ipd {
+
+std::string StoreMetrics::snapshot() const {
+  std::string out;
+  char label[48];
+  char line[160];
+  for_each([&](const char* name, std::uint64_t value) {
+    std::snprintf(label, sizeof label, "%s:", name);
+    std::snprintf(line, sizeof line, "%-25s %llu\n", label,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  });
+  for_each_histogram([&](const char* name, const obs::Histogram& h) {
+    const obs::HistogramSnapshot s = h.snapshot();
+    if (s.count == 0) return;
+    std::snprintf(label, sizeof label, "%s:", name);
+    std::snprintf(line, sizeof line, "%-25s n=%llu mean=%.1f\n", label,
+                  static_cast<unsigned long long>(s.count), s.mean());
+    out += line;
+  });
+  return out;
+}
+
+}  // namespace ipd

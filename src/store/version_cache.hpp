@@ -1,0 +1,90 @@
+// On-disk cache of reconstructed release bodies.
+//
+// A delta-chain store trades space for reconstruct time: a hot release
+// deep in a chain costs one baseline read plus N delta applications per
+// request. fossil's unversioned cache answers this with a bounded disk
+// cache of materialized artifacts, and we do the same: bodies live as
+// files named by their content address ("<crc32c>-<length>.body"), so a
+// cached file self-describes its expected checksum and every read is
+// validated against the name before a byte is trusted — a corrupt or
+// truncated cache file is deleted and reported as a miss, never served.
+//
+// Bounded by bytes with LRU eviction (same accounting discipline as the
+// server's DeltaCache: budget bytes, not entries; eviction only unlinks
+// the file, callers holding a loaded body keep their copy). The cache is
+// soft state: destroying the directory loses nothing but warm-up time.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/types.hpp"
+#include "server/version_store.hpp"
+#include "store/store_metrics.hpp"
+
+namespace ipd {
+
+class VersionDiskCache {
+ public:
+  struct Stats {
+    std::uint64_t bytes_held = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Opens (creating if needed) `dir` and indexes any surviving cache
+  /// files — a reopened store starts with its hot set warm. `metrics`,
+  /// when non-null, must outlive the cache.
+  VersionDiskCache(std::filesystem::path dir, std::uint64_t byte_budget,
+                   StoreMetrics* metrics = nullptr);
+
+  /// Load and validate the cached body for `key`. Returns std::nullopt
+  /// on miss; a file that fails validation is unlinked and counts as a
+  /// miss (soft state must never surface corrupt bytes).
+  std::optional<Bytes> get(const ContentKey& key);
+
+  /// Cache `body` under `key` (callers pass the key they verified the
+  /// body against). Evicts LRU entries until the budget fits; a body
+  /// larger than the whole budget is not cached.
+  void put(const ContentKey& key, ByteView body);
+
+  /// Drop every cached body (CLI `store gc --drop-cache`).
+  void clear();
+
+  std::uint64_t byte_budget() const noexcept { return budget_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ContentKey key;
+    std::uint64_t bytes = 0;
+  };
+
+  std::filesystem::path file_for(const ContentKey& key) const;
+  void evict_to_fit_locked(std::uint64_t incoming);
+  void erase_locked(const ContentKey& key);
+
+  std::filesystem::path dir_;
+  std::uint64_t budget_;
+  StoreMetrics* metrics_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  struct KeyHash {
+    std::size_t operator()(const ContentKey& k) const noexcept {
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(k.crc) << 32) ^ k.length;
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_map<ContentKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace ipd

@@ -88,6 +88,27 @@ if "$IPDELTA" trace trace diff ref.bin new.bin x.ipd > /dev/null 2>&1; then
   fail "trace accepted recursive trace"
 fi
 
+# store: durable publish across separate processes, list/check/gc, and
+# serving straight from the store directory.
+"$IPDELTA" store init repo.store > /dev/null || fail "store init"
+if "$IPDELTA" store init repo.store > /dev/null 2>&1; then
+  fail "store init overwrote an existing store"
+fi
+"$IPDELTA" store publish repo.store ref.bin new.bin > /dev/null \
+  || fail "store publish"
+"$IPDELTA" store publish repo.store newer.bin > /dev/null \
+  || fail "store publish (second process)"
+"$IPDELTA" store list repo.store > store.out || fail "store list"
+grep -q "store: 3 releases" store.out || fail "store list release count"
+"$IPDELTA" store check repo.store > /dev/null || fail "store check"
+"$IPDELTA" store gc repo.store > /dev/null || fail "store gc"
+"$IPDELTA" store check repo.store > /dev/null || fail "store check after gc"
+"$IPDELTA" serve --store-dir repo.store \
+  --requests 12 --threads 2 --seed 7 > serve_store.out \
+  || fail "serve --store-dir"
+grep -q "all reconstructions verified" serve_store.out \
+  || fail "serve --store-dir verify line"
+
 # corrupted delta is rejected with exit code 2.
 cp d.ipd bad.ipd
 dd if=/dev/zero of=bad.ipd bs=1 seek=100 count=4 conv=notrunc 2> /dev/null

@@ -1,0 +1,242 @@
+// Corruption matrix for the on-disk artifact store: flip bits and
+// truncate the manifest and segment files at systematic offsets, then
+// assert the ONLY observable outcomes are (a) recovery to a durable
+// prefix whose every body is byte-identical to the original history, or
+// (b) a typed StoreError refusal. Never a crash, never wrong bytes,
+// never a foreign exception type.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/io.hpp"
+#include "store/artifact_store.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+using test::random_bytes;
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = std::filesystem::temp_directory_path() /
+            ("ipd_corrupt_" + std::to_string(::getpid()) + "_" +
+             info->name());
+    std::filesystem::remove_all(root_);
+    pristine_ = root_ / "pristine";
+
+    // A small store: 1 baseline + 4 chain deltas over 4 KiB bodies.
+    ArtifactStore::init(pristine_);
+    {
+      ArtifactStore store(pristine_);
+      Bytes body = random_bytes(11, 4 << 10);
+      history_.push_back(body);
+      store.publish(body);
+      for (int i = 1; i < 5; ++i) {
+        Rng rng(100 + i);
+        for (int edit = 0; edit < 4; ++edit) {
+          const std::size_t at = rng.below(body.size() - 32);
+          for (std::size_t b = 0; b < 32; ++b) {
+            body[at + b] = static_cast<std::uint8_t>(rng.next());
+          }
+        }
+        history_.push_back(body);
+        store.publish(body);
+      }
+      // Reconstruction must come from the chain, not the cache files —
+      // leaving cached bodies around would let a corrupted chain hide
+      // behind a clean cache.
+      std::filesystem::remove_all(pristine_ / "cache");
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// Fresh mutable copy of the pristine store.
+  std::filesystem::path clone(const std::string& tag) {
+    const std::filesystem::path dir = root_ / tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    for (const auto& entry :
+         std::filesystem::directory_iterator(pristine_)) {
+      if (entry.is_regular_file()) {
+        std::filesystem::copy_file(entry.path(),
+                                   dir / entry.path().filename());
+      }
+    }
+    return dir;
+  }
+
+  /// Open `dir` with deep verification. Returns the number of releases
+  /// recovered, or nullopt when the store (correctly) refused with
+  /// StoreError. Any other outcome fails the test. Every recovered
+  /// release must match the original history byte for byte.
+  std::optional<std::size_t> open_and_audit(
+      const std::filesystem::path& dir, const std::string& what) {
+    StoreOptions options;
+    options.verify_on_open = true;
+    try {
+      ArtifactStore store(dir, options);
+      const std::size_t n = store.release_count();
+      EXPECT_LE(n, history_.size()) << what;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(*store.body(static_cast<ReleaseId>(i)), history_[i])
+            << what << " release " << i;
+      }
+      return n;
+    } catch (const StoreError&) {
+      return std::nullopt;  // typed refusal: acceptable
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << what << ": foreign exception: " << e.what();
+      return std::nullopt;
+    }
+  }
+
+  std::filesystem::path root_;
+  std::filesystem::path pristine_;
+  std::vector<Bytes> history_;
+};
+
+void flip_bit(const std::filesystem::path& file, std::uint64_t offset) {
+  Bytes data = read_file(file);
+  ASSERT_LT(offset, data.size());
+  data[offset] ^= static_cast<std::uint8_t>(1u << (offset % 8));
+  write_file(file, data);
+}
+
+TEST_F(StoreCorruptionTest, ManifestBitFlips) {
+  const std::uint64_t size =
+      std::filesystem::file_size(pristine_ / "MANIFEST");
+  // Every offset: the manifest is small and every byte of it is load-
+  // bearing (file header, record headers, varint payloads).
+  for (std::uint64_t offset = 0; offset < size; ++offset) {
+    const std::string tag = "manifest+" + std::to_string(offset);
+    const auto dir = clone("work");
+    flip_bit(dir / "MANIFEST", offset);
+    open_and_audit(dir, tag);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(StoreCorruptionTest, SegmentBitFlips) {
+  std::filesystem::path segment;
+  for (const auto& entry : std::filesystem::directory_iterator(pristine_)) {
+    if (entry.path().filename().string().rfind("segments-", 0) == 0) {
+      segment = entry.path();
+    }
+  }
+  ASSERT_FALSE(segment.empty());
+  const std::uint64_t size = std::filesystem::file_size(segment);
+  // Prime-strided offsets cover headers and payloads without covering
+  // every byte of a multi-KiB file.
+  for (std::uint64_t offset = 0; offset < size; offset += 97) {
+    const std::string tag = "segment+" + std::to_string(offset);
+    const auto dir = clone("work");
+    flip_bit(dir / segment.filename(), offset);
+    open_and_audit(dir, tag);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(StoreCorruptionTest, ManifestTruncationRecoversDurablePrefix) {
+  const std::uint64_t size =
+      std::filesystem::file_size(pristine_ / "MANIFEST");
+  std::size_t full = 0;
+  {
+    const auto dir = clone("work");
+    const auto n = open_and_audit(dir, "untouched");
+    ASSERT_TRUE(n.has_value());
+    full = *n;
+  }
+  std::optional<std::size_t> prev;
+  for (std::uint64_t keep = size; keep > 0;
+       keep = keep < 13 ? 0 : keep - 13) {
+    const std::string tag = "manifest-trunc@" + std::to_string(keep);
+    const auto dir = clone("work");
+    std::filesystem::resize_file(dir / "MANIFEST", keep);
+    const auto n = open_and_audit(dir, tag);
+    if (n) {
+      EXPECT_LE(*n, full) << tag;
+      // Shorter manifests can only yield shorter (or equal) histories.
+      if (prev) {
+        EXPECT_LE(*n, *prev) << tag;
+      }
+      prev = n;
+    }
+  }
+}
+
+TEST_F(StoreCorruptionTest, SegmentTruncationNeverServesWrongBytes) {
+  std::filesystem::path segment;
+  for (const auto& entry : std::filesystem::directory_iterator(pristine_)) {
+    if (entry.path().filename().string().rfind("segments-", 0) == 0) {
+      segment = entry.path();
+    }
+  }
+  ASSERT_FALSE(segment.empty());
+  const std::uint64_t size = std::filesystem::file_size(segment);
+  for (std::uint64_t keep = 0; keep < size; keep += 211) {
+    const std::string tag = "segment-trunc@" + std::to_string(keep);
+    const auto dir = clone("work");
+    std::filesystem::resize_file(dir / segment.filename(), keep);
+    // The manifest references extents past `keep`: the store must refuse
+    // (a real crash cannot produce this state — segment syncs first).
+    const auto n = open_and_audit(dir, tag);
+    if (n) {
+      EXPECT_EQ(*n, history_.size()) << tag;
+    }
+  }
+}
+
+TEST_F(StoreCorruptionTest, MissingSegmentIsATypedRefusal) {
+  const auto dir = clone("work");
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("segments-", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  EXPECT_THROW(ArtifactStore store(dir), StoreError);
+}
+
+TEST_F(StoreCorruptionTest, StrayGcLeftoversAreCleaned) {
+  const auto dir = clone("work");
+  // A crashed gc leaves MANIFEST.tmp and a next-epoch segment; neither
+  // must confuse (or survive) the next open.
+  write_file(dir / "MANIFEST.tmp", random_bytes(1, 64));
+  write_file(dir / "segments-000099.dat", random_bytes(2, 64));
+  const auto n = open_and_audit(dir, "gc leftovers");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, history_.size());
+  EXPECT_FALSE(std::filesystem::exists(dir / "MANIFEST.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "segments-000099.dat"));
+}
+
+TEST_F(StoreCorruptionTest, CorruptCacheFileIsDroppedNotServed) {
+  const auto dir = clone("work");
+  std::size_t releases = 0;
+  {
+    StoreOptions options;
+    ArtifactStore store(dir, options);
+    releases = store.release_count();
+    // Warm the disk cache with every body, then corrupt the files.
+    for (std::size_t i = 0; i < releases; ++i) {
+      (void)store.body(static_cast<ReleaseId>(i));
+    }
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir / "cache")) {
+    Bytes data = read_file(entry.path());
+    if (!data.empty()) data[data.size() / 2] ^= 0x40;
+    write_file(entry.path(), data);
+  }
+  ArtifactStore store(dir);
+  for (std::size_t i = 0; i < releases; ++i) {
+    EXPECT_EQ(*store.body(static_cast<ReleaseId>(i)), history_[i])
+        << "release " << i << " served from a corrupt cache file";
+  }
+}
+
+}  // namespace
+}  // namespace ipd
