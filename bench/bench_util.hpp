@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "corpus/workload.hpp"
 #include "obs/histogram.hpp"
 
@@ -48,14 +49,12 @@ inline std::vector<VersionPair> evaluation_corpus() {
 /// Repetitions that reuse one literal seed replay the identical request
 /// stream, which makes a warmed-by-repetition-1 cache answer
 /// repetition 2 — warm-up becomes indistinguishable from measurement.
-/// splitmix64 over (base, rep) keeps runs reproducible while giving
-/// every repetition its own stream.
+/// Thin alias for the shared core helper (core/rng.hpp) so the benches,
+/// the store recovery matrix, and the campaign harness all derive
+/// per-stream seeds the same way.
 inline std::uint64_t repetition_seed(std::uint64_t base,
                                      std::uint64_t rep) noexcept {
-  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (rep + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return derive_seed(base, rep);
 }
 
 inline void rule(char c = '-', int width = 78) {

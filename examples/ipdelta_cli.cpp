@@ -11,6 +11,7 @@
 //   ipdelta serve <releases...> --port P  # ... exported over TCP
 //   ipdelta fetch <host:port> <image> ... # streaming OTA client
 //   ipdelta stats <host:port>             # live Prometheus-style stats
+//   ipdelta campaign [--devices N] ...    # fleet-scale OTA simulation
 //   ipdelta trace <cmd> [args...]         # run any command traced,
 //                                         # write Chrome trace JSON
 //
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "apply/oracle.hpp"
+#include "campaign/campaign.hpp"
 #include "core/hexdump.hpp"
 #include "core/io.hpp"
 #include "core/rng.hpp"
@@ -88,6 +90,13 @@ int usage() {
       "                [--from A] [--out FILE] [--chunk BYTES] [--verbose]\n"
       "  ipdelta fetch <host:port> --metrics\n"
       "  ipdelta stats <host:port>        # Prometheus-style live stats\n"
+      "  ipdelta campaign [--devices N] [--releases N] [--seed S]\n"
+      "                [--image-bytes B] [--drop R] [--truncate R]\n"
+      "                [--flip R] [--grace N] [--power-cuts R]\n"
+      "                [--max-cuts N] [--staged R] [--waves F,F,...]\n"
+      "                [--concurrency N] [--attempts N] [--json]\n"
+      "                # simulate a staged fleet rollout in-process;\n"
+      "                # exit 2 if any device bricked or the ramp aborted\n"
       "  ipdelta trace <command> [args...] [--trace-out FILE]\n"
       "                # run any command with stage tracing enabled and\n"
       "                # write Chrome trace-event JSON (default trace.json)\n");
@@ -782,6 +791,102 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Fleet-scale OTA campaign simulation (src/campaign/): publish a seeded
+// release history, drive a fleet of simulated flash devices through the
+// wire protocol over fault-injected in-memory links with power cuts at
+// arbitrary apply offsets, and report the rollout outcome. The exit
+// status encodes the two operator-facing disasters: a bricked device or
+// an aborted ramp is exit 2.
+int cmd_campaign(const std::vector<std::string>& args) {
+  CampaignOptions options;
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw Error("missing value for " + a);
+      return args[++i];
+    };
+    const auto number = [&]() -> std::uint64_t {
+      const std::string& value = next();
+      try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return n;
+      } catch (const std::exception&) {
+        throw Error("expected a number for " + a + ", got: " + value);
+      }
+    };
+    const auto rate = [&]() -> double {
+      const std::string& value = next();
+      try {
+        std::size_t used = 0;
+        const double r = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return r;
+      } catch (const std::exception&) {
+        throw Error("expected a rate for " + a + ", got: " + value);
+      }
+    };
+    if (a == "--devices") {
+      options.devices = static_cast<std::size_t>(number());
+    } else if (a == "--releases") {
+      options.releases = static_cast<std::size_t>(number());
+    } else if (a == "--seed") {
+      options.seed = number();
+    } else if (a == "--image-bytes") {
+      options.image_bytes = static_cast<length_t>(number());
+    } else if (a == "--drop") {
+      options.drop_rate = rate();
+    } else if (a == "--truncate") {
+      options.truncate_rate = rate();
+    } else if (a == "--flip") {
+      options.flip_rate = rate();
+    } else if (a == "--grace") {
+      options.grace_ops = static_cast<std::size_t>(number());
+    } else if (a == "--power-cuts") {
+      options.power_cut_rate = rate();
+    } else if (a == "--max-cuts") {
+      options.max_power_cuts = static_cast<std::size_t>(number());
+    } else if (a == "--staged") {
+      options.staged_fraction = rate();
+    } else if (a == "--waves") {
+      options.rollout.waves.clear();
+      const std::string list = next();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string part = list.substr(pos, comma - pos);
+        try {
+          std::size_t used = 0;
+          const double f = std::stod(part, &used);
+          if (used != part.size()) throw std::invalid_argument(part);
+          options.rollout.waves.push_back(f);
+        } catch (const std::exception&) {
+          throw Error("bad wave fraction in --waves: " + part);
+        }
+        pos = comma + 1;
+      }
+    } else if (a == "--concurrency") {
+      options.rollout.max_concurrency = static_cast<std::size_t>(number());
+    } else if (a == "--attempts") {
+      options.client.max_attempts = static_cast<std::size_t>(number());
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown option: " + a);
+    }
+  }
+
+  const CampaignReport report = run_campaign(options);
+  if (json) {
+    std::printf("%s\n", report.json().c_str());
+  } else {
+    std::printf("%s", report.render().c_str());
+  }
+  return report.bricked != 0 || report.aborted ? 2 : 0;
+}
+
 // Run any other command with stage tracing enabled and export the
 // captured spans as Chrome trace-event JSON (chrome://tracing,
 // Perfetto, speedscope). The wrapped command's exit status is preserved.
@@ -825,6 +930,7 @@ int run_command(const std::string& command,
   if (command == "store") return cmd_store(args);
   if (command == "fetch") return cmd_fetch(args);
   if (command == "stats") return cmd_stats(args);
+  if (command == "campaign") return cmd_campaign(args);
   if (command == "trace") return cmd_trace(args);
   return usage();
 }

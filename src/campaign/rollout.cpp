@@ -1,0 +1,42 @@
+#include "campaign/rollout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+std::vector<std::size_t> plan_waves(std::size_t fleet,
+                                    const std::vector<double>& waves) {
+  if (fleet == 0) return {};
+  if (waves.empty()) return {fleet};
+
+  double previous = 0;
+  for (const double f : waves) {
+    if (!(f > 0.0) || f > 1.0) {
+      throw ValidationError("rollout: wave fraction " + std::to_string(f) +
+                            " outside (0, 1]");
+    }
+    if (f < previous) {
+      throw ValidationError("rollout: wave fractions must be nondecreasing");
+    }
+    previous = f;
+  }
+
+  std::vector<std::size_t> counts;
+  for (const double f : waves) {
+    const auto want = static_cast<std::size_t>(
+        std::ceil(f * static_cast<double>(fleet)));
+    // Strictly increasing: every wave attempts at least one new device;
+    // fractions that round to the same count collapse into one wave.
+    const std::size_t floor_count = counts.empty() ? 1 : counts.back() + 1;
+    const std::size_t count = std::min(fleet, std::max(want, floor_count));
+    if (counts.empty() || count > counts.back()) counts.push_back(count);
+  }
+  if (counts.back() != fleet) counts.push_back(fleet);
+  return counts;
+}
+
+}  // namespace ipd

@@ -1,0 +1,50 @@
+// Staged rollout policy for OTA campaigns (src/campaign/campaign.hpp).
+//
+// Real fleets never update everyone at once: a canary wave goes first,
+// and each later wave only starts if the failure rate so far stays under
+// a threshold. The policy here is the minimal deterministic version of
+// that: cumulative fleet fractions per wave, a concurrency cap (the
+// "devices updating right now" budget, which is also what bounds the
+// server's concurrent session load), and an abort rule evaluated at
+// every wave boundary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ipd {
+
+struct RolloutPolicy {
+  /// Cumulative fleet fractions per wave, each in (0, 1], nondecreasing.
+  /// {0.01, 0.1, 0.5, 1.0} = 1% canary, then 10%, 50%, everyone. A final
+  /// fraction below 1.0 still ends with the whole fleet (plan_waves
+  /// appends it), so a policy can only stage the ramp, not strand
+  /// devices.
+  std::vector<double> waves = {0.01, 0.10, 0.50, 1.00};
+  /// Devices updating concurrently (worker threads in the simulator).
+  std::size_t max_concurrency = 8;
+  /// Abort at a wave boundary when failed / attempted exceeds this rate
+  /// AND at least min_failures_to_abort devices have failed. Devices in
+  /// later waves are never attempted (reported as skipped).
+  double abort_failure_rate = 0.25;
+  std::size_t min_failures_to_abort = 8;
+  /// Full client restarts per device after a non-power-cut error (each
+  /// restart gets a fresh link; the OTA client retries within one
+  /// restart on its own).
+  std::size_t max_attempts_per_device = 3;
+  /// Power-cut reboots tolerated per device before it counts as failed
+  /// (a real fleet would flag such a device for service; its journal
+  /// still protects it from bricking).
+  std::size_t reboot_budget = 32;
+};
+
+/// Turn cumulative wave fractions into cumulative device counts over a
+/// fleet of `fleet` devices: strictly increasing, each wave at least one
+/// device, final entry always == fleet. Empty `waves` (or fleet == 0)
+/// degenerates to a single all-at-once wave ({fleet}, or {} for an
+/// empty fleet). Throws ValidationError for fractions outside (0, 1] or
+/// a decreasing sequence.
+std::vector<std::size_t> plan_waves(std::size_t fleet,
+                                    const std::vector<double>& waves);
+
+}  // namespace ipd

@@ -4,10 +4,7 @@ namespace ipd {
 namespace {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return mix64(state += 0x9E3779B97F4A7C15ull);
 }
 
 std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -12,6 +12,24 @@
 
 namespace ipd {
 
+/// splitmix64 finalizer: a fast, high-quality 64-bit mixing function.
+/// The shared primitive behind Rng seeding and derive_seed(); exposed so
+/// every "hash these integers into a seed" site uses one implementation.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Distinct deterministic seed for stream `n` of a base seed. Derived
+/// streams (per device, per repetition, per attempt) must not replay the
+/// identical byte sequence — a cache warmed by stream 1 would answer
+/// stream 2 — while staying reproducible across runs and platforms.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t n) noexcept {
+  return mix64(base + 0x9E3779B97F4A7C15ull * (n + 1));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept;

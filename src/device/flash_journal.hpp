@@ -1,0 +1,53 @@
+// JournalStorage adapter over a reserved FlashDevice region — the spare
+// flash sector the apply journal (apply/apply_journal.hpp) lives in.
+// Bounds are enforced here, so the journal can never scribble on the
+// image area; power-failure injection applies to journal writes exactly
+// like image writes (a checkpoint record can be torn mid-write, which is
+// the failure mode the two-slot alternation exists for).
+#pragma once
+
+#include "apply/apply_journal.hpp"
+#include "device/flash_device.hpp"
+
+namespace ipd {
+
+/// Reserved storage region for the journal. Must not overlap the image
+/// area [0, max(reference, version)).
+struct JournalRegion {
+  offset_t offset = 0;
+  std::size_t size = 0;
+};
+
+class FlashJournalStorage final : public JournalStorage {
+ public:
+  FlashJournalStorage(FlashDevice& device, const JournalRegion& region)
+      : device_(device), region_(region) {
+    if (region.offset + region.size > device.storage_size()) {
+      throw DeviceError("flash journal: region exceeds device storage");
+    }
+  }
+
+  std::size_t size() const override { return region_.size; }
+
+  void read(offset_t offset, MutByteView out) override {
+    check(offset, out.size());
+    device_.read(region_.offset + offset, out);
+  }
+
+  void write(offset_t offset, ByteView data) override {
+    check(offset, data.size());
+    device_.write(region_.offset + offset, data);
+  }
+
+ private:
+  void check(offset_t offset, std::size_t n) const {
+    if (offset + n > region_.size) {
+      throw DeviceError("flash journal: access outside the journal region");
+    }
+  }
+
+  FlashDevice& device_;
+  JournalRegion region_;
+};
+
+}  // namespace ipd

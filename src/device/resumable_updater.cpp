@@ -4,79 +4,12 @@
 #include <optional>
 #include <vector>
 
-#include "core/buffer.hpp"
+#include "apply/apply_journal.hpp"
 #include "core/checksum.hpp"
 #include "delta/codec.hpp"
 
 namespace ipd {
 namespace {
-
-constexpr char kJournalMagic[4] = {'I', 'P', 'D', 'J'};
-constexpr std::uint32_t kDoneStep = 0xFFFFFFFFu;
-
-// Fixed part of a journal record; `backup_len` bytes of backup follow,
-// then a CRC-32C of everything before it.
-struct RecordHeader {
-  std::uint64_t seq = 0;
-  std::uint32_t delta_adler = 0;
-  std::uint32_t step = 0;
-  std::uint64_t backup_to = 0;
-  std::uint32_t backup_len = 0;
-};
-
-constexpr std::size_t kRecordHeaderBytes = 4 + 8 + 4 + 4 + 8 + 4;
-constexpr std::size_t kRecordTrailerBytes = 4;  // crc
-
-std::size_t slot_capacity(std::size_t window_bytes) {
-  return kRecordHeaderBytes + window_bytes + kRecordTrailerBytes;
-}
-
-Bytes encode_record(const RecordHeader& header, ByteView backup) {
-  ByteWriter w;
-  w.write_string(std::string_view(kJournalMagic, 4));
-  w.write_u64le(header.seq);
-  w.write_u32le(header.delta_adler);
-  w.write_u32le(header.step);
-  w.write_u64le(header.backup_to);
-  w.write_u32le(static_cast<std::uint32_t>(backup.size()));
-  w.write_bytes(backup);
-  w.write_u32le(crc32c(w.bytes()));
-  return w.take();
-}
-
-struct DecodedRecord {
-  RecordHeader header;
-  Bytes backup;
-};
-
-std::optional<DecodedRecord> decode_record(ByteView slot) {
-  if (slot.size() < kRecordHeaderBytes + kRecordTrailerBytes) {
-    return std::nullopt;
-  }
-  ByteReader r(slot);
-  const ByteView magic = r.read_bytes(4);
-  if (!std::equal(magic.begin(), magic.end(), kJournalMagic)) {
-    return std::nullopt;
-  }
-  DecodedRecord rec;
-  rec.header.seq = r.read_u64le();
-  rec.header.delta_adler = r.read_u32le();
-  rec.header.step = r.read_u32le();
-  rec.header.backup_to = r.read_u64le();
-  rec.header.backup_len = r.read_u32le();
-  if (rec.header.backup_len >
-      slot.size() - kRecordHeaderBytes - kRecordTrailerBytes) {
-    return std::nullopt;
-  }
-  const ByteView backup = r.read_bytes(rec.header.backup_len);
-  const std::uint32_t stored_crc = r.read_u32le();
-  if (crc32c(slot.first(kRecordHeaderBytes + rec.header.backup_len)) !=
-      stored_crc) {
-    return std::nullopt;  // torn or stale record
-  }
-  rec.backup.assign(backup.begin(), backup.end());
-  return rec;
-}
 
 /// One unit of journaled work (see header comment).
 struct Step {
@@ -99,22 +32,9 @@ std::vector<Step> plan_steps(const Script& script,
       }
       // Split into window sub-steps in the §4.1 direction; each sub-step
       // journals a backup of its destination window.
-      const length_t l = copy->length;
-      const length_t w = window_bytes;
-      if (copy->from >= copy->to) {
-        for (length_t off = 0; off < l; off += w) {
-          const length_t n = std::min<length_t>(w, l - off);
-          steps.push_back(Step{copy->from + off, copy->to + off, n, nullptr,
-                               true});
-        }
-      } else {
-        for (length_t end = l; end > 0;) {
-          const length_t n = std::min<length_t>(w, end);
-          const length_t off = end - n;
-          steps.push_back(Step{copy->from + off, copy->to + off, n, nullptr,
-                               true});
-          end = off;
-        }
+      for (const CopySubstep& sub :
+           split_self_overlapping_copy(*copy, window_bytes)) {
+        steps.push_back(Step{sub.from, sub.to, sub.length, nullptr, true});
       }
     } else {
       const AddCommand& add = std::get<AddCommand>(cmd);
@@ -124,11 +44,28 @@ std::vector<Step> plan_steps(const Script& script,
   return steps;
 }
 
+ApplyJournalOptions journal_options(const FlashDevice& device,
+                                    const UpdaterOptions& options) {
+  ApplyJournalOptions jopts;
+  jopts.page_size = device.page_size();
+  jopts.undo_capacity = options.window_bytes;
+  jopts.header_capacity = 0;  // the staged path re-stages the whole delta
+  return jopts;
+}
+
 }  // namespace
 
 void clear_journal(FlashDevice& device, const JournalRegion& journal) {
-  const Bytes zeros(std::min<std::size_t>(journal.size, 64), 0);
+  // Invalidate both slots of the largest journal that could live here:
+  // a record's magic sits at its slot's first byte, so zeroing the first
+  // page of each half kills any record regardless of the layout in use.
+  const std::size_t page = std::max<std::size_t>(device.page_size(), 4);
+  const std::size_t half = journal.size / 2;
+  const Bytes zeros(std::min(page, journal.size), 0);
   device.write(journal.offset, zeros);
+  if (half >= zeros.size()) {
+    device.write(journal.offset + half, zeros);
+  }
 }
 
 ResumableUpdateResult apply_update_resumable(FlashDevice& device,
@@ -155,7 +92,8 @@ ResumableUpdateResult apply_update_resumable(FlashDevice& device,
   }
 
   // Journal region checks.
-  const std::size_t slot = slot_capacity(options.window_bytes);
+  const ApplyJournalOptions jopts = journal_options(device, options);
+  const std::size_t slot = ApplyJournal::slot_bytes(jopts);
   if (journal.size < 2 * slot) {
     throw DeviceError("resumable updater: journal region smaller than two "
                       "slots (" + std::to_string(2 * slot) + " bytes)");
@@ -167,40 +105,36 @@ ResumableUpdateResult apply_update_resumable(FlashDevice& device,
         "exceeds storage");
   }
 
-  const std::uint32_t delta_sum = adler32(delta);
+  const std::uint32_t artifact_crc = crc32c(delta);
+  const std::uint64_t artifact_size = delta.size();
   const std::vector<Step> steps = plan_steps(file.script,
                                              options.window_bytes);
 
   RamArena::Allocation window = device.ram().allocate(options.window_bytes);
-  RamArena::Allocation slot_buf = device.ram().allocate(slot);
+  RamArena::Allocation scratch = device.ram().allocate(slot);
 
-  // Recovery: find the newest valid record for this delta.
+  FlashJournalStorage storage(device,
+                              JournalRegion{journal.offset, 2 * slot});
+  ApplyJournal aj(storage, scratch.view(), jopts);
+
+  // Recovery: resume from the newest valid record for this delta. A
+  // record for a different artifact is someone else's history — leave it
+  // alone (seq continuation keeps our appends off its slot until ours
+  // outnumber it) and start from step 0.
   std::size_t start_step = 0;
-  {
-    std::optional<DecodedRecord> best;
-    for (int s = 0; s < 2; ++s) {
-      device.read(journal.offset + static_cast<offset_t>(s) * slot,
-                  slot_buf.view());
-      auto rec = decode_record(slot_buf.view());
-      if (rec && rec->header.delta_adler == delta_sum &&
-          (!best || rec->header.seq > best->header.seq)) {
-        best = std::move(rec);
+  if (const auto rec = aj.newest_for(artifact_crc, artifact_size)) {
+    result.resumed = true;
+    if (rec->kind == ApplyRecordKind::kDone) {
+      start_step = steps.size();  // nothing left but verification
+    } else {
+      if (rec->command_index >= steps.size()) {
+        throw DeviceError("resumable updater: journal step out of range");
       }
-    }
-    if (best) {
-      result.resumed = true;
-      if (best->header.step == kDoneStep) {
-        start_step = steps.size();  // nothing left but verification
-      } else {
-        if (best->header.step >= steps.size()) {
-          throw DeviceError("resumable updater: journal step out of range");
-        }
-        // Undo the possibly-torn step by restoring its backup.
-        if (!best->backup.empty()) {
-          device.write(best->header.backup_to, best->backup);
-        }
-        start_step = best->header.step;
+      // Undo the possibly-torn step by restoring its backup.
+      if (!rec->undo.empty()) {
+        device.write(rec->undo_to, rec->undo);
       }
+      start_step = static_cast<std::size_t>(rec->command_index);
     }
   }
   result.steps_replayed = start_step;
@@ -208,16 +142,16 @@ ResumableUpdateResult apply_update_resumable(FlashDevice& device,
   const std::uint64_t pages_before = device.pages_touched_write();
   const std::uint64_t bytes_before = device.bytes_written();
 
-  const auto write_record = [&](std::uint64_t seq, std::uint32_t step,
+  const auto write_record = [&](ApplyRecordKind kind, std::uint64_t step,
                                 offset_t backup_to, ByteView backup) {
-    RecordHeader header;
-    header.seq = seq;
-    header.delta_adler = delta_sum;
-    header.step = step;
-    header.backup_to = backup_to;
-    const Bytes record = encode_record(header, backup);
-    device.write(journal.offset + (seq % 2) * slot, record);
-    ++result.journal_records;
+    ApplyRecord rec;
+    rec.kind = kind;
+    rec.artifact_crc = artifact_crc;
+    rec.artifact_size = artifact_size;
+    rec.command_index = step;
+    rec.undo_to = backup_to;
+    rec.undo.assign(backup.begin(), backup.end());
+    aj.append(std::move(rec));
   };
 
   for (std::size_t k = start_step; k < steps.size(); ++k) {
@@ -227,12 +161,12 @@ ResumableUpdateResult apply_update_resumable(FlashDevice& device,
       const MutByteView dst =
           window.view().first(static_cast<std::size_t>(step.length));
       device.read(step.to, dst);
-      write_record(k, static_cast<std::uint32_t>(k), step.to, dst);
+      write_record(ApplyRecordKind::kSubstep, k, step.to, dst);
       // Apply: sub-step fits entirely in the window, so one read+write.
       device.read(step.from, dst);
       device.write(step.to, dst);
     } else {
-      write_record(k, static_cast<std::uint32_t>(k), 0, {});
+      write_record(ApplyRecordKind::kCheckpoint, k, 0, {});
       if (step.add != nullptr) {
         device.write(step.to, step.add->data);
       } else {
@@ -243,8 +177,9 @@ ResumableUpdateResult apply_update_resumable(FlashDevice& device,
   }
 
   if (start_step < steps.size() || !result.resumed) {
-    write_record(steps.size(), kDoneStep, 0, {});
+    write_record(ApplyRecordKind::kDone, steps.size(), 0, {});
   }
+  result.journal_records = static_cast<std::size_t>(aj.records_written());
 
   result.update.new_image_length = file.version_length;
   result.update.storage_bytes_written = device.bytes_written() - bytes_before;

@@ -24,20 +24,19 @@
 // Recovery is automatic: run() inspects the journal, and if a valid
 // record matches this delta (by checksum), restores the backup and
 // resumes from the recorded step.
+//
+// The record format, slot alternation, and recovery scan live in
+// apply/apply_journal.hpp and are shared with the streaming updater
+// (device/stream_updater.hpp); see docs/DEVICE.md for the on-flash
+// layout.
 #pragma once
 
 #include "device/channel.hpp"
 #include "device/flash_device.hpp"
+#include "device/flash_journal.hpp"
 #include "device/updater.hpp"
 
 namespace ipd {
-
-/// Reserved storage region for the journal. Must not overlap the image
-/// area [0, max(reference, version)).
-struct JournalRegion {
-  offset_t offset = 0;
-  std::size_t size = 0;
-};
 
 struct ResumableUpdateResult {
   UpdateResult update;

@@ -35,6 +35,27 @@ void device_windowed_copy(FlashDevice& device, MutByteView window,
   }
 }
 
+std::vector<CopySubstep> split_self_overlapping_copy(
+    const CopyCommand& copy, std::size_t window_bytes) {
+  std::vector<CopySubstep> steps;
+  const length_t l = copy.length;
+  const length_t w = window_bytes;
+  if (copy.from >= copy.to) {
+    for (length_t off = 0; off < l; off += w) {
+      const length_t n = std::min<length_t>(w, l - off);
+      steps.push_back(CopySubstep{copy.from + off, copy.to + off, n});
+    }
+  } else {
+    for (length_t end = l; end > 0;) {
+      const length_t n = std::min<length_t>(w, end);
+      const length_t off = end - n;
+      steps.push_back(CopySubstep{copy.from + off, copy.to + off, n});
+      end = off;
+    }
+  }
+  return steps;
+}
+
 UpdateResult apply_update(FlashDevice& device, ByteView delta,
                           const ChannelModel& channel,
                           const UpdaterOptions& options) {

@@ -1,6 +1,7 @@
 #include "net/loopback_transport.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ipd {
 
@@ -10,7 +11,16 @@ std::size_t LoopbackEndpoint::read_some(MutByteView out) {
   if (out.empty()) return 0;
   std::unique_lock<std::mutex> lock(core_->mutex);
   std::deque<std::uint8_t>& queue = is_a_ ? core_->b_to_a : core_->a_to_b;
-  core_->cv.wait(lock, [&] { return !queue.empty() || core_->closed; });
+  const auto ready = [&] { return !queue.empty() || core_->closed; };
+  const int timeout_ms = timeout_ms_.load(std::memory_order_relaxed);
+  if (timeout_ms > 0) {
+    if (!core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            ready)) {
+      throw TransportError("loopback: read timeout (idle connection)");
+    }
+  } else {
+    core_->cv.wait(lock, ready);
+  }
   if (queue.empty()) return 0;  // closed and drained: EOF
   const std::size_t n = std::min(out.size(), queue.size());
   std::copy_n(queue.begin(), n, out.begin());

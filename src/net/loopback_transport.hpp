@@ -6,8 +6,15 @@
 // on either end wakes blocked readers on both; a reader drains whatever
 // was written before the close, then sees EOF — exactly the TCP
 // semantics the protocol code must handle, minus the nondeterminism.
+//
+// set_read_timeout() is honoured like TCP's SO_RCVTIMEO: an expired wait
+// throws TransportError. Without it, a fault-injected link whose frame
+// length prefix took a bit flip leaves BOTH peers blocked forever — each
+// waiting for bytes the other will never send — because the length field
+// sits outside the payload CRC.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -43,11 +50,15 @@ class LoopbackEndpoint final : public Transport {
   std::size_t read_some(MutByteView out) override;
   void write_all(ByteView data) override;
   void close() noexcept override;
+  void set_read_timeout(int ms) override {
+    timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
   std::string peer() const override { return "loopback"; }
 
  private:
   std::shared_ptr<LoopbackCore> core_;
   bool is_a_;
+  std::atomic<int> timeout_ms_{0};  ///< 0 = wait forever
 };
 
 }  // namespace detail

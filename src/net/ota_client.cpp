@@ -351,8 +351,19 @@ OtaReport OtaClient::update_device(FlashDevice& device,
   OtaReport report;
   TransferJournal local;
   TransferJournal& tj = transfer != nullptr ? *transfer : local;
-  if (tj.active && tj.from != current) {
-    tj = TransferJournal{};  // journal from another lifetime — discard
+  if (tj.active) {
+    if (tj.from >= current && tj.from < target) {
+      // The journal belongs to a later hop of this same upgrade — the
+      // caller's `current` went stale (e.g. a crash landed between the
+      // apply finishing and the caller recording the new release). The
+      // downloaded prefix is still consistent with the device, so trust
+      // the journal forward instead of throwing away its bytes — or,
+      // worse, re-requesting a hop the flash journal may be mid-apply
+      // on, whose delta would then shred the half-written image.
+      current = tj.from;
+    } else {
+      tj = TransferJournal{};  // journal from another lifetime — discard
+    }
   }
   while (current < target) {
     download_hop(tj, current, target, report);
@@ -396,6 +407,145 @@ OtaReport OtaClient::update_device(FlashDevice& device,
   }
   report.final_release = current;
   return report;
+}
+
+OtaReport OtaClient::update_device_streaming(
+    FlashDevice& device, const JournalRegion& journal, ReleaseId current,
+    ReleaseId target, const StreamUpdaterOptions& apply_options) {
+  OtaReport report;
+  for (;;) {
+    // The apply journal is the device's durable memory of this upgrade:
+    // a done record fast-forwards a `current` that went stale when the
+    // crash landed between the apply and the acknowledgement; an
+    // in-flight record forces that hop to finish regardless of what the
+    // caller believes the device runs.
+    std::optional<StreamApplyProbe> probe =
+        StreamingDeviceUpdater::probe(device, journal, apply_options);
+    if (probe && probe->done) {
+      current = std::max(current, probe->info.meta_hop);
+      probe.reset();
+    }
+    if (!probe && current >= target) {
+      break;
+    }
+    current = stream_device_hop(device, journal, current, target,
+                                std::move(probe), apply_options, report);
+    ++report.hops;
+  }
+  report.final_release = current;
+  return report;
+}
+
+ReleaseId OtaClient::stream_device_hop(
+    FlashDevice& device, const JournalRegion& journal, ReleaseId current,
+    ReleaseId target, std::optional<StreamApplyProbe> probe,
+    const StreamUpdaterOptions& apply_options, OtaReport& report) {
+  StreamArtifactInfo info;
+  std::unique_ptr<StreamingDeviceUpdater> updater;
+  if (probe) {
+    // Reboot recovery: reconstruct the mid-hop state from the journal
+    // alone — header, command position, checksum state, undo window.
+    info = probe->info;
+    updater = std::make_unique<StreamingDeviceUpdater>(device, journal, info,
+                                                       apply_options);
+    if (updater->finished()) {
+      return info.meta_hop;
+    }
+  }
+  std::size_t attempt = 0;
+  for (;;) {
+    Session session;
+    try {
+      session = connect_session();
+      FramedConnection& conn = *session.conn;
+      if (updater == nullptr) {
+        conn.send(GetDeltaMsg{current, target});
+      } else {
+        ++report.resumes;
+        // As in stream_hop: echo the original target so the server
+        // re-derives the same route and the artifact identity matches.
+        conn.send(ResumeMsg{info.meta_from, info.meta_target,
+                            updater->next_offset(), info.artifact_crc});
+      }
+      const auto begin = expect<DeltaBeginMsg>(conn, "DELTA_BEGIN");
+      if (updater == nullptr) {
+        if (begin.from != current || begin.start_offset != 0 ||
+            begin.to <= current) {
+          throw Error("protocol violation: DELTA_BEGIN does not match the "
+                      "request");
+        }
+        info.artifact_crc = begin.artifact_crc;
+        info.artifact_size = begin.total_size;
+        info.full_image = begin.full_image != 0;
+        info.meta_from = begin.from;
+        info.meta_hop = begin.to;
+        info.meta_target = target;
+        // The updater journals a write-ahead checkpoint before its first
+        // flash write; from here on the hop survives power cuts.
+        updater = std::make_unique<StreamingDeviceUpdater>(
+            device, journal, info, apply_options);
+      } else if (begin.artifact_crc != info.artifact_crc ||
+                 begin.start_offset != updater->next_offset()) {
+        throw Error("resume mismatch: server offered a different artifact "
+                    "or offset");
+      }
+
+      for (;;) {
+        Message message = expect_message(conn);
+        if (auto* data = std::get_if<DeltaDataMsg>(&message)) {
+          if (data->offset != updater->next_offset()) {
+            throw Error("protocol violation: DELTA_DATA at offset " +
+                        std::to_string(data->offset) + ", expected " +
+                        std::to_string(updater->next_offset()));
+          }
+          try {
+            updater->feed(data->data);
+          } catch (const FlashDevice::PowerFailure&) {
+            throw;  // the simulated crash — the journal resumes the hop
+          } catch (const Error& e) {
+            // Frame CRCs passed, so these bytes are what the server
+            // sent: the artifact itself is bad (or violates the device's
+            // safety gates). Retrying cannot help.
+            throw Error(std::string("artifact rejected mid-stream: ") +
+                        e.what());
+          }
+          report.artifact_bytes += data->data.size();
+        } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
+          if (end->total_size != updater->next_offset() ||
+              end->artifact_crc != info.artifact_crc) {
+            throw TransportError("artifact ended early (" +
+                                 std::to_string(updater->next_offset()) +
+                                 " of " + std::to_string(end->total_size) +
+                                 " bytes)");
+          }
+          if (!updater->finished()) {
+            throw Error("artifact complete on the wire but the apply did "
+                        "not finish: truncated or corrupt container");
+          }
+          report.bytes_received += conn.bytes_received();
+          return info.meta_hop;
+        } else {
+          throw Error("protocol violation: unexpected frame inside a "
+                      "transfer");
+        }
+      }
+    } catch (const TransportError&) {
+      // fall through to retry; the updater's position is the resume point
+    } catch (const FormatError&) {
+      // corrupt frame (e.g. injected bit flip) — the frame CRC rejected
+      // it before any byte reached the updater; reconnect and resume
+    }
+    if (session.conn != nullptr) {
+      report.bytes_received += session.conn->bytes_received();
+    }
+    ++attempt;
+    if (attempt >= options_.max_attempts) {
+      throw Error("update failed after " + std::to_string(attempt) +
+                  " attempts (hop " + std::to_string(current) + " -> " +
+                  std::to_string(target) + ")");
+    }
+    backoff(attempt, report);
+  }
 }
 
 std::string OtaClient::fetch_metrics() {

@@ -29,6 +29,7 @@
 #include <memory>
 
 #include "device/resumable_updater.hpp"
+#include "device/stream_updater.hpp"
 #include "net/transport.hpp"
 #include "server/metrics.hpp"
 
@@ -105,6 +106,19 @@ class OtaClient {
                           const ChannelModel& channel,
                           TransferJournal* transfer = nullptr);
 
+  /// Upgrade a FlashDevice by streaming each hop's artifact straight to
+  /// flash through StreamingDeviceUpdater — peak RAM is one copy window
+  /// plus one journal slot, not the artifact. The on-flash apply journal
+  /// is the device's only durable state: after a power cut (a propagated
+  /// FlashDevice::PowerFailure) call again with the same arguments — the
+  /// journal fast-forwards a completed-but-unacknowledged hop, or
+  /// resumes a half-applied one with a byte-exact network RESUME at the
+  /// last durable checkpoint. `current` may be stale after a reboot; the
+  /// journal's hop metadata wins.
+  OtaReport update_device_streaming(
+      FlashDevice& device, const JournalRegion& journal, ReleaseId current,
+      ReleaseId target, const StreamUpdaterOptions& apply_options = {});
+
   /// One-shot METRICS_REQ round trip: the server's snapshot text.
   std::string fetch_metrics();
 
@@ -128,6 +142,15 @@ class OtaClient {
   /// current offset; returns when the artifact is complete + verified.
   void download_hop(TransferJournal& journal, ReleaseId current,
                     ReleaseId target, OtaReport& report);
+  /// Stream one hop straight to flash; `probe` carries reboot-recovery
+  /// state when the apply journal holds an in-flight record. Returns the
+  /// release the device holds afterwards.
+  ReleaseId stream_device_hop(FlashDevice& device,
+                              const JournalRegion& journal,
+                              ReleaseId current, ReleaseId target,
+                              std::optional<StreamApplyProbe> probe,
+                              const StreamUpdaterOptions& apply_options,
+                              OtaReport& report);
 
   TransportFactory factory_;
   OtaClientOptions options_;

@@ -1,0 +1,220 @@
+#include "apply/apply_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checksum.hpp"
+#include "test_util.hpp"
+
+namespace ipd {
+namespace {
+
+constexpr ApplyJournalOptions kOpts{/*page_size=*/256, /*undo_capacity=*/512,
+                                    /*header_capacity=*/128};
+
+Bytes scratch_for(const ApplyJournalOptions& opts) {
+  return Bytes(ApplyJournal::slot_bytes(opts), 0);
+}
+
+ApplyRecord sample_record() {
+  ApplyRecord rec;
+  rec.kind = ApplyRecordKind::kSubstep;
+  rec.full_image = false;
+  rec.artifact_crc = 0xDEADBEEF;
+  rec.artifact_size = 123456;
+  rec.meta_from = 3;
+  rec.meta_hop = 4;
+  rec.meta_target = 9;
+  rec.command_index = 42;
+  rec.substep = 7;
+  rec.artifact_offset = 1000;
+  rec.adler_state = 0x12345678;
+  rec.undo_to = 2048;
+  rec.undo = test::random_bytes(5, 300);
+  rec.header = test::random_bytes(6, 64);
+  return rec;
+}
+
+void expect_same(const ApplyRecord& a, const ApplyRecord& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.full_image, b.full_image);
+  EXPECT_EQ(a.artifact_crc, b.artifact_crc);
+  EXPECT_EQ(a.artifact_size, b.artifact_size);
+  EXPECT_EQ(a.meta_from, b.meta_from);
+  EXPECT_EQ(a.meta_hop, b.meta_hop);
+  EXPECT_EQ(a.meta_target, b.meta_target);
+  EXPECT_EQ(a.command_index, b.command_index);
+  EXPECT_EQ(a.substep, b.substep);
+  EXPECT_EQ(a.artifact_offset, b.artifact_offset);
+  EXPECT_EQ(a.adler_state, b.adler_state);
+  EXPECT_EQ(a.undo_to, b.undo_to);
+  EXPECT_TRUE(test::bytes_equal(a.undo, b.undo));
+  EXPECT_TRUE(test::bytes_equal(a.header, b.header));
+}
+
+TEST(ApplyJournal, SlotBytesIsPageAlignedAndCoversCapacities) {
+  const std::size_t slot = ApplyJournal::slot_bytes(kOpts);
+  EXPECT_EQ(slot % kOpts.page_size, 0u);
+  EXPECT_GE(slot, kOpts.undo_capacity + kOpts.header_capacity);
+}
+
+TEST(ApplyJournal, RoundTripsAllFieldsAcrossReconstruction) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  {
+    ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+    EXPECT_FALSE(aj.newest().has_value());
+    aj.append(sample_record());
+  }
+  // A fresh journal (the "rebooted device") scans the same storage.
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(aj.newest().has_value());
+  expect_same(sample_record(), *aj.newest());
+  EXPECT_EQ(aj.newest()->seq, 0u);
+}
+
+TEST(ApplyJournal, AlternatesSlotsAndKeepsNewest) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ApplyRecord rec = sample_record();
+    rec.command_index = i;
+    rec.undo.clear();
+    aj.append(std::move(rec));
+  }
+  EXPECT_EQ(aj.records_written(), 5u);
+  ApplyJournal again(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(again.newest().has_value());
+  EXPECT_EQ(again.newest()->seq, 4u);
+  EXPECT_EQ(again.newest()->command_index, 4u);
+}
+
+TEST(ApplyJournal, TornNewestSlotFallsBackToPrevious) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  const std::size_t slot = ApplyJournal::slot_bytes(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ApplyRecord rec = sample_record();
+    rec.command_index = i;
+    aj.append(std::move(rec));
+  }
+  // Record seq 3 lives in slot 1; tear its tail (CRC no longer verifies).
+  for (std::size_t b = slot + slot / 2; b < 2 * slot; ++b) {
+    storage.bytes()[b] = 0;
+  }
+  ApplyJournal recovered(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(recovered.newest().has_value());
+  EXPECT_EQ(recovered.newest()->seq, 2u);
+  EXPECT_EQ(recovered.newest()->command_index, 2u);
+  // The next append must continue past the torn record's sequence so it
+  // lands in the torn slot, never over the only intact record.
+  ApplyRecord rec = sample_record();
+  rec.command_index = 99;
+  recovered.append(std::move(rec));
+  ApplyJournal after(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(after.newest().has_value());
+  EXPECT_EQ(after.newest()->command_index, 99u);
+  EXPECT_EQ(after.newest()->seq % 2, 1u) << "append must reuse the torn slot";
+}
+
+TEST(ApplyJournal, SingleBitFlipInvalidatesARecord) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  {
+    ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+    aj.append(sample_record());
+  }
+  storage.bytes()[40] ^= 0x01;
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  EXPECT_FALSE(aj.newest().has_value());
+}
+
+TEST(ApplyJournal, NewestForFiltersByArtifactIdentity) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  aj.append(sample_record());
+  const ApplyRecord rec = sample_record();
+  EXPECT_TRUE(aj.newest_for(rec.artifact_crc, rec.artifact_size).has_value());
+  EXPECT_FALSE(aj.newest_for(rec.artifact_crc + 1, rec.artifact_size));
+  EXPECT_FALSE(aj.newest_for(rec.artifact_crc, rec.artifact_size + 1));
+}
+
+TEST(ApplyJournal, ClearForgetsEverythingAndRestartsSequence) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  aj.append(sample_record());
+  aj.append(sample_record());
+  aj.clear();
+  EXPECT_FALSE(aj.newest().has_value());
+  aj.append(sample_record());
+  EXPECT_EQ(aj.newest()->seq, 0u);
+  ApplyJournal again(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(again.newest().has_value());
+  EXPECT_EQ(again.newest()->seq, 0u);
+}
+
+TEST(ApplyJournal, RejectsOverCapacityPayloads) {
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  ApplyRecord big_undo = sample_record();
+  big_undo.undo = Bytes(kOpts.undo_capacity + 1, 0xAA);
+  EXPECT_THROW(aj.append(std::move(big_undo)), ValidationError);
+  ApplyRecord big_header = sample_record();
+  big_header.header = Bytes(kOpts.header_capacity + 1, 0xBB);
+  EXPECT_THROW(aj.append(std::move(big_header)), ValidationError);
+}
+
+TEST(ApplyJournal, RejectsUndersizedScratchAndStorage) {
+  const std::size_t slot = ApplyJournal::slot_bytes(kOpts);
+  {
+    MemoryJournalStorage storage(2 * slot);
+    Bytes small(slot - 1, 0);
+    EXPECT_THROW(ApplyJournal(storage, MutByteView(small), kOpts),
+                 DeviceError);
+  }
+  {
+    MemoryJournalStorage storage(2 * slot - 1);
+    Bytes scratch = scratch_for(kOpts);
+    EXPECT_THROW(ApplyJournal(storage, MutByteView(scratch), kOpts),
+                 DeviceError);
+  }
+}
+
+TEST(ApplyJournal, StaleRecordSurvivesOneAppendThenRetires) {
+  // A fresh artifact must not destroy the previous artifact's record
+  // with its FIRST append: until the new record is durable, the old one
+  // is the device's only memory. Slot alternation gives exactly that.
+  MemoryJournalStorage storage(2 * ApplyJournal::slot_bytes(kOpts));
+  Bytes scratch = scratch_for(kOpts);
+  ApplyJournal aj(storage, MutByteView(scratch), kOpts);
+  ApplyRecord old = sample_record();
+  old.kind = ApplyRecordKind::kDone;
+  aj.append(std::move(old));  // seq 0 -> slot 0
+
+  ApplyJournal next(storage, MutByteView(scratch), kOpts);
+  ApplyRecord fresh = sample_record();
+  fresh.artifact_crc = 0x0BADF00D;  // different artifact
+  next.append(std::move(fresh));  // seq 1 -> slot 1, old record intact
+
+  ApplyJournal check(storage, MutByteView(scratch), kOpts);
+  // Newest is the fresh artifact...
+  ASSERT_TRUE(check.newest().has_value());
+  EXPECT_EQ(check.newest()->artifact_crc, 0x0BADF00Du);
+  // ...and if that first append had been torn by a power cut, recovery
+  // would still find the old artifact's done record in the other slot.
+  const std::size_t slot = ApplyJournal::slot_bytes(kOpts);
+  for (std::size_t b = slot; b < 2 * slot; ++b) {
+    storage.bytes()[b] = 0xFF;  // tear the fresh record (seq 1, slot 1)
+  }
+  ApplyJournal fallback(storage, MutByteView(scratch), kOpts);
+  ASSERT_TRUE(fallback.newest().has_value());
+  EXPECT_EQ(fallback.newest()->kind, ApplyRecordKind::kDone);
+  EXPECT_EQ(fallback.newest()->artifact_crc, sample_record().artifact_crc);
+}
+
+}  // namespace
+}  // namespace ipd

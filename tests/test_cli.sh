@@ -109,6 +109,24 @@ grep -q "store: 3 releases" store.out || fail "store list release count"
 grep -q "all reconstructions verified" serve_store.out \
   || fail "serve --store-dir verify line"
 
+# campaign: a small clean fleet converges (exit 0), JSON mode emits the
+# headline counters, and an undeliverable rollout aborts with exit 2
+# while still bricking nobody.
+"$IPDELTA" campaign --devices 12 --releases 3 --seed 7 \
+  --image-bytes 8192 --staged 0.25 > campaign.out || fail "campaign"
+grep -q "updated 12" campaign.out || fail "campaign updated count"
+grep -q "bricked 0" campaign.out || fail "campaign bricked count"
+"$IPDELTA" campaign --devices 6 --releases 2 --seed 7 \
+  --image-bytes 4096 --json > campaign.json || fail "campaign --json"
+grep -q '"bricked":0' campaign.json || fail "campaign json bricked"
+if "$IPDELTA" campaign --devices 10 --releases 2 --seed 7 \
+  --image-bytes 4096 --drop 1.0 --grace 0 --attempts 2 \
+  --waves 0.2,1.0 > campaign_abort.out 2>&1; then
+  fail "campaign ignored an aborted rollout"
+fi
+grep -q "ABORTED" campaign_abort.out || fail "campaign abort banner"
+grep -q "bricked 0" campaign_abort.out || fail "campaign abort bricked"
+
 # corrupted delta is rejected with exit code 2.
 cp d.ipd bad.ipd
 dd if=/dev/zero of=bad.ipd bs=1 seek=100 count=4 conv=notrunc 2> /dev/null

@@ -227,6 +227,66 @@ TEST(NetE2E, KilledClientResumesFromJournaledOffset) {
       rig.history[1], ByteView(device.inspect()).first(rig.history[1].size())));
 }
 
+TEST(NetE2E, StaleCurrentAfterRebootTrustsTheJournalForward) {
+  // Regression: a device reboots between hops of a multi-hop upgrade.
+  // Its caller re-invokes update_device with the *original* release id
+  // (the boot firmware only knows what it shipped with), but the
+  // transfer journal holds a later hop in flight. The journal must win
+  // — requesting from the stale id would fetch a delta against bytes
+  // the device no longer holds and corrupt the image.
+  TcpRig rig(3, /*seed=*/75, {}, /*edits_per_release=*/60);
+  SKIP_IF_NO_SOCKETS(rig);
+  constexpr std::size_t kImageArea = 64 << 10;
+  constexpr JournalRegion kJournal{kImageArea, 16 << 10};
+  FlashDevice device(kImageArea + kJournal.size, 512, 96 << 10);
+  device.load_image(rig.history[0]);
+  clear_journal(device, kJournal);
+
+  TransferJournal journal;
+
+  // Hop 0 -> 1 completes cleanly.
+  {
+    OtaClient client(rig.factory());
+    const OtaReport r =
+        client.update_device(device, kJournal, 0, 1, channel_28k(), &journal);
+    ASSERT_EQ(r.final_release, 1u);
+  }
+
+  // Hop 1 -> 2: the link dies mid-download, stranding the journal with
+  // a partial artifact for from=1.
+  {
+    OtaClientOptions options;
+    options.max_chunk = 256;
+    options.max_attempts = 1;
+    OtaClient doomed(
+        [&rig]() -> std::unique_ptr<Transport> {
+          FaultOptions faults;
+          faults.kill_after_bytes = 1500;
+          return std::make_unique<FaultyTransport>(
+              TcpTransport::connect("127.0.0.1", rig.server->port()), faults,
+              nullptr);
+        },
+        options);
+    EXPECT_THROW(
+        doomed.update_device(device, kJournal, 1, 2, channel_28k(), &journal),
+        Error);
+  }
+  ASSERT_TRUE(journal.active);
+  ASSERT_EQ(journal.from, 1u);
+  ASSERT_LT(journal.received.size(), journal.total_size)
+      << "fault fired too late to test the stale-current resume";
+
+  // "Reboot": a fresh client is handed the STALE current = 0. The
+  // journaled hop (from = 1) must be resumed and finished first.
+  OtaClient revived(rig.factory());
+  const OtaReport report =
+      revived.update_device(device, kJournal, 0, 2, channel_28k(), &journal);
+  EXPECT_EQ(report.final_release, 2u);
+  EXPECT_GE(report.resumes, 1u);
+  EXPECT_TRUE(test::bytes_equal(
+      rig.history[2], ByteView(device.inspect()).first(rig.history[2].size())));
+}
+
 TEST(NetE2E, PowerFailureMidApplyResumesBothJournals) {
   TcpRig rig(2, /*seed=*/72);
   SKIP_IF_NO_SOCKETS(rig);
