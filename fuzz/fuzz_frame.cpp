@@ -1,0 +1,52 @@
+// Fuzz target: the wire frame decoder (net/frame.hpp), the first parser
+// every byte from a peer must pass. Contract under hostile input:
+//
+//  * never crash, hang, or read out of bounds;
+//  * either reject the stream with FormatError or produce frames that
+//    re-encode byte-identically to the consumed wire region (the CRC,
+//    version, and reserved-byte checks admit exactly the encoder's
+//    output, nothing else).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/frame.hpp"
+
+using namespace ipd;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ByteView input(data, size);
+
+  // Chunking must not change the result; derive a chunk size from the
+  // input so the fuzzer explores reassembly boundaries too.
+  const std::size_t chunk = size == 0 ? 1 : 1 + data[0] % 97;
+
+  FrameReader reader;
+  Bytes reencoded;
+  bool rejected = false;
+  try {
+    for (std::size_t at = 0; at < size; at += chunk) {
+      reader.feed(input.subspan(at, std::min(chunk, size - at)));
+      while (auto frame = reader.next()) {
+        if (frame->payload.size() > kMaxFramePayload) abort();
+        const Bytes wire = encode_frame(frame->type, frame->payload);
+        reencoded.insert(reencoded.end(), wire.begin(), wire.end());
+      }
+    }
+    reader.finish();
+  } catch (const FormatError&) {
+    rejected = true;  // the reject path is a correct outcome
+  }
+
+  // Every accepted frame came off the front of the stream, so the
+  // re-encodings must reproduce the consumed prefix exactly.
+  if (reencoded.size() > size ||
+      (!reencoded.empty() &&
+       std::memcmp(reencoded.data(), data, reencoded.size()) != 0)) {
+    abort();
+  }
+  // A fully consumed, cleanly finished stream must be all frames.
+  if (!rejected && reencoded.size() != size) abort();
+  return 0;
+}

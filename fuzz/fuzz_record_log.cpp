@@ -1,0 +1,86 @@
+// Fuzz target: RecordLog torn-tail recovery (store/record_log.cpp), the
+// parser under the artifact store's manifest and segment files. The
+// input is the record region of a log file; the harness prepends a valid
+// 16-byte file header so fuzzing explores the recovery scan rather than
+// the constant magic check (a second pass feeds the raw input as the
+// whole file to keep the header checks covered too). Contract:
+//
+//  * recover() never crashes; it visits a CRC-valid record prefix and
+//    truncates the rest;
+//  * every offset recover() reported must read back via read_at() with
+//    an identical payload (recovery and point reads must agree on what
+//    the durable prefix is);
+//  * after recovery size() is exactly header + visited frames.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/io.hpp"
+#include "store/record_log.hpp"
+
+using namespace ipd;
+
+namespace {
+
+constexpr char kMagic[9] = "FUZZLOG1";
+
+std::filesystem::path scratch_path() {
+  static const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("ipdelta_fuzz_record_log_" + std::to_string(::getpid()) + ".dat");
+  return path;
+}
+
+void drive(const std::filesystem::path& path) {
+  try {
+    RecordLog log = RecordLog::open(path, kMagic);
+    std::vector<std::pair<std::uint64_t, Bytes>> seen;
+    const RecoverStats stats = log.recover([&](std::uint64_t offset,
+                                               Bytes payload) {
+      seen.emplace_back(offset, std::move(payload));
+    });
+    if (stats.records != seen.size()) abort();
+    std::uint64_t expected_end = RecordLog::first_record_offset();
+    for (const auto& [offset, payload] : seen) {
+      if (log.read_at(offset) != payload) abort();
+      if (offset != expected_end) abort();
+      expected_end += RecordLog::framed_size(payload.size());
+    }
+    if (log.size() != expected_end) abort();
+    if (stats.durable_bytes != expected_end) abort();
+  } catch (const StoreError&) {
+    // rejected (bad file header, unreadable): fine
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::filesystem::path path = scratch_path();
+
+  // Pass 1: input is the record region behind a valid file header.
+  {
+    RecordLog log = RecordLog::create(path, kMagic);
+    (void)log;  // wrote header + synced
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) return 0;  // scratch dir unavailable: skip
+    if (size > 0) std::fwrite(data, 1, size, f);
+    std::fclose(f);
+  }
+  drive(path);
+
+  // Pass 2: input is the whole file — header checks included.
+  write_file(path, ByteView(data, size));
+  drive(path);
+
+  std::filesystem::remove(path);
+  return 0;
+}

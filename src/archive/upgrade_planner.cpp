@@ -16,6 +16,7 @@ UpgradePlanner::UpgradePlanner(
   if (options_.max_hop_span == 0) {
     throw ValidationError("planner: max_hop_span must be >= 1");
   }
+  const MutexLock lock(mutex_);
   for (const auto& body : releases_) {
     if (!body) throw ValidationError("planner: null release body");
   }
@@ -41,21 +42,21 @@ UpgradePlanner::UpgradePlanner(const std::vector<ByteView>& releases,
     : UpgradePlanner(copy_views(releases), options) {}
 
 std::size_t UpgradePlanner::release_count() const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return releases_.size();
 }
 
 std::size_t UpgradePlanner::append_release(
     std::shared_ptr<const Bytes> body) {
   if (!body) throw ValidationError("planner: null release body");
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   releases_.push_back(std::move(body));
   return releases_.size() - 1;
 }
 
 std::shared_ptr<const Bytes> UpgradePlanner::body_ref(
     std::size_t id) const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("planner: no release " + std::to_string(id));
   }
@@ -79,7 +80,7 @@ std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
 
 void UpgradePlanner::seed_edge(std::size_t from, std::size_t to,
                                Bytes artifact) {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (from >= to || to >= releases_.size()) {
     throw ValidationError("planner: need from < to < release_count");
   }
@@ -106,7 +107,7 @@ void UpgradePlanner::seed_edge(std::size_t from, std::size_t to,
 }
 
 std::uint64_t UpgradePlanner::prebuild(std::size_t from, std::size_t to) {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (from >= to || to >= releases_.size()) {
     throw ValidationError("planner: need from < to < release_count");
   }
@@ -115,12 +116,12 @@ std::uint64_t UpgradePlanner::prebuild(std::size_t from, std::size_t to) {
 
 bool UpgradePlanner::materialized(std::size_t from,
                                   std::size_t to) const {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return delta_cache_.contains({from, to});
 }
 
 UpgradePlan UpgradePlanner::plan(std::size_t from, std::size_t to) {
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (from >= to || to >= releases_.size()) {
     throw ValidationError("planner: need from < to < release_count");
   }
@@ -224,7 +225,7 @@ Bytes UpgradePlanner::step_artifact(const UpgradeStep& step) {
   if (step.full_image) {
     return *body_ref(step.to);  // copy of the shared body
   }
-  std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   if (step.to >= releases_.size() || step.from >= step.to) {
     throw ValidationError("planner: bad step");
   }

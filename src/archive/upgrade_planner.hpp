@@ -39,11 +39,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "device/channel.hpp"
 #include "ipdelta.hpp"
 
@@ -148,15 +148,17 @@ class UpgradePlanner {
   }
 
  private:
-  /// Caller must hold mutex_.
-  std::uint64_t edge_bytes_locked(std::size_t from, std::size_t to);
+  std::uint64_t edge_bytes_locked(std::size_t from, std::size_t to)
+      REQUIRES(mutex_);
   /// Shared reference to one body (locks internally).
-  std::shared_ptr<const Bytes> body_ref(std::size_t id) const;
+  std::shared_ptr<const Bytes> body_ref(std::size_t id) const
+      EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;  ///< guards releases_ and delta_cache_
-  std::vector<std::shared_ptr<const Bytes>> releases_;
+  mutable Mutex mutex_{"UpgradePlanner"};
+  std::vector<std::shared_ptr<const Bytes>> releases_ GUARDED_BY(mutex_);
   PlannerOptions options_;
-  std::map<std::pair<std::size_t, std::size_t>, Bytes> delta_cache_;
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> delta_cache_
+      GUARDED_BY(mutex_);
   std::atomic<std::size_t> deltas_built_{0};
 };
 

@@ -12,11 +12,24 @@ namespace {
 /// "permission denied" etc. when the C library recorded a cause; stream
 /// operations do not always set errno, so absence is not an error.
 std::string errno_suffix() {
-  return errno != 0 ? std::string(" (") + std::strerror(errno) + ")"
+  return errno != 0 ? std::string(" (") + errno_message(errno) + ")"
                     : std::string();
 }
 
 }  // namespace
+
+std::string errno_message(int err) {
+  char buf[256] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r may return a static immutable string instead of buf.
+  return std::string(strerror_r(err, buf, sizeof buf));
+#else
+  if (strerror_r(err, buf, sizeof buf) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return std::string(buf);
+#endif
+}
 
 Bytes read_file(const std::filesystem::path& path) {
   errno = 0;

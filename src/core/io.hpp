@@ -2,10 +2,16 @@
 #pragma once
 
 #include <filesystem>
+#include <string>
 
 #include "core/types.hpp"
 
 namespace ipd {
+
+/// Thread-safe strerror: every subsystem that reports an errno goes
+/// through here instead of std::strerror, whose shared static buffer
+/// races under concurrent failures (clang-tidy concurrency-mt-unsafe).
+std::string errno_message(int err);
 
 /// Read an entire file into memory. Throws IoError on failure.
 Bytes read_file(const std::filesystem::path& path);

@@ -94,6 +94,16 @@ Bytes lzss_encode(ByteView input) {
 }
 
 Bytes lzss_decode(ByteView input, std::size_t expected_size) {
+  // Expansion bound before the reserve(): one input byte contributes at
+  // most kLzssMaxMatch output bytes (a match token is 3 bytes plus its
+  // flag bit), so a header declaring more than that is unsatisfiable.
+  // `expected_size` comes from untrusted container headers; without this
+  // check a 30-byte delta can demand an exabyte allocation and the
+  // resulting bad_alloc bypasses every FormatError reject path
+  // (fuzz/corpus/codec/crash-01-lzss-size-bomb.bin).
+  if (expected_size / kLzssMaxMatch > input.size()) {
+    throw FormatError("lzss: declared size exceeds maximum expansion");
+  }
   Bytes out;
   out.reserve(expected_size);
 

@@ -1,10 +1,10 @@
 #include "core/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "core/sync.hpp"
 
 namespace ipd {
 
@@ -24,9 +24,9 @@ struct ForState {
   std::size_t chunks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::exception_ptr error;
+  Mutex mutex{"parallel_for"};
+  ConditionVariable cv;
+  std::exception_ptr error GUARDED_BY(mutex);
 };
 
 void drain(const std::shared_ptr<ForState>& state) {
@@ -37,14 +37,14 @@ void drain(const std::shared_ptr<ForState>& state) {
     try {
       state->body(i);
     } catch (...) {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (!state->error) state->error = std::current_exception();
     }
     // acq_rel: publishes this chunk's writes to whoever observes the
     // final count (the caller reads `done` with acquire below).
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->chunks) {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->cv.notify_all();
     }
   }
@@ -75,13 +75,21 @@ void parallel_for(const ParallelContext& ctx, std::size_t chunks,
 
   drain(state);  // caller participation — guarantees progress
 
+  std::exception_ptr error;
   {
-    std::unique_lock lock(state->mutex);
-    state->cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == chunks;
-    });
+    UniqueLock lock(state->mutex);
+    while (state->done.load(std::memory_order_acquire) != chunks) {
+      state->cv.wait(lock);
+    }
+    // Move, not copy, under the lock that guards it: a helper that lost
+    // every claim race may hold the last ForState reference and destroy
+    // it after we return — moving leaves it a null exception_ptr so the
+    // exception object's lifetime belongs to this thread alone. (No
+    // writer can race the move: done == chunks means every body call,
+    // and therefore every catch, has completed.)
+    error = std::move(state->error);
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ipd

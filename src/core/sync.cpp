@@ -1,0 +1,180 @@
+// Runtime lock-order validator (IPDELTA_SANITIZE=lockorder).
+//
+// Model: lockdep-lite over mutex *instances*. Each thread keeps a stack
+// of the locks it holds. Acquiring B while holding A (A = current top
+// of stack) records the directed edge A -> B in a global graph together
+// with the acquisition backtrace that created it. Before the edge is
+// added, a DFS asks whether B already reaches A — if so, some thread
+// has taken these locks in the opposite order and the program has a
+// latent deadlock, even if no two threads ever actually collided. We
+// abort right there, printing the current acquisition stack and the
+// recorded stack of every edge on the inverse path.
+//
+// Top-of-stack edges are sufficient: holding A,B and then taking C
+// records B->C, and A->C follows transitively through A->B in the DFS.
+//
+// Everything here is off unless IPDELTA_LOCK_ORDER is defined (the
+// CMake IPDELTA_SANITIZE=lockorder branch); sync.hpp's hooks compile to
+// (void)0 otherwise and this translation unit is empty.
+
+#include "core/sync.hpp"
+
+#if defined(IPDELTA_LOCK_ORDER)
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ipd::lockorder {
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+struct Held {
+  const void* mutex;
+  const char* name;
+};
+
+// The validator's own bookkeeping lock is a plain std::mutex: it must
+// not feed back into the graph it maintains.
+struct Edge {
+  std::string from_name;
+  std::string to_name;
+  std::string stack;  // backtrace of the acquisition that created it
+};
+
+struct Graph {
+  std::mutex mu;
+  // adj[a][b] = the edge a -> b ("b was acquired while a was held").
+  std::unordered_map<const void*,
+                     std::unordered_map<const void*, Edge>>
+      adj;
+};
+
+Graph& graph() {
+  // Heap-allocated and never destroyed: worker threads may still be
+  // releasing locks while static destructors run.
+  static Graph* g = new Graph;
+  return *g;
+}
+
+thread_local std::vector<Held> t_held;
+
+std::string capture_stack() {
+  void* frames[kMaxFrames];
+  int n = backtrace(frames, kMaxFrames);
+  char** symbols = backtrace_symbols(frames, n);
+  std::string out;
+  // Skip the validator's own frames (capture_stack, pre_acquire/acquired,
+  // Mutex::lock) — callers start around frame 3.
+  for (int i = 3; i < n; ++i) {
+    out += "    ";
+    out += symbols != nullptr ? symbols[i] : "<unresolved>";
+    out += "\n";
+  }
+  std::free(symbols);
+  return out;
+}
+
+std::string render_held() {
+  std::string out;
+  for (const Held& h : t_held) {
+    out += out.empty() ? "" : " -> ";
+    out += h.name;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+// Is `to` reachable from `from` in the edge graph? Caller holds graph().mu.
+// On success fills `path` with the edges of one from ->* to walk.
+bool find_path(const Graph& g, const void* from, const void* to,
+               std::unordered_set<const void*>& seen,
+               std::vector<const Edge*>& path) {
+  if (from == to) return true;
+  if (!seen.insert(from).second) return false;
+  auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (const auto& [next, edge] : it->second) {
+    path.push_back(&edge);
+    if (find_path(g, next, to, seen, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void die(const std::string& report) {
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void pre_acquire(const void* mutex, const char* name) {
+  for (const Held& h : t_held) {
+    if (h.mutex == mutex) {
+      die("ipdelta lockorder: recursive acquisition of '" +
+          std::string(name) + "' (non-recursive mutex relocked by its "
+          "own thread)\n  held: " + render_held() +
+          "\n  second acquisition at:\n" + capture_stack());
+    }
+  }
+  if (t_held.empty()) return;
+  const Held& top = t_held.back();
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  auto& edges = g.adj[top.mutex];
+  if (edges.find(mutex) != edges.end()) return;  // known-good order
+  std::unordered_set<const void*> seen;
+  std::vector<const Edge*> path;
+  if (find_path(g, mutex, top.mutex, seen, path)) {
+    std::string report =
+        "ipdelta lockorder: lock-order inversion (potential deadlock)\n"
+        "  this thread holds " + render_held() + " and is acquiring '" +
+        name + "'\n  but '" + name + "' was previously ordered before '" +
+        top.name + "':\n";
+    for (const Edge* e : path) {
+      report += "  edge '" + e->from_name + "' -> '" + e->to_name +
+                "' acquired at:\n" + e->stack;
+    }
+    report += "  current acquisition of '" + std::string(name) +
+              "' at:\n" + capture_stack();
+    die(report);
+  }
+  edges.emplace(mutex, Edge{top.name, name, capture_stack()});
+}
+
+void acquired(const void* mutex, const char* name) {
+  t_held.push_back(Held{mutex, name});
+}
+
+void released(const void* mutex) {
+  // Unlock order need not mirror lock order; erase the newest match.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void destroyed(const void* mutex) {
+  // Forget a destroyed mutex entirely: its address may be reused by an
+  // unrelated lock, and stale edges would report phantom inversions.
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.adj.erase(mutex);
+  for (auto& [from, edges] : g.adj) {
+    (void)from;
+    edges.erase(mutex);
+  }
+}
+
+}  // namespace ipd::lockorder
+
+#endif  // IPDELTA_LOCK_ORDER

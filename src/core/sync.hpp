@@ -1,0 +1,305 @@
+// Annotated synchronization primitives: the one place in the tree that
+// is allowed to name std::mutex.
+//
+// Every lock in the codebase goes through ipd::Mutex / ipd::SharedMutex
+// so that two orthogonal checkers can see it:
+//
+//  1. Clang Thread Safety Analysis (compile time). The CAPABILITY /
+//     GUARDED_BY / REQUIRES macros below expand to Clang's
+//     thread-safety attributes under Clang and to nothing elsewhere, so
+//     a GCC build is byte-identical to before while a Clang build with
+//     -Werror=thread-safety *proves* lock discipline: a guarded field
+//     touched without its mutex, a REQUIRES helper called unlocked, or
+//     a lock leaked out of scope is a compile error. Conventions are
+//     documented in docs/ANALYSIS.md.
+//
+//  2. A runtime lock-order validator (IPDELTA_SANITIZE=lockorder).
+//     Each thread keeps a stack of held locks; each acquisition while
+//     holding another lock records a directed edge in a global
+//     lock-order graph. A cycle — i.e. some thread has ever taken the
+//     locks in the opposite order, a latent deadlock even if the two
+//     threads never collided yet — aborts immediately and prints both
+//     acquisition stacks. The check runs at acquisition time, before
+//     blocking, so a would-be deadlock reports instead of hanging. When
+//     IPDELTA_LOCK_ORDER is off (the default) every hook compiles away
+//     and Mutex is exactly std::mutex.
+//
+// Waiting on a condition is done through ipd::UniqueLock +
+// ipd::ConditionVariable. Use the loop form with a REQUIRES-annotated
+// predicate helper, not the predicate overload of std::condition_variable
+// — a lambda body is a separate function to the analysis and cannot see
+// that the lock is held:
+//
+//   UniqueLock lock(mutex_);
+//   while (!ready_locked()) cv_.wait(lock);   // ready_locked REQUIRES(mutex_)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -------------------
+// Names follow the canonical mutex.h from the Clang TSA documentation;
+// they annotate declarations only and expand to nothing on non-Clang
+// compilers (and under SWIG-style tooling that chokes on attributes).
+#if defined(__clang__) && (!defined(SWIG))
+#define IPD_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define IPD_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) IPD_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY IPD_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) IPD_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) IPD_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  IPD_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  IPD_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  IPD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  IPD_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) IPD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  IPD_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) IPD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  IPD_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  IPD_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  IPD_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  IPD_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) IPD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) IPD_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  IPD_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) IPD_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  IPD_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace ipd {
+
+#if defined(IPDELTA_LOCK_ORDER)
+namespace lockorder {
+// Validator hooks, defined in sync.cpp. `pre_acquire` runs the
+// self-deadlock and cycle checks and records the new ordering edge
+// *before* the caller blocks on the native lock, so an inversion aborts
+// with a report instead of deadlocking. `acquired` pushes onto the
+// per-thread held stack; `released` pops (from anywhere in the stack —
+// unlock order need not mirror lock order).
+void pre_acquire(const void* mutex, const char* name);
+void acquired(const void* mutex, const char* name);
+void released(const void* mutex);
+void destroyed(const void* mutex);
+}  // namespace lockorder
+#define IPD_LOCKORDER_PRE_ACQUIRE(m, n) ::ipd::lockorder::pre_acquire(m, n)
+#define IPD_LOCKORDER_ACQUIRED(m, n) ::ipd::lockorder::acquired(m, n)
+#define IPD_LOCKORDER_RELEASED(m) ::ipd::lockorder::released(m)
+#define IPD_LOCKORDER_DESTROYED(m) ::ipd::lockorder::destroyed(m)
+#else
+#define IPD_LOCKORDER_PRE_ACQUIRE(m, n) (void)0
+#define IPD_LOCKORDER_ACQUIRED(m, n) (void)0
+#define IPD_LOCKORDER_RELEASED(m) (void)0
+#define IPD_LOCKORDER_DESTROYED(m) (void)0
+#endif
+
+/// A std::mutex with a capability annotation and (optionally) a name
+/// that the lock-order validator prints in its reports. Prefer the
+/// scoped guards below; call lock()/unlock() directly only where a
+/// guard genuinely cannot express the flow.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { IPD_LOCKORDER_DESTROYED(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    IPD_LOCKORDER_PRE_ACQUIRE(this, name_);
+    m_.lock();
+    IPD_LOCKORDER_ACQUIRED(this, name_);
+  }
+  void unlock() RELEASE() {
+    IPD_LOCKORDER_RELEASED(this);
+    m_.unlock();
+  }
+  /// try_lock cannot deadlock (it fails instead of blocking), so it is
+  /// exempt from the ordering check; a successful try_lock still joins
+  /// the held stack so later blocking acquisitions order against it.
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    IPD_LOCKORDER_ACQUIRED(this, name_);
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  /// The wrapped handle, for ConditionVariable only. Going around the
+  /// wrapper loses both the analysis and the validator bookkeeping.
+  std::mutex& native_handle() { return m_; }
+
+ private:
+  std::mutex m_;
+  const char* name_ = "mutex";
+};
+
+/// std::shared_mutex with a capability annotation. Shared (reader)
+/// acquisitions participate in lock-order validation exactly like
+/// exclusive ones: reader/writer does not change deadlock order.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex() { IPD_LOCKORDER_DESTROYED(this); }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    IPD_LOCKORDER_PRE_ACQUIRE(this, name_);
+    m_.lock();
+    IPD_LOCKORDER_ACQUIRED(this, name_);
+  }
+  void unlock() RELEASE() {
+    IPD_LOCKORDER_RELEASED(this);
+    m_.unlock();
+  }
+  void lock_shared() ACQUIRE_SHARED() {
+    IPD_LOCKORDER_PRE_ACQUIRE(this, name_);
+    m_.lock_shared();
+    IPD_LOCKORDER_ACQUIRED(this, name_);
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    IPD_LOCKORDER_RELEASED(this);
+    m_.unlock_shared();
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex m_;
+  const char* name_ = "shared_mutex";
+};
+
+/// RAII exclusive lock (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~WriterLock() RELEASE() { m_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~ReaderLock() RELEASE_GENERIC() { m_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// RAII exclusive lock that supports mid-scope unlock()/lock() and is
+/// the handle ConditionVariable waits on (std::unique_lock equivalent).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) ACQUIRE(m) : mutex_(m), lock_(m.native_handle(), std::defer_lock) {
+    IPD_LOCKORDER_PRE_ACQUIRE(&mutex_, mutex_.name());
+    lock_.lock();
+    IPD_LOCKORDER_ACQUIRED(&mutex_, mutex_.name());
+  }
+  ~UniqueLock() RELEASE() {
+    if (lock_.owns_lock()) IPD_LOCKORDER_RELEASED(&mutex_);
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void unlock() RELEASE() {
+    IPD_LOCKORDER_RELEASED(&mutex_);
+    lock_.unlock();
+  }
+  void lock() ACQUIRE() {
+    IPD_LOCKORDER_PRE_ACQUIRE(&mutex_, mutex_.name());
+    lock_.lock();
+    IPD_LOCKORDER_ACQUIRED(&mutex_, mutex_.name());
+  }
+
+  Mutex& mutex() RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  friend class ConditionVariable;
+  Mutex& mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over an ipd::Mutex via UniqueLock. The wait
+/// calls keep the validator's held-stack truthful across the internal
+/// unlock/relock. To the static analysis the lock is held for the whole
+/// wait — which is exactly the caller-visible contract.
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void wait(UniqueLock& lk) {
+    IPD_LOCKORDER_RELEASED(&lk.mutex_);
+    cv_.wait(lk.lock_);
+    IPD_LOCKORDER_ACQUIRED(&lk.mutex_, lk.mutex_.name());
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    IPD_LOCKORDER_RELEASED(&lk.mutex_);
+    std::cv_status status = cv_.wait_until(lk.lock_, tp);
+    IPD_LOCKORDER_ACQUIRED(&lk.mutex_, lk.mutex_.name());
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    IPD_LOCKORDER_RELEASED(&lk.mutex_);
+    std::cv_status status = cv_.wait_for(lk.lock_, dur);
+    IPD_LOCKORDER_ACQUIRED(&lk.mutex_, lk.mutex_.name());
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ipd

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -25,13 +25,13 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       throw Error("thread pool: submit after shutdown");
     }
@@ -44,8 +44,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!runnable_locked()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();

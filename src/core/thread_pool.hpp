@@ -17,16 +17,15 @@
 // wasteful — and deterministic drain makes tests simple).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "core/types.hpp"
 
 namespace ipd {
@@ -65,14 +64,17 @@ class ThreadPool {
   void post(std::function<void()> job) { enqueue(std::move(job)); }
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) EXCLUDES(mutex_);
+  void worker_loop() EXCLUDES(mutex_);
+  bool runnable_locked() const REQUIRES(mutex_) {
+    return stopping_ || !queue_.empty();
+  }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mutex_{"ThreadPool"};
+  ConditionVariable cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ipd

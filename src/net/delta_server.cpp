@@ -21,32 +21,45 @@ DeltaServer::DeltaServer(DeltaService& service,
 DeltaServer::~DeltaServer() { stop(); }
 
 void DeltaServer::start() {
-  if (started_) throw Error("DeltaServer: already started");
-  listener_ = std::make_unique<TcpListener>(options_.port);
-  pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
   {
-    // stop() leaves stopping_ set; a restarted server must accept again
-    // instead of answering every connection with ERROR{kBusy}.
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    stopping_ = false;
+    MutexLock lock(sessions_mutex_);
+    if (started_) throw Error("DeltaServer: already started");
+    started_ = true;
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  started_ = true;
+  try {
+    listener_ = std::make_unique<TcpListener>(options_.port);
+    pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
+    {
+      // stop() leaves stopping_ set; a restarted server must accept again
+      // instead of answering every connection with ERROR{kBusy}.
+      MutexLock lock(sessions_mutex_);
+      stopping_ = false;
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  } catch (...) {
+    // A failed bind must not wedge the server in "already started".
+    pool_.reset();
+    listener_.reset();
+    MutexLock lock(sessions_mutex_);
+    started_ = false;
+    throw;
+  }
 }
 
 void DeltaServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     stopping_ = true;
   }
   if (listener_) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     for (Transport* session : sessions_) session->close();
   }
   pool_.reset();  // drains: every session sees its closed transport and exits
   listener_.reset();
+  MutexLock lock(sessions_mutex_);
   started_ = false;
 }
 
@@ -56,7 +69,7 @@ std::uint16_t DeltaServer::port() const {
 }
 
 std::size_t DeltaServer::active_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(sessions_mutex_);
   return sessions_.size();
 }
 
@@ -83,7 +96,7 @@ void DeltaServer::accept_loop() {
     std::unique_ptr<Transport> transport = std::move(accepted);
     bool full = false;
     {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       full = stopping_ || sessions_.size() >= options_.max_sessions;
       if (!full) sessions_.insert(transport.get());
     }
@@ -103,7 +116,7 @@ void DeltaServer::accept_loop() {
     }
     pool_->submit([this, session = std::move(transport)]() mutable {
       serve_session(*session);
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       sessions_.erase(session.get());
     });
   }

@@ -23,10 +23,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
+#include "core/sync.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/transport.hpp"
 #include "server/delta_service.hpp"
@@ -90,11 +90,15 @@ class DeltaServer {
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
-  bool started_ = false;
 
-  mutable std::mutex sessions_mutex_;
-  std::unordered_set<Transport*> sessions_;
-  bool stopping_ = false;
+  mutable Mutex sessions_mutex_{"DeltaServer::sessions"};
+  std::unordered_set<Transport*> sessions_ GUARDED_BY(sessions_mutex_);
+  bool stopping_ GUARDED_BY(sessions_mutex_) = false;
+  /// Guarded too: start() and stop() may be called from different
+  /// threads (the destructor runs stop() from whichever thread drops the
+  /// server), and an unguarded flag next to a guarded one is exactly the
+  /// kind of torn handshake the annotation pass exists to catch.
+  bool started_ GUARDED_BY(sessions_mutex_) = false;
 };
 
 }  // namespace ipd

@@ -38,7 +38,7 @@ std::size_t FaultyTransport::read_some(MutByteView out) {
     // clamped away below were already consumed from the stream, so a
     // post-read check would block forever waiting for data that the
     // budget already swallowed.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (options_.kill_after_bytes > 0 &&
         bytes_ >= options_.kill_after_bytes) {
       if (stats_ != nullptr) stats_->drops.fetch_add(1);
@@ -51,7 +51,7 @@ std::size_t FaultyTransport::read_some(MutByteView out) {
   bool drop = false;
   std::size_t flip_bit = SIZE_MAX;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (options_.kill_after_bytes > 0) {
       // Deliver only the in-budget prefix; the tail dies with the link
       // on the next operation.
@@ -89,7 +89,7 @@ void FaultyTransport::write_all(ByteView data) {
   std::size_t cut = 0;
   std::size_t flip_bit = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (options_.kill_after_bytes > 0) {
       if (bytes_ >= options_.kill_after_bytes) {
         if (stats_ != nullptr) stats_->drops.fetch_add(1);

@@ -18,9 +18,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "core/rng.hpp"
+#include "core/sync.hpp"
 #include "device/channel.hpp"
 #include "net/transport.hpp"
 
@@ -82,10 +82,10 @@ class FaultyTransport final : public Transport {
   std::unique_ptr<Transport> inner_;
   FaultOptions options_;
   FaultStats* stats_;
-  std::mutex mutex_;  // guards rng_, ops_, bytes_ (close() may race a read)
-  Rng rng_;
-  std::size_t ops_ = 0;
-  std::uint64_t bytes_ = 0;
+  Mutex mutex_{"FaultyTransport"};  // close() may race a read
+  Rng rng_ GUARDED_BY(mutex_);
+  std::size_t ops_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_ GUARDED_BY(mutex_) = 0;
   std::atomic<bool> dead_{false};
 };
 

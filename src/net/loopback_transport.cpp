@@ -9,17 +9,20 @@ namespace detail {
 
 std::size_t LoopbackEndpoint::read_some(MutByteView out) {
   if (out.empty()) return 0;
-  std::unique_lock<std::mutex> lock(core_->mutex);
+  UniqueLock lock(core_->mutex);
   std::deque<std::uint8_t>& queue = is_a_ ? core_->b_to_a : core_->a_to_b;
-  const auto ready = [&] { return !queue.empty() || core_->closed; };
   const int timeout_ms = timeout_ms_.load(std::memory_order_relaxed);
   if (timeout_ms > 0) {
-    if (!core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                            ready)) {
-      throw TransportError("loopback: read timeout (idle connection)");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (queue.empty() && !core_->closed) {
+      if (core_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          queue.empty() && !core_->closed) {
+        throw TransportError("loopback: read timeout (idle connection)");
+      }
     }
   } else {
-    core_->cv.wait(lock, ready);
+    while (queue.empty() && !core_->closed) core_->cv.wait(lock);
   }
   if (queue.empty()) return 0;  // closed and drained: EOF
   const std::size_t n = std::min(out.size(), queue.size());
@@ -29,7 +32,7 @@ std::size_t LoopbackEndpoint::read_some(MutByteView out) {
 }
 
 void LoopbackEndpoint::write_all(ByteView data) {
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   if (core_->closed) {
     throw TransportError("loopback: write to closed connection");
   }
@@ -39,7 +42,7 @@ void LoopbackEndpoint::write_all(ByteView data) {
 }
 
 void LoopbackEndpoint::close() noexcept {
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   core_->closed = true;
   core_->cv.notify_all();
 }

@@ -15,12 +15,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "core/sync.hpp"
 #include "net/transport.hpp"
 
 namespace ipd {
@@ -34,11 +33,11 @@ namespace detail {
 
 /// Shared state of one loopback connection: two directed byte queues.
 struct LoopbackCore {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::uint8_t> a_to_b;
-  std::deque<std::uint8_t> b_to_a;
-  bool closed = false;  ///< either side hung up
+  Mutex mutex{"LoopbackCore"};
+  ConditionVariable cv;
+  std::deque<std::uint8_t> a_to_b GUARDED_BY(mutex);
+  std::deque<std::uint8_t> b_to_a GUARDED_BY(mutex);
+  bool closed GUARDED_BY(mutex) = false;  ///< either side hung up
 };
 
 class LoopbackEndpoint final : public Transport {

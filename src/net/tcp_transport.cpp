@@ -10,12 +10,14 @@
 #include <cerrno>
 #include <cstring>
 
+#include "core/io.hpp"
+
 namespace ipd {
 
 namespace {
 
 [[noreturn]] void raise_errno(const std::string& what) {
-  throw TransportError(what + ": " + std::strerror(errno));
+  throw TransportError(what + ": " + errno_message(errno));
 }
 
 std::string describe(const sockaddr_in& addr) {

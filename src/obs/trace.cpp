@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace ipd::obs {
 
@@ -41,9 +42,9 @@ struct TraceEvent {
 /// Captured events. Heap-allocated and never destroyed so that threads
 /// flushing during process teardown cannot touch a dead vector.
 struct TraceCollector {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  bool overflowed = false;
+  Mutex mutex{"TraceCollector"};
+  std::vector<TraceEvent> events GUARDED_BY(mutex);
+  bool overflowed GUARDED_BY(mutex) = false;
 };
 
 TraceCollector& collector() {
@@ -87,7 +88,7 @@ struct ThreadSink {
     }
     if (!events.empty()) {
       TraceCollector& c = collector();
-      const std::lock_guard<std::mutex> lock(c.mutex);
+      const MutexLock lock(c.mutex);
       for (TraceEvent& e : events) {
         if (c.events.size() >= kMaxTraceEvents) {
           c.overflowed = true;
@@ -152,21 +153,21 @@ bool tracing_enabled() noexcept {
 
 void clear_trace_events() {
   TraceCollector& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mutex);
+  const MutexLock lock(c.mutex);
   c.events.clear();
   c.overflowed = false;
 }
 
 std::size_t trace_event_count() {
   TraceCollector& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mutex);
+  const MutexLock lock(c.mutex);
   return c.events.size();
 }
 
 std::string trace_events_json() {
   flush_thread_stats();
   TraceCollector& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mutex);
+  const MutexLock lock(c.mutex);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   char buf[256];

@@ -30,7 +30,7 @@ std::shared_ptr<const Bytes> DeltaCache::get(const DeltaKey& key) {
   Shard& shard = shard_for(key);
   std::shared_ptr<const Bytes> value;
   {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -54,7 +54,7 @@ bool DeltaCache::put(const DeltaKey& key,
     const Report report = gate_->check(ByteView(*value));
     if (!report.ok()) {
       {
-        std::lock_guard lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         ++shard.rejected_unsafe;
       }
       if (metrics_ != nullptr) {
@@ -70,7 +70,7 @@ bool DeltaCache::put(const DeltaKey& key,
   std::uint64_t evicted = 0;
   bool rejected = false;
   {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (size > shard_budget_) {
       ++shard.rejected;
       rejected = true;
@@ -113,7 +113,7 @@ bool DeltaCache::put(const DeltaKey& key,
 DeltaCache::Stats DeltaCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total.bytes_held += shard->bytes;
     total.entries += shard->lru.size();
     total.evictions += shard->evictions;

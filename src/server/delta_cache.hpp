@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "core/types.hpp"
 #include "server/metrics.hpp"
 #include "server/version_store.hpp"
@@ -96,14 +96,14 @@ class DeltaCache {
     std::shared_ptr<const Bytes> value;
   };
   struct Shard {
-    std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
+    Mutex mutex{"DeltaCache::Shard"};
+    std::list<Entry> lru GUARDED_BY(mutex);  // front = most recently used
     std::unordered_map<DeltaKey, std::list<Entry>::iterator, DeltaKeyHash>
-        index;
-    std::uint64_t bytes = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t rejected_unsafe = 0;
+        index GUARDED_BY(mutex);
+    std::uint64_t bytes GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions GUARDED_BY(mutex) = 0;
+    std::uint64_t rejected GUARDED_BY(mutex) = 0;
+    std::uint64_t rejected_unsafe GUARDED_BY(mutex) = 0;
   };
 
   Shard& shard_for(const DeltaKey& key) noexcept;

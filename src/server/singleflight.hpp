@@ -11,8 +11,9 @@
 #pragma once
 
 #include <future>
-#include <mutex>
 #include <unordered_map>
+
+#include "core/sync.hpp"
 
 namespace ipd {
 
@@ -29,7 +30,7 @@ class Singleflight {
     std::shared_future<Value> flight;
     bool leader = false;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = inflight_.find(key);
       if (it != inflight_.end()) {
         flight = it->second;
@@ -57,18 +58,19 @@ class Singleflight {
 
   /// Flights currently in progress (tests / introspection).
   std::size_t inflight() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return inflight_.size();
   }
 
  private:
-  void finish(const Key& key) {
-    std::lock_guard lock(mutex_);
+  void finish(const Key& key) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     inflight_.erase(key);
   }
 
-  std::mutex mutex_;
-  std::unordered_map<Key, std::shared_future<Value>, Hash> inflight_;
+  Mutex mutex_{"Singleflight"};
+  std::unordered_map<Key, std::shared_future<Value>, Hash> inflight_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace ipd

@@ -1,6 +1,5 @@
 #include "server/version_store.hpp"
 
-#include <mutex>
 #include <string>
 
 #include "core/checksum.hpp"
@@ -10,7 +9,7 @@ namespace ipd {
 ReleaseId VersionStore::publish(Bytes body) {
   const ContentKey key{crc32c(body), body.size()};
   auto shared = std::make_shared<const Bytes>(std::move(body));
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   const ReleaseId id = static_cast<ReleaseId>(bodies_.size());
   bodies_.push_back(std::move(shared));
   keys_.push_back(key);
@@ -20,12 +19,12 @@ ReleaseId VersionStore::publish(Bytes body) {
 }
 
 std::size_t VersionStore::release_count() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return bodies_.size();
 }
 
 std::shared_ptr<const Bytes> VersionStore::body(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (id >= bodies_.size()) {
     throw ValidationError("version store: no release " + std::to_string(id));
   }
@@ -33,7 +32,7 @@ std::shared_ptr<const Bytes> VersionStore::body(ReleaseId id) const {
 }
 
 ContentKey VersionStore::content_key(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (id >= keys_.size()) {
     throw ValidationError("version store: no release " + std::to_string(id));
   }
@@ -41,14 +40,14 @@ ContentKey VersionStore::content_key(ReleaseId id) const {
 }
 
 std::optional<ReleaseId> VersionStore::find(const ContentKey& key) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   const auto it = by_content_.find(key);
   if (it == by_content_.end()) return std::nullopt;
   return it->second;
 }
 
 ReleaseId VersionStore::latest() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (bodies_.empty()) {
     throw ValidationError("version store: empty history has no latest");
   }

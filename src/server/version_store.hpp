@@ -33,9 +33,9 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "core/types.hpp"
 
 namespace ipd {
@@ -93,10 +93,11 @@ class VersionStore {
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::vector<std::shared_ptr<const Bytes>> bodies_;
-  std::vector<ContentKey> keys_;
-  std::map<ContentKey, ReleaseId> by_content_;  // latest id per content
+  mutable SharedMutex mutex_{"VersionStore"};
+  std::vector<std::shared_ptr<const Bytes>> bodies_ GUARDED_BY(mutex_);
+  std::vector<ContentKey> keys_ GUARDED_BY(mutex_);
+  /// Latest id per content.
+  std::map<ContentKey, ReleaseId> by_content_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> duplicate_publishes_{0};
 };
 

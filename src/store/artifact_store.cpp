@@ -87,7 +87,7 @@ ArtifactStore::ArtifactStore(const std::filesystem::path& dir,
       verifier_(VerifyOptions{.require_in_place = true}),
       cache_(dir / "cache", options.cache_budget, &metrics_) {
   const std::uint64_t t0 = obs::now_ns();
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   load_locked();
   metrics_.open_ns.record(obs::now_ns() - t0);
 }
@@ -227,12 +227,12 @@ void ArtifactStore::load_locked() {
 }
 
 std::size_t ArtifactStore::release_count() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return releases_.size();
 }
 
 StoredRelease ArtifactStore::record(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("store: no release " + std::to_string(id));
   }
@@ -240,7 +240,7 @@ StoredRelease ArtifactStore::record(ReleaseId id) const {
 }
 
 std::vector<StoredRelease> ArtifactStore::releases() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return releases_;
 }
 
@@ -249,14 +249,14 @@ ContentKey ArtifactStore::content_key(ReleaseId id) const {
 }
 
 std::optional<ReleaseId> ArtifactStore::find(const ContentKey& key) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const auto it = by_content_.find(key);
   if (it == by_content_.end()) return std::nullopt;
   return it->second;
 }
 
 ReleaseId ArtifactStore::latest() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   if (releases_.empty()) {
     throw ValidationError("store: empty history has no latest");
   }
@@ -264,7 +264,7 @@ ReleaseId ArtifactStore::latest() const {
 }
 
 std::vector<StoredEdge> ArtifactStore::stored_edges() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   std::vector<StoredEdge> edges;
   for (const StoredRelease& rel : releases_) {
     if (rel.kind == StoredKind::kDelta) {
@@ -275,7 +275,7 @@ std::vector<StoredEdge> ArtifactStore::stored_edges() const {
 }
 
 Bytes ArtifactStore::stored_artifact(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("store: no release " + std::to_string(id));
   }
@@ -283,7 +283,7 @@ Bytes ArtifactStore::stored_artifact(ReleaseId id) const {
 }
 
 std::uint64_t ArtifactStore::segment_bytes() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return segment_.size();
 }
 
@@ -294,7 +294,7 @@ Bytes ArtifactStore::artifact_locked(ReleaseId id) const {
 void ArtifactStore::gate_delta_locked(ReleaseId id,
                                       ByteView artifact) const {
   {
-    std::lock_guard guard(verified_mutex_);
+    const MutexLock guard(verified_mutex_);
     if (verified_.contains(id)) return;
   }
   const Report report = verifier_.check(artifact);
@@ -310,7 +310,7 @@ void ArtifactStore::gate_delta_locked(ReleaseId id,
     }
     throw StoreError(why);
   }
-  std::lock_guard guard(verified_mutex_);
+  const MutexLock guard(verified_mutex_);
   verified_.insert(id);
 }
 
@@ -327,7 +327,7 @@ ChainStats ArtifactStore::chain_stats_locked(ReleaseId id) const {
 }
 
 ChainStats ArtifactStore::chain_stats(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("store: no release " + std::to_string(id));
   }
@@ -335,7 +335,7 @@ ChainStats ArtifactStore::chain_stats(ReleaseId id) const {
 }
 
 std::shared_ptr<const Bytes> ArtifactStore::body(ReleaseId id) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("store: no release " + std::to_string(id));
   }
@@ -502,7 +502,7 @@ std::pair<Script, ReleaseId> ArtifactStore::fold_chain_locked(
 ReleaseId ArtifactStore::publish(Bytes body) {
   const std::uint64_t t0 = obs::now_ns();
   const ContentKey key{crc32c(body), body.size()};
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   metrics_.publishes.fetch_add(1, std::memory_order_relaxed);
 
   if (releases_.empty()) {
@@ -564,7 +564,7 @@ ReleaseId ArtifactStore::publish(Bytes body) {
 }
 
 bool ArtifactStore::compact(ReleaseId id) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   if (id >= releases_.size()) {
     throw ValidationError("store: no release " + std::to_string(id));
   }
@@ -590,14 +590,14 @@ bool ArtifactStore::compact(ReleaseId id) {
   metrics_.folds.fetch_add(1, std::memory_order_relaxed);
   {
     // The artifact changed; the old verification verdict is stale.
-    std::lock_guard guard(verified_mutex_);
+    const MutexLock guard(verified_mutex_);
     verified_.erase(id);
   }
   return true;
 }
 
 std::uint64_t ArtifactStore::gc() {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   const std::uint64_t before =
       segment_.size() + manifest_.size();
 
@@ -657,7 +657,7 @@ std::uint64_t ArtifactStore::gc() {
 }
 
 void ArtifactStore::check() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   for (const StoredRelease& rel : releases_) {
     const Bytes artifact = artifact_locked(rel.id);  // frame CRCs
     if (rel.kind == StoredKind::kDelta) {

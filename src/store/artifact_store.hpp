@@ -36,10 +36,10 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "ipdelta.hpp"
 #include "server/version_store.hpp"
 #include "store/chain_policy.hpp"
@@ -172,19 +172,24 @@ class ArtifactStore {
  private:
   struct PendingArtifact;
 
-  void load_locked();
-  std::shared_ptr<const Bytes> reconstruct_locked(ReleaseId id) const;
-  Bytes artifact_locked(ReleaseId id) const;
+  void load_locked() REQUIRES(mutex_);
+  std::shared_ptr<const Bytes> reconstruct_locked(ReleaseId id) const
+      REQUIRES_SHARED(mutex_);
+  Bytes artifact_locked(ReleaseId id) const REQUIRES_SHARED(mutex_);
   /// Verifier gate for a disk-loaded delta artifact (once per release
   /// per process; artifacts are immutable).
-  void gate_delta_locked(ReleaseId id, ByteView artifact) const;
-  ChainStats chain_stats_locked(ReleaseId id) const;
+  void gate_delta_locked(ReleaseId id, ByteView artifact) const
+      REQUIRES_SHARED(mutex_) EXCLUDES(verified_mutex_);
+  ChainStats chain_stats_locked(ReleaseId id) const REQUIRES_SHARED(mutex_);
   /// Compose the chain scripts baseline -> ... -> id (inclusive) into
   /// one script, returning it with the chain's baseline id.
-  std::pair<Script, ReleaseId> fold_chain_locked(ReleaseId id) const;
+  std::pair<Script, ReleaseId> fold_chain_locked(ReleaseId id) const
+      REQUIRES_SHARED(mutex_);
   ReleaseId append_release_locked(StoredKind kind, ReleaseId base,
-                                  const ContentKey& key, ByteView artifact);
-  void append_manifest_locked(std::uint8_t type, const StoredRelease& r);
+                                  const ContentKey& key, ByteView artifact)
+      REQUIRES(mutex_);
+  void append_manifest_locked(std::uint8_t type, const StoredRelease& r)
+      REQUIRES(mutex_);
   std::filesystem::path segment_path(std::uint64_t epoch) const;
 
   std::filesystem::path dir_;
@@ -194,15 +199,18 @@ class ArtifactStore {
   Verifier verifier_;
   mutable StoreMetrics metrics_;  // stats, updated from const read paths
 
-  mutable std::shared_mutex mutex_;
-  RecordLog manifest_;
-  RecordLog segment_;
-  std::uint64_t epoch_ = 0;
-  std::vector<StoredRelease> releases_;
-  std::map<ContentKey, ReleaseId> by_content_;  // latest id per content
-  mutable VersionDiskCache cache_;
-  mutable std::mutex verified_mutex_;
-  mutable std::unordered_set<ReleaseId> verified_;
+  mutable SharedMutex mutex_{"ArtifactStore"};
+  RecordLog manifest_ GUARDED_BY(mutex_);
+  RecordLog segment_ GUARDED_BY(mutex_);
+  std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
+  std::vector<StoredRelease> releases_ GUARDED_BY(mutex_);
+  /// Latest id per content address.
+  std::map<ContentKey, ReleaseId> by_content_ GUARDED_BY(mutex_);
+  mutable VersionDiskCache cache_;  // internally synchronized
+  /// Leaf lock (acquired inside mutex_, never the other way around).
+  mutable Mutex verified_mutex_{"ArtifactStore::verified"};
+  mutable std::unordered_set<ReleaseId> verified_
+      GUARDED_BY(verified_mutex_);
   RecoveryReport recovery_;
 };
 

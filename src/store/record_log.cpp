@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "core/checksum.hpp"
+#include "core/io.hpp"
 
 namespace ipd {
 
@@ -35,7 +36,7 @@ std::uint32_t get_u32(const std::uint8_t* in) noexcept {
 [[noreturn]] void throw_errno(const std::string& what,
                               const std::filesystem::path& path) {
   throw StoreError("store: " + what + " " + path.string() + ": " +
-                   std::strerror(errno));
+                   errno_message(errno));
 }
 
 /// pread the full range or return the bytes actually available.

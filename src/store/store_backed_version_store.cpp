@@ -50,7 +50,7 @@ ReleaseId StoreBackedVersionStore::latest() const {
 
 std::shared_ptr<const Bytes> StoreBackedVersionStore::memo_get(
     ReleaseId id) const {
-  std::lock_guard lock(memo_mutex_);
+  const MutexLock lock(memo_mutex_);
   const auto it = memo_.find(id);
   if (it == memo_.end()) return nullptr;
   memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.second);
@@ -60,7 +60,7 @@ std::shared_ptr<const Bytes> StoreBackedVersionStore::memo_get(
 void StoreBackedVersionStore::memo_put(
     ReleaseId id, std::shared_ptr<const Bytes> body) const {
   if (body->size() > ram_budget_) return;
-  std::lock_guard lock(memo_mutex_);
+  const MutexLock lock(memo_mutex_);
   if (memo_.contains(id)) return;  // releases are immutable
   memo_bytes_ += body->size();
   memo_lru_.push_front(id);

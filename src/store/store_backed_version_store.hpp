@@ -16,9 +16,9 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "core/sync.hpp"
 #include "server/delta_service.hpp"
 #include "store/artifact_store.hpp"
 
@@ -48,13 +48,14 @@ class StoreBackedVersionStore final : public VersionStore {
   std::shared_ptr<ArtifactStore> store_;
   std::uint64_t ram_budget_;
 
-  mutable std::mutex memo_mutex_;
-  mutable std::list<ReleaseId> memo_lru_;  // front = most recent
+  mutable Mutex memo_mutex_{"StoreBackedVersionStore::memo"};
+  /// Front = most recently used.
+  mutable std::list<ReleaseId> memo_lru_ GUARDED_BY(memo_mutex_);
   mutable std::unordered_map<
       ReleaseId, std::pair<std::shared_ptr<const Bytes>,
                            std::list<ReleaseId>::iterator>>
-      memo_;
-  mutable std::uint64_t memo_bytes_ = 0;
+      memo_ GUARDED_BY(memo_mutex_);
+  mutable std::uint64_t memo_bytes_ GUARDED_BY(memo_mutex_) = 0;
 };
 
 /// Admit every stored chain-delta artifact into `service`'s delta cache

@@ -46,6 +46,10 @@ VersionDiskCache::VersionDiskCache(std::filesystem::path dir,
   }
   // Re-index survivors from a previous run. Arrival order is arbitrary
   // (LRU history did not survive), which only costs eviction accuracy.
+  // The lock covers the whole scan: nothing else can see a half-built
+  // object, but guarded fields are written under their mutex everywhere
+  // — a constructor is not an excuse the analysis has to take on faith.
+  MutexLock lock(mutex_);
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file()) continue;
     const auto key = key_from_name(entry.path().filename().string());
@@ -56,7 +60,6 @@ VersionDiskCache::VersionDiskCache(std::filesystem::path dir,
     index_[*key] = std::prev(lru_.end());
     bytes_ += size;
   }
-  std::lock_guard lock(mutex_);
   evict_to_fit_locked(0);
 }
 
@@ -70,7 +73,7 @@ std::filesystem::path VersionDiskCache::file_for(
 
 std::optional<Bytes> VersionDiskCache::get(const ContentKey& key) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
       count(metrics_, &StoreMetrics::disk_cache_misses);
@@ -86,7 +89,7 @@ std::optional<Bytes> VersionDiskCache::get(const ContentKey& key) {
   }
   if (body.size() != key.length || crc32c(body) != key.crc) {
     // Corrupt / truncated soft state: drop the file, report a miss.
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     erase_locked(key);
     count(metrics_, &StoreMetrics::disk_cache_misses);
     return std::nullopt;
@@ -97,7 +100,7 @@ std::optional<Bytes> VersionDiskCache::get(const ContentKey& key) {
 
 void VersionDiskCache::put(const ContentKey& key, ByteView body) {
   if (body.size() > budget_) return;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (index_.contains(key)) return;  // immutable content, already cached
   evict_to_fit_locked(body.size());
   const std::filesystem::path target = file_for(key);
@@ -121,14 +124,14 @@ void VersionDiskCache::put(const ContentKey& key, ByteView body) {
 }
 
 void VersionDiskCache::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   while (!lru_.empty()) {
     erase_locked(lru_.back().key);
   }
 }
 
 VersionDiskCache::Stats VersionDiskCache::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return Stats{bytes_, index_.size()};
 }
 

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "core/sync.hpp"
 #include "core/types.hpp"
 #include "server/version_store.hpp"
 #include "store/store_metrics.hpp"
@@ -64,15 +64,16 @@ class VersionDiskCache {
   };
 
   std::filesystem::path file_for(const ContentKey& key) const;
-  void evict_to_fit_locked(std::uint64_t incoming);
-  void erase_locked(const ContentKey& key);
+  void evict_to_fit_locked(std::uint64_t incoming) REQUIRES(mutex_);
+  void erase_locked(const ContentKey& key) REQUIRES(mutex_);
 
   std::filesystem::path dir_;
   std::uint64_t budget_;
   StoreMetrics* metrics_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
+  mutable Mutex mutex_{"VersionDiskCache"};
+  /// Front = most recently used.
+  std::list<Entry> lru_ GUARDED_BY(mutex_);
   struct KeyHash {
     std::size_t operator()(const ContentKey& k) const noexcept {
       std::uint64_t x =
@@ -83,8 +84,9 @@ class VersionDiskCache {
       return static_cast<std::size_t>(x ^ (x >> 31));
     }
   };
-  std::unordered_map<ContentKey, std::list<Entry>::iterator, KeyHash> index_;
-  std::uint64_t bytes_ = 0;
+  std::unordered_map<ContentKey, std::list<Entry>::iterator, KeyHash> index_
+      GUARDED_BY(mutex_);
+  std::uint64_t bytes_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ipd

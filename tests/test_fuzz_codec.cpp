@@ -6,6 +6,9 @@
 
 #include "apply/apply.hpp"
 #include "apply/stream_applier.hpp"
+#include "core/rng.hpp"
+#include "corpus/generator.hpp"
+#include "corpus_gen.hpp"
 #include "delta/codec.hpp"
 #include "ipdelta.hpp"
 #include "test_util.hpp"
@@ -13,12 +16,17 @@
 namespace ipd {
 namespace {
 
+// The fuzz corpus and these deterministic loops grow from the same
+// generator (fuzz/corpus_gen.cpp), so a container-format change shifts
+// every consumer at once. The reference file is regenerated here the
+// same way the generator built it.
 Bytes valid_delta(std::uint64_t seed) {
-  const Bytes ref = test::random_bytes(seed, 5000);
-  Bytes ver = ref;
-  for (int i = 0; i < 500; ++i) std::swap(ver[i], ver[i + 2500]);
-  ver[100] ^= 0x55;
-  return create_inplace_delta(ref, ver);
+  return fuzzcorpus::valid_delta(seed, 5000);
+}
+
+Bytes reference_for(std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_file(rng, 5000, FileProfile::kBinary);
 }
 
 TEST(FuzzCodec, RandomBytesNeverCrashDeserializer) {
@@ -49,7 +57,7 @@ TEST(FuzzCodec, RandomBytesWithValidMagicNeverCrash) {
 
 TEST(FuzzCodec, SingleByteCorruptionsAlwaysRejectedOrEquivalent) {
   const Bytes delta = valid_delta(1);
-  const Bytes ref = test::random_bytes(1, 5000);
+  const Bytes ref = reference_for(1);
   const Bytes expected = [&] {
     Bytes buffer = ref;
     apply_delta_inplace(delta, buffer);
@@ -77,7 +85,7 @@ TEST(FuzzCodec, SingleByteCorruptionsAlwaysRejectedOrEquivalent) {
 
 TEST(FuzzCodec, TruncationsAlwaysRejected) {
   const Bytes delta = valid_delta(2);
-  const Bytes ref = test::random_bytes(2, 5000);
+  const Bytes ref = reference_for(2);
   Rng rng(0xF005);
   for (int trial = 0; trial < 200; ++trial) {
     const std::size_t keep = rng.below(delta.size());
@@ -90,7 +98,7 @@ TEST(FuzzCodec, TruncationsAlwaysRejected) {
 
 TEST(FuzzCodec, StreamingApplierSurvivesCorruptionUnderAnyChunking) {
   const Bytes delta = valid_delta(3);
-  const Bytes ref = test::random_bytes(3, 5000);
+  const Bytes ref = reference_for(3);
   Rng rng(0xF006);
   for (int trial = 0; trial < 200; ++trial) {
     Bytes mutated = delta;

@@ -106,6 +106,31 @@ TEST(Lzss, DecodeRejectsBadDistance) {
   EXPECT_THROW(lzss_decode(bad, 10), FormatError);
 }
 
+TEST(Lzss, DecodeRejectsSizeBombBeforeAllocating) {
+  // Regression: fuzz/corpus/codec/crash-01-lzss-size-bomb.bin. A hostile
+  // expected_size used to flow straight into reserve(), turning a
+  // 30-byte input into an exabyte allocation whose bad_alloc bypassed
+  // the FormatError reject contract. The expansion bound must fire
+  // before any allocation.
+  const Bytes tiny = {0x00, 'A', 'B', 'C'};
+  EXPECT_THROW(lzss_decode(tiny, std::size_t{1} << 56), FormatError);
+  EXPECT_THROW(lzss_decode({}, 1), FormatError);
+  // Exactly at the bound is not rejected by the pre-check (the stream
+  // itself still decides).
+  EXPECT_THROW(lzss_decode(tiny, tiny.size() * kLzssMaxMatch), FormatError);
+}
+
+TEST(Lzss, DeserializeRejectsSizeBombDelta) {
+  // The same attack through the container: compress flag set, declared
+  // uncompressed size of 64 PiB, valid adler — deserialize_delta must
+  // reject with an ipd::Error, not die in the allocator.
+  const Bytes bomb = {0x49, 0x50, 0x44, 0x31, 0x00, 0x02, 0x00, 0x01,
+                      0x00, 0x00, 0x00, 0x00, 0x04, 0x80, 0x80, 0x80,
+                      0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0xc7, 0x00,
+                      0x8e, 0x01, 0x00, 0x41, 0x42, 0x43};
+  EXPECT_THROW(deserialize_delta(bomb), FormatError);
+}
+
 TEST(Lzss, DecodeNeverCrashesOnRandomInput) {
   Rng rng(6);
   for (int trial = 0; trial < 1000; ++trial) {

@@ -445,5 +445,37 @@ TEST(NetE2E, StatsServedMidLoadNamesEveryMetric) {
   EXPECT_NE(text.find("ipdelta_cache_bytes_held"), std::string::npos);
 }
 
+// Regression: started_ used to sit outside the sessions mutex, so two
+// threads racing start() could both pass the check and fight over the
+// listener/pool/accept-thread members. start() is now exclusive under
+// the lock: of N concurrent callers exactly one wins, the rest get
+// "already started", and a stopped server starts again cleanly.
+TEST(NetE2E, ConcurrentStartAdmitsExactlyOneCaller) {
+  TcpRig rig(2);
+  SKIP_IF_NO_SOCKETS(rig);
+  rig.server->stop();
+
+  for (int round = 0; round < 20; ++round) {
+    constexpr int kCallers = 4;
+    std::atomic<int> winners{0};
+    std::atomic<int> refused{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kCallers; ++i) {
+      threads.emplace_back([&] {
+        try {
+          rig.server->start();
+          winners.fetch_add(1);
+        } catch (const Error&) {
+          refused.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(refused.load(), kCallers - 1) << "round " << round;
+    rig.server->stop();
+  }
+}
+
 }  // namespace
 }  // namespace ipd
