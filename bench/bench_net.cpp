@@ -17,10 +17,15 @@
 // Runs standalone with no arguments (CI smoke); IPDELTA_BENCH_NET_OPS
 // scales the per-section operation counts. Exits 0 with a notice when
 // the sandbox forbids localhost sockets.
+//
+// Prints a human table, then one `JSON {...}` line for the tracked
+// trend file:
+//   bench_net | grep '^JSON ' | cut -c6- > BENCH_NET.json
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -86,6 +91,10 @@ int main() {
               store.release_count(), history[0].size() >> 10, port);
   bench::rule('=');
 
+  std::string json = "{\"bench\":\"net\",\"releases\":" +
+                     std::to_string(store.release_count()) +
+                     ",\"ops\":" + std::to_string(ops);
+
   // ---- 1. per-hop OTA latency (warm cache) ---------------------------
   {
     // Warm every single-hop artifact once, then measure.
@@ -104,6 +113,9 @@ int main() {
     std::printf("single-hop OTA over TCP, %zu ops (connect + frame + "
                 "stream + apply):\n  %s\n",
                 ops, bench::latency_summary(hop_latency).c_str());
+    const obs::HistogramSnapshot snap = hop_latency.snapshot();
+    json += ",\"hop_p50_us\":" + std::to_string(snap.quantile(0.5) / 1e3) +
+            ",\"hop_p99_us\":" + std::to_string(snap.quantile(0.99) / 1e3);
   }
   bench::rule();
 
@@ -145,6 +157,12 @@ int main() {
                   static_cast<double>(upgrades) / seconds, wire_mib,
                   bench::latency_summary(upgrade_latency).c_str(),
                   failures.load() ? "  [FAILURES]" : "");
+      if (clients == 8) {
+        json += ",\"fleet_upgrades_per_sec_8c\":" +
+                std::to_string(static_cast<double>(upgrades) / seconds) +
+                ",\"fleet_wire_mib_per_sec_8c\":" + std::to_string(wire_mib) +
+                ",\"fleet_failures\":" + std::to_string(failures.load());
+      }
     }
   }
   bench::rule();
@@ -195,8 +213,18 @@ int main() {
                     rate * 100.0);
       std::printf("  %-16s %10.2f %10zu %10zu\n", label, seconds,
                   total.retries, total.resumes);
+      if (rate == 0.0) {
+        json += ",\"fault_clean_seconds\":" + std::to_string(seconds);
+      } else if (rate == 0.08) {
+        json += ",\"fault_8pct_seconds\":" + std::to_string(seconds) +
+                ",\"fault_8pct_retries\":" + std::to_string(total.retries) +
+                ",\"fault_8pct_resumes\":" + std::to_string(total.resumes);
+      }
     }
   }
   server.stop();
+  json += "}";
+  bench::rule('=');
+  std::printf("JSON %s\n", json.c_str());
   return 0;
 }

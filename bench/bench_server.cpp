@@ -10,9 +10,15 @@
 //
 // Runs standalone with no arguments (CI smoke); IPDELTA_BENCH_SERVE_OPS
 // scales the warm-phase request count for serious runs.
+//
+// Prints a human table, then one `JSON {...}` line for the tracked
+// trend file:
+//   bench_server | grep '^JSON ' | cut -c6- > BENCH_SERVER.json
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -136,6 +142,10 @@ int main() {
               std::thread::hardware_concurrency());
   bench::rule('=');
 
+  std::string json = "{\"bench\":\"server\",\"releases\":" +
+                     std::to_string(releases) +
+                     ",\"warm_ops\":" + std::to_string(warm_ops);
+
   // ---- cold start: build amortization --------------------------------
   {
     ServiceOptions options;
@@ -155,6 +165,10 @@ int main() {
         static_cast<unsigned long long>(m.coalesced_waits.load()),
         static_cast<unsigned long long>(m.cache_hits.load()),
         bench::latency_summary(latency).c_str());
+    json += ",\"cold_seconds\":" + std::to_string(cold.seconds) +
+            ",\"cold_builds\":" + std::to_string(m.builds.load()) +
+            ",\"cold_p99_serve_us\":" +
+            std::to_string(latency.snapshot().quantile(0.99) / 1e3);
   }
   bench::rule();
 
@@ -189,8 +203,74 @@ int main() {
       std::printf("  %-8zu %12.0f %12.1f %9.1f%%   %s  (%.2fx vs 1 thread)\n",
                   threads, rate, mib, 100.0 * m.hit_rate(),
                   bench::latency_summary(latency).c_str(), rate / base);
+      if (threads == 8) {
+        json += ",\"warm_req_per_sec_1t\":" + std::to_string(base) +
+                ",\"warm_req_per_sec_8t\":" + std::to_string(rate) +
+                ",\"warm_scaling_8v1\":" + std::to_string(rate / base) +
+                ",\"warm_hit_rate\":" + std::to_string(m.hit_rate()) +
+                ",\"warm_p99_serve_us\":" +
+                std::to_string(latency.snapshot().quantile(0.99) / 1e3);
+      }
     }
     exposition_missing = check_stats_exposition(service);
+  }
+  bench::rule();
+
+  // ---- tracing overhead: the span plumbing's cost on the warm path ---
+  // Three identical volleys against one warm service: tracing off
+  // (baseline), tracing on (Chrome-trace capture live), tracing off
+  // again. on-vs-off is the capture cost; the off/off delta bounds what
+  // the disabled-tracing branch costs — the number that must stay under
+  // 2% for tracing to be safe to ship enabled-but-dormant fleet-wide.
+  {
+    ServiceOptions options;
+    options.cache_budget = 64ull << 20;
+    options.workers = 4;
+    DeltaService service(store, options);
+    obs::Histogram latency;
+    run_load(service, releases, 4, 2048, 0x7A3A, latency);  // warm every pair
+    // Interleaved best-of-seven, single client thread: every round
+    // measures off / on / off back-to-back, so a burst of competing
+    // load lands on all three configurations instead of skewing
+    // whichever one it overlapped, and the best round approximates the
+    // uncontended cost. One thread keeps scheduler noise out of what is
+    // a per-call-overhead measurement, not a scaling one.
+    const std::size_t volley_ops = warm_ops;
+    const auto volley = [&](std::uint64_t seed) {
+      latency.reset();
+      const LoadResult r =
+          run_load(service, releases, 1, volley_ops, seed, latency);
+      return static_cast<double>(r.requests) / r.seconds;
+    };
+    double off_rate = 0, on_rate = 0, off_again_rate = 0;
+    std::size_t captured = 0;
+    for (std::uint64_t rep = 0; rep < 7; ++rep) {
+      obs::set_tracing(false);
+      off_rate = std::max(off_rate, volley(0x0FF1 + rep));
+      obs::clear_trace_events();
+      obs::set_tracing(true);
+      on_rate = std::max(on_rate, volley(0x0A11 + rep));
+      obs::set_tracing(false);
+      captured = obs::trace_event_count();
+      obs::clear_trace_events();
+      off_again_rate = std::max(off_again_rate, volley(0x0FF2 + rep));
+    }
+    const double on_overhead_pct = (off_rate / on_rate - 1.0) * 100.0;
+    const double off_overhead_pct =
+        (std::max(off_rate, off_again_rate) /
+             std::min(off_rate, off_again_rate) -
+         1.0) *
+        100.0;
+    std::printf(
+        "tracing overhead (1 thread, best of 7 x %zu requests):\n"
+        "  off %.0f req/s, on %.0f req/s (%zu span events captured)\n"
+        "  capture cost %.2f%%; off-path run-to-run delta %.2f%%\n",
+        volley_ops, off_rate, on_rate, captured, on_overhead_pct,
+        off_overhead_pct);
+    json += ",\"trace_off_req_per_sec\":" + std::to_string(off_rate) +
+            ",\"trace_on_req_per_sec\":" + std::to_string(on_rate) +
+            ",\"trace_on_overhead_pct\":" + std::to_string(on_overhead_pct) +
+            ",\"trace_off_overhead_pct\":" + std::to_string(off_overhead_pct);
   }
   bench::rule();
 
@@ -223,5 +303,8 @@ int main() {
                   static_cast<unsigned long long>(stats.rejected));
     }
   }
+  json += "}";
+  bench::rule('=');
+  std::printf("JSON %s\n", json.c_str());
   return exposition_missing == 0 ? 0 : 1;
 }

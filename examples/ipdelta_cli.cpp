@@ -41,7 +41,9 @@
 #include "net/ota_client.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/event_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "server/delta_service.hpp"
 #include "store/artifact_store.hpp"
 #include "store/store_backed_version_store.hpp"
@@ -77,6 +79,9 @@ int usage() {
       "                [--seed S]\n"
       "                [--port P [--sessions N]]   # export over TCP;\n"
       "                                            # runs until stdin closes\n"
+      "                [--trace-out FILE]  # per-request tracing on; write\n"
+      "                                    # Chrome trace JSON at shutdown\n"
+      "                [--stall-ms MS]     # watchdog deadline per transfer\n"
       "  ipdelta serve --store-dir DIR [more release files...]\n"
       "                # serve a durable on-disk store (files, if any,\n"
       "                # are published first); stored chain deltas are\n"
@@ -88,6 +93,7 @@ int usage() {
       "  ipdelta store check <dir>        # deep integrity check\n"
       "  ipdelta fetch <host:port> <image file> --to B\n"
       "                [--from A] [--out FILE] [--chunk BYTES] [--verbose]\n"
+      "                [--stall-ms MS]     # watchdog deadline per transfer\n"
       "  ipdelta fetch <host:port> --metrics\n"
       "  ipdelta stats <host:port>        # Prometheus-style live stats\n"
       "  ipdelta campaign [--devices N] [--releases N] [--seed S]\n"
@@ -95,11 +101,19 @@ int usage() {
       "                [--flip R] [--grace N] [--power-cuts R]\n"
       "                [--max-cuts N] [--staged R] [--waves F,F,...]\n"
       "                [--concurrency N] [--attempts N] [--json]\n"
+      "                [--slo [--slo-target R] [--slo-p99-ms MS]\n"
+      "                 --slo-burn R] [--slo-min-attempts N]\n"
       "                # simulate a staged fleet rollout in-process;\n"
       "                # exit 2 if any device bricked or the ramp aborted\n"
+      "                # (--slo: abort on error-budget burn / p99 breach)\n"
       "  ipdelta trace <command> [args...] [--trace-out FILE]\n"
+      "                [--trace-pid N]\n"
       "                # run any command with stage tracing enabled and\n"
-      "                # write Chrome trace-event JSON (default trace.json)\n");
+      "                # write Chrome trace-event JSON (default trace.json)\n"
+      "  ipdelta trace --merge <trace.json...> [--trace-out FILE]\n"
+      "                # merge per-process traces into one cross-process\n"
+      "                # timeline (pid lane per input, flow arrows join\n"
+      "                # spans sharing a trace id); also validates inputs\n");
   return 1;
 }
 
@@ -438,7 +452,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::uint64_t port = 0;
   bool port_set = false;
   std::uint64_t sessions = 32;
+  std::uint64_t stall_ms = 0;
   std::string store_dir;
+  std::string trace_out;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto next = [&]() -> const std::string& {
@@ -472,6 +488,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       if (port > 65535) throw Error("--port out of range");
     } else if (a == "--sessions") {
       sessions = number();
+    } else if (a == "--stall-ms") {
+      stall_ms = number();
+    } else if (a == "--trace-out") {
+      trace_out = next();
     } else if (!a.empty() && a[0] == '-') {
       throw Error("unknown option: " + a);
     } else {
@@ -513,9 +533,19 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (port_set) {
     // Export the service over TCP (src/net/) instead of replaying a
     // synthetic fleet. Release ids are the publish order of the files.
+    if (!trace_out.empty()) {
+      // Per-request tracing for the whole server lifetime, exported at
+      // shutdown. pid lane 2 so a client's own export (lane 1) and this
+      // file merge into distinct lanes even before `trace --merge`
+      // re-lanes them.
+      obs::set_trace_pid(2);
+      obs::clear_trace_events();
+      obs::set_tracing(true);
+    }
     NetServerOptions net;
     net.port = static_cast<std::uint16_t>(port);
     net.max_sessions = static_cast<std::size_t>(sessions);
+    net.stall_deadline_ms = stall_ms;
     DeltaServer server(service, net);
     server.start();
     std::printf("serving %zu releases on 127.0.0.1:%u "
@@ -556,6 +586,13 @@ int cmd_serve(const std::vector<std::string>& args) {
     ticker_cv.notify_all();
     ticker.join();
     server.stop();
+    if (!trace_out.empty()) {
+      obs::set_tracing(false);
+      const std::string json = obs::trace_events_json();
+      write_file(trace_out, Bytes(json.begin(), json.end()));
+      std::printf("trace: %zu span(s) -> %s\n", obs::trace_event_count(),
+                  trace_out.c_str());
+    }
     std::printf("%s", service.metrics_text().c_str());
     const std::string events = obs::global_events().dump();
     if (!events.empty()) {
@@ -699,6 +736,7 @@ int cmd_fetch(const std::vector<std::string>& args) {
   bool verbose = false;
   std::string out;
   std::uint64_t chunk = 64u << 10;
+  std::uint64_t stall_ms = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto next = [&]() -> const std::string& {
@@ -725,6 +763,8 @@ int cmd_fetch(const std::vector<std::string>& args) {
       out = next();
     } else if (a == "--chunk") {
       chunk = number();
+    } else if (a == "--stall-ms") {
+      stall_ms = number();
     } else if (a == "--metrics") {
       metrics = true;
     } else if (a == "--verbose") {
@@ -744,6 +784,7 @@ int cmd_fetch(const std::vector<std::string>& args) {
 
   OtaClientOptions client_options;
   client_options.max_chunk = static_cast<std::uint32_t>(chunk);
+  client_options.stall_deadline_ms = stall_ms;
   OtaClient client(
       [host, port] { return TcpTransport::connect(host, port); },
       client_options);
@@ -871,6 +912,19 @@ int cmd_campaign(const std::vector<std::string>& args) {
       options.rollout.max_concurrency = static_cast<std::size_t>(number());
     } else if (a == "--attempts") {
       options.client.max_attempts = static_cast<std::size_t>(number());
+    } else if (a == "--slo") {
+      options.slo.enabled = true;
+    } else if (a == "--slo-target") {
+      options.slo.enabled = true;
+      options.slo.target_success_rate = rate();
+    } else if (a == "--slo-p99-ms") {
+      options.slo.enabled = true;
+      options.slo.p99_latency_budget_ns = number() * 1'000'000;
+    } else if (a == "--slo-burn") {
+      options.slo.enabled = true;
+      options.slo.max_burn_rate = rate();
+    } else if (a == "--slo-min-attempts") {
+      options.slo.min_attempts = static_cast<std::size_t>(number());
     } else if (a == "--json") {
       json = true;
     } else {
@@ -890,27 +944,68 @@ int cmd_campaign(const std::vector<std::string>& args) {
 // Run any other command with stage tracing enabled and export the
 // captured spans as Chrome trace-event JSON (chrome://tracing,
 // Perfetto, speedscope). The wrapped command's exit status is preserved.
+// With --merge, instead fold several per-process trace files into one
+// cross-process timeline (obs/trace_merge): a pid lane per input, flow
+// arrows joining spans that share a trace id. Malformed input JSON is a
+// hard error, so --merge doubles as a trace validator.
 int cmd_trace(const std::vector<std::string>& args) {
-  std::string trace_out = "trace.json";
+  std::string trace_out;
+  bool merge = false;
+  std::uint64_t pid = 0;
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--trace-out") {
       if (i + 1 >= args.size()) throw Error("missing value for --trace-out");
       trace_out = args[++i];
+    } else if (args[i] == "--merge") {
+      merge = true;
+    } else if (args[i] == "--trace-pid") {
+      if (i + 1 >= args.size()) throw Error("missing value for --trace-pid");
+      pid = std::strtoull(args[++i].c_str(), nullptr, 10);
+      if (pid == 0) throw Error("--trace-pid must be >= 1");
     } else {
       rest.push_back(args[i]);
     }
   }
   if (rest.empty()) return usage();
+
+  if (merge) {
+    std::vector<obs::NamedTrace> inputs;
+    for (const std::string& file : rest) {
+      const Bytes body = read_file(file);
+      // Lane label: the file's basename, sans .json — "client.json"
+      // becomes lane "client" in the merged view.
+      std::string name = file;
+      const std::size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) name.erase(0, slash + 1);
+      if (name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+        name.erase(name.size() - 5);
+      }
+      inputs.push_back(obs::NamedTrace{name, std::string(body.begin(),
+                                                         body.end())});
+    }
+    obs::MergeStats stats;
+    const std::string merged = obs::merge_traces(inputs, &stats);
+    if (trace_out.empty()) trace_out = "merged.json";
+    write_file(trace_out, Bytes(merged.begin(), merged.end()));
+    std::printf("merged %zu trace(s): %zu event(s), %zu flow arrow(s), "
+                "%zu trace id(s) joined -> %s\n",
+                stats.processes, stats.events, stats.flow_events,
+                stats.traces_joined, trace_out.c_str());
+    return 0;
+  }
+
   const std::string inner = rest.front();
   if (inner == "trace") throw Error("trace: cannot trace itself");
   rest.erase(rest.begin());
 
+  if (pid != 0) obs::set_trace_pid(static_cast<std::uint32_t>(pid));
   obs::clear_trace_events();
   obs::set_tracing(true);
   const int rc = run_command(inner, rest);
   obs::set_tracing(false);
   const std::string json = obs::trace_events_json();
+  if (trace_out.empty()) trace_out = "trace.json";
   write_file(trace_out, Bytes(json.begin(), json.end()));
   std::fprintf(stderr, "trace: %zu span(s) -> %s\n", obs::trace_event_count(),
                trace_out.c_str());
@@ -950,6 +1045,15 @@ int main(int argc, char** argv) {
     const std::string events = obs::global_events().dump();
     if (!events.empty()) {
       std::fprintf(stderr, "recent events:\n%s", events.c_str());
+    }
+    // Per-session flight recorders dumped on the way down: print each
+    // failed session's timeline, keyed by trace id, so one bad device's
+    // story survives the process.
+    for (const obs::FlightDump& dump : obs::flight_dumps()) {
+      std::fprintf(stderr, "flight record [%s] %s (%s):\n%s",
+                   dump.trace_id.empty() ? "untraced" : dump.trace_id.c_str(),
+                   dump.label.c_str(), dump.reason.c_str(),
+                   dump.text.c_str());
     }
     return 2;
   }

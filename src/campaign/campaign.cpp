@@ -214,7 +214,8 @@ bool run_device(FleetState& fleet, std::size_t index) {
   return false;
 }
 
-void run_wave(FleetState& fleet, std::size_t begin, std::size_t end) {
+void run_wave(FleetState& fleet, std::size_t begin, std::size_t end,
+              obs::Histogram& wave_latency) {
   std::atomic<std::size_t> next{begin};
   const std::size_t workers = std::min(
       std::max<std::size_t>(fleet.options.rollout.max_concurrency, 1),
@@ -229,14 +230,28 @@ void run_wave(FleetState& fleet, std::size_t begin, std::size_t end) {
         if (index >= end) return;
         const auto t0 = std::chrono::steady_clock::now();
         run_device(fleet, index);
-        fleet.device_ns.record(static_cast<std::uint64_t>(
+        const auto ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
-                .count()));
+                .count());
+        fleet.device_ns.record(ns);
+        wave_latency.record(ns);
       }
     });
   }
   for (std::thread& t : pool) t.join();
+}
+
+/// Fleet counters captured at a wave boundary; deltas feed WaveHealth.
+struct FleetSnapshot {
+  std::size_t updated, failed, bricked, retries, reboots;
+  std::uint64_t link_faults;
+};
+
+FleetSnapshot snapshot_fleet(const FleetState& fleet) {
+  return FleetSnapshot{fleet.updated.load(),  fleet.failed.load(),
+                       fleet.bricked.load(),  fleet.retries.load(),
+                       fleet.reboots.load(),  fleet.fault_stats.total()};
 }
 
 }  // namespace
@@ -255,6 +270,12 @@ std::string CampaignReport::render() const {
   out << "\n  received " << format_bytes(bytes_received) << "  wall "
       << wall_seconds << " s";
   out << "\n  device update " << device_update_ns.latency_line();
+  for (const WaveHealth& w : wave_health) out << "\n  " << w.render();
+  if (slo_aborted) {
+    out << "\n  SLO BREACH: " << slo_reason;
+  } else if (slo_evaluated) {
+    out << "\n  slo: healthy, burn rate " << slo_burn_rate;
+  }
   out << "\n  server: sessions " << server_sessions << "  sent "
       << format_bytes(server_bytes_sent) << "  resumes " << server_resumes
       << "  builds " << server_builds << "  cache hits " << server_cache_hits
@@ -277,6 +298,13 @@ std::string CampaignReport::json() const {
       << static_cast<std::uint64_t>(device_update_ns.quantile(0.5))
       << ",\"p99_device_update_ns\":"
       << static_cast<std::uint64_t>(device_update_ns.quantile(0.99))
+      << ",\"slo_aborted\":" << (slo_aborted ? "true" : "false")
+      << ",\"slo_burn_rate\":" << slo_burn_rate << ",\"wave_health\":[";
+  for (std::size_t i = 0; i < wave_health.size(); ++i) {
+    if (i != 0) out << ',';
+    out << wave_health[i].json();
+  }
+  out << "]"
       << ",\"server_sessions\":" << server_sessions
       << ",\"server_bytes_sent\":" << server_bytes_sent
       << ",\"server_resumes\":" << server_resumes
@@ -296,6 +324,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       throw ValidationError("campaign: rates must lie in [0, 1]");
     }
   }
+  if (options.slo.enabled) options.slo.validate();
 
   CampaignReport report;
   report.devices = options.devices;
@@ -319,8 +348,36 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t done = 0;
   for (const std::size_t wave_end : report.waves) {
-    run_wave(fleet, done, wave_end);
+    const FleetSnapshot before = snapshot_fleet(fleet);
+    obs::Histogram wave_latency;
+    run_wave(fleet, done, wave_end, wave_latency);
+    const FleetSnapshot after = snapshot_fleet(fleet);
+
+    WaveHealth health;
+    health.wave = report.wave_health.size() + 1;
+    health.attempted = wave_end - done;
+    health.updated = after.updated - before.updated;
+    health.failed = after.failed - before.failed;
+    health.bricked = after.bricked - before.bricked;
+    health.retries = after.retries - before.retries;
+    health.reboots = after.reboots - before.reboots;
+    health.link_faults = after.link_faults - before.link_faults;
+    health.latency = wave_latency.snapshot();
+    report.wave_health.push_back(health);
     done = wave_end;
+
+    const SloEval eval = evaluate_slo(options.slo, health);
+    if (eval.evaluated) {
+      report.slo_evaluated = true;
+      report.slo_burn_rate = eval.burn_rate;
+    }
+    if (eval.breached) {
+      report.aborted = true;
+      report.slo_aborted = true;
+      report.slo_reason = eval.reason;
+      break;
+    }
+
     const std::size_t failed = fleet.failed.load();
     if (failed >= options.rollout.min_failures_to_abort &&
         static_cast<double>(failed) >

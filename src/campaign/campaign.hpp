@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "campaign/rollout.hpp"
+#include "campaign/slo.hpp"
 #include "core/types.hpp"
 #include "device/stream_updater.hpp"
 #include "net/ota_client.hpp"
@@ -66,6 +67,12 @@ struct CampaignOptions {
 
   /// On-flash journal region size per device.
   std::size_t journal_bytes = 16u << 10;
+
+  /// Fleet SLO evaluated at every wave boundary (slo.hpp). Disabled by
+  /// default; when enabled, a burn-rate or p99 breach aborts the rollout
+  /// exactly like the flat failure-rate gate, and the breach reason is
+  /// reported.
+  SloSpec slo;
 
   StreamUpdaterOptions apply;
   /// Per-connection client knobs; backoff defaults here are tightened
@@ -108,6 +115,15 @@ struct CampaignReport {
   double wall_seconds = 0;
   std::vector<std::size_t> waves;  ///< cumulative devices per wave run
   obs::HistogramSnapshot device_update_ns;  ///< per-device wall time
+
+  // Per-wave health (counter deltas + latency histogram, one entry per
+  // wave actually run) and the SLO verdict that stopped the rollout, if
+  // one did. slo_aborted implies aborted.
+  std::vector<WaveHealth> wave_health;
+  bool slo_aborted = false;
+  bool slo_evaluated = false; ///< at least one wave was judged
+  double slo_burn_rate = 0;   ///< burn rate of the last judged wave
+  std::string slo_reason;     ///< breach description, "" when healthy
 
   // Server-side load, copied from the serving DeltaService's metrics.
   std::uint64_t server_sessions = 0;

@@ -1,0 +1,91 @@
+#include "campaign/slo.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+void SloSpec::validate() const {
+  if (!(target_success_rate > 0 && target_success_rate <= 1)) {
+    throw ValidationError("slo: target_success_rate must lie in (0, 1]");
+  }
+  if (max_burn_rate <= 0) {
+    throw ValidationError("slo: max_burn_rate must be positive");
+  }
+}
+
+double WaveHealth::failure_rate() const {
+  if (attempted == 0) return 0;
+  return static_cast<double>(failed) / static_cast<double>(attempted);
+}
+
+double WaveHealth::burn_rate(const SloSpec& spec) const {
+  const double budget = 1.0 - spec.target_success_rate;
+  const double rate = failure_rate();
+  if (budget <= 0) {
+    // Perfection promised: any failure overruns an empty budget. Report
+    // a huge finite burn so comparisons and JSON stay well-behaved.
+    return rate > 0 ? 1e9 : 0;
+  }
+  return rate / budget;
+}
+
+std::string WaveHealth::render() const {
+  std::ostringstream out;
+  out << "wave " << wave << ": " << attempted << " attempted, " << updated
+      << " updated, " << failed << " failed";
+  if (bricked > 0) out << ", " << bricked << " BRICKED";
+  out << ", " << retries << " retries, " << reboots << " reboots, "
+      << link_faults << " link faults";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ", p50 %.1f ms, p99 %.1f ms",
+                latency.quantile(0.5) / 1e6, latency.quantile(0.99) / 1e6);
+  out << buf;
+  return out.str();
+}
+
+std::string WaveHealth::json() const {
+  std::ostringstream out;
+  out << "{\"wave\":" << wave << ",\"attempted\":" << attempted
+      << ",\"updated\":" << updated << ",\"failed\":" << failed
+      << ",\"bricked\":" << bricked << ",\"retries\":" << retries
+      << ",\"reboots\":" << reboots << ",\"link_faults\":" << link_faults
+      << ",\"p50_ns\":"
+      << static_cast<std::uint64_t>(latency.quantile(0.5)) << ",\"p99_ns\":"
+      << static_cast<std::uint64_t>(latency.quantile(0.99)) << "}";
+  return out.str();
+}
+
+SloEval evaluate_slo(const SloSpec& spec, const WaveHealth& wave) {
+  SloEval eval;
+  eval.p99_ns = static_cast<std::uint64_t>(wave.latency.quantile(0.99));
+  if (!spec.enabled || wave.attempted < spec.min_attempts) return eval;
+  eval.evaluated = true;
+  eval.burn_rate = wave.burn_rate(spec);
+
+  char buf[160];
+  if (eval.burn_rate > spec.max_burn_rate) {
+    eval.breached = true;
+    std::snprintf(buf, sizeof buf,
+                  "wave %zu burn rate %.2f exceeds %.2f "
+                  "(%zu/%zu failed vs %.2f%% budget)",
+                  wave.wave, eval.burn_rate, spec.max_burn_rate, wave.failed,
+                  wave.attempted, (1.0 - spec.target_success_rate) * 100.0);
+    eval.reason = buf;
+    return eval;
+  }
+  if (spec.p99_latency_budget_ns > 0 &&
+      eval.p99_ns > spec.p99_latency_budget_ns) {
+    eval.breached = true;
+    std::snprintf(buf, sizeof buf,
+                  "wave %zu p99 %.1f ms exceeds budget %.1f ms", wave.wave,
+                  static_cast<double>(eval.p99_ns) / 1e6,
+                  static_cast<double>(spec.p99_latency_budget_ns) / 1e6);
+    eval.reason = buf;
+  }
+  return eval;
+}
+
+}  // namespace ipd

@@ -1,0 +1,79 @@
+// Fleet SLO layer: per-wave health and burn-rate abort gates.
+//
+// The rollout policy's abort gate (failure count vs. a flat rate) is a
+// blunt instrument: it cannot express "we promised 99% of devices update
+// within a latency budget" or react to a wave that is merely eating the
+// error budget too fast to survive the fleet. An SloSpec states the
+// promise; run_campaign() evaluates it at every wave boundary against
+// that wave's WaveHealth (counter deltas plus a latency histogram) and
+// aborts the rollout when the burn rate or the p99 budget is breached.
+//
+// Burn rate is the SRE convention: the fraction of the error budget a
+// wave consumed, normalized so 1.0 means "exactly on budget". With a
+// 99% target the budget is 1% failures; a wave failing 3% of devices
+// burns at 3.0. Waves smaller than min_attempts are never judged — a
+// 1-device canary wave failing its 1 device is not a 100% failure
+// signal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace ipd {
+
+/// The promise a campaign makes to the fleet.
+struct SloSpec {
+  bool enabled = false;
+  /// Fraction of attempted devices that must end updated (0, 1].
+  double target_success_rate = 0.99;
+  /// Per-device p99 update latency budget; 0 disables the latency SLO.
+  std::uint64_t p99_latency_budget_ns = 0;
+  /// Abort when a wave burns error budget faster than this multiple.
+  double max_burn_rate = 2.0;
+  /// Waves with fewer attempts than this are never judged.
+  std::size_t min_attempts = 20;
+
+  /// Throws ValidationError on nonsensical values.
+  void validate() const;
+};
+
+/// One wave's outcome, as counter deltas across the wave boundary.
+struct WaveHealth {
+  std::size_t wave = 0;  ///< 1-based wave index
+  std::size_t attempted = 0;
+  std::size_t updated = 0;
+  std::size_t failed = 0;
+  std::size_t bricked = 0;
+  std::size_t retries = 0;
+  std::size_t reboots = 0;
+  std::uint64_t link_faults = 0;
+  obs::HistogramSnapshot latency;  ///< per-device update wall time (ns)
+
+  double failure_rate() const;
+  /// Error-budget consumption multiple under `spec` (1.0 = on budget).
+  /// A zero-size failure budget with any failure reports a huge finite
+  /// burn rather than dividing by zero.
+  double burn_rate(const SloSpec& spec) const;
+
+  /// One human-readable line: "wave 2: 100 attempted, 3 failed ...".
+  std::string render() const;
+  /// Single-line JSON object (embedded in CampaignReport::json()).
+  std::string json() const;
+};
+
+/// Verdict for one wave under one spec.
+struct SloEval {
+  bool evaluated = false;  ///< enough attempts to judge
+  bool breached = false;
+  double burn_rate = 0;
+  std::uint64_t p99_ns = 0;
+  std::string reason;  ///< human-readable breach description, "" if none
+};
+
+/// Judge one wave. Never throws; an unjudgeable wave (too small, spec
+/// disabled) returns evaluated == false, breached == false.
+SloEval evaluate_slo(const SloSpec& spec, const WaveHealth& wave);
+
+}  // namespace ipd

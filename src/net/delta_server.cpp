@@ -6,7 +6,10 @@
 #include "core/checksum.hpp"
 #include "delta/codec.hpp"
 #include "obs/event_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/watchdog.hpp"
 
 namespace ipd {
 
@@ -78,7 +81,9 @@ std::size_t DeltaServer::send_counted(FramedConnection& conn,
   // Count before the write: a client thread that has already consumed
   // this frame must observe the counters it implies (tests and
   // dashboards read the snapshot the instant a transfer completes).
-  const Bytes wire = encode_message(message);
+  const obs::TraceContext& trace = conn.outbound_trace();
+  const Bytes wire =
+      encode_message(message, trace.valid() ? &trace : nullptr);
   ServiceMetrics& m = service_.metrics();
   m.net_bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
   m.net_frames_sent.fetch_add(1, std::memory_order_relaxed);
@@ -130,22 +135,44 @@ void DeltaServer::serve_session(Transport& transport) {
   m.net_sessions.fetch_add(1, std::memory_order_relaxed);
   FramedConnection conn(transport);
   std::size_t chunk = options_.chunk_bytes;
+  // Session flight recorder: records spans/events on this thread whether
+  // or not global tracing is on, and is dumped on any failure path so a
+  // rejected resume or corrupt stream leaves evidence keyed by trace id.
+  obs::FlightRecorder flight("server:" + transport.peer());
+  const obs::FlightScope flight_scope(flight);
+  bool traced = false;  // negotiated kProtocolVersionTraced in HELLO
   try {
     for (;;) {
       const std::optional<Message> message = conn.receive();
       if (!message) break;  // peer said goodbye cleanly
+      // Adopt the frame's trace context for everything this request
+      // does on this thread: serve/build spans become children of the
+      // client's request span, and replies echo the context back.
+      const obs::TraceContext inbound = conn.inbound_trace();
+      const obs::TraceContext session_ctx =
+          inbound.valid() ? obs::child_of(inbound) : obs::TraceContext{};
+      const obs::TraceScope trace_scope(session_ctx);
+      if (session_ctx.valid()) {
+        flight.set_context(session_ctx);
+        if (traced) conn.set_outbound_trace(session_ctx);
+      } else {
+        conn.set_outbound_trace(obs::TraceContext{});
+      }
       if (const auto* hello = std::get_if<HelloMsg>(&*message)) {
-        if (hello->protocol_version != kProtocolVersion) {
+        if (hello->protocol_version != kProtocolVersion &&
+            hello->protocol_version != kProtocolVersionTraced) {
           send_counted(conn,
                        ErrorMsg{ErrorCode::kProtocol,
                                 "unsupported protocol version " +
                                     std::to_string(hello->protocol_version)});
           break;
         }
+        traced = hello->protocol_version >= kProtocolVersionTraced;
         chunk = std::min<std::size_t>(
             options_.chunk_bytes,
             std::max<std::uint32_t>(hello->max_chunk, 512));
         HelloAckMsg ack;
+        ack.protocol_version = hello->protocol_version;
         ack.release_count =
             static_cast<std::uint32_t>(service_.store().release_count());
         ack.latest = ack.release_count == 0 ? 0 : service_.store().latest();
@@ -168,8 +195,10 @@ void DeltaServer::serve_session(Transport& transport) {
   } catch (const TransportError&) {
     // connection died or idled out — nothing to clean up, artifacts are
     // immutable and the client resumes on its next connection
-  } catch (const FormatError&) {
+  } catch (const FormatError& e) {
     // corrupt inbound frame: the stream cannot be trusted past this point
+    flight.note(e.what());
+    obs::dump_flight(flight, "corrupt inbound frame");
   }
   transport.close();
 }
@@ -208,6 +237,9 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
       send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
                                   "artifact changed since the transfer "
                                   "started; restart from GET_DELTA"});
+      if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
+        obs::dump_flight(*fr, "resume refused: artifact changed");
+      }
       return;
     }
     step = &*match;
@@ -217,6 +249,9 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
   if (offset > artifact.size()) {
     send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
                                 "resume offset beyond artifact end"});
+    if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
+      obs::dump_flight(*fr, "resume refused: offset beyond artifact end");
+    }
     return;
   }
 
@@ -229,6 +264,8 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
   }
   const std::uint64_t transfer_start = obs::now_ns();
   obs::Span span(obs::Stage::kNetTransfer, artifact.size() - offset);
+  obs::WatchdogGuard watchdog("server transfer", obs::current_trace(),
+                              options_.stall_deadline_ms * 1'000'000);
   std::uint64_t frames_this_transfer = 0;
   DeltaBeginMsg begin;
   begin.from = step->from;
@@ -266,6 +303,7 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     send_counted(conn, data);
     ++frames_this_transfer;
     pos += n;
+    watchdog.progress(pos);
   }
   send_counted(conn, DeltaEndMsg{artifact.size(), artifact_crc});
   ++frames_this_transfer;

@@ -45,6 +45,10 @@ struct NetServerOptions {
   /// Server-preferred DELTA_DATA payload size; the effective chunk is
   /// min(this, client HELLO max_chunk).
   std::size_t chunk_bytes = 64u << 10;
+  /// Register each transfer with the global stall watchdog under this
+  /// deadline: a transfer whose last progress is older than this is
+  /// flagged with a kStall event carrying its trace id (0 = off).
+  std::uint64_t stall_deadline_ms = 0;
 };
 
 class DeltaServer {

@@ -25,6 +25,30 @@ std::uint32_t get_u32(const std::uint8_t* p) noexcept {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Trace extension body length for ext_version 1 (after the ext_len
+/// byte): version + 16B trace id + 8B span + 8B parent + 1B flags.
+constexpr std::size_t kTraceExtBody = kTraceExtSize - 1;
+
+void append_trace_ext(Bytes& out, const obs::TraceContext& trace) {
+  out.push_back(static_cast<std::uint8_t>(kTraceExtBody));
+  out.push_back(1);  // ext_version
+  put_u64(out, trace.trace_hi);
+  put_u64(out, trace.trace_lo);
+  put_u64(out, trace.span_id);
+  put_u64(out, trace.parent_span_id);
+  out.push_back(trace.sampled ? 1 : 0);
+}
+
 bool valid_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
          t <= static_cast<std::uint8_t>(FrameType::kStats);
@@ -50,20 +74,24 @@ const char* frame_type_name(FrameType type) noexcept {
   return "?";
 }
 
-Bytes encode_frame(FrameType type, ByteView payload) {
-  if (payload.size() > kMaxFramePayload) {
+Bytes encode_frame(FrameType type, ByteView payload,
+                   const obs::TraceContext* trace) {
+  const bool traced = trace != nullptr && trace->valid();
+  const std::size_t ext = traced ? kTraceExtSize : 0;
+  if (payload.size() > kMaxFramePayload - ext) {
     throw ValidationError("frame payload too large: " +
                           std::to_string(payload.size()) + " > " +
                           std::to_string(kMaxFramePayload));
   }
   Bytes out;
-  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  out.reserve(kFrameHeaderSize + ext + payload.size() + kFrameTrailerSize);
   out.insert(out.end(), kMagic, kMagic + 4);
-  out.push_back(kProtocolVersion);
+  out.push_back(kFrameVersion);
   out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(traced ? kFrameFlagTrace : 0);
   out.push_back(0);
-  out.push_back(0);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, static_cast<std::uint32_t>(ext + payload.size()));
+  if (traced) append_trace_ext(out, *trace);
   out.insert(out.end(), payload.begin(), payload.end());
   put_u32(out, crc32c(out));
   return out;
@@ -79,14 +107,14 @@ std::optional<Frame> FrameReader::next() {
   if (std::memcmp(head, kMagic, 4) != 0) {
     throw FormatError("frame: bad magic");
   }
-  if (head[4] != kProtocolVersion) {
+  if (head[4] != kFrameVersion) {
     throw FormatError("frame: unsupported protocol version " +
                       std::to_string(head[4]));
   }
   if (!valid_type(head[5])) {
     throw FormatError("frame: unknown type " + std::to_string(head[5]));
   }
-  if (head[6] != 0 || head[7] != 0) {
+  if ((head[6] & ~kFrameFlagTrace) != 0 || head[7] != 0) {
     throw FormatError("frame: nonzero reserved bytes");
   }
   const std::uint32_t len = get_u32(head + 8);
@@ -104,7 +132,29 @@ std::optional<Frame> FrameReader::next() {
   }
   Frame frame;
   frame.type = static_cast<FrameType>(head[5]);
-  frame.payload.assign(head + kFrameHeaderSize, head + kFrameHeaderSize + len);
+  const std::uint8_t* body = head + kFrameHeaderSize;
+  std::size_t body_len = len;
+  if ((head[6] & kFrameFlagTrace) != 0) {
+    // Trace extension prefixes the payload: [ext_len][ext body]. Skip
+    // ext_len bytes even when the body is longer than we understand.
+    if (body_len < 1) throw FormatError("frame: trace extension truncated");
+    const std::size_t ext_len = body[0];
+    if (body_len < 1 + ext_len) {
+      throw FormatError("frame: trace extension truncated");
+    }
+    if (ext_len >= kTraceExtSize - 1 && body[1] == 1) {
+      obs::TraceContext ctx;
+      ctx.trace_hi = get_u64(body + 2);
+      ctx.trace_lo = get_u64(body + 10);
+      ctx.span_id = get_u64(body + 18);
+      ctx.parent_span_id = get_u64(body + 26);
+      ctx.sampled = (body[34] & 1) != 0;
+      if (ctx.valid()) frame.trace = ctx;
+    }
+    body += 1 + ext_len;
+    body_len -= 1 + ext_len;
+  }
+  frame.payload.assign(body, body + body_len);
   pos_ += total;
   ++decoded_;
   compact();

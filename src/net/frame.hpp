@@ -4,12 +4,27 @@
 //
 //   offset size
 //   0      4    magic "IPDF" (0x49 0x50 0x44 0x46)
-//   4      1    protocol version (kProtocolVersion)
+//   4      1    frame format version (kFrameVersion, always 1)
 //   5      1    frame type (FrameType)
-//   6      2    reserved, must be zero
+//   6      1    flags (kFrameFlagTrace); zero on v1 sessions
+//   7      1    reserved, must be zero
 //   8      4    payload length, little-endian
 //   12     N    payload (message body, see protocol.hpp)
 //   12+N   4    CRC-32C over bytes [0, 12+N), little-endian
+//
+// When kFrameFlagTrace is set in the flags byte, the payload region is
+// prefixed with a trace-context extension block (counted in the length
+// field and covered by the CRC):
+//
+//   [u8 ext_len] [u8 ext_version=1] [16B trace id, hi/lo u64 LE]
+//   [8B span id LE] [8B parent span id LE] [u8 flags: bit0 = sampled]
+//
+// ext_len counts the bytes after itself (34 for ext_version 1); a
+// reader skips ext_len bytes it does not understand, so the block can
+// grow without another version bump. v1 peers reject any nonzero flag
+// byte, so the extension is only emitted on connections that negotiated
+// protocol version >= kProtocolVersionTraced in HELLO — the frame
+// format version byte itself never changes.
 //
 // The per-frame CRC-32C (core/checksum) is what makes the transport
 // fault-tolerant: a bit flipped anywhere in flight is caught *before* the
@@ -23,12 +38,25 @@
 #include <optional>
 
 #include "core/types.hpp"
+#include "obs/trace_context.hpp"
 
 namespace ipd {
 
+/// HELLO-negotiated protocol versions. kProtocolVersion is the baseline
+/// every peer speaks; kProtocolVersionTraced additionally allows the
+/// per-frame trace-context extension. The frame format version byte
+/// (kFrameVersion) is independent and stays 1 for both.
 inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersionTraced = 2;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Flags byte (offset 6). v1 peers require it to be zero.
+inline constexpr std::uint8_t kFrameFlagTrace = 0x01;
+
 inline constexpr std::size_t kFrameHeaderSize = 12;
 inline constexpr std::size_t kFrameTrailerSize = 4;
+/// Trace extension block: ext_len byte + 34 bytes of ext_version 1 body.
+inline constexpr std::size_t kTraceExtSize = 35;
 /// Upper bound on a frame payload; a peer announcing more is corrupt or
 /// hostile and is rejected before any allocation.
 inline constexpr std::size_t kMaxFramePayload = 4u << 20;
@@ -52,12 +80,18 @@ const char* frame_type_name(FrameType type) noexcept;
 
 struct Frame {
   FrameType type = FrameType::kError;
-  Bytes payload;
+  Bytes payload;  ///< message body, trace extension already stripped
+  /// Trace context carried by the frame's extension block, if any.
+  std::optional<obs::TraceContext> trace;
 };
 
-/// Serialize one frame (header + payload + CRC-32C trailer).
-/// Throws ValidationError if payload exceeds kMaxFramePayload.
-Bytes encode_frame(FrameType type, ByteView payload);
+/// Serialize one frame (header + payload + CRC-32C trailer). A valid
+/// `trace` adds the trace-context extension — only do this on a
+/// connection that negotiated kProtocolVersionTraced; v1 peers reject
+/// the flag byte. Throws ValidationError if the payload (plus
+/// extension) exceeds kMaxFramePayload.
+Bytes encode_frame(FrameType type, ByteView payload,
+                   const obs::TraceContext* trace = nullptr);
 
 /// Incremental frame parser: feed transport bytes in any chunking, pop
 /// complete verified frames. Malformed input (bad magic, version, type,

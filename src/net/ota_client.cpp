@@ -8,6 +8,10 @@
 #include "apply/stream_applier.hpp"
 #include "core/checksum.hpp"
 #include "obs/event_ring.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/watchdog.hpp"
 #include "verify/verifier.hpp"
 
 namespace ipd {
@@ -54,6 +58,20 @@ T expect(FramedConnection& conn, const char* what) {
   throw Error(std::string("protocol violation: expected ") + what);
 }
 
+/// The update-level trace context: a child when a caller (campaign,
+/// CLI) already opened a scope, a fresh root otherwise.
+obs::TraceContext mint_update_trace() {
+  const obs::TraceContext& outer = obs::current_trace();
+  return outer.valid() ? obs::child_of(outer) : obs::mint_trace();
+}
+
+/// Dump the active flight recorder (if any) on a failure path.
+void dump_active_flight(const char* reason) {
+  if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
+    obs::dump_flight(*fr, reason);
+  }
+}
+
 }  // namespace
 
 OtaClient::OtaClient(TransportFactory factory, const OtaClientOptions& options,
@@ -61,23 +79,51 @@ OtaClient::OtaClient(TransportFactory factory, const OtaClientOptions& options,
     : factory_(std::move(factory)), options_(options), metrics_(metrics) {}
 
 OtaClient::Session OtaClient::connect_session() {
-  Session session;
-  session.transport = factory_();
-  if (session.transport == nullptr) {
-    throw TransportError("transport factory returned no connection");
+  for (;;) {
+    Session session;
+    session.transport = factory_();
+    if (session.transport == nullptr) {
+      throw TransportError("transport factory returned no connection");
+    }
+    if (options_.read_timeout_ms > 0) {
+      session.transport->set_read_timeout(options_.read_timeout_ms);
+    }
+    session.conn = std::make_unique<FramedConnection>(*session.transport);
+    session.conn->send(HelloMsg{offer_version_, options_.max_chunk});
+
+    // Receive the HELLO reply by hand rather than via expect<>: an old
+    // server answers a kProtocolVersionTraced offer with
+    // ERROR{kProtocol}, which must downgrade and reconnect, not escape
+    // as a fatal Error.
+    std::optional<Message> reply = session.conn->receive();
+    if (!reply) {
+      throw TransportError("server closed the connection mid-conversation");
+    }
+    if (const auto* err = std::get_if<ErrorMsg>(&*reply)) {
+      if (err->code == ErrorCode::kProtocol &&
+          offer_version_ > kProtocolVersion) {
+        offer_version_ = kProtocolVersion;
+        session.transport->close();
+        continue;  // reconnect speaking v1
+      }
+      if (err->code == ErrorCode::kBusy) {
+        throw TransportError("server busy: " + err->message);
+      }
+      throw Error("server error: " + err->message);
+    }
+    const auto* ack = std::get_if<HelloAckMsg>(&*reply);
+    if (ack == nullptr) {
+      throw Error("protocol violation: expected HELLO_ACK");
+    }
+    if (ack->protocol_version != offer_version_ &&
+        ack->protocol_version != kProtocolVersion) {
+      throw Error("server speaks protocol version " +
+                  std::to_string(ack->protocol_version) + ", we offered " +
+                  std::to_string(offer_version_));
+    }
+    session.traced = ack->protocol_version >= kProtocolVersionTraced;
+    return session;
   }
-  if (options_.read_timeout_ms > 0) {
-    session.transport->set_read_timeout(options_.read_timeout_ms);
-  }
-  session.conn = std::make_unique<FramedConnection>(*session.transport);
-  session.conn->send(HelloMsg{kProtocolVersion, options_.max_chunk});
-  const auto ack = expect<HelloAckMsg>(*session.conn, "HELLO_ACK");
-  if (ack.protocol_version != kProtocolVersion) {
-    throw Error("server speaks protocol version " +
-                std::to_string(ack.protocol_version) + ", we speak " +
-                std::to_string(kProtocolVersion));
-  }
-  return session;
 }
 
 void OtaClient::backoff(std::size_t attempt, OtaReport& report) {
@@ -98,6 +144,12 @@ void OtaClient::backoff(std::size_t attempt, OtaReport& report) {
 
 OtaReport OtaClient::update_streaming(Bytes& image, ReleaseId current,
                                       ReleaseId target) {
+  const obs::TraceContext trace = mint_update_trace();
+  const obs::TraceScope scope(trace);
+  obs::FlightRecorder flight("ota:stream " + std::to_string(current) + "->" +
+                                 std::to_string(target),
+                             trace);
+  const obs::FlightScope flight_scope(flight);
   OtaReport report;
   while (current < target) {
     current = stream_hop(image, current, target, report);
@@ -119,10 +171,21 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
 
   std::size_t attempt = 0;
   for (;;) {
+    // Each attempt is its own span (a child of the update trace) so the
+    // merged timeline shows every reconnect, and the server's serve
+    // spans parent onto the attempt that actually reached it.
+    const obs::TraceContext attempt_ctx = obs::child_of(obs::current_trace());
+    const obs::TraceScope attempt_scope(attempt_ctx);
+    obs::WatchdogGuard watchdog("client stream_hop", attempt_ctx,
+                                options_.stall_deadline_ms * 1'000'000);
     Session session;
     try {
+      obs::Span span(obs::Stage::kNetRequest);
       session = connect_session();
       FramedConnection& conn = *session.conn;
+      if (session.traced && attempt_ctx.valid()) {
+        conn.set_outbound_trace(attempt_ctx);
+      }
       if (!begun) {
         conn.send(GetDeltaMsg{current, target});
       } else {
@@ -195,6 +258,8 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
           }
           received += data->data.size();
           report.artifact_bytes += data->data.size();
+          span.add_bytes(data->data.size());
+          watchdog.progress(received);
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != received ||
               end->artifact_crc != meta.artifact_crc) {
@@ -227,12 +292,19 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
       // fall through to retry
     } catch (const FormatError&) {
       // corrupt frame (e.g. injected bit flip) — stream unusable, resume
+    } catch (const BadResumeError&) {
+      // Fatal here: the in-place buffer already absorbed part of the old
+      // artifact, so a restarted transfer cannot be applied. Leave the
+      // evidence before escaping.
+      dump_active_flight("fatal bad resume mid-stream");
+      throw;
     }
     if (session.conn != nullptr) {
       report.bytes_received += session.conn->bytes_received();
     }
     ++attempt;
     if (attempt >= options_.max_attempts) {
+      dump_active_flight("transfer abort: attempts exhausted");
       throw Error("update failed after " + std::to_string(attempt) +
                   " attempts (hop " + std::to_string(current) + " -> " +
                   std::to_string(target) + ")");
@@ -249,10 +321,18 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
   }
   std::size_t attempt = 0;
   for (;;) {
+    const obs::TraceContext attempt_ctx = obs::child_of(obs::current_trace());
+    const obs::TraceScope attempt_scope(attempt_ctx);
+    obs::WatchdogGuard watchdog("client download_hop", attempt_ctx,
+                                options_.stall_deadline_ms * 1'000'000);
     Session session;
     try {
+      obs::Span span(obs::Stage::kNetRequest);
       session = connect_session();
       FramedConnection& conn = *session.conn;
+      if (session.traced && attempt_ctx.valid()) {
+        conn.set_outbound_trace(attempt_ctx);
+      }
       if (!journal.active) {
         conn.send(GetDeltaMsg{current, target});
       } else {
@@ -300,6 +380,8 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
           }
           journal.received.insert(journal.received.end(), data->data.begin(),
                                   data->data.end());
+          span.add_bytes(data->data.size());
+          watchdog.progress(journal.received.size());
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != journal.received.size() ||
               end->artifact_crc != journal.artifact_crc) {
@@ -326,6 +408,9 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
       // hop from scratch. (stream_hop cannot do this — its in-place
       // buffer already absorbed part of the old artifact — so there the
       // same error stays fatal.)
+      if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
+        fr->note("bad resume: discarding transfer journal, re-requesting");
+      }
       journal = TransferJournal{};
     } catch (const TransportError&) {
     } catch (const FormatError&) {
@@ -335,6 +420,7 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
     }
     ++attempt;
     if (attempt >= options_.max_attempts) {
+      dump_active_flight("transfer abort: attempts exhausted");
       throw Error("download failed after " + std::to_string(attempt) +
                   " attempts (hop " + std::to_string(current) + " -> " +
                   std::to_string(target) + ")");
@@ -348,6 +434,12 @@ OtaReport OtaClient::update_device(FlashDevice& device,
                                    ReleaseId current, ReleaseId target,
                                    const ChannelModel& channel,
                                    TransferJournal* transfer) {
+  const obs::TraceContext trace = mint_update_trace();
+  const obs::TraceScope scope(trace);
+  obs::FlightRecorder flight("ota:staged " + std::to_string(current) + "->" +
+                                 std::to_string(target),
+                             trace);
+  const obs::FlightScope flight_scope(flight);
   OtaReport report;
   TransferJournal local;
   TransferJournal& tj = transfer != nullptr ? *transfer : local;
@@ -394,6 +486,9 @@ OtaReport OtaClient::update_device(FlashDevice& device,
         }
         obs::global_events().push(obs::EventType::kJournalPoison, current,
                                   tj.hop_to, why);
+        // The push above already mirrored the event into the flight
+        // recorder; dump the whole buffer before the error escapes.
+        obs::dump_flight(flight, "verify reject before flash write");
         tj = TransferJournal{};  // the artifact is poison; never resume it
         throw Error(why);
       }
@@ -412,6 +507,12 @@ OtaReport OtaClient::update_device(FlashDevice& device,
 OtaReport OtaClient::update_device_streaming(
     FlashDevice& device, const JournalRegion& journal, ReleaseId current,
     ReleaseId target, const StreamUpdaterOptions& apply_options) {
+  const obs::TraceContext trace = mint_update_trace();
+  const obs::TraceScope scope(trace);
+  obs::FlightRecorder flight("ota:device-stream " + std::to_string(current) +
+                                 "->" + std::to_string(target),
+                             trace);
+  const obs::FlightScope flight_scope(flight);
   OtaReport report;
   for (;;) {
     // The apply journal is the device's durable memory of this upgrade:
@@ -454,10 +555,18 @@ ReleaseId OtaClient::stream_device_hop(
   }
   std::size_t attempt = 0;
   for (;;) {
+    const obs::TraceContext attempt_ctx = obs::child_of(obs::current_trace());
+    const obs::TraceScope attempt_scope(attempt_ctx);
+    obs::WatchdogGuard watchdog("client stream_device_hop", attempt_ctx,
+                                options_.stall_deadline_ms * 1'000'000);
     Session session;
     try {
+      obs::Span span(obs::Stage::kNetRequest);
       session = connect_session();
       FramedConnection& conn = *session.conn;
+      if (session.traced && attempt_ctx.valid()) {
+        conn.set_outbound_trace(attempt_ctx);
+      }
       if (updater == nullptr) {
         conn.send(GetDeltaMsg{current, target});
       } else {
@@ -510,6 +619,8 @@ ReleaseId OtaClient::stream_device_hop(
                         e.what());
           }
           report.artifact_bytes += data->data.size();
+          span.add_bytes(data->data.size());
+          watchdog.progress(updater->next_offset());
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != updater->next_offset() ||
               end->artifact_crc != info.artifact_crc) {
@@ -534,12 +645,18 @@ ReleaseId OtaClient::stream_device_hop(
     } catch (const FormatError&) {
       // corrupt frame (e.g. injected bit flip) — the frame CRC rejected
       // it before any byte reached the updater; reconnect and resume
+    } catch (const BadResumeError&) {
+      // Fatal here: flash already holds part of the old artifact; only
+      // the journal can finish this hop. Leave evidence before escaping.
+      dump_active_flight("fatal bad resume mid-apply");
+      throw;
     }
     if (session.conn != nullptr) {
       report.bytes_received += session.conn->bytes_received();
     }
     ++attempt;
     if (attempt >= options_.max_attempts) {
+      dump_active_flight("transfer abort: attempts exhausted");
       throw Error("update failed after " + std::to_string(attempt) +
                   " attempts (hop " + std::to_string(current) + " -> " +
                   std::to_string(target) + ")");

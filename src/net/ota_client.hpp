@@ -45,6 +45,9 @@ struct OtaClientOptions {
   std::uint32_t max_chunk = 64u << 10;
   /// Receive timeout per read; 0 = wait forever.
   int read_timeout_ms = 10'000;
+  /// Register each transfer attempt with the global stall watchdog
+  /// under this deadline (obs/watchdog.hpp); 0 = off.
+  std::uint64_t stall_deadline_ms = 0;
 };
 
 /// What one update cost, for reports and assertions.
@@ -130,8 +133,12 @@ class OtaClient {
   struct Session {
     std::unique_ptr<Transport> transport;
     std::unique_ptr<FramedConnection> conn;
+    bool traced = false;  ///< negotiated kProtocolVersionTraced
   };
 
+  /// Connect + HELLO. Offers kProtocolVersionTraced first; an old server
+  /// answers ERROR{kProtocol}, which downgrades this client to v1 and
+  /// reconnects — so tracing degrades gracefully against old peers.
   Session connect_session();
   void backoff(std::size_t attempt, OtaReport& report);
   /// Stream one hop into `image`, resuming across faults; returns the
@@ -155,6 +162,9 @@ class OtaClient {
   TransportFactory factory_;
   OtaClientOptions options_;
   ServiceMetrics* metrics_;
+  /// HELLO version to offer next; drops to kProtocolVersion after an
+  /// old server refuses kProtocolVersionTraced (sticky per client).
+  std::uint32_t offer_version_ = kProtocolVersionTraced;
 };
 
 }  // namespace ipd

@@ -173,10 +173,10 @@ FrameType message_type(const Message& message) noexcept {
   return std::visit(Visitor{}, message);
 }
 
-Bytes encode_message(const Message& message) {
+Bytes encode_message(const Message& message, const obs::TraceContext* trace) {
   const Bytes payload =
       std::visit([](const auto& m) { return payload_of(m); }, message);
-  return encode_frame(message_type(message), payload);
+  return encode_frame(message_type(message), payload, trace);
 }
 
 Message decode_message(const Frame& frame) {

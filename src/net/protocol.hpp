@@ -126,7 +126,10 @@ using Message =
 FrameType message_type(const Message& message) noexcept;
 
 /// Serialize a message into a complete frame (encode_frame applied).
-Bytes encode_message(const Message& message);
+/// A valid `trace` adds the frame's trace-context extension — only on
+/// connections that negotiated kProtocolVersionTraced.
+Bytes encode_message(const Message& message,
+                     const obs::TraceContext* trace = nullptr);
 
 /// Decode a verified frame's payload. Throws FormatError on a payload
 /// that is too short/long for its type.

@@ -5,6 +5,7 @@ namespace ipd {
 std::optional<Message> FramedConnection::receive() {
   for (;;) {
     if (std::optional<Frame> frame = reader_.next()) {
+      inbound_trace_ = frame->trace.value_or(obs::TraceContext{});
       return decode_message(*frame);
     }
     std::uint8_t buf[16 << 10];
@@ -20,7 +21,8 @@ std::optional<Message> FramedConnection::receive() {
 }
 
 std::size_t FramedConnection::send(const Message& message) {
-  return send_encoded(encode_message(message));
+  return send_encoded(encode_message(
+      message, outbound_trace_.valid() ? &outbound_trace_ : nullptr));
 }
 
 std::size_t FramedConnection::send_encoded(ByteView wire) {

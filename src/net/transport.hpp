@@ -58,14 +58,34 @@ class FramedConnection {
 
   /// Next decoded message, or std::nullopt on clean end-of-stream.
   /// Throws FormatError on a corrupt frame, TransportError on failure.
+  /// Updates inbound_trace() from the frame's trace extension (cleared
+  /// when the frame carries none).
   std::optional<Message> receive();
 
-  /// Encode and write one message; returns wire bytes written.
+  /// Encode and write one message, attaching the outbound trace context
+  /// (if set) to the frame; returns wire bytes written.
   std::size_t send(const Message& message);
 
   /// Write an already-encoded frame (encode_message output); lets a
-  /// caller know the wire size before any byte hits the transport.
+  /// caller know the wire size before any byte hits the transport. The
+  /// outbound trace is NOT attached — encode with it explicitly.
   std::size_t send_encoded(ByteView wire);
+
+  /// Trace context attached to every subsequent send(). Only set this
+  /// after negotiating kProtocolVersionTraced: v1 peers reject the
+  /// extension's flag byte. An invalid context clears it.
+  void set_outbound_trace(const obs::TraceContext& ctx) noexcept {
+    outbound_trace_ = ctx;
+  }
+  const obs::TraceContext& outbound_trace() const noexcept {
+    return outbound_trace_;
+  }
+
+  /// Trace context of the last received frame (invalid when it had
+  /// none).
+  const obs::TraceContext& inbound_trace() const noexcept {
+    return inbound_trace_;
+  }
 
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   std::uint64_t bytes_received() const noexcept { return bytes_received_; }
@@ -76,6 +96,8 @@ class FramedConnection {
  private:
   Transport& transport_;
   FrameReader reader_;
+  obs::TraceContext outbound_trace_;
+  obs::TraceContext inbound_trace_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t frames_sent_ = 0;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace ipd::obs {
@@ -44,6 +45,14 @@ void EventRing::push(EventType type, std::uint64_t a, std::uint64_t b,
     slot.detail[w].store(word, std::memory_order_relaxed);
   }
   slot.seq.store(2 * ticket, std::memory_order_release);
+  // Mirror the event into the active per-connection flight recorder (if
+  // any) so a failure dump shows the events of *this* session inline
+  // with its spans, not just the global ring's tail.
+  if (this == &global_events()) {
+    if (FlightRecorder* fr = active_flight_recorder()) {
+      fr->note_event(type, a, b, detail);
+    }
+  }
 }
 
 std::vector<Event> EventRing::recent(std::size_t max) const {

@@ -29,13 +29,22 @@ namespace ipd::obs {
   X(kJournalPoison, "journal_poison")    \
   X(kNetRetry, "net_retry")              \
   X(kNetResume, "net_resume")            \
-  X(kConnRejected, "conn_rejected")
+  X(kConnRejected, "conn_rejected")      \
+  X(kStall, "stall")
 
 enum class EventType : std::uint8_t {
 #define IPD_OBS_EVENT_ENUM(id, name) id,
   IPD_OBS_EVENTS(IPD_OBS_EVENT_ENUM)
 #undef IPD_OBS_EVENT_ENUM
 };
+
+inline constexpr std::size_t kEventTypeCount = []() {
+  std::size_t n = 0;
+#define IPD_OBS_EVENT_COUNT(id, name) ++n;
+  IPD_OBS_EVENTS(IPD_OBS_EVENT_COUNT)
+#undef IPD_OBS_EVENT_COUNT
+  return n;
+}();
 
 const char* event_type_name(EventType type) noexcept;
 

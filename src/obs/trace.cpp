@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/sync.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 
 namespace ipd::obs {
 
@@ -30,6 +32,7 @@ GlobalTotals& global_totals() noexcept {
 }
 
 std::atomic<bool> g_tracing{false};
+std::atomic<std::uint32_t> g_trace_pid{1};
 
 struct TraceEvent {
   Stage stage;
@@ -37,6 +40,7 @@ struct TraceEvent {
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
   std::uint64_t bytes;
+  TraceContext trace;  ///< invalid when recorded outside a TraceScope
 };
 
 /// Captured events. Heap-allocated and never destroyed so that threads
@@ -56,6 +60,12 @@ TraceCollector& collector() {
 /// grow without bound. Past the cap new events are dropped and the
 /// export notes the overflow.
 constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+std::string hex_span(std::uint64_t v) {
+  TraceContext t;
+  t.span_id = v;
+  return t.span_id_hex();
+}
 
 std::uint32_t next_thread_id() noexcept {
   static std::atomic<std::uint32_t> counter{0};
@@ -147,6 +157,14 @@ void set_tracing(bool on) noexcept {
   g_tracing.store(on, std::memory_order_relaxed);
 }
 
+void set_trace_pid(std::uint32_t pid) noexcept {
+  g_trace_pid.store(pid, std::memory_order_relaxed);
+}
+
+std::uint32_t trace_pid() noexcept {
+  return g_trace_pid.load(std::memory_order_relaxed);
+}
+
 bool tracing_enabled() noexcept {
   return g_tracing.load(std::memory_order_relaxed);
 }
@@ -170,18 +188,35 @@ std::string trace_events_json() {
   const MutexLock lock(c.mutex);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  char buf[256];
+  char buf[384];
+  const std::uint32_t pid = g_trace_pid.load(std::memory_order_relaxed);
   for (const TraceEvent& e : c.events) {
     if (!first) out += ',';
     first = false;
-    std::snprintf(
-        buf, sizeof buf,
-        "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\","
-        "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
-        "\"args\":{\"bytes\":%llu}}",
-        stage_name(e.stage), e.tid, static_cast<double>(e.start_ns) / 1e3,
-        static_cast<double>(e.dur_ns) / 1e3,
-        static_cast<unsigned long long>(e.bytes));
+    if (e.trace.valid()) {
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\","
+          "\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+          "\"args\":{\"bytes\":%llu,\"trace\":\"%s\",\"span\":\"%s\","
+          "\"parent\":\"%s\"}}",
+          stage_name(e.stage), pid, e.tid,
+          static_cast<double>(e.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<unsigned long long>(e.bytes),
+          e.trace.trace_id_hex().c_str(), e.trace.span_id_hex().c_str(),
+          hex_span(e.trace.parent_span_id).c_str());
+    } else {
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\","
+          "\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+          "\"args\":{\"bytes\":%llu}}",
+          stage_name(e.stage), pid, e.tid,
+          static_cast<double>(e.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<unsigned long long>(e.bytes));
+    }
     out += buf;
   }
   out += "]";
@@ -206,8 +241,16 @@ Span::~Span() {
   cell.bytes += bytes_;
   cell.count += 1;
   s.dirty = true;
-  if (tracing_enabled()) {
-    s.events.push_back(TraceEvent{stage_, s.tid, start_ns_, dur, bytes_});
+  const TraceContext& ctx = current_trace();
+  if (tracing_enabled() && (!ctx.valid() || ctx.sampled)) {
+    s.events.push_back(
+        TraceEvent{stage_, s.tid, start_ns_, dur, bytes_, ctx});
+  }
+  // The per-connection flight recorder is independent of the global
+  // tracing switch: it is bounded, and the failure paths that dump it
+  // must have data even when nobody enabled tracing beforehand.
+  if (FlightRecorder* fr = active_flight_recorder()) {
+    fr->note_span(stage_, start_ns_, dur, bytes_);
   }
   if (--s.depth == 0) s.flush();
 }

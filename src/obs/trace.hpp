@@ -43,7 +43,8 @@ namespace ipd::obs {
   X(kApplyInplace, "apply_inplace")        \
   X(kVerify, "verify")                     \
   X(kServe, "serve")                       \
-  X(kNetTransfer, "net_transfer")
+  X(kNetTransfer, "net_transfer")          \
+  X(kNetRequest, "net_request")
 
 enum class Stage : std::uint8_t {
 #define IPD_OBS_STAGE_ENUM(id, name) id,
@@ -103,8 +104,18 @@ std::size_t trace_event_count();
 
 /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds)
 /// of everything captured since clear_trace_events(). Load it in
-/// chrome://tracing or Perfetto for a per-thread flamegraph.
+/// chrome://tracing or Perfetto for a per-thread flamegraph. Spans
+/// recorded under a TraceScope (obs/trace_context.hpp) carry
+/// args.trace/args.span/args.parent hex ids, which is what
+/// merge_traces() joins cross-process timelines on.
 std::string trace_events_json();
+
+/// The pid lane this process's events export under (default 1). Set a
+/// distinct value per process when traces from several processes will
+/// be merged; merge_traces() re-lanes by input file regardless, so this
+/// mostly matters for single-file exports viewed directly.
+void set_trace_pid(std::uint32_t pid) noexcept;
+std::uint32_t trace_pid() noexcept;
 
 // ---- the instrumentation point --------------------------------------
 

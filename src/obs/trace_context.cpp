@@ -1,0 +1,89 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace ipd::obs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t next_nonce() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t process_entropy() noexcept {
+  // system_clock (not the obs steady anchor): two processes minting at
+  // the same counter value must still disagree.
+  static const std::uint64_t anchor = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  return anchor;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+TraceContext& current_slot() noexcept {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  return hex_u64(trace_hi) + hex_u64(trace_lo);
+}
+
+std::string TraceContext::span_id_hex() const { return hex_u64(span_id); }
+
+TraceContext mint_trace(std::uint64_t seed_hint) {
+  const std::uint64_t base =
+      process_entropy() ^ splitmix64(next_nonce() ^ seed_hint);
+  TraceContext ctx;
+  ctx.trace_hi = splitmix64(base);
+  ctx.trace_lo = splitmix64(base + 1);
+  ctx.span_id = splitmix64(base + 2);
+  // A zero trace id means "no trace"; re-derive the vanishingly
+  // unlikely collision so valid() stays truthful.
+  if (!ctx.valid()) ctx.trace_lo = 1;
+  if (ctx.span_id == 0) ctx.span_id = 1;
+  ctx.parent_span_id = 0;
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceContext child_of(const TraceContext& parent) {
+  if (!parent.valid()) return TraceContext{};
+  TraceContext ctx = parent;
+  ctx.parent_span_id = parent.span_id;
+  ctx.span_id = splitmix64(parent.span_id ^ splitmix64(next_nonce()));
+  if (ctx.span_id == 0) ctx.span_id = 1;
+  return ctx;
+}
+
+const TraceContext& current_trace() noexcept { return current_slot(); }
+
+TraceScope::TraceScope(const TraceContext& ctx) noexcept
+    : saved_(current_slot()) {
+  current_slot() = ctx;
+}
+
+TraceScope::~TraceScope() { current_slot() = saved_; }
+
+}  // namespace ipd::obs

@@ -1,0 +1,78 @@
+// Distributed trace identity: the request context that crosses the wire.
+//
+// A TraceContext names one update attempt end to end: a 128-bit trace_id
+// shared by every process that touches the request, a 64-bit span_id for
+// the current hop, and the parent span that caused it. The OTA client
+// (or the campaign driver) mints a fresh context per update attempt; the
+// wire layer carries it in an optional frame-header extension
+// (net/frame.hpp); the server adopts it for the session and re-scopes it
+// onto the pipeline worker that builds the artifact — so a client span,
+// the server's serve span and the build spans all carry the same
+// trace_id and can be joined into one merged Chrome trace
+// (obs/trace_merge.hpp).
+//
+// Propagation inside a process is a thread-local stack (TraceScope):
+// obs::Span reads current_trace() at destruction time, so every stage
+// span recorded under a scope is tagged without the pipeline code
+// knowing traces exist. Crossing a thread boundary (e.g. a build
+// submitted to a pool) is explicit: capture current_trace() into the
+// task and open a TraceScope inside it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ipd::obs {
+
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< 128-bit trace id, high half
+  std::uint64_t trace_lo = 0;  ///< 128-bit trace id, low half
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = true;  ///< false: propagate identity, record nothing
+
+  /// A context is valid when its trace id is nonzero; the default
+  /// (all-zero) context means "no trace" everywhere.
+  bool valid() const noexcept { return (trace_hi | trace_lo) != 0; }
+
+  /// 32 lowercase hex chars (the W3C trace-id spelling).
+  std::string trace_id_hex() const;
+  /// 16 lowercase hex chars.
+  std::string span_id_hex() const;
+
+  friend bool operator==(const TraceContext& x,
+                         const TraceContext& y) noexcept {
+    return x.trace_hi == y.trace_hi && x.trace_lo == y.trace_lo &&
+           x.span_id == y.span_id && x.parent_span_id == y.parent_span_id &&
+           x.sampled == y.sampled;
+  }
+};
+
+/// Mint a fresh root context: new 128-bit trace id, new span id, no
+/// parent. Ids mix a process-global counter, the clock and `seed_hint`
+/// through splitmix64 — unique within and across processes for tracing
+/// purposes (not cryptographic).
+TraceContext mint_trace(std::uint64_t seed_hint = 0);
+
+/// A child context: same trace id, fresh span id, parent = the given
+/// context's span. Propagating an invalid context yields invalid.
+TraceContext child_of(const TraceContext& parent);
+
+/// The innermost TraceScope's context on this thread (invalid context
+/// when no scope is open).
+const TraceContext& current_trace() noexcept;
+
+/// RAII: install `ctx` as this thread's current trace context for the
+/// scope's lifetime (nesting restores the previous context).
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& ctx) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace ipd::obs

@@ -1,0 +1,46 @@
+// Merge per-process Chrome traces into one cross-process timeline.
+//
+// Each process exports its own trace_events_json() file (client, server,
+// ...). merge_traces() folds N such documents into a single Chrome
+// trace: every input gets its own pid lane (with a process_name metadata
+// record naming it), and spans that carry the same args.trace id across
+// DIFFERENT inputs are joined with flow events ("s" at the earliest
+// span of the first process that saw the trace, "f" into the earliest
+// span of each later process) — the arrow from a client's net_request
+// span to the server's serve/build spans for the same update attempt.
+//
+// Timestamps are NOT rebased: each process's ts values stay on its own
+// monotonic anchor. Lanes are therefore individually accurate but not
+// mutually aligned; the flow arrows, keyed on trace identity rather
+// than time, are what join the timelines.
+//
+// Inputs must be well-formed trace documents ({"traceEvents":[...]});
+// malformed JSON throws FormatError, which is how `ipdelta trace
+// --merge` doubles as a validator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ipd::obs {
+
+struct NamedTrace {
+  std::string name;  ///< lane label, e.g. "client" or "server"
+  std::string json;  ///< a trace_events_json()-style document
+};
+
+struct MergeStats {
+  std::size_t processes = 0;
+  std::size_t events = 0;        ///< span/meta events in the output
+  std::size_t flow_events = 0;   ///< "s"/"f" records emitted
+  std::size_t traces_joined = 0; ///< distinct trace ids spanning >1 input
+};
+
+/// Merge the inputs into one Chrome trace document. Throws FormatError
+/// on malformed input JSON or a missing traceEvents array.
+std::string merge_traces(const std::vector<NamedTrace>& inputs,
+                         MergeStats* stats = nullptr);
+
+}  // namespace ipd::obs

@@ -1,0 +1,181 @@
+#include "obs/watchdog.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+#include "core/sync.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/trace.hpp"
+
+namespace ipd::obs {
+
+struct StallWatchdog::Impl {
+  struct Task {
+    std::string label;
+    TraceContext trace;
+    std::uint64_t deadline_ns = 0;
+    std::uint64_t last_progress_ns = 0;
+    std::uint64_t offset = 0;
+    bool flagged = false;
+  };
+
+  Mutex mutex{"StallWatchdog"};
+  std::unordered_map<std::uint64_t, Task> tasks GUARDED_BY(mutex);
+  std::uint64_t next_id GUARDED_BY(mutex) = 1;
+  std::atomic<std::uint64_t> stalls{0};
+
+  Mutex thread_mutex{"StallWatchdogThread"};
+  ConditionVariable thread_cv;
+  bool thread_stop GUARDED_BY(thread_mutex) = false;
+  std::thread checker;  // guarded by start/stop call discipline
+};
+
+StallWatchdog::Impl& StallWatchdog::impl() const {
+  // Lazily heap-allocated and only freed by the destructor: the global
+  // watchdog is never destroyed, so tasks registered during static
+  // teardown stay safe.
+  if (impl_ == nullptr) impl_ = new Impl;
+  return *impl_;
+}
+
+StallWatchdog::~StallWatchdog() {
+  stop_thread();
+  delete impl_;
+}
+
+std::uint64_t StallWatchdog::register_task(std::string label,
+                                           const TraceContext& trace,
+                                           std::uint64_t deadline_ns) {
+  Impl& im = impl();
+  const MutexLock lock(im.mutex);
+  const std::uint64_t id = im.next_id++;
+  Impl::Task task;
+  task.label = std::move(label);
+  task.trace = trace;
+  task.deadline_ns = deadline_ns;
+  task.last_progress_ns = now_ns();
+  im.tasks.emplace(id, std::move(task));
+  return id;
+}
+
+void StallWatchdog::progress(std::uint64_t id, std::uint64_t offset) noexcept {
+  Impl& im = impl();
+  const MutexLock lock(im.mutex);
+  const auto it = im.tasks.find(id);
+  if (it == im.tasks.end()) return;
+  it->second.offset = offset;
+  it->second.last_progress_ns = now_ns();
+  it->second.flagged = false;  // moving again: re-arm the edge trigger
+}
+
+void StallWatchdog::deregister(std::uint64_t id) noexcept {
+  Impl& im = impl();
+  const MutexLock lock(im.mutex);
+  im.tasks.erase(id);
+}
+
+std::size_t StallWatchdog::check_now(std::uint64_t now) {
+  if (now == 0) now = now_ns();
+  Impl& im = impl();
+  // Collect under the lock, push events after: EventRing::push mirrors
+  // into flight recorders and must not run under the watchdog mutex.
+  std::vector<StalledTask> fresh;
+  std::size_t stalled_count = 0;
+  {
+    const MutexLock lock(im.mutex);
+    for (auto& [id, task] : im.tasks) {
+      const std::uint64_t silent =
+          now > task.last_progress_ns ? now - task.last_progress_ns : 0;
+      if (silent <= task.deadline_ns) continue;
+      ++stalled_count;
+      if (task.flagged) continue;
+      task.flagged = true;
+      StalledTask s;
+      s.id = id;
+      s.label = task.label;
+      s.trace = task.trace;
+      s.offset = task.offset;
+      s.stalled_for_ns = silent;
+      fresh.push_back(std::move(s));
+    }
+  }
+  for (const StalledTask& s : fresh) {
+    im.stalls.fetch_add(1, std::memory_order_relaxed);
+    std::string detail = s.label;
+    if (s.trace.valid()) detail += " " + s.trace.trace_id_hex();
+    global_events().push(EventType::kStall, s.offset, s.stalled_for_ns,
+                         detail);
+  }
+  return stalled_count;
+}
+
+std::vector<StalledTask> StallWatchdog::stalled() const {
+  Impl& im = impl();
+  const std::uint64_t now = now_ns();
+  const MutexLock lock(im.mutex);
+  std::vector<StalledTask> out;
+  for (const auto& [id, task] : im.tasks) {
+    if (!task.flagged) continue;
+    StalledTask s;
+    s.id = id;
+    s.label = task.label;
+    s.trace = task.trace;
+    s.offset = task.offset;
+    s.stalled_for_ns =
+        now > task.last_progress_ns ? now - task.last_progress_ns : 0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t StallWatchdog::watched() const {
+  Impl& im = impl();
+  const MutexLock lock(im.mutex);
+  return im.tasks.size();
+}
+
+std::uint64_t StallWatchdog::stalls_flagged() const noexcept {
+  return impl().stalls.load(std::memory_order_relaxed);
+}
+
+void StallWatchdog::start_thread(int interval_ms) {
+  Impl& im = impl();
+  {
+    const MutexLock lock(im.thread_mutex);
+    if (im.checker.joinable()) return;  // already running
+    im.thread_stop = false;
+  }
+  im.checker = std::thread([this, interval_ms] {
+    Impl& i = impl();
+    UniqueLock lock(i.thread_mutex);
+    for (;;) {
+      i.thread_cv.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      if (i.thread_stop) return;
+      lock.unlock();
+      check_now();
+      lock.lock();
+    }
+  });
+}
+
+void StallWatchdog::stop_thread() {
+  if (impl_ == nullptr) return;
+  Impl& im = *impl_;
+  {
+    const MutexLock lock(im.thread_mutex);
+    if (!im.checker.joinable()) return;
+    im.thread_stop = true;
+  }
+  im.thread_cv.notify_all();
+  im.checker.join();
+  im.checker = std::thread();
+}
+
+StallWatchdog& global_watchdog() noexcept {
+  static StallWatchdog* w = new StallWatchdog;
+  return *w;
+}
+
+}  // namespace ipd::obs

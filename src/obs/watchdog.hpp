@@ -1,0 +1,99 @@
+// Stall watchdog: turn invisible hangs into events with a trace id.
+//
+// PR 7's worst bug was a bit-flipped frame length prefix that wedged
+// both peers mid-read — no error, no counter, just silence. The
+// watchdog makes that failure mode observable: a transfer (or any
+// long-running stage) registers with a deadline, reports progress as
+// bytes move, and deregisters when done. Any task whose last progress
+// is older than its deadline is flagged: a kStall event is pushed into
+// the global ring carrying the task's trace id and last-progress
+// offset, and the task shows up in stalled() until it moves again.
+//
+// Checking is explicit (check_now, deterministic for tests) or a
+// background thread (start/stop) for long-lived servers. Flagging is
+// edge-triggered: one event per stall episode, re-armed by progress.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_context.hpp"
+
+namespace ipd::obs {
+
+struct StalledTask {
+  std::uint64_t id = 0;
+  std::string label;
+  TraceContext trace;
+  std::uint64_t offset = 0;         ///< last reported progress offset
+  std::uint64_t stalled_for_ns = 0; ///< now - last progress
+};
+
+class StallWatchdog {
+ public:
+  StallWatchdog() = default;
+  ~StallWatchdog();
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Register a task; returns its id (never 0). `deadline_ns` is the
+  /// maximum silence tolerated between progress reports.
+  std::uint64_t register_task(std::string label, const TraceContext& trace,
+                              std::uint64_t deadline_ns);
+  /// Report progress (monotone offset: bytes sent, bytes applied, ...).
+  void progress(std::uint64_t id, std::uint64_t offset) noexcept;
+  void deregister(std::uint64_t id) noexcept;
+
+  /// Flag every task stalled as of `now` (obs::now_ns() when 0); pushes
+  /// one kStall event per newly-stalled task. Returns how many tasks
+  /// are currently stalled (flagged before or now and still silent).
+  std::size_t check_now(std::uint64_t now = 0);
+
+  /// Currently-stalled tasks (as of the last check).
+  std::vector<StalledTask> stalled() const;
+
+  /// Tasks currently registered (stalled or not).
+  std::size_t watched() const;
+
+  /// kStall events pushed over the watchdog's lifetime.
+  std::uint64_t stalls_flagged() const noexcept;
+
+  /// Background checker at `interval_ms`; idempotent. stop_thread() is
+  /// implied by destruction.
+  void start_thread(int interval_ms);
+  void stop_thread();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+/// The process-wide watchdog transfers register with by default.
+StallWatchdog& global_watchdog() noexcept;
+
+/// RAII registration against the global watchdog (or none when
+/// deadline_ns == 0, making call sites unconditional).
+class WatchdogGuard {
+ public:
+  WatchdogGuard(std::string label, const TraceContext& trace,
+                std::uint64_t deadline_ns)
+      : id_(deadline_ns == 0 ? 0
+                             : global_watchdog().register_task(
+                                   std::move(label), trace, deadline_ns)) {}
+  ~WatchdogGuard() {
+    if (id_ != 0) global_watchdog().deregister(id_);
+  }
+  WatchdogGuard(const WatchdogGuard&) = delete;
+  WatchdogGuard& operator=(const WatchdogGuard&) = delete;
+
+  void progress(std::uint64_t offset) noexcept {
+    if (id_ != 0) global_watchdog().progress(id_, offset);
+  }
+
+ private:
+  std::uint64_t id_;
+};
+
+}  // namespace ipd::obs

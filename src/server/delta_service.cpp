@@ -6,6 +6,7 @@
 #include "obs/event_ring.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "server/fingerprint.hpp"
 
 namespace ipd {
@@ -70,8 +71,13 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
         if (auto cached = cache_.get(key)) return cached;
         auto reference = store_.body(from);
         auto version = store_.body(to);
+        // The trace context is thread-local; carry it across the pool
+        // boundary explicitly so build spans join the request's trace.
+        const obs::TraceContext trace = obs::current_trace();
         auto future = pool_.submit(
-            [this, reference, version]() -> std::shared_ptr<const Bytes> {
+            [this, reference, version,
+             trace]() -> std::shared_ptr<const Bytes> {
+              const obs::TraceScope trace_scope(trace);
               // Runs ON a pool worker; any intra-build fan-out posts
               // helper tasks back to the same pool (parallel_for's
               // caller participation makes that deadlock-free), so

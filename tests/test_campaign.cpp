@@ -141,5 +141,161 @@ TEST(Campaign, AbortGateStopsTheRampAndStrandsNobody) {
   EXPECT_NE(report.json().find("\"aborted\":true"), std::string::npos);
 }
 
+// ---- SLO layer ------------------------------------------------------
+
+TEST(Slo, BurnRateMeasuresBudgetConsumption) {
+  SloSpec spec;
+  spec.target_success_rate = 0.99;  // 1% error budget
+  WaveHealth w;
+  w.wave = 1;
+  w.attempted = 100;
+  w.failed = 2;
+  // 2% failures against a 1% budget: burning 2x.
+  EXPECT_DOUBLE_EQ(w.failure_rate(), 0.02);
+  EXPECT_NEAR(w.burn_rate(spec), 2.0, 1e-9);
+  // A zero-budget SLO with any failure burns "infinitely".
+  spec.target_success_rate = 1.0;
+  EXPECT_GE(w.burn_rate(spec), 1e9);
+  w.failed = 0;
+  EXPECT_DOUBLE_EQ(w.burn_rate(spec), 0.0);
+}
+
+TEST(Slo, EvaluationSkipsSmallWavesAndRejectsBadSpecs) {
+  SloSpec spec;
+  spec.enabled = true;
+  spec.min_attempts = 20;
+  WaveHealth tiny;
+  tiny.attempted = 5;
+  tiny.failed = 5;  // 100% failure, but too small to judge
+  const SloEval eval = evaluate_slo(spec, tiny);
+  EXPECT_FALSE(eval.evaluated);
+  EXPECT_FALSE(eval.breached);
+
+  SloSpec bad = spec;
+  bad.target_success_rate = 0.0;
+  EXPECT_THROW(bad.validate(), ValidationError);
+  bad.target_success_rate = 1.5;
+  EXPECT_THROW(bad.validate(), ValidationError);
+  bad = spec;
+  bad.max_burn_rate = 0.0;
+  EXPECT_THROW(bad.validate(), ValidationError);
+}
+
+TEST(Campaign, SloBurnRateBreachAbortsTheRamp) {
+  // Dead links, flat-rate gate effectively off: only the SLO burn-rate
+  // gate can stop this rollout — and it must, at the first judged wave.
+  CampaignOptions o;
+  o.devices = 60;
+  o.releases = 2;
+  o.image_bytes = 8u << 10;
+  o.seed = 5;
+  o.drop_rate = 1.0;
+  o.grace_ops = 0;
+  o.client.max_attempts = 2;
+  o.rollout.waves = {0.5, 1.0};
+  o.rollout.min_failures_to_abort = 1'000;  // flat gate disabled
+  o.rollout.max_attempts_per_device = 2;
+  o.slo.enabled = true;
+  o.slo.target_success_rate = 0.99;
+  o.slo.max_burn_rate = 2.0;
+  o.slo.min_attempts = 20;
+  const CampaignReport report = run_campaign(o);
+  EXPECT_TRUE(report.aborted);
+  EXPECT_TRUE(report.slo_aborted);
+  EXPECT_GE(report.slo_burn_rate, 2.0);
+  EXPECT_NE(report.slo_reason.find("burn rate"), std::string::npos);
+  // Only the first wave ran: 30 attempted, 30 skipped untouched.
+  ASSERT_EQ(report.wave_health.size(), 1u);
+  EXPECT_EQ(report.wave_health[0].attempted, 30u);
+  EXPECT_EQ(report.wave_health[0].failed, 30u);
+  EXPECT_EQ(report.skipped, 30u);
+  EXPECT_EQ(report.bricked, 0u);
+  EXPECT_NE(report.render().find("SLO BREACH"), std::string::npos);
+  EXPECT_NE(report.json().find("\"slo_aborted\":true"), std::string::npos);
+  EXPECT_NE(report.json().find("\"wave_health\":["), std::string::npos);
+}
+
+TEST(Campaign, SloCanaryWaveBelowMinAttemptsIsNotJudged) {
+  // A 3-device canary fails outright, but min_attempts shields it from
+  // SLO judgement (a canary of 3 has no statistics); the breach fires
+  // at the next, large-enough wave instead.
+  CampaignOptions o;
+  o.devices = 60;
+  o.releases = 2;
+  o.image_bytes = 8u << 10;
+  o.seed = 5;
+  o.drop_rate = 1.0;
+  o.grace_ops = 0;
+  o.client.max_attempts = 2;
+  o.rollout.waves = {0.05, 0.5, 1.0};
+  o.rollout.min_failures_to_abort = 1'000;
+  o.rollout.max_attempts_per_device = 2;
+  o.slo.enabled = true;
+  o.slo.min_attempts = 20;
+  const CampaignReport report = run_campaign(o);
+  EXPECT_TRUE(report.slo_aborted);
+  ASSERT_EQ(report.wave_health.size(), 2u);
+  EXPECT_EQ(report.wave_health[0].attempted, 3u);
+  EXPECT_EQ(report.wave_health[1].attempted, 27u);
+  EXPECT_NE(report.slo_reason.find("wave 2"), std::string::npos);
+}
+
+TEST(Campaign, SloHealthyFleetReportsPerWaveLatencyQuantiles) {
+  CampaignOptions o;
+  o.devices = 40;
+  o.releases = 3;
+  o.image_bytes = 12u << 10;
+  o.seed = 11;
+  o.rollout.waves = {0.25, 1.0};
+  o.slo.enabled = true;
+  o.slo.target_success_rate = 0.99;
+  o.slo.max_burn_rate = 2.0;
+  o.slo.min_attempts = 5;
+  const CampaignReport report = run_campaign(o);
+  EXPECT_FALSE(report.aborted);
+  EXPECT_FALSE(report.slo_aborted);
+  EXPECT_EQ(report.updated, 40u);
+  ASSERT_EQ(report.wave_health.size(), 2u);
+  std::size_t attempted_total = 0;
+  for (const WaveHealth& w : report.wave_health) {
+    attempted_total += w.attempted;
+    // Per-wave latency really was recorded: one sample per attempt and
+    // a nonzero p99 an operator can read off the wave line.
+    EXPECT_EQ(w.latency.count, w.attempted);
+    EXPECT_GT(w.latency.quantile(0.99), 0.0);
+    EXPECT_NE(w.render().find("p99"), std::string::npos);
+    EXPECT_NE(w.json().find("\"p99_ns\":"), std::string::npos);
+  }
+  EXPECT_EQ(attempted_total, 40u);
+  EXPECT_NE(report.render().find("slo: healthy"), std::string::npos);
+}
+
+TEST(Campaign, SloP99BudgetBreachAborts) {
+  // A 1 ns latency budget is unmeetable: the first judged wave breaches
+  // on p99 even though every update succeeds.
+  CampaignOptions o;
+  o.devices = 30;
+  o.releases = 2;
+  o.image_bytes = 8u << 10;
+  o.seed = 11;
+  o.rollout.waves = {1.0};
+  o.slo.enabled = true;
+  o.slo.p99_latency_budget_ns = 1;
+  o.slo.min_attempts = 5;
+  const CampaignReport report = run_campaign(o);
+  EXPECT_TRUE(report.slo_aborted);
+  EXPECT_NE(report.slo_reason.find("p99"), std::string::npos);
+  EXPECT_EQ(report.failed, 0u) << "p99 breach is not a device failure";
+}
+
+TEST(Campaign, SloSpecIsValidatedUpFront) {
+  CampaignOptions o;
+  o.devices = 4;
+  o.releases = 2;
+  o.slo.enabled = true;
+  o.slo.target_success_rate = 2.0;
+  EXPECT_THROW(run_campaign(o), ValidationError);
+}
+
 }  // namespace
 }  // namespace ipd

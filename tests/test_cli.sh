@@ -127,6 +127,55 @@ fi
 grep -q "ABORTED" campaign_abort.out || fail "campaign abort banner"
 grep -q "bricked 0" campaign_abort.out || fail "campaign abort bricked"
 
+# campaign --slo: a fully faulty canary wave burns the error budget and
+# aborts with exit 2 and the breach reason; a clean fleet reports
+# per-wave latency quantiles and a healthy verdict.
+if "$IPDELTA" campaign --devices 60 --releases 2 --seed 7 \
+  --image-bytes 4096 --drop 1.0 --grace 0 --attempts 2 \
+  --waves 0.5,1.0 --slo --slo-burn 2.0 > campaign_slo.out 2>&1; then
+  fail "campaign --slo ignored a burn-rate breach"
+fi
+grep -q "SLO BREACH" campaign_slo.out || fail "campaign slo breach banner"
+grep -q "burn rate" campaign_slo.out || fail "campaign slo breach reason"
+grep -q "bricked 0" campaign_slo.out || fail "campaign slo bricked"
+"$IPDELTA" campaign --devices 16 --releases 3 --seed 7 \
+  --image-bytes 8192 --waves 0.5,1.0 --slo --slo-min-attempts 4 \
+  > campaign_healthy.out || fail "campaign --slo healthy"
+grep -q "p99" campaign_healthy.out || fail "campaign slo p99 quantiles"
+grep -q "slo: healthy" campaign_healthy.out || fail "campaign slo verdict"
+
+# tracing over TCP: server and client each export a Chrome trace of the
+# same fetch, and trace --merge joins them into one timeline with flow
+# arrows linking the request span to the serve spans. Skipped when the
+# sandbox forbids localhost sockets.
+MERGE_PORT=39419
+mkfifo hold
+"$IPDELTA" serve ref.bin new.bin --port $MERGE_PORT \
+  --trace-out server_trace.json > serve_traced.out 2>&1 < hold &
+SERVE_PID=$!
+exec 9>hold
+sleep 1
+if kill -0 $SERVE_PID 2>/dev/null; then
+  cp ref.bin fetch_img.bin
+  "$IPDELTA" trace fetch 127.0.0.1:$MERGE_PORT fetch_img.bin --to 1 \
+    --trace-out client_trace.json > /dev/null 2>&1 || fail "traced fetch"
+  cmp -s fetch_img.bin new.bin || fail "traced fetch output mismatch"
+  exec 9>&-
+  wait $SERVE_PID || fail "traced serve exit"
+  "$IPDELTA" trace --merge client_trace.json server_trace.json \
+    --trace-out merged_trace.json > merge.out || fail "trace --merge"
+  grep -q "1 trace id(s) joined" merge.out || fail "merge joined no traces"
+  grep -q '"ph":"s"' merged_trace.json || fail "merge missing flow start"
+  grep -q '"ph":"f"' merged_trace.json || fail "merge missing flow finish"
+  if "$IPDELTA" trace --merge ref.bin > /dev/null 2>&1; then
+    fail "trace --merge accepted a non-trace file"
+  fi
+else
+  exec 9>&-
+  wait $SERVE_PID 2>/dev/null
+  echo "skip: trace --merge over TCP (no sockets)"
+fi
+
 # corrupted delta is rejected with exit code 2.
 cp d.ipd bad.ipd
 dd if=/dev/zero of=bad.ipd bs=1 seek=100 count=4 conv=notrunc 2> /dev/null

@@ -20,6 +20,9 @@
 #include "net/faulty_transport.hpp"
 #include "net/ota_client.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "test_util.hpp"
 
 namespace ipd {
@@ -475,6 +478,198 @@ TEST(NetE2E, ConcurrentStartAdmitsExactlyOneCaller) {
     EXPECT_EQ(refused.load(), kCallers - 1) << "round " << round;
     rig.server->stop();
   }
+}
+
+// ---- distributed tracing over the wire ------------------------------
+
+/// Every (stage name, args.trace hex) pair in a trace_events_json()
+/// document — the events are serialized one object at a time, so the
+/// trace id for a span (when present) sits between its "name" key and
+/// the next event's.
+std::vector<std::pair<std::string, std::string>> span_traces(
+    const std::string& json) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::string name_key = "\"name\":\"";
+  for (std::size_t at = json.find(name_key); at != std::string::npos;) {
+    const std::size_t name_begin = at + name_key.size();
+    const std::size_t name_end = json.find('"', name_begin);
+    const std::size_t next = json.find(name_key, name_end);
+    const std::size_t tr = json.find("\"trace\":\"", name_end);
+    std::string trace;
+    if (tr != std::string::npos && (next == std::string::npos || tr < next)) {
+      trace = json.substr(tr + 9, 32);
+    }
+    out.emplace_back(json.substr(name_begin, name_end - name_begin), trace);
+    at = next;
+  }
+  return out;
+}
+
+std::string trace_of(
+    const std::vector<std::pair<std::string, std::string>>& spans,
+    const std::string& stage) {
+  for (const auto& [name, trace] : spans) {
+    if (name == stage && !trace.empty()) return trace;
+  }
+  return {};
+}
+
+TEST(NetE2E, RequestServeAndTransferSpansShareOneTraceId) {
+  TcpRig rig(3);
+  SKIP_IF_NO_SOCKETS(rig);
+  const ReleaseId target = static_cast<ReleaseId>(rig.history.size() - 1);
+
+  // Client and server live in one process here, so one collector sees
+  // both sides; the genuinely-two-process version of this assertion
+  // (separate exports joined by `ipdelta trace --merge`) runs in
+  // tests/test_cli.sh.
+  obs::set_tracing(true);
+  obs::clear_trace_events();
+  Bytes image = rig.history[0];
+  OtaClient client(rig.factory());
+  client.update_streaming(image, 0, target);
+  obs::set_tracing(false);
+  const std::string json = obs::trace_events_json();
+  obs::clear_trace_events();
+  ASSERT_TRUE(test::bytes_equal(rig.history[target], image));
+
+  const auto spans = span_traces(json);
+  const std::string request_trace = trace_of(spans, "net_request");
+  ASSERT_EQ(request_trace.size(), 32u)
+      << "client request span missing its trace id";
+  // The server-side spans for this update carry the SAME trace id: the
+  // context crossed the wire in the frame extension, not thread-locals.
+  EXPECT_EQ(trace_of(spans, "serve"), request_trace);
+  EXPECT_EQ(trace_of(spans, "net_transfer"), request_trace);
+}
+
+TEST(NetE2E, V2SessionEchoesTraceContextInReplies) {
+  TcpRig rig(2);
+  SKIP_IF_NO_SOCKETS(rig);
+  auto transport = TcpTransport::connect("127.0.0.1", rig.server->port());
+  FramedConnection conn(*transport);
+  conn.send(HelloMsg{kProtocolVersionTraced, 4096});
+  const auto ack = std::get<HelloAckMsg>(*conn.receive());
+  EXPECT_EQ(ack.protocol_version, kProtocolVersionTraced);
+
+  const obs::TraceContext ctx = obs::mint_trace();
+  conn.set_outbound_trace(ctx);
+  conn.send(GetDeltaMsg{0, 1});
+  const std::optional<Message> begin = conn.receive();
+  ASSERT_TRUE(begin && std::holds_alternative<DeltaBeginMsg>(*begin));
+  // The reply frame carries the server's context for OUR trace: same
+  // 128-bit id, a server-side span parented under the request.
+  const obs::TraceContext echoed = conn.inbound_trace();
+  ASSERT_TRUE(echoed.valid());
+  EXPECT_EQ(echoed.trace_hi, ctx.trace_hi);
+  EXPECT_EQ(echoed.trace_lo, ctx.trace_lo);
+  EXPECT_NE(echoed.span_id, ctx.span_id);
+  transport->close();
+}
+
+TEST(NetE2E, V1SessionInteroperatesWithNoTraceExtension) {
+  TcpRig rig(2);
+  SKIP_IF_NO_SOCKETS(rig);
+  // An old client speaks protocol v1 and knows nothing of the frame
+  // trace flag; the new server must answer v1 exactly as before.
+  auto transport = TcpTransport::connect("127.0.0.1", rig.server->port());
+  FramedConnection conn(*transport);
+  conn.send(HelloMsg{kProtocolVersion, 4096});
+  const auto ack = std::get<HelloAckMsg>(*conn.receive());
+  EXPECT_EQ(ack.protocol_version, kProtocolVersion);
+  conn.send(GetDeltaMsg{0, 1});
+  const std::optional<Message> begin = conn.receive();
+  ASSERT_TRUE(begin && std::holds_alternative<DeltaBeginMsg>(*begin));
+  EXPECT_FALSE(conn.inbound_trace().valid())
+      << "a v1 session must never see the trace extension";
+  transport->close();
+}
+
+TEST(NetE2E, NewClientDowngradesStickilyAgainstAnOldServer) {
+  // A pre-trace server: rejects any HELLO version it does not know with
+  // ERROR{kProtocol} (exactly what the old serve_session did), acks v1,
+  // and answers METRICS_REQ. The new client must downgrade, reconnect
+  // speaking v1 — and remember the downgrade on later connections.
+  std::unique_ptr<TcpListener> listener;
+  try {
+    listener = std::make_unique<TcpListener>(0);
+  } catch (const TransportError&) {
+    GTEST_SKIP() << "localhost sockets unavailable here";
+  }
+  std::atomic<int> hellos_seen{0};
+  std::atomic<int> rejected{0};
+  std::thread old_server([&] {
+    while (std::unique_ptr<TcpTransport> t = listener->accept()) {
+      try {
+        FramedConnection conn(*t);
+        const std::optional<Message> msg = conn.receive();
+        const auto* hello = msg ? std::get_if<HelloMsg>(&*msg) : nullptr;
+        if (hello == nullptr) continue;
+        hellos_seen.fetch_add(1);
+        if (hello->protocol_version != kProtocolVersion) {
+          rejected.fetch_add(1);
+          conn.send(ErrorMsg{ErrorCode::kProtocol,
+                             "unsupported protocol version"});
+          continue;
+        }
+        HelloAckMsg ack;
+        ack.protocol_version = kProtocolVersion;
+        ack.release_count = 2;
+        ack.latest = 1;
+        ack.chunk = 4096;
+        conn.send(ack);
+        const std::optional<Message> req = conn.receive();
+        if (req && std::holds_alternative<MetricsReqMsg>(*req)) {
+          conn.send(MetricsMsg{"net_sessions:         1\n"});
+        }
+      } catch (const Error&) {
+        // a half-closed connection is the client's business
+      }
+    }
+  });
+
+  OtaClient client([port = listener->port()] {
+    return TcpTransport::connect("127.0.0.1", port);
+  });
+  // First call: v2 offer refused, downgrade, v1 succeeds (2 connects).
+  EXPECT_NE(client.fetch_metrics().find("net_sessions"), std::string::npos);
+  // Second call: the downgrade stuck, so v1 straight away (1 connect).
+  EXPECT_NE(client.fetch_metrics().find("net_sessions"), std::string::npos);
+  listener->close();
+  old_server.join();
+  EXPECT_EQ(rejected.load(), 1);
+  EXPECT_EQ(hellos_seen.load(), 3);
+}
+
+TEST(NetE2E, ExhaustedAttemptsDumpTheFlightRecorder) {
+  TcpRig rig(2);
+  SKIP_IF_NO_SOCKETS(rig);
+  obs::clear_flight_dumps();
+  OtaClientOptions options;
+  options.max_attempts = 2;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  // Every link dies almost immediately: the update runs out of attempts
+  // and the abort path must leave a flight record for the post-mortem.
+  OtaClient doomed(
+      [&rig]() -> std::unique_ptr<Transport> {
+        FaultOptions faults;
+        faults.kill_after_bytes = 64;
+        return std::make_unique<FaultyTransport>(
+            TcpTransport::connect("127.0.0.1", rig.server->port()), faults,
+            nullptr);
+      },
+      options);
+  Bytes image = rig.history[0];
+  EXPECT_THROW(doomed.update_streaming(image, 0, 1), Error);
+  const std::vector<obs::FlightDump> dumps = obs::flight_dumps();
+  ASSERT_FALSE(dumps.empty()) << "transfer abort left no flight record";
+  EXPECT_NE(dumps.back().reason.find("attempts exhausted"),
+            std::string::npos);
+  EXPECT_NE(dumps.back().label.find("ota:stream"), std::string::npos);
+  // The dump is keyed by the update's trace id even with tracing off.
+  EXPECT_EQ(dumps.back().trace_id.size(), 32u);
+  obs::clear_flight_dumps();
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // src/obs/ unit tests: histogram quantile accuracy against a
 // sorted-vector oracle, snapshot merging, the event ring, stage span
-// aggregation, the Chrome trace JSON export, and the Prometheus
-// renderer's text format. Concurrency hammering lives in
-// test_obs_stress.cpp (label "stress", run under TSan).
+// aggregation, the Chrome trace JSON export, trace-context propagation,
+// cross-process trace merging, the flight recorder, the stall watchdog,
+// and the Prometheus renderer's text format. Concurrency hammering
+// lives in test_obs_stress.cpp (label "stress", run under TSan).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,9 +13,13 @@
 
 #include "core/rng.hpp"
 #include "obs/event_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/trace_merge.hpp"
+#include "obs/watchdog.hpp"
 #include "test_util.hpp"
 
 namespace ipd::obs {
@@ -93,6 +98,44 @@ TEST(Histogram, QuantileExactForSingleBucketValues) {
   Histogram h;
   h.record(1024);
   EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 1024.0);
+}
+
+TEST(Histogram, EmptySnapshotAnswersEveryQuantileWithZero) {
+  const HistogramSnapshot snap = Histogram().snapshot();
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.quantile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  // latency_line over nothing must still render (the serve ticker calls
+  // it before the first request lands).
+  EXPECT_NE(snap.latency_line().find("p50"), std::string::npos);
+}
+
+TEST(Histogram, SingleEntryQuantilesStayInsideItsBucket) {
+  Histogram h;
+  h.record(7);  // bucket 3: [4, 7]
+  const HistogramSnapshot snap = h.snapshot();
+  const std::size_t bucket = Histogram::bucket_of(7);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_GE(est, static_cast<double>(Histogram::bucket_low(bucket)));
+    EXPECT_LE(est, static_cast<double>(Histogram::bucket_high(bucket)));
+  }
+}
+
+TEST(Histogram, SaturatingValuesLandInTheTopBucketAndStayFinite) {
+  Histogram h;
+  const std::uint64_t top = ~std::uint64_t{0};
+  for (int i = 0; i < 3; ++i) h.record(top);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets[kHistogramBuckets - 1], 3u);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_TRUE(std::isfinite(est)) << "q=" << q;
+    EXPECT_GE(est, static_cast<double>(
+                       Histogram::bucket_low(kHistogramBuckets - 1)));
+  }
 }
 
 TEST(Histogram, MergeIsOrderIndependent) {
@@ -288,6 +331,314 @@ TEST(Trace, DisabledByDefaultCapturesNothing) {
     Span span(Stage::kVerify);
   }
   EXPECT_EQ(trace_event_count(), 0u);
+}
+
+// ---- trace context --------------------------------------------------
+
+TEST(TraceContext, MintedRootsAreValidAndDistinct) {
+  const TraceContext a = mint_trace();
+  const TraceContext b = mint_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_EQ(a.trace_id_hex().size(), 32u);
+  EXPECT_EQ(a.span_id_hex().size(), 16u);
+}
+
+TEST(TraceContext, ChildSharesTraceIdWithFreshSpan) {
+  const TraceContext root = mint_trace();
+  const TraceContext child = child_of(root);
+  EXPECT_EQ(child.trace_hi, root.trace_hi);
+  EXPECT_EQ(child.trace_lo, root.trace_lo);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  // Propagating "no trace" stays "no trace" — the untraced fast path.
+  EXPECT_FALSE(child_of(TraceContext{}).valid());
+}
+
+TEST(TraceContext, ScopeInstallsAndNestingRestores) {
+  EXPECT_FALSE(current_trace().valid());
+  const TraceContext outer = mint_trace();
+  {
+    const TraceScope outer_scope(outer);
+    EXPECT_EQ(current_trace(), outer);
+    const TraceContext inner = child_of(outer);
+    {
+      const TraceScope inner_scope(inner);
+      EXPECT_EQ(current_trace(), inner);
+    }
+    EXPECT_EQ(current_trace(), outer);
+  }
+  EXPECT_FALSE(current_trace().valid());
+}
+
+TEST(TraceContext, SpansUnderAScopeCarryTheTraceIdInJson) {
+  const TraceContext ctx = mint_trace();
+  set_tracing(true);
+  clear_trace_events();
+  {
+    const TraceScope scope(ctx);
+    Span span(Stage::kServe, 5);
+  }
+  {
+    Span untagged(Stage::kVerify);  // outside any scope: no args.trace
+  }
+  set_tracing(false);
+  const std::string json = trace_events_json();
+  clear_trace_events();
+  EXPECT_NE(json.find("\"trace\":\"" + ctx.trace_id_hex() + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"span\":\"" + ctx.span_id_hex() + "\""),
+            std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"trace\":"), 1u)
+      << "the unscoped span must not carry a trace id";
+}
+
+TEST(TraceContext, UnsampledContextPropagatesButRecordsNoTaggedSpan) {
+  TraceContext ctx = mint_trace();
+  ctx.sampled = false;
+  set_tracing(true);
+  clear_trace_events();
+  {
+    const TraceScope scope(ctx);
+    Span span(Stage::kServe);
+  }
+  set_tracing(false);
+  const std::string json = trace_events_json();
+  clear_trace_events();
+  EXPECT_EQ(json.find("\"trace\":"), std::string::npos);
+}
+
+// ---- cross-process merge --------------------------------------------
+
+// Hand-built per-process documents: in-process tests share one trace
+// collector, so genuinely separate processes are simulated by separate
+// JSON inputs here (and exercised for real in tests/test_cli.sh).
+std::string one_span_doc(const std::string& name, double ts,
+                         const std::string& trace_id,
+                         const std::string& span_id) {
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"" + name +
+         "\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":" + std::to_string(ts) +
+         ",\"dur\":5.0,\"pid\":1,\"tid\":1,\"args\":{\"bytes\":0,\"trace\":\"" +
+         trace_id + "\",\"span\":\"" + span_id + "\"}}]}";
+}
+
+TEST(TraceMerge, JoinsSharedTraceIdsAcrossLanesWithFlowEvents) {
+  const std::string trace_id = "00112233445566778899aabbccddeeff";
+  const std::vector<NamedTrace> inputs = {
+      {"client", one_span_doc("net_request", 10.0, trace_id,
+                              "0000000000000001")},
+      {"server", one_span_doc("serve", 900.0, trace_id,
+                              "0000000000000002")},
+  };
+  MergeStats stats;
+  const std::string merged = merge_traces(inputs, &stats);
+  EXPECT_EQ(stats.processes, 2u);
+  EXPECT_EQ(stats.traces_joined, 1u);
+  EXPECT_EQ(stats.flow_events, 2u);  // one "s", one "f"
+  // Lanes: each input got its own pid and a process_name record.
+  EXPECT_NE(merged.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"client\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"server\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(merged, "\"pid\":1"), 3u);  // meta + span + "s"
+  EXPECT_EQ(count_occurrences(merged, "\"pid\":2"), 3u);
+  // The flow pair is keyed on the trace id and spans the two lanes.
+  EXPECT_NE(merged.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(merged.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(merged, "\"id\":\"" + trace_id + "\""), 2u);
+}
+
+TEST(TraceMerge, DisjointTracesProduceNoFlow) {
+  const std::vector<NamedTrace> inputs = {
+      {"a", one_span_doc("diff", 1.0, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                         "0000000000000001")},
+      {"b", one_span_doc("serve", 2.0, "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+                         "0000000000000002")},
+  };
+  MergeStats stats;
+  merge_traces(inputs, &stats);
+  EXPECT_EQ(stats.traces_joined, 0u);
+  EXPECT_EQ(stats.flow_events, 0u);
+}
+
+TEST(TraceMerge, RoundTripsARealExport) {
+  set_tracing(true);
+  clear_trace_events();
+  {
+    const TraceScope scope(mint_trace());
+    Span span(Stage::kEncode, 3);
+  }
+  set_tracing(false);
+  const std::string doc = trace_events_json();
+  clear_trace_events();
+  MergeStats stats;
+  const std::string merged =
+      merge_traces({{"solo", doc}, {"again", doc}}, &stats);
+  EXPECT_EQ(stats.processes, 2u);
+  // The same trace id appears in both lanes, so the join fires.
+  EXPECT_EQ(stats.traces_joined, 1u);
+  EXPECT_NE(merged.find("\"name\":\"encode\""), std::string::npos);
+}
+
+TEST(TraceMerge, MalformedInputThrowsFormatError) {
+  EXPECT_THROW(merge_traces({{"bad", "{\"traceEvents\":["}}), FormatError);
+  EXPECT_THROW(merge_traces({{"bad", "not json at all"}}), FormatError);
+  EXPECT_THROW(merge_traces({{"bad", "{\"traceEvents\":[]} trailing"}}),
+               FormatError);
+  EXPECT_THROW(merge_traces({{"bad", "{\"displayTimeUnit\":\"ms\"}"}}),
+               FormatError);
+  EXPECT_THROW(merge_traces({{"bad", "[1,2,3]"}}), FormatError);
+}
+
+// ---- flight recorder ------------------------------------------------
+
+TEST(FlightRecorder, MirrorsSpansEventsAndNotesUnderScope) {
+  FlightRecorder flight("test-session");
+  {
+    const FlightScope scope(flight);
+    ASSERT_EQ(active_flight_recorder(), &flight);
+    {
+      Span span(Stage::kNetTransfer, 123);
+    }
+    global_events().push(EventType::kNetRetry, 2, 250, "attempt 2");
+    flight.note("manual breadcrumb");
+  }
+  EXPECT_EQ(active_flight_recorder(), nullptr);
+  EXPECT_EQ(flight.recorded(), 3u);
+  const std::string text = flight.dump_text();
+  EXPECT_NE(text.find("net_transfer"), std::string::npos);
+  EXPECT_NE(text.find("net_retry"), std::string::npos);
+  EXPECT_NE(text.find("manual breadcrumb"), std::string::npos);
+}
+
+TEST(FlightRecorder, RecordsIndependentlyOfGlobalTracing) {
+  ASSERT_FALSE(tracing_enabled());
+  FlightRecorder flight("untraced");
+  {
+    const FlightScope scope(flight);
+    Span span(Stage::kServe);
+  }
+  EXPECT_EQ(flight.recorded(), 1u);
+}
+
+TEST(FlightRecorder, RingOverwritesOldestKeepingTheTail) {
+  FlightRecorder flight("wrap");
+  const FlightScope scope(flight);
+  const std::size_t total = FlightRecorder::kMaxEntries + 10;
+  for (std::size_t i = 0; i < total; ++i) {
+    flight.note("note " + std::to_string(i));
+  }
+  EXPECT_EQ(flight.recorded(), total);
+  const std::string text = flight.dump_text();
+  EXPECT_EQ(text.find("note 0\n"), std::string::npos)
+      << "oldest entry should have been overwritten";
+  EXPECT_NE(text.find("note " + std::to_string(total - 1)),
+            std::string::npos);
+  // Oldest resident entry is exactly total - kMaxEntries.
+  EXPECT_NE(
+      text.find("note " + std::to_string(total - FlightRecorder::kMaxEntries)),
+      std::string::npos);
+}
+
+TEST(FlightRecorder, DumpRegistryKeysOnTraceIdAndReason) {
+  clear_flight_dumps();
+  const TraceContext ctx = mint_trace();
+  FlightRecorder flight("server:device-7", ctx);
+  flight.note("resume at 8192");
+  dump_flight(flight, "verify reject before flash write");
+  const std::vector<FlightDump> dumps = flight_dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].trace_id, ctx.trace_id_hex());
+  EXPECT_EQ(dumps[0].label, "server:device-7");
+  EXPECT_EQ(dumps[0].reason, "verify reject before flash write");
+  EXPECT_NE(dumps[0].text.find("resume at 8192"), std::string::npos);
+  EXPECT_NE(dumps[0].json.find("\"trace_id\":\"" + ctx.trace_id_hex() + "\""),
+            std::string::npos);
+  EXPECT_NE(dumps[0].json.find("\"reason\":\"verify reject"),
+            std::string::npos);
+  clear_flight_dumps();
+  EXPECT_TRUE(flight_dumps().empty());
+}
+
+// ---- stall watchdog -------------------------------------------------
+
+TEST(StallWatchdog, FlagsOncePerEpisodeAndRearmsOnProgress) {
+  StallWatchdog dog;
+  const TraceContext ctx = mint_trace();
+  const std::uint64_t id =
+      dog.register_task("test transfer", ctx, 1'000'000 /* 1ms */);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(dog.watched(), 1u);
+
+  // Not yet past the deadline: quiet.
+  EXPECT_EQ(dog.check_now(now_ns()), 0u);
+  EXPECT_EQ(dog.stalls_flagged(), 0u);
+
+  // Way past the deadline: flagged exactly once, stays stalled.
+  const std::uint64_t late = now_ns() + 1'000'000'000;
+  EXPECT_EQ(dog.check_now(late), 1u);
+  EXPECT_EQ(dog.stalls_flagged(), 1u);
+  EXPECT_EQ(dog.check_now(late + 1), 1u);
+  EXPECT_EQ(dog.stalls_flagged(), 1u) << "edge trigger re-fired";
+  const std::vector<StalledTask> stalled = dog.stalled();
+  ASSERT_EQ(stalled.size(), 1u);
+  EXPECT_EQ(stalled[0].label, "test transfer");
+  EXPECT_EQ(stalled[0].trace, ctx);
+
+  // Progress re-arms: no longer stalled, and a NEW silence flags again.
+  dog.progress(id, 4096);
+  EXPECT_EQ(dog.check_now(now_ns()), 0u);
+  EXPECT_TRUE(dog.stalled().empty());
+  EXPECT_EQ(dog.check_now(now_ns() + 1'000'000'000), 1u);
+  EXPECT_EQ(dog.stalls_flagged(), 2u);
+  const std::vector<StalledTask> again = dog.stalled();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].offset, 4096u) << "last-progress offset not carried";
+
+  dog.deregister(id);
+  EXPECT_EQ(dog.watched(), 0u);
+  EXPECT_EQ(dog.check_now(now_ns() + 2'000'000'000), 0u);
+}
+
+TEST(StallWatchdog, StallEventCarriesTheTraceId) {
+  StallWatchdog dog;
+  const TraceContext ctx = mint_trace();
+  dog.register_task("stalling hop", ctx, 1);
+  const std::uint64_t before = global_events().pushed();
+  dog.check_now(now_ns() + 1'000'000'000);
+  ASSERT_EQ(global_events().pushed(), before + 1);
+  const std::vector<Event> recent = global_events().recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].type, EventType::kStall);
+  EXPECT_NE(recent[0].detail.find("stalling hop"), std::string::npos);
+  // kDetailBytes truncation may clip the hex tail; the label plus the
+  // id prefix must survive.
+  const std::string expected =
+      ("stalling hop " + ctx.trace_id_hex())
+          .substr(0, EventRing::kDetailBytes);
+  EXPECT_EQ(recent[0].detail, expected);
+}
+
+TEST(StallWatchdog, GuardWithZeroDeadlineRegistersNothing) {
+  const std::size_t before = global_watchdog().watched();
+  {
+    WatchdogGuard guard("noop", mint_trace(), 0);
+    guard.progress(10);  // must be a safe no-op
+    EXPECT_EQ(global_watchdog().watched(), before);
+  }
+  EXPECT_EQ(global_watchdog().watched(), before);
+}
+
+TEST(StallWatchdog, GuardRegistersAndDeregistersAgainstTheGlobalDog) {
+  const std::size_t before = global_watchdog().watched();
+  {
+    WatchdogGuard guard("guarded transfer", mint_trace(), 5'000'000'000);
+    EXPECT_EQ(global_watchdog().watched(), before + 1);
+    guard.progress(100);
+  }
+  EXPECT_EQ(global_watchdog().watched(), before);
 }
 
 // ---- prometheus renderer --------------------------------------------

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "obs/event_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/watchdog.hpp"
 
 namespace ipd::obs {
 namespace {
@@ -78,7 +81,7 @@ TEST(ObsStress, ConcurrentEventPushesWithLiveReaders) {
       for (const Event& e : ring.recent(64)) {
         // Whatever survives the seqlock must decode to a real type and
         // a plausible payload; torn slots are dropped, not mangled.
-        EXPECT_LT(static_cast<std::uint64_t>(e.type), 7u);
+        EXPECT_LT(static_cast<std::uint64_t>(e.type), kEventTypeCount);
         EXPECT_GE(e.seq, 1u);
         EXPECT_LE(e.detail.size(), EventRing::kDetailBytes);
       }
@@ -89,7 +92,8 @@ TEST(ObsStress, ConcurrentEventPushesWithLiveReaders) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     writers.emplace_back([&ring, t] {
       for (std::uint64_t i = 0; i < kPerThread; ++i) {
-        ring.push(static_cast<EventType>(i % 7), t, i, "stress detail");
+        ring.push(static_cast<EventType>(i % kEventTypeCount), t, i,
+                  "stress detail");
       }
     });
   }
@@ -109,6 +113,92 @@ TEST(ObsStress, ConcurrentEventPushesWithLiveReaders) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_GT(events[i].seq, events[i - 1].seq);
   }
+}
+
+TEST(ObsStress, RingWrapsManyLapsUnderLiveReaders) {
+  // Wraparound focus: each writer laps the ring several times while two
+  // readers scan continuously. recent() must stay strictly ordered and
+  // bounded even when the slot a reader is copying is being re-used.
+  EventRing ring;
+  constexpr std::uint64_t kLaps = 6;
+  constexpr std::uint64_t kPerThread = kLaps * EventRing::kSlots;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<Event> events = ring.recent();
+        EXPECT_LE(events.size(), EventRing::kSlots);
+        for (std::size_t i = 1; i < events.size(); ++i) {
+          EXPECT_GT(events[i].seq, events[i - 1].seq);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.push(static_cast<EventType>(i % kEventTypeCount), t, i);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(ring.pushed(), kThreads * kPerThread);
+}
+
+TEST(ObsStress, PerThreadFlightRecordersMirrorWithoutRacing) {
+  // Each thread owns a recorder and installs it with a FlightScope; the
+  // shared global ring mirrors every push into the pushing thread's
+  // recorder. TSan checks the claim that mirroring is thread-local.
+  constexpr std::uint64_t kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> recorded(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorded, t] {
+      FlightRecorder flight("stress:" + std::to_string(t), mint_trace());
+      const FlightScope scope(flight);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        Span span(Stage::kNetTransfer, i);
+        global_events().push(EventType::kNetRetry, t, i);
+      }
+      recorded[t] = flight.recorded();
+      (void)flight.dump_text();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    // One span + one event per iteration, nothing lost or cross-wired.
+    EXPECT_EQ(recorded[t], 2 * kPerThread) << "thread " << t;
+  }
+}
+
+TEST(ObsStress, WatchdogSurvivesConcurrentTasksAndBackgroundChecks) {
+  StallWatchdog dog;
+  dog.start_thread(1);
+  constexpr std::uint64_t kTasksPerThread = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dog, t] {
+      for (std::uint64_t i = 0; i < kTasksPerThread; ++i) {
+        // Tiny deadline on half the tasks: many stall and get flagged
+        // while the background thread races register/progress/deregister.
+        const std::uint64_t id =
+            dog.register_task("stress " + std::to_string(t), mint_trace(),
+                              (i % 2 == 0) ? 1 : 1'000'000'000);
+        dog.progress(id, i);
+        dog.progress(0, i);  // unknown id: must be ignored safely
+        dog.deregister(id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  dog.stop_thread();
+  EXPECT_EQ(dog.watched(), 0u);
+  (void)dog.check_now();
+  EXPECT_TRUE(dog.stalled().empty());
 }
 
 TEST(ObsStress, ConcurrentSpansAggregateExactly) {
