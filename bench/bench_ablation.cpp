@@ -153,7 +153,7 @@ void ablation_coalescing(const std::vector<VersionPair>& corpus) {
     for (const VersionPair& pair : corpus) {
       PipelineOptions options;
       options.convert.coalesce_adds = coalesce;
-      total += create_inplace_delta(pair.reference, pair.version, options)
+      total += Pipeline(options).build_inplace(pair.reference, pair.version).delta
                    .size();
     }
     std::printf("  coalesce_adds=%-5s %12llu B\n", coalesce ? "on" : "off",
@@ -211,7 +211,7 @@ void ablation_streaming(const std::vector<VersionPair>& corpus) {
   std::size_t pairs = 0;
   for (const VersionPair& pair : corpus) {
     if (++pairs > 16) break;  // a sample is enough
-    const Bytes delta = create_inplace_delta(pair.reference, pair.version);
+    const Bytes delta = Pipeline().build_inplace(pair.reference, pair.version).delta;
     Bytes buffer = pair.reference;
     buffer.resize(std::max(pair.reference.size(), pair.version.size()));
     StreamingInplaceApplier applier(buffer);
@@ -239,12 +239,12 @@ void ablation_compression(const std::vector<VersionPair>& corpus) {
   double encode_seconds = 0;
   for (const VersionPair& pair : corpus) {
     PipelineOptions options;
-    plain += create_inplace_delta(pair.reference, pair.version, options)
+    plain += Pipeline(options).build_inplace(pair.reference, pair.version).delta
                  .size();
     options.compress_payload = true;
     encode_seconds += bench::time_seconds([&] {
       compressed +=
-          create_inplace_delta(pair.reference, pair.version, options).size();
+          Pipeline(options).build_inplace(pair.reference, pair.version).delta.size();
     });
   }
   std::printf(
@@ -265,7 +265,7 @@ void ablation_journal() {
   std::copy(shifted.begin() + 2000, shifted.begin() + 60000,
             shifted.begin() + 2500);
   const Bytes v2 = mutate(shifted, rng, 20);
-  const Bytes delta = create_inplace_delta(v1, v2);
+  const Bytes delta = Pipeline().build_inplace(v1, v2).delta;
 
   const std::size_t image_area = 128 << 10;
   const JournalRegion journal{image_area, 16 << 10};

@@ -129,7 +129,7 @@ int main() {
         std::vector<ByteView>(images.begin(), images.end()), chain_only);
     const UpgradePlan plan = chained.plan(0, kReleases - 1);
     const Bytes folded = chained.fold_plan(plan);
-    const Bytes direct = create_inplace_delta(images[0], images.back());
+    const Bytes direct = Pipeline().build_inplace(images[0], images.back()).delta;
 
     Bytes image = images[0];
     image.resize(std::max(images[0].size(), images.back().size()));

@@ -147,7 +147,7 @@ BENCHMARK(BM_SerializeDelta)->Arg(0)->Arg(1);
 
 void BM_DeserializeDelta(benchmark::State& state) {
   const Pair p = make_pair_bytes(1 << 16);
-  const Bytes delta = create_inplace_delta(p.ref, p.ver);
+  const Bytes delta = Pipeline().build_inplace(p.ref, p.ver).delta;
   for (auto _ : state) {
     benchmark::DoNotOptimize(deserialize_delta(delta));
   }
@@ -197,7 +197,7 @@ BENCHMARK(BM_SccDecomposition)->Range(1 << 8, 1 << 14);
 
 void BM_StreamingApply(benchmark::State& state) {
   const Pair p = make_pair_bytes(1 << 17);
-  const Bytes delta = create_inplace_delta(p.ref, p.ver);
+  const Bytes delta = Pipeline().build_inplace(p.ref, p.ver).delta;
   Bytes buffer(std::max(p.ref.size(), p.ver.size()));
   for (auto _ : state) {
     std::copy(p.ref.begin(), p.ref.end(), buffer.begin());

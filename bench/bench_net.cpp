@@ -72,8 +72,8 @@ int main() {
   service_options.cache_budget = 64ull << 20;
   service_options.workers = 4;
   DeltaService service(store, service_options);
-  NetServerOptions net_options;
-  net_options.max_sessions = 64;
+  ServerConfig net_options;
+  net_options.max_connections = 64;
   DeltaServer server(service, net_options);
   try {
     server.start();

@@ -5,7 +5,7 @@
 // count (the scaling claim: request handling is sharded-lock + atomic
 // work only), plus hit rate and eviction behaviour vs. cache byte
 // budget. The cold section measures build amortization: first-touch
-// requests pay create_inplace_delta() once per distinct (from, to) pair,
+// requests pay Pipeline::build_inplace once per distinct (from, to) pair,
 // everyone after rides the cache or coalesces.
 //
 // Runs standalone with no arguments (CI smoke); IPDELTA_BENCH_SERVE_OPS
@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/delta_server.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/trace.hpp"
 #include "server/delta_service.hpp"
 
@@ -124,6 +126,51 @@ int check_stats_exposition(const DeltaService& service) {
   return missing;
 }
 
+/// Per-request wire latency over `conns` connections held open against
+/// a server on `port`: every connection handshakes up front, then each
+/// fires `rounds` warm GET_DELTA requests in lockstep (request -> END
+/// timed into `latency`) while the other conns - 1 sessions stay live.
+/// Returns false when the run failed (a connection refused or timed
+/// out), which for the front-end comparison is itself the result.
+bool drive_front_end(std::uint16_t port, std::size_t conns,
+                     std::size_t rounds, std::size_t releases,
+                     obs::Histogram& latency) {
+  std::vector<std::unique_ptr<TcpTransport>> sockets;
+  std::vector<std::unique_ptr<FramedConnection>> framed;
+  try {
+    for (std::size_t i = 0; i < conns; ++i) {
+      sockets.push_back(TcpTransport::connect("127.0.0.1", port));
+      sockets.back()->set_read_timeout(30'000);
+      framed.push_back(std::make_unique<FramedConnection>(*sockets.back()));
+      framed.back()->send(HelloMsg{kProtocolVersion, 64u << 10});
+      const std::optional<Message> ack = framed.back()->receive();
+      if (!ack || !std::holds_alternative<HelloAckMsg>(*ack)) return false;
+    }
+    Rng rng(0xF00D + conns);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t i = 0; i < conns; ++i) {
+        const auto from = static_cast<ReleaseId>(rng.below(releases - 1));
+        bool complete = false;
+        bench::time_into(latency, [&] {
+          framed[i]->send(GetDeltaMsg{from, from + 1});
+          for (;;) {
+            const std::optional<Message> msg = framed[i]->receive();
+            if (!msg || std::holds_alternative<ErrorMsg>(*msg)) return;
+            if (std::holds_alternative<DeltaEndMsg>(*msg)) {
+              complete = true;
+              return;
+            }
+          }
+        });
+        if (!complete) return false;
+      }
+    }
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -213,6 +260,92 @@ int main() {
       }
     }
     exposition_missing = check_stats_exposition(service);
+  }
+  bench::rule();
+
+  // ---- front end: held-open connections, reactor vs thread-per-conn --
+  // The scaling claim of the epoll front end: one reactor thread carries
+  // an order of magnitude more live connections than the retired
+  // thread-per-connection loop afforded threads, with per-request p99
+  // no worse. The baseline is serve_session() itself — the exact
+  // blocking session loop the old front end ran on every thread —
+  // behind a hand-rolled accept loop.
+  {
+    constexpr std::size_t kThreadedConns = 32;
+    constexpr std::size_t kReactorConns = 320;
+    constexpr std::size_t kRounds = 4;
+    ServiceOptions options;
+    options.cache_budget = 64ull << 20;
+    options.workers = 4;
+    DeltaService service(store, options);
+    // Warm every adjacent pair once so both front ends serve pure cache
+    // hits: the numbers compare wire paths, not build scheduling luck.
+    for (std::size_t from = 0; from + 1 < releases; ++from) {
+      (void)service.serve(static_cast<ReleaseId>(from),
+                          static_cast<ReleaseId>(from + 1));
+    }
+    bool net_ok = true;
+    obs::Histogram threaded_latency;
+    obs::Histogram reactor_latency;
+    try {
+      {
+        TcpListener listener(0);
+        DeltaServer sessions(service);  // session loop only, never started
+        std::vector<std::thread> per_conn;
+        std::thread acceptor([&] {
+          while (std::unique_ptr<TcpTransport> t = listener.accept()) {
+            per_conn.emplace_back(
+                [&sessions, conn = std::move(t)]() mutable {
+                  try {
+                    sessions.serve_session(*conn);
+                  } catch (const Error&) {
+                  }
+                });
+          }
+        });
+        net_ok = drive_front_end(listener.port(), kThreadedConns, kRounds,
+                                 releases, threaded_latency);
+        listener.close();
+        acceptor.join();
+        for (std::thread& t : per_conn) t.join();
+      }
+      {
+        ServerConfig net;
+        net.max_connections = kReactorConns + 16;
+        net.idle_timeout_ms = 60'000;
+        DeltaServer reactor(service, net);
+        reactor.start();
+        net_ok = net_ok && drive_front_end(reactor.port(), kReactorConns,
+                                           kRounds, releases,
+                                           reactor_latency);
+        reactor.stop();
+      }
+    } catch (const TransportError&) {
+      net_ok = false;
+    }
+    if (net_ok) {
+      const double threaded_p99 =
+          threaded_latency.snapshot().quantile(0.99) / 1e3;
+      const double reactor_p99 =
+          reactor_latency.snapshot().quantile(0.99) / 1e3;
+      const double scaling = static_cast<double>(kReactorConns) /
+                             static_cast<double>(kThreadedConns);
+      std::printf(
+          "front end (%zu warm requests per connection):\n"
+          "  thread-per-conn %4zu live connections, request p99 %8.1f us\n"
+          "  epoll reactor   %4zu live connections, request p99 %8.1f us "
+          "(%.0fx connections)\n",
+          kRounds, kThreadedConns, threaded_p99, kReactorConns, reactor_p99,
+          scaling);
+      json += ",\"conns_threaded\":" + std::to_string(kThreadedConns) +
+              ",\"conns_reactor\":" + std::to_string(kReactorConns) +
+              ",\"conn_scaling_x\":" + std::to_string(scaling) +
+              ",\"threaded_p99_us\":" + std::to_string(threaded_p99) +
+              ",\"reactor_p99_us\":" + std::to_string(reactor_p99);
+    } else {
+      std::printf("front end: localhost sockets unavailable, skipped\n");
+      json += ",\"net_skipped\":true";
+    }
   }
   bench::rule();
 

@@ -29,9 +29,9 @@ int main() {
   model.max_edit_fraction = 0.02;
   const Bytes v2 = mutate(v1, rng, 48, model);
 
-  const Bytes plain = create_delta(v1, v2, kPaperSequential);
-  ConvertReport report;
-  const Bytes inplace = create_inplace_delta(v1, v2, {}, &report);
+  const Bytes plain =
+      Pipeline({.format = kPaperSequential}).build_delta(v1, v2).delta;
+  const Bytes inplace = Pipeline().build_inplace(v1, v2).delta;
 
   std::printf(
       "Software-update time over constrained channels (§1 scenario)\n"

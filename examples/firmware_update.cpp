@@ -28,8 +28,9 @@ int main() {
               v2.size());
 
   // -- server side: make the in-place delta -------------------------------
-  ConvertReport report;
-  const Bytes delta = create_inplace_delta(v1, v2, {}, &report);
+  BuildResult built = Pipeline().build_inplace(v1, v2);
+  const ConvertReport& report = built.report;
+  const Bytes& delta = built.delta;
   std::printf(
       "in-place delta: %zu bytes (%.1f%% of v2)\n"
       "  conversion: %zu/%zu copies re-encoded as adds, %zu cycles broken, "

@@ -43,6 +43,7 @@ int main() {
               "time", "vs direct", "vs full");
 
   bool all_ok = true;
+  const Pipeline pipeline;
   for (std::size_t from = 0; from < latest; ++from) {
     const UpgradePlan plan = planner.plan(from, latest);
 
@@ -52,7 +53,8 @@ int main() {
       route += std::to_string(step.to);
     }
 
-    const Bytes direct = create_inplace_delta(history[from], history[latest]);
+    const Bytes direct =
+        pipeline.build_inplace(history[from], history[latest]).delta;
     Bytes image = history[from];
     planner.execute(plan, image);
     const bool ok = image == history[latest];

@@ -313,15 +313,13 @@ int lint_self_check(std::uint64_t seed) {
   for (const VersionPair& pair : small_corpus(seed)) {
     for (const Config& config : configs) {
       PipelineOptions options;
-      options.convert.format = config.format;
+      options.format = config.format;
       options.compress_payload = config.compress;
-      Bytes delta;
-      if (config.in_place) {
-        delta = create_inplace_delta(pair.reference, pair.version, options);
-      } else {
-        delta = create_delta(pair.reference, pair.version, config.format,
-                             options);
-      }
+      const Pipeline pipeline(options);
+      const Bytes delta =
+          config.in_place
+              ? pipeline.build_inplace(pair.reference, pair.version).delta
+              : pipeline.build_delta(pair.reference, pair.version).delta;
 
       const Report report = verifier.check(delta);
       const DeltaFile parsed = deserialize_delta(delta);
@@ -542,9 +540,9 @@ int cmd_serve(const std::vector<std::string>& args) {
       obs::clear_trace_events();
       obs::set_tracing(true);
     }
-    NetServerOptions net;
+    ServerConfig net;
     net.port = static_cast<std::uint16_t>(port);
-    net.max_sessions = static_cast<std::size_t>(sessions);
+    net.max_connections = static_cast<std::size_t>(sessions);
     net.stall_deadline_ms = stall_ms;
     DeltaServer server(service, net);
     server.start();

@@ -33,10 +33,11 @@ int main() {
   CompressionAggregate delta_bytes; // shipping in-place deltas
   bool all_ok = true;
 
+  const Pipeline pipeline;
   for (const VersionPair& pkg : release) {
-    ConvertReport report;
-    const Bytes delta =
-        create_inplace_delta(pkg.reference, pkg.version, {}, &report);
+    BuildResult built = pipeline.build_inplace(pkg.reference, pkg.version);
+    const ConvertReport& report = built.report;
+    const Bytes delta = std::move(built.delta);
 
     // Mirror side: rebuild in place and verify.
     Bytes storage = pkg.reference;

@@ -37,7 +37,7 @@ int main() {
   for (const Bytes& release : releases) store.publish(release);
 
   DeltaService service(store, ServiceOptions{});
-  DeltaServer server(service, NetServerOptions{});
+  DeltaServer server(service, ServerConfig{});
   try {
     server.start();
   } catch (const TransportError& e) {

@@ -25,7 +25,7 @@ int main() {
   Bytes v2 = v1;
   std::copy(v2.begin() + 4096, v2.begin() + 90000, v2.begin() + 6000);
   v2 = mutate(v2, rng, 25);
-  const Bytes delta = create_inplace_delta(v1, v2);
+  const Bytes delta = Pipeline().build_inplace(v1, v2).delta;
   std::printf("firmware: %zu B -> %zu B, in-place delta %zu B\n", v1.size(),
               v2.size(), delta.size());
 

@@ -33,7 +33,7 @@ Bytes valid_delta(std::uint64_t seed, std::size_t size) {
   MutationModel model;
   model.length_scale = 48;
   const Bytes ver = mutate(ref, rng, 40, model);
-  return create_inplace_delta(ref, ver);
+  return Pipeline().build_inplace(ref, ver).delta;
 }
 
 ApplyJournalOptions fuzz_journal_options() noexcept {

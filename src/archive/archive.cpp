@@ -20,6 +20,9 @@ Archive build_archive(const FileSet& old_release, const FileSet& new_release,
                       ArchiveBuildReport* report_out) {
   Archive archive;
   ArchiveBuildReport report;
+  // One pipeline for the whole archive: the differ and (lazy) pool are
+  // reused across every entry instead of rebuilt per file.
+  const Pipeline pipeline(options.pipeline);
 
   for (const auto& [name, content] : new_release) {
     report.new_release_bytes += content.size();
@@ -30,8 +33,7 @@ Archive build_archive(const FileSet& old_release, const FileSet& new_release,
           ArchiveEntry{EntryKind::kLiteral, name, content});
       continue;
     }
-    Bytes delta =
-        create_inplace_delta(old_it->second, content, options.pipeline);
+    Bytes delta = pipeline.build_inplace(old_it->second, content).delta;
     const double gain_threshold =
         static_cast<double>(content.size()) * (1.0 - options.min_delta_gain);
     if (static_cast<double>(delta.size()) <= gain_threshold) {

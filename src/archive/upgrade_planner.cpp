@@ -69,9 +69,10 @@ std::uint64_t UpgradePlanner::edge_bytes_locked(std::size_t from,
   auto it = delta_cache_.find(key);
   if (it == delta_cache_.end()) {
     it = delta_cache_
-             .emplace(key, create_inplace_delta(*releases_[from],
-                                                *releases_[to],
-                                                options_.pipeline))
+             .emplace(key, Pipeline(options_.pipeline)
+                               .build_inplace(*releases_[from],
+                                              *releases_[to])
+                               .delta)
              .first;
     deltas_built_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -337,7 +337,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   DeltaService service(store, ServiceOptions{});
   // Never start()ed: devices connect through in-memory loopback pairs
   // served by serve_session, so campaigns run where sockets don't.
-  DeltaServer server(service, NetServerOptions{});
+  DeltaServer server(service, ServerConfig{});
 
   std::size_t max_len = 0;
   for (const Bytes& body : history) max_len = std::max(max_len, body.size());

@@ -2,6 +2,16 @@
 
 namespace ipd {
 
+namespace {
+/// Which pool (if any) owns the current thread; set once per worker at
+/// loop entry and never cleared — the thread dies with the pool.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_owning_pool == this;
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -41,6 +51,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
 }
 
 void ThreadPool::worker_loop() {
+  t_owning_pool = this;
   for (;;) {
     std::function<void()> job;
     {

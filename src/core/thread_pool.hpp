@@ -44,6 +44,13 @@ class ThreadPool {
   /// Tasks queued but not yet started.
   std::size_t pending() const;
 
+  /// True when the calling thread is one of THIS pool's workers. A task
+  /// that would submit(...).get() against its own pool must run the work
+  /// inline instead: with every worker blocked in get(), the queued task
+  /// never starts (the deadlock the async serve path would otherwise
+  /// hit).
+  bool on_worker_thread() const noexcept;
+
   /// Enqueue `fn`; the returned future carries its result or exception.
   /// Throws Error after shutdown has begun.
   template <typename Fn>

@@ -130,21 +130,4 @@ Bytes Pipeline::apply(ByteView delta, ByteView reference) const {
   return apply_delta(delta, reference);
 }
 
-Bytes create_delta(ByteView reference, ByteView version, DeltaFormat format,
-                   const PipelineOptions& options) {
-  PipelineOptions resolved = options;
-  resolved.format = format;  // the explicit argument wins, as it always has
-  return Pipeline(resolved).build_delta(reference, version).delta;
-}
-
-Bytes create_inplace_delta(ByteView reference, ByteView version,
-                           const PipelineOptions& options,
-                           ConvertReport* report_out) {
-  BuildResult result = Pipeline(options).build_inplace(reference, version);
-  if (report_out != nullptr) {
-    *report_out = result.report;
-  }
-  return std::move(result.delta);
-}
-
 }  // namespace ipd

@@ -54,9 +54,9 @@ struct PipelineOptions {
 
   /// Encoding format for build_delta(). build_inplace() derives its
   /// format from this codeword with explicit offsets (in-place scripts
-  /// are in topological, not write, order). Migration shim: while this
-  /// field is untouched, a legacy ConvertOptions::format continues to
-  /// govern in-place encoding — see DESIGN.md §pipeline.
+  /// are in topological, not write, order). This field is the single
+  /// source of format truth: ConvertOptions::format is overwritten by
+  /// every build, never read from the caller.
   DeltaFormat format = kPaperSequential;
 
   /// Build fan-out: 0 means hardware concurrency, 1 disables threading
@@ -71,13 +71,9 @@ struct PipelineOptions {
 
   /// Format used by build_delta().
   DeltaFormat plain_format() const noexcept { return format; }
-  /// Format used by build_inplace(): explicit offsets always, codeword
-  /// from `format` — or the whole legacy convert.format while `format`
-  /// is left at its default.
+  /// Format used by build_inplace(): `format`'s codeword with explicit
+  /// offsets, unconditionally.
   DeltaFormat inplace_format() const noexcept {
-    if (format == kPaperSequential && !(convert.format == kPaperExplicit)) {
-      return convert.format;
-    }
     return DeltaFormat{format.codeword, WriteOffsets::kExplicit};
   }
 };
@@ -159,23 +155,5 @@ class Pipeline {
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> owned_pool_;
 };
-
-// ---- legacy one-shot entry points -----------------------------------
-// Thin wrappers over Pipeline, kept so existing callers compile
-// unchanged. Prefer ipd::Pipeline: it reuses the differ and pool across
-// builds and returns the report/stats/timing instead of an out-param.
-
-/// DEPRECATED(use Pipeline::build_delta): diff `reference` -> `version`
-/// and serialize as an ordinary (scratch-space) delta file in `format`.
-Bytes create_delta(ByteView reference, ByteView version,
-                   DeltaFormat format = kPaperSequential,
-                   const PipelineOptions& options = {});
-
-/// DEPRECATED(use Pipeline::build_inplace): diff, convert for in-place
-/// reconstruction, and serialize. When `report_out` is non-null the
-/// conversion statistics are written there.
-Bytes create_inplace_delta(ByteView reference, ByteView version,
-                           const PipelineOptions& options = {},
-                           ConvertReport* report_out = nullptr);
 
 }  // namespace ipd

@@ -4,7 +4,7 @@
 #include <variant>
 
 #include "core/checksum.hpp"
-#include "delta/codec.hpp"
+#include "net/transfer_plan.hpp"
 #include "obs/event_ring.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
@@ -13,56 +13,36 @@
 
 namespace ipd {
 
-DeltaServer::DeltaServer(DeltaService& service,
-                         const NetServerOptions& options)
-    : service_(service), options_(options) {
-  if (options_.max_sessions == 0) options_.max_sessions = 1;
-  if (options_.chunk_bytes == 0) options_.chunk_bytes = 4096;
-  options_.chunk_bytes = std::min(options_.chunk_bytes, kMaxFramePayload / 2);
-}
+DeltaServer::DeltaServer(DeltaService& service, const ServerConfig& config)
+    : service_(service), config_(config.validated()) {}
 
 DeltaServer::~DeltaServer() { stop(); }
 
 void DeltaServer::start() {
   {
-    MutexLock lock(sessions_mutex_);
+    MutexLock lock(state_mutex_);
     if (started_) throw Error("DeltaServer: already started");
     started_ = true;
   }
   try {
-    listener_ = std::make_unique<TcpListener>(options_.port);
-    pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
-    {
-      // stop() leaves stopping_ set; a restarted server must accept again
-      // instead of answering every connection with ERROR{kBusy}.
-      MutexLock lock(sessions_mutex_);
-      stopping_ = false;
-    }
-    accept_thread_ = std::thread([this] { accept_loop(); });
+    listener_ = std::make_unique<TcpListener>(config_.port);
+    reactor_ = std::make_unique<Reactor>(service_, config_, *listener_);
+    reactor_->start();
   } catch (...) {
     // A failed bind must not wedge the server in "already started".
-    pool_.reset();
+    reactor_.reset();
     listener_.reset();
-    MutexLock lock(sessions_mutex_);
+    MutexLock lock(state_mutex_);
     started_ = false;
     throw;
   }
 }
 
 void DeltaServer::stop() {
-  {
-    MutexLock lock(sessions_mutex_);
-    stopping_ = true;
-  }
-  if (listener_) listener_->close();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    MutexLock lock(sessions_mutex_);
-    for (Transport* session : sessions_) session->close();
-  }
-  pool_.reset();  // drains: every session sees its closed transport and exits
+  if (reactor_) reactor_->stop();
+  reactor_.reset();
   listener_.reset();
-  MutexLock lock(sessions_mutex_);
+  MutexLock lock(state_mutex_);
   started_ = false;
 }
 
@@ -72,8 +52,7 @@ std::uint16_t DeltaServer::port() const {
 }
 
 std::size_t DeltaServer::active_sessions() const {
-  MutexLock lock(sessions_mutex_);
-  return sessions_.size();
+  return reactor_ ? reactor_->active_connections() : 0;
 }
 
 std::size_t DeltaServer::send_counted(FramedConnection& conn,
@@ -96,45 +75,14 @@ std::size_t DeltaServer::send_counted(FramedConnection& conn,
   return conn.send_encoded(wire);
 }
 
-void DeltaServer::accept_loop() {
-  while (std::unique_ptr<TcpTransport> accepted = listener_->accept()) {
-    std::unique_ptr<Transport> transport = std::move(accepted);
-    bool full = false;
-    {
-      MutexLock lock(sessions_mutex_);
-      full = stopping_ || sessions_.size() >= options_.max_sessions;
-      if (!full) sessions_.insert(transport.get());
-    }
-    if (full) {
-      service_.metrics().net_rejected.fetch_add(1, std::memory_order_relaxed);
-      obs::global_events().push(obs::EventType::kConnRejected,
-                                active_sessions(), options_.max_sessions);
-      try {
-        FramedConnection conn(*transport);
-        send_counted(conn, ErrorMsg{ErrorCode::kBusy,
-                                    "connection limit reached, retry later"});
-      } catch (const Error&) {
-        // best effort — the client may already be gone
-      }
-      transport->close();
-      continue;
-    }
-    pool_->submit([this, session = std::move(transport)]() mutable {
-      serve_session(*session);
-      MutexLock lock(sessions_mutex_);
-      sessions_.erase(session.get());
-    });
-  }
-}
-
 void DeltaServer::serve_session(Transport& transport) {
-  if (options_.idle_timeout_ms > 0) {
-    transport.set_read_timeout(options_.idle_timeout_ms);
+  if (config_.idle_timeout_ms > 0) {
+    transport.set_read_timeout(config_.idle_timeout_ms);
   }
   ServiceMetrics& m = service_.metrics();
   m.net_sessions.fetch_add(1, std::memory_order_relaxed);
   FramedConnection conn(transport);
-  std::size_t chunk = options_.chunk_bytes;
+  std::size_t chunk = config_.chunk_bytes;
   // Session flight recorder: records spans/events on this thread whether
   // or not global tracing is on, and is dumped on any failure path so a
   // rejected resume or corrupt stream leaves evidence keyed by trace id.
@@ -169,7 +117,7 @@ void DeltaServer::serve_session(Transport& transport) {
         }
         traced = hello->protocol_version >= kProtocolVersionTraced;
         chunk = std::min<std::size_t>(
-            options_.chunk_bytes,
+            config_.chunk_bytes,
             std::max<std::uint32_t>(hello->max_chunk, 512));
         HelloAckMsg ack;
         ack.protocol_version = hello->protocol_version;
@@ -218,44 +166,19 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     return;
   }
 
-  // One artifact per request: the first step of the chosen route. On
-  // RESUME the client repeats its original (from, to) request — so
-  // serve() re-derives the same route and last_hop stays truthful — and
-  // echoes the artifact CRC it was receiving; serve() is deterministic
-  // so the rebuilt artifact is byte-identical — but if route selection
-  // shifted (e.g. publisher reconfigured), refuse rather than splice
-  // two different artifacts.
-  const ServedStep* step = &result.steps.front();
-  std::uint32_t artifact_crc = crc32c(*step->bytes);
-  if (is_resume && artifact_crc != resume_crc) {
-    const auto match =
-        std::find_if(result.steps.begin(), result.steps.end(),
-                     [&](const ServedStep& s) {
-                       return crc32c(*s.bytes) == resume_crc;
-                     });
-    if (match == result.steps.end()) {
-      send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
-                                  "artifact changed since the transfer "
-                                  "started; restart from GET_DELTA"});
+  const TransferPlan plan =
+      plan_transfer(result, to, offset, resume_crc, is_resume);
+  if (plan.error) {
+    send_counted(conn, *plan.error);
+    if (plan.refusal_note != nullptr) {
       if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
-        obs::dump_flight(*fr, "resume refused: artifact changed");
+        obs::dump_flight(*fr, plan.refusal_note);
       }
-      return;
-    }
-    step = &*match;
-    artifact_crc = resume_crc;
-  }
-  const Bytes& artifact = *step->bytes;
-  if (offset > artifact.size()) {
-    send_counted(conn, ErrorMsg{ErrorCode::kBadResume,
-                                "resume offset beyond artifact end"});
-    if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
-      obs::dump_flight(*fr, "resume refused: offset beyond artifact end");
     }
     return;
   }
-
-  if (is_resume) {
+  const Bytes& artifact = *plan.artifact;
+  if (plan.resume_accepted) {
     // Count on acceptance, not completion: observers (tests, dashboards)
     // that saw the resumed transfer finish must also see the counter.
     service_.metrics().net_resumes.fetch_add(1, std::memory_order_relaxed);
@@ -265,32 +188,9 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
   const std::uint64_t transfer_start = obs::now_ns();
   obs::Span span(obs::Stage::kNetTransfer, artifact.size() - offset);
   obs::WatchdogGuard watchdog("server transfer", obs::current_trace(),
-                              options_.stall_deadline_ms * 1'000'000);
+                              config_.stall_deadline_ms * 1'000'000);
   std::uint64_t frames_this_transfer = 0;
-  DeltaBeginMsg begin;
-  begin.from = step->from;
-  begin.to = step->to;
-  begin.full_image = step->full_image ? 1 : 0;
-  begin.last_hop = step->to == to ? 1 : 0;
-  begin.total_size = artifact.size();
-  begin.start_offset = offset;
-  begin.artifact_crc = artifact_crc;
-  if (step->full_image) {
-    begin.reference_length = 0;
-    begin.version_length = artifact.size();
-  } else {
-    // The container header is self-describing; lift the buffer-sizing
-    // fields a streaming device needs before its first payload byte.
-    const auto header = try_parse_header(artifact);
-    if (!header) {
-      send_counted(conn, ErrorMsg{ErrorCode::kInternal,
-                                  "artifact container header unreadable"});
-      return;
-    }
-    begin.reference_length = header->first.reference_length;
-    begin.version_length = header->first.version_length;
-  }
-  send_counted(conn, begin);
+  send_counted(conn, plan.begin);
   ++frames_this_transfer;
 
   for (std::uint64_t pos = offset; pos < artifact.size();) {
@@ -305,7 +205,8 @@ void DeltaServer::handle_transfer(FramedConnection& conn, ReleaseId from,
     pos += n;
     watchdog.progress(pos);
   }
-  send_counted(conn, DeltaEndMsg{artifact.size(), artifact_crc});
+  send_counted(conn,
+               DeltaEndMsg{artifact.size(), plan.begin.artifact_crc});
   ++frames_this_transfer;
   service_.histograms().transfer_ns.record(obs::now_ns() - transfer_start);
   service_.histograms().transfer_frames.record(frames_this_transfer);

@@ -1,20 +1,28 @@
 // DeltaServer: the wire front end of the delta distribution service.
 //
-// Owns a TCP accept loop (net/tcp_transport) and a session worker pool
-// (the existing server/thread_pool). Each accepted connection becomes a
-// session task that speaks the framed protocol (net/protocol) and
-// answers GET_DELTA / RESUME / METRICS_REQ against a DeltaService. The
-// session logic is transport-agnostic — serve_session() takes any
-// Transport, which is how the loopback tests drive the full protocol
-// without a socket.
+// The TCP path is an epoll reactor (net/reactor.hpp): one event-loop
+// thread multiplexes every connection with non-blocking framed I/O,
+// bounded per-connection output queues, and zero-copy writev of cached
+// artifacts. CPU-bound delta builds run on the DeltaService's shared
+// build pool via serve_async(); a completed build re-arms its connection
+// for writing through an eventfd mailbox. The loop thread never blocks
+// on a socket or a build.
 //
-// Operational guard rails:
-//   * connection limit — excess clients get ERROR{kBusy} and a close
+// Operational guard rails (all typed, never a silent stall):
+//   * connection limit — excess clients get ERROR{kShed} and a close
 //     (retryable: the OTA client backs off and reconnects);
-//   * idle timeout — a session that sends nothing for idle_timeout_ms
-//     is dropped (SO_RCVTIMEO on TCP);
+//   * build-queue limit — requests beyond max_pending_builds get
+//     ERROR{kShed} while the connection stays up;
+//   * idle timeout — a connection with no read/write progress for
+//     idle_timeout_ms is dropped;
 //   * per-request errors (unknown release ids, bad resume offsets) are
-//     answered with typed ERROR frames and the session stays up.
+//     answered with typed ERROR frames and the connection stays up.
+//
+// serve_session() remains the blocking, transport-agnostic session loop:
+// the loopback tests and the campaign simulator drive the full protocol
+// through it without a socket, and it shares the request-planning logic
+// (net/transfer_plan.hpp) with the reactor so the two fronts cannot
+// drift.
 //
 // One request streams ONE artifact: the first step of the route the
 // service picked. A chain upgrade is the client asking hop by hop, so
@@ -23,49 +31,32 @@
 #pragma once
 
 #include <memory>
-#include <thread>
-#include <unordered_set>
 
 #include "core/sync.hpp"
+#include "net/reactor.hpp"
+#include "net/server_config.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/transport.hpp"
 #include "server/delta_service.hpp"
-#include "server/thread_pool.hpp"
 
 namespace ipd {
 
-struct NetServerOptions {
-  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
-  std::uint16_t port = 0;
-  /// Concurrent sessions; one pool worker each. Clients over the limit
-  /// receive ERROR{kBusy}.
-  std::size_t max_sessions = 32;
-  /// Drop a session that stays silent this long (0 = never).
-  int idle_timeout_ms = 10'000;
-  /// Server-preferred DELTA_DATA payload size; the effective chunk is
-  /// min(this, client HELLO max_chunk).
-  std::size_t chunk_bytes = 64u << 10;
-  /// Register each transfer with the global stall watchdog under this
-  /// deadline: a transfer whose last progress is older than this is
-  /// flagged with a kStall event carrying its trace id (0 = off).
-  std::uint64_t stall_deadline_ms = 0;
-};
-
 class DeltaServer {
  public:
-  /// `service` must outlive the server.
+  /// `service` must outlive the server. Throws ValidationError if
+  /// `config` does not validate (see ServerConfig).
   explicit DeltaServer(DeltaService& service,
-                       const NetServerOptions& options = {});
+                       const ServerConfig& config = {});
   ~DeltaServer();
 
   DeltaServer(const DeltaServer&) = delete;
   DeltaServer& operator=(const DeltaServer&) = delete;
 
-  /// Bind the TCP listener and start accepting. Throws TransportError
+  /// Bind the TCP listener and start the reactor. Throws TransportError
   /// if the bind fails.
   void start();
 
-  /// Stop accepting, close every live session, and join all workers.
+  /// Stop accepting, close every live connection, and join the reactor.
   /// Idempotent; also run by the destructor.
   void stop();
 
@@ -74,35 +65,31 @@ class DeltaServer {
 
   /// Run one protocol session over `transport`, blocking until the peer
   /// hangs up or the connection faults. Used directly by the loopback
-  /// tests; the TCP accept loop calls it on pool workers.
+  /// tests and the campaign simulator; independent of start()/stop().
   void serve_session(Transport& transport);
 
+  /// Connections currently registered with the reactor.
   std::size_t active_sessions() const;
 
-  const NetServerOptions& options() const noexcept { return options_; }
+  const ServerConfig& config() const noexcept { return config_; }
 
  private:
-  void accept_loop();
   void handle_transfer(FramedConnection& conn, ReleaseId from, ReleaseId to,
                        std::uint64_t offset, std::uint32_t resume_crc,
                        bool is_resume, std::size_t chunk);
   std::size_t send_counted(FramedConnection& conn, const Message& message);
 
   DeltaService& service_;
-  NetServerOptions options_;
+  ServerConfig config_;
 
   std::unique_ptr<TcpListener> listener_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  std::unique_ptr<Reactor> reactor_;
 
-  mutable Mutex sessions_mutex_{"DeltaServer::sessions"};
-  std::unordered_set<Transport*> sessions_ GUARDED_BY(sessions_mutex_);
-  bool stopping_ GUARDED_BY(sessions_mutex_) = false;
-  /// Guarded too: start() and stop() may be called from different
-  /// threads (the destructor runs stop() from whichever thread drops the
-  /// server), and an unguarded flag next to a guarded one is exactly the
-  /// kind of torn handshake the annotation pass exists to catch.
-  bool started_ GUARDED_BY(sessions_mutex_) = false;
+  mutable Mutex state_mutex_{"DeltaServer::state"};
+  /// start() and stop() may race from different threads (the destructor
+  /// runs stop() from whichever thread drops the server); the flag is
+  /// guarded so exactly one concurrent start() wins.
+  bool started_ GUARDED_BY(state_mutex_) = false;
 };
 
 }  // namespace ipd

@@ -26,12 +26,13 @@ void FaultyTransport::throttle(std::size_t bytes) {
 void FaultyTransport::die(const char* what) {
   dead_.store(true, std::memory_order_relaxed);
   inner_->close();  // peer observes EOF / reset
-  throw TransportError(std::string("injected fault: ") + what);
+  throw TransportError(NetErrc::kFault, std::string("injected fault: ") + what);
 }
 
 std::size_t FaultyTransport::read_some(MutByteView out) {
   if (dead_.load(std::memory_order_relaxed)) {
-    throw TransportError("injected fault: connection already dead");
+    throw TransportError(NetErrc::kFault,
+                         "injected fault: connection already dead");
   }
   {
     // Check the byte budget BEFORE blocking on the inner read: the bytes
@@ -82,7 +83,8 @@ std::size_t FaultyTransport::read_some(MutByteView out) {
 
 void FaultyTransport::write_all(ByteView data) {
   if (dead_.load(std::memory_order_relaxed)) {
-    throw TransportError("injected fault: connection already dead");
+    throw TransportError(NetErrc::kFault,
+                         "injected fault: connection already dead");
   }
   throttle(data.size());
   enum class Fault { kNone, kDrop, kTruncate, kFlip } fault = Fault::kNone;

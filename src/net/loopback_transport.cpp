@@ -18,7 +18,8 @@ std::size_t LoopbackEndpoint::read_some(MutByteView out) {
     while (queue.empty() && !core_->closed) {
       if (core_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
           queue.empty() && !core_->closed) {
-        throw TransportError("loopback: read timeout (idle connection)");
+        throw TransportError(NetErrc::kTimeout,
+                             "loopback: read timeout (idle connection)");
       }
     }
   } else {
@@ -34,7 +35,8 @@ std::size_t LoopbackEndpoint::read_some(MutByteView out) {
 void LoopbackEndpoint::write_all(ByteView data) {
   MutexLock lock(core_->mutex);
   if (core_->closed) {
-    throw TransportError("loopback: write to closed connection");
+    throw TransportError(NetErrc::kClosedLocally,
+                         "loopback: write to closed connection");
   }
   std::deque<std::uint8_t>& queue = is_a_ ? core_->a_to_b : core_->b_to_a;
   queue.insert(queue.end(), data.begin(), data.end());

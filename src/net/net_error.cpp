@@ -1,0 +1,29 @@
+#include "net/net_error.hpp"
+
+namespace ipd {
+
+const char* net_errc_name(NetErrc code) noexcept {
+  switch (code) {
+    case NetErrc::kUnknown: return "unknown";
+    case NetErrc::kSocket: return "socket";
+    case NetErrc::kBadAddress: return "bad_address";
+    case NetErrc::kConnect: return "connect";
+    case NetErrc::kBind: return "bind";
+    case NetErrc::kListen: return "listen";
+    case NetErrc::kPoll: return "poll";
+    case NetErrc::kAccept: return "accept";
+    case NetErrc::kRead: return "read";
+    case NetErrc::kWrite: return "write";
+    case NetErrc::kTimeout: return "timeout";
+    case NetErrc::kClosedLocally: return "closed_locally";
+    case NetErrc::kPeerClosed: return "peer_closed";
+    case NetErrc::kTruncated: return "truncated";
+    case NetErrc::kBusy: return "busy";
+    case NetErrc::kShed: return "shed";
+    case NetErrc::kNoTransport: return "no_transport";
+    case NetErrc::kFault: return "fault";
+  }
+  return "?";
+}
+
+}  // namespace ipd

@@ -1,0 +1,77 @@
+// Typed transport-layer error reporting.
+//
+// Every connection-level failure in src/net/ — socket syscalls, binds,
+// timeouts, injected faults, peers that hang up, servers that shed load
+// — is described by one NetError {code, detail, errno_message} and
+// thrown as TransportError. Callers that used to pattern-match what()
+// strings can switch on code(); the human-readable message keeps the
+// same shape it always had ("tcp: connect to 127.0.0.1:80: Connection
+// refused"), so logs and operators see nothing new.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace ipd {
+
+/// Machine-readable classification of a transport failure.
+enum class NetErrc {
+  kUnknown = 0,
+  kSocket,         ///< socket(2) failed
+  kBadAddress,     ///< host string did not parse
+  kConnect,        ///< connect(2) failed
+  kBind,           ///< bind(2) failed (sandbox: "no network here")
+  kListen,         ///< listen(2) failed
+  kPoll,           ///< poll/epoll failed
+  kAccept,         ///< accept(2) failed
+  kRead,           ///< recv/read failed mid-stream
+  kWrite,          ///< send/write failed mid-stream
+  kTimeout,        ///< read timed out (idle connection)
+  kClosedLocally,  ///< this side called close() while an op was blocked
+  kPeerClosed,     ///< the peer hung up mid-conversation
+  kTruncated,      ///< the stream ended before the announced payload
+  kBusy,           ///< server answered ERROR{kBusy} — retry after backoff
+  kShed,           ///< server answered ERROR{kShed} — overloaded, retry
+  kNoTransport,    ///< the transport factory produced no connection
+  kFault,          ///< injected fault (tests/benches)
+};
+
+const char* net_errc_name(NetErrc code) noexcept;
+
+/// The one typed shape every transport failure reports.
+struct NetError {
+  NetErrc code = NetErrc::kUnknown;
+  /// What failed, in the operation's own words ("tcp: connect to ...").
+  std::string detail;
+  /// strerror text when a syscall supplied errno; empty otherwise.
+  std::string errno_message;
+
+  /// "detail: errno_message" (or just detail) — the legacy what() text.
+  std::string describe() const {
+    return errno_message.empty() ? detail : detail + ": " + errno_message;
+  }
+};
+
+/// Connection-level failure: reset, timeout, injected fault, write to a
+/// closed peer, server shedding load. Distinct from FormatError (corrupt
+/// bytes that *arrived*); both are retryable from the OTA client's point
+/// of view. Carries the typed NetError; what() renders describe().
+class TransportError : public Error {
+ public:
+  explicit TransportError(NetError error)
+      : Error(error.describe()), error_(std::move(error)) {}
+  TransportError(NetErrc code, std::string detail)
+      : TransportError(NetError{code, std::move(detail), {}}) {}
+  TransportError(NetErrc code, std::string detail, std::string errno_text)
+      : TransportError(
+            NetError{code, std::move(detail), std::move(errno_text)}) {}
+
+  const NetError& net_error() const noexcept { return error_; }
+  NetErrc code() const noexcept { return error_.code; }
+
+ private:
+  NetError error_;
+};
+
+}  // namespace ipd

@@ -37,11 +37,16 @@ class BadResumeError : public Error {
 Message expect_message(FramedConnection& conn) {
   std::optional<Message> message = conn.receive();
   if (!message) {
-    throw TransportError("server closed the connection mid-conversation");
+    throw TransportError(NetErrc::kPeerClosed,
+                         "server closed the connection mid-conversation");
   }
   if (const auto* err = std::get_if<ErrorMsg>(&*message)) {
     if (err->code == ErrorCode::kBusy) {
-      throw TransportError("server busy: " + err->message);
+      throw TransportError(NetErrc::kBusy, "server busy: " + err->message);
+    }
+    if (err->code == ErrorCode::kShed) {
+      throw TransportError(NetErrc::kShed,
+                           "server shedding load: " + err->message);
     }
     if (err->code == ErrorCode::kBadResume) {
       throw BadResumeError("server refused resume: " + err->message);
@@ -83,7 +88,8 @@ OtaClient::Session OtaClient::connect_session() {
     Session session;
     session.transport = factory_();
     if (session.transport == nullptr) {
-      throw TransportError("transport factory returned no connection");
+      throw TransportError(NetErrc::kNoTransport,
+                           "transport factory returned no connection");
     }
     if (options_.read_timeout_ms > 0) {
       session.transport->set_read_timeout(options_.read_timeout_ms);
@@ -97,7 +103,8 @@ OtaClient::Session OtaClient::connect_session() {
     // as a fatal Error.
     std::optional<Message> reply = session.conn->receive();
     if (!reply) {
-      throw TransportError("server closed the connection mid-conversation");
+      throw TransportError(NetErrc::kPeerClosed,
+                           "server closed the connection mid-conversation");
     }
     if (const auto* err = std::get_if<ErrorMsg>(&*reply)) {
       if (err->code == ErrorCode::kProtocol &&
@@ -107,7 +114,11 @@ OtaClient::Session OtaClient::connect_session() {
         continue;  // reconnect speaking v1
       }
       if (err->code == ErrorCode::kBusy) {
-        throw TransportError("server busy: " + err->message);
+        throw TransportError(NetErrc::kBusy, "server busy: " + err->message);
+      }
+      if (err->code == ErrorCode::kShed) {
+        throw TransportError(NetErrc::kShed,
+                             "server shedding load: " + err->message);
       }
       throw Error("server error: " + err->message);
     }
@@ -263,10 +274,11 @@ ReleaseId OtaClient::stream_hop(Bytes& image, ReleaseId current,
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != received ||
               end->artifact_crc != meta.artifact_crc) {
-            throw TransportError("artifact ended early (" +
-                                 std::to_string(received) + " of " +
-                                 std::to_string(end->total_size) +
-                                 " bytes)");
+            throw TransportError(NetErrc::kTruncated,
+                                 "artifact ended early (" +
+                                     std::to_string(received) + " of " +
+                                     std::to_string(end->total_size) +
+                                     " bytes)");
           }
           if (applier != nullptr) {
             if (!applier->finished()) {
@@ -385,7 +397,7 @@ void OtaClient::download_hop(TransferJournal& journal, ReleaseId current,
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != journal.received.size() ||
               end->artifact_crc != journal.artifact_crc) {
-            throw TransportError("artifact ended early");
+            throw TransportError(NetErrc::kTruncated, "artifact ended early");
           }
           // Defense in depth: per-frame CRCs already vetted every chunk,
           // but the whole-artifact checksum is what the device trusts
@@ -624,10 +636,11 @@ ReleaseId OtaClient::stream_device_hop(
         } else if (auto* end = std::get_if<DeltaEndMsg>(&message)) {
           if (end->total_size != updater->next_offset() ||
               end->artifact_crc != info.artifact_crc) {
-            throw TransportError("artifact ended early (" +
-                                 std::to_string(updater->next_offset()) +
-                                 " of " + std::to_string(end->total_size) +
-                                 " bytes)");
+            throw TransportError(
+                NetErrc::kTruncated,
+                "artifact ended early (" +
+                    std::to_string(updater->next_offset()) + " of " +
+                    std::to_string(end->total_size) + " bytes)");
           }
           if (!updater->finished()) {
             throw Error("artifact complete on the wire but the apply did "

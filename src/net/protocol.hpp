@@ -22,8 +22,8 @@
 // server re-serves the same artifact (cache makes this cheap, the
 // deterministic pipeline makes it byte-identical — guarded by the crc
 // echo) starting at `offset`. ERROR carries a machine-readable code so
-// clients can tell retryable congestion (kBusy) from permanent failures
-// (kBadRequest). METRICS_REQ/METRICS expose the server's ServiceMetrics
+// clients can tell retryable congestion (kShed, kBusy) from permanent
+// failures (kBadRequest). METRICS_REQ/METRICS expose the server's ServiceMetrics
 // snapshot for fleet dashboards.
 #pragma once
 
@@ -38,10 +38,14 @@ namespace ipd {
 
 enum class ErrorCode : std::uint32_t {
   kBadRequest = 1,  ///< malformed ids / unknown release — do not retry
-  kBusy = 2,        ///< connection limit reached — retry after backoff
+  kBusy = 2,        ///< pre-reactor servers' congestion code — modern
+                    ///< servers send kShed; clients honor both
   kBadResume = 3,   ///< offset/crc does not match the artifact
   kInternal = 4,    ///< server-side failure building the artifact
   kProtocol = 5,    ///< unexpected message for the session state
+  kShed = 6,        ///< load shed: the server is saturated (connection or
+                    ///< build-queue limit) and refused this request
+                    ///< instead of stalling — retry after backoff
 };
 
 struct HelloMsg {

@@ -1,0 +1,34 @@
+#include "net/server_config.hpp"
+
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace ipd {
+
+ServerConfig ServerConfig::validated() const {
+  if (max_connections == 0) {
+    throw ValidationError("server config: max_connections must be >= 1");
+  }
+  if (chunk_bytes == 0) {
+    throw ValidationError("server config: chunk_bytes must be >= 1");
+  }
+  // A DELTA_DATA frame must leave room for its header, trace extension
+  // and the offset field inside kMaxFramePayload; half the cap keeps the
+  // arithmetic trivially safe and frames well below the reader's limit.
+  if (chunk_bytes > kMaxFramePayload / 2) {
+    throw ValidationError(
+        "server config: chunk_bytes " + std::to_string(chunk_bytes) +
+        " exceeds the frame limit (max " +
+        std::to_string(kMaxFramePayload / 2) + ")");
+  }
+  if (idle_timeout_ms < 0) {
+    throw ValidationError("server config: idle_timeout_ms must be >= 0");
+  }
+  if (max_queued_bytes == 0) {
+    throw ValidationError("server config: max_queued_bytes must be >= 1");
+  }
+  return *this;
+}
+
+}  // namespace ipd

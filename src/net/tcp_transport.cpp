@@ -1,6 +1,7 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -16,8 +17,8 @@ namespace ipd {
 
 namespace {
 
-[[noreturn]] void raise_errno(const std::string& what) {
-  throw TransportError(what + ": " + errno_message(errno));
+[[noreturn]] void raise_errno(NetErrc code, const std::string& what) {
+  throw TransportError(code, what, errno_message(errno));
 }
 
 std::string describe(const sockaddr_in& addr) {
@@ -31,20 +32,21 @@ std::string describe(const sockaddr_in& addr) {
 std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
                                                     std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) raise_errno("tcp: socket");
+  if (fd < 0) raise_errno(NetErrc::kSocket, "tcp: socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw TransportError("tcp: bad host address: " + host);
+    throw TransportError(NetErrc::kBadAddress,
+                         "tcp: bad host address: " + host);
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int err = errno;
     ::close(fd);
     errno = err;
-    raise_errno("tcp: connect to " + describe(addr));
+    raise_errno(NetErrc::kConnect, "tcp: connect to " + describe(addr));
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -67,12 +69,14 @@ std::size_t TcpTransport::read_some(MutByteView out) {
     if (n == 0) return 0;  // orderly shutdown
     if (errno == EINTR) continue;
     if (closed_.load(std::memory_order_relaxed)) {
-      throw TransportError("tcp: connection closed locally");
+      throw TransportError(NetErrc::kClosedLocally,
+                           "tcp: connection closed locally");
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      throw TransportError("tcp: read timeout (idle connection)");
+      throw TransportError(NetErrc::kTimeout,
+                           "tcp: read timeout (idle connection)");
     }
-    raise_errno("tcp: recv from " + peer_);
+    raise_errno(NetErrc::kRead, "tcp: recv from " + peer_);
   }
 }
 
@@ -85,9 +89,10 @@ void TcpTransport::write_all(ByteView data) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (closed_.load(std::memory_order_relaxed)) {
-        throw TransportError("tcp: connection closed locally");
+        throw TransportError(NetErrc::kClosedLocally,
+                             "tcp: connection closed locally");
       }
-      raise_errno("tcp: send to " + peer_);
+      raise_errno(NetErrc::kWrite, "tcp: send to " + peer_);
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -106,9 +111,18 @@ void TcpTransport::set_read_timeout(int ms) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
+void TcpTransport::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) raise_errno(NetErrc::kSocket, "tcp: fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) != 0) {
+    raise_errno(NetErrc::kSocket, "tcp: fcntl(F_SETFL)");
+  }
+}
+
 TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) raise_errno("tcp: listener socket");
+  if (fd_ < 0) raise_errno(NetErrc::kSocket, "tcp: listener socket");
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
@@ -120,13 +134,14 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
     const int err = errno;
     ::close(fd_);
     errno = err;
-    raise_errno("tcp: bind 127.0.0.1:" + std::to_string(port));
+    raise_errno(NetErrc::kBind,
+                "tcp: bind 127.0.0.1:" + std::to_string(port));
   }
   if (::listen(fd_, backlog) != 0) {
     const int err = errno;
     ::close(fd_);
     errno = err;
-    raise_errno("tcp: listen");
+    raise_errno(NetErrc::kListen, "tcp: listen");
   }
   socklen_t len = sizeof addr;
   ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
@@ -144,23 +159,38 @@ std::unique_ptr<TcpTransport> TcpListener::accept() {
     const int ready = ::poll(&pfd, 1, 100);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      raise_errno("tcp: poll");
+      raise_errno(NetErrc::kPoll, "tcp: poll");
     }
     if (ready == 0) continue;  // poll timeout: re-check the stop flag
+    if (std::unique_ptr<TcpTransport> conn = try_accept()) return conn;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TcpTransport> TcpListener::try_accept() {
+  for (;;) {
     sockaddr_in addr{};
     socklen_t len = sizeof addr;
-    const int fd =
-        ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (closed_.load(std::memory_order_relaxed)) break;
-      raise_errno("tcp: accept");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return nullptr;
+      if (closed_.load(std::memory_order_relaxed)) return nullptr;
+      raise_errno(NetErrc::kAccept, "tcp: accept");
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     return std::make_unique<TcpTransport>(fd, describe(addr));
   }
-  return nullptr;
+}
+
+void TcpListener::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) raise_errno(NetErrc::kSocket, "tcp: fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) != 0) {
+    raise_errno(NetErrc::kSocket, "tcp: fcntl(F_SETFL)");
+  }
 }
 
 void TcpListener::close() noexcept {

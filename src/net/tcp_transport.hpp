@@ -32,6 +32,8 @@ class TcpTransport final : public Transport {
   void close() noexcept override;
   void set_read_timeout(int ms) override;
   std::string peer() const override { return peer_; }
+  int native_handle() const noexcept override { return fd_; }
+  void set_nonblocking(bool enabled) override;
 
  private:
   int fd_;
@@ -56,6 +58,17 @@ class TcpListener {
   /// Block (in ~100 ms polls) for the next connection; nullptr once
   /// close() has been called. Throws TransportError on accept failure.
   std::unique_ptr<TcpTransport> accept();
+
+  /// Accept without blocking: the next queued connection, or nullptr
+  /// when none is pending (or the listener is closed). Pair with
+  /// set_nonblocking(true) and an epoll watch on native_handle().
+  std::unique_ptr<TcpTransport> try_accept();
+
+  /// Listening descriptor, for event-driven accept loops.
+  int native_handle() const noexcept { return fd_; }
+
+  /// Switch the listening socket between blocking and non-blocking.
+  void set_nonblocking(bool enabled);
 
   /// Stop accepting; a blocked accept() returns nullptr within one poll.
   void close() noexcept;

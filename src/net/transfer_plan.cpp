@@ -1,0 +1,75 @@
+#include "net/transfer_plan.hpp"
+
+#include <algorithm>
+
+#include "core/checksum.hpp"
+#include "delta/codec.hpp"
+
+namespace ipd {
+
+TransferPlan plan_transfer(const ServeResult& result, ReleaseId requested_to,
+                           std::uint64_t offset, std::uint32_t resume_crc,
+                           bool is_resume) {
+  TransferPlan plan;
+  // One artifact per request: the first step of the chosen route. On
+  // RESUME the client repeats its original (from, to) request — so
+  // serve() re-derives the same route and last_hop stays truthful — and
+  // echoes the artifact CRC it was receiving; serve() is deterministic
+  // so the rebuilt artifact is byte-identical — but if route selection
+  // shifted (e.g. publisher reconfigured), refuse rather than splice
+  // two different artifacts.
+  const ServedStep* step = &result.steps.front();
+  std::uint32_t artifact_crc = crc32c(*step->bytes);
+  if (is_resume && artifact_crc != resume_crc) {
+    const auto match =
+        std::find_if(result.steps.begin(), result.steps.end(),
+                     [&](const ServedStep& s) {
+                       return crc32c(*s.bytes) == resume_crc;
+                     });
+    if (match == result.steps.end()) {
+      plan.error = ErrorMsg{ErrorCode::kBadResume,
+                            "artifact changed since the transfer "
+                            "started; restart from GET_DELTA"};
+      plan.refusal_note = "resume refused: artifact changed";
+      return plan;
+    }
+    step = &*match;
+    artifact_crc = resume_crc;
+  }
+  const Bytes& artifact = *step->bytes;
+  if (offset > artifact.size()) {
+    plan.error = ErrorMsg{ErrorCode::kBadResume,
+                          "resume offset beyond artifact end"};
+    plan.refusal_note = "resume refused: offset beyond artifact end";
+    return plan;
+  }
+
+  DeltaBeginMsg& begin = plan.begin;
+  begin.from = step->from;
+  begin.to = step->to;
+  begin.full_image = step->full_image ? 1 : 0;
+  begin.last_hop = step->to == requested_to ? 1 : 0;
+  begin.total_size = artifact.size();
+  begin.start_offset = offset;
+  begin.artifact_crc = artifact_crc;
+  if (step->full_image) {
+    begin.reference_length = 0;
+    begin.version_length = artifact.size();
+  } else {
+    // The container header is self-describing; lift the buffer-sizing
+    // fields a streaming device needs before its first payload byte.
+    const auto header = try_parse_header(artifact);
+    if (!header) {
+      plan.error = ErrorMsg{ErrorCode::kInternal,
+                            "artifact container header unreadable"};
+      return plan;
+    }
+    begin.reference_length = header->first.reference_length;
+    begin.version_length = header->first.version_length;
+  }
+  plan.artifact = step->bytes;
+  plan.resume_accepted = is_resume;
+  return plan;
+}
+
+}  // namespace ipd

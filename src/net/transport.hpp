@@ -14,17 +14,10 @@
 #include <optional>
 #include <string>
 
+#include "net/net_error.hpp"
 #include "net/protocol.hpp"
 
 namespace ipd {
-
-/// Connection-level failure: reset, timeout, injected fault, write to a
-/// closed peer. Distinct from FormatError (corrupt bytes that *arrived*);
-/// both are retryable from the OTA client's point of view.
-class TransportError : public Error {
- public:
-  explicit TransportError(const std::string& what) : Error(what) {}
-};
 
 class Transport {
  public:
@@ -48,6 +41,15 @@ class Transport {
 
   /// Peer description for diagnostics ("127.0.0.1:4242", "loopback", ...).
   virtual std::string peer() const = 0;
+
+  /// OS descriptor for event-driven I/O (the epoll reactor), or -1 when
+  /// the transport has none (loopback, decorators). A transport that
+  /// returns a real fd must also support set_nonblocking().
+  virtual int native_handle() const noexcept { return -1; }
+
+  /// Switch the descriptor between blocking and non-blocking mode.
+  /// Default: unsupported no-op (blocking-only transports).
+  virtual void set_nonblocking(bool /*enabled*/) {}
 };
 
 /// One protocol conversation over a transport: pumps frames in and out

@@ -74,26 +74,29 @@ std::shared_ptr<const Bytes> DeltaService::fetch_delta(ReleaseId from,
         // The trace context is thread-local; carry it across the pool
         // boundary explicitly so build spans join the request's trace.
         const obs::TraceContext trace = obs::current_trace();
-        auto future = pool_.submit(
-            [this, reference, version,
-             trace]() -> std::shared_ptr<const Bytes> {
-              const obs::TraceScope trace_scope(trace);
-              // Runs ON a pool worker; any intra-build fan-out posts
-              // helper tasks back to the same pool (parallel_for's
-              // caller participation makes that deadlock-free), so
-              // concurrent builds and parallel stages share one
-              // machine-sized pool with no oversubscription.
-              BuildResult built =
-                  pipeline_.build_inplace(*reference, *version);
-              metrics_.builds.fetch_add(1, std::memory_order_relaxed);
-              metrics_.build_ns.fetch_add(built.timing.total_ns,
-                                          std::memory_order_relaxed);
-              histograms_.build_latency_ns.record(built.timing.total_ns);
-              histograms_.diff_fanout.record(built.timing.diff_segments);
-              histograms_.crwi_fanout.record(built.timing.crwi_chunks);
-              return std::make_shared<const Bytes>(std::move(built.delta));
-            });
-        auto built = future.get();
+        auto build = [this, reference, version,
+                      trace]() -> std::shared_ptr<const Bytes> {
+          const obs::TraceScope trace_scope(trace);
+          // Runs ON a pool worker; any intra-build fan-out posts
+          // helper tasks back to the same pool (parallel_for's
+          // caller participation makes that deadlock-free), so
+          // concurrent builds and parallel stages share one
+          // machine-sized pool with no oversubscription.
+          BuildResult built = pipeline_.build_inplace(*reference, *version);
+          metrics_.builds.fetch_add(1, std::memory_order_relaxed);
+          metrics_.build_ns.fetch_add(built.timing.total_ns,
+                                      std::memory_order_relaxed);
+          histograms_.build_latency_ns.record(built.timing.total_ns);
+          histograms_.diff_fanout.record(built.timing.diff_segments);
+          histograms_.crwi_fanout.record(built.timing.crwi_chunks);
+          return std::make_shared<const Bytes>(std::move(built.delta));
+        };
+        // serve() itself may be running ON a pool worker (serve_async):
+        // submit(...).get() there can wedge the whole pool — every
+        // worker blocked in get() on builds that never start. Build
+        // inline instead; the thread is a build worker either way.
+        auto built = pool_.on_worker_thread() ? build()
+                                              : pool_.submit(build).get();
         if (options_.verify_artifacts) {
           std::string why;
           if (!admit(ByteView(*built), &why)) {
@@ -216,6 +219,29 @@ ServeResult DeltaService::serve(ReleaseId from, ReleaseId to) {
   histograms_.serve_ns.record(obs::now_ns() - serve_start);
   histograms_.artifact_bytes.record(result.total_bytes);
   return result;
+}
+
+void DeltaService::serve_async(ReleaseId from, ReleaseId to,
+                               obs::TraceContext trace, ServeCallback done) {
+  // The callback rides in a shared_ptr so the rejection path below can
+  // still reach it after the task (holding the other reference) has been
+  // moved into — and discarded by — a pool that refused it.
+  auto cb = std::make_shared<ServeCallback>(std::move(done));
+  try {
+    pool_.post([this, from, to, trace, cb]() {
+      const obs::TraceScope scope(trace);
+      try {
+        ServeResult result = serve(from, to);
+        (*cb)(&result, nullptr);
+      } catch (...) {
+        (*cb)(nullptr, std::current_exception());
+      }
+    });
+  } catch (...) {
+    // Pool shutting down: the request can never run. Reject inline so
+    // the caller is always answered exactly once.
+    (*cb)(nullptr, std::current_exception());
+  }
 }
 
 std::string DeltaService::metrics_text() const {

@@ -25,10 +25,13 @@
 // threads. Artifacts are shared_ptr<const Bytes> handed out zero-copy.
 #pragma once
 
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "ipdelta.hpp"
+#include "obs/trace_context.hpp"
 #include "server/delta_cache.hpp"
 #include "server/metrics.hpp"
 #include "server/singleflight.hpp"
@@ -91,6 +94,23 @@ class DeltaService {
   /// delta builds; concurrent identical requests coalesce onto one build.
   ServeResult serve(ReleaseId from, ReleaseId to);
 
+  /// Completion of serve_async(). Exactly one of the arguments is set:
+  /// `result` points at the response (valid only for the duration of the
+  /// call — move out of it), or `error` carries what serve() threw.
+  using ServeCallback =
+      std::function<void(ServeResult* result, std::exception_ptr error)>;
+
+  /// Non-blocking serve(): runs the request on the build ThreadPool and
+  /// invokes `done` from a pool worker when the response is ready. The
+  /// reactor front end (net/reactor.cpp) uses this so its event-loop
+  /// thread never blocks behind a delta build. `trace` is installed as
+  /// the worker's thread-local trace context for the whole request, so
+  /// serve/build spans join the caller's trace exactly as they would on
+  /// a blocking call. If the pool is shutting down, `done` is invoked
+  /// inline with the rejection.
+  void serve_async(ReleaseId from, ReleaseId to, obs::TraceContext trace,
+                   ServeCallback done);
+
   /// Admit an externally built delta artifact for the hop `from` -> `to`
   /// (a publisher side-loading deltas it produced offline). This is a
   /// trust boundary: the artifact is statically verified — container,
@@ -110,6 +130,10 @@ class DeltaService {
   ServiceHistograms& histograms() noexcept { return histograms_; }
   const DeltaCache& cache() const noexcept { return cache_; }
   const ServiceOptions& options() const noexcept { return options_; }
+  /// Resolved build-pool width (ServiceOptions::workers with 0 expanded
+  /// to hardware concurrency). The reactor derives its default build
+  /// admission limit from this.
+  std::size_t build_workers() const noexcept { return pool_.worker_count(); }
 
   /// Metrics counters plus cache residency, ready to print.
   std::string metrics_text() const;

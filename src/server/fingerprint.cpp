@@ -25,8 +25,8 @@ std::uint64_t fingerprint_pipeline(const PipelineOptions& options) noexcept {
   mix(h, options.differ_options.table_bits);
   mix(h, options.differ_options.block_size);
   mix(h, static_cast<std::uint64_t>(options.convert.policy));
-  mix(h, static_cast<std::uint64_t>(options.convert.format.codeword));
-  mix(h, static_cast<std::uint64_t>(options.convert.format.offsets));
+  // convert.format is NOT mixed: every build overwrites it from
+  // PipelineOptions::format (mixed below), so it never changes bytes.
   mix(h, options.convert.coalesce_adds ? 1 : 0);
   mix(h, options.convert.exact.max_vertices);
   mix(h, options.convert.exact.max_search_nodes);

@@ -29,7 +29,7 @@ namespace ipd {
   X(cache_hits)         /* delta found in cache                      */ \
   X(cache_misses)       /* lookup found nothing                      */ \
   X(coalesced_waits)    /* rode another build                        */ \
-  X(builds)             /* create_inplace_delta runs                 */ \
+  X(builds)             /* Pipeline::build_inplace runs              */ \
   X(build_ns)           /* wall time inside builds                   */ \
   X(bytes_served)       /* artifact bytes returned                   */ \
   X(deltas_served)      /* direct-delta responses                    */ \
@@ -45,7 +45,8 @@ namespace ipd {
   X(net_frames_sent)    /* frames written                            */ \
   X(net_resumes)        /* RESUME transfers honored                  */ \
   X(net_retries)        /* client attempts after a fault             */ \
-  X(net_errors)         /* ERROR frames sent                         */
+  X(net_errors)         /* ERROR frames sent                         */ \
+  X(net_shed)           /* load-shed refusals (ERROR{kShed} replies) */
 
 struct ServiceMetrics {
 #define IPD_DECLARE_COUNTER(name) std::atomic<std::uint64_t> name{0};
@@ -83,7 +84,8 @@ struct ServiceMetrics {
   X(transfer_ns)     /* wire transfer wall time per artifact          */ \
   X(transfer_frames) /* frames sent per artifact transfer             */ \
   X(diff_fanout)     /* diff segments per build (1 == serial)         */ \
-  X(crwi_fanout)     /* CRWI discovery chunks per build (1 == serial) */
+  X(crwi_fanout)     /* CRWI discovery chunks per build (1 == serial) */ \
+  X(net_queue_depth) /* queued outbound bytes per connection, sampled */
 
 /// The latency/size distributions recorded alongside ServiceMetrics.
 /// Same discipline as the counters: relaxed atomics only, generated

@@ -21,26 +21,25 @@ class ApiTest : public ::testing::Test {
   Bytes ver_;
 };
 
-TEST_F(ApiTest, CreateAndApplyPlainDelta) {
-  const Bytes delta = create_delta(ref_, ver_);
+TEST_F(ApiTest, BuildAndApplyPlainDelta) {
+  const Bytes delta = Pipeline().build_delta(ref_, ver_).delta;
   EXPECT_LT(delta.size(), ver_.size());
   EXPECT_TRUE(test::bytes_equal(ver_, apply_delta(delta, ref_)));
 }
 
-TEST_F(ApiTest, CreateAndApplyInplaceDelta) {
-  ConvertReport report;
-  const Bytes delta = create_inplace_delta(ref_, ver_, {}, &report);
-  EXPECT_LT(delta.size(), ver_.size());
+TEST_F(ApiTest, BuildAndApplyInplaceDelta) {
+  const BuildResult built = Pipeline().build_inplace(ref_, ver_);
+  EXPECT_LT(built.delta.size(), ver_.size());
 
   Bytes buffer = ref_;
   buffer.resize(std::max(ref_.size(), ver_.size()));
-  const length_t n = apply_delta_inplace(delta, buffer);
+  const length_t n = apply_delta_inplace(built.delta, buffer);
   EXPECT_EQ(n, ver_.size());
   EXPECT_TRUE(test::bytes_equal(ver_, ByteView(buffer).first(n)));
 }
 
 TEST_F(ApiTest, InplaceDeltaIsFlagged) {
-  const Bytes delta = create_inplace_delta(ref_, ver_);
+  const Bytes delta = Pipeline().build_inplace(ref_, ver_).delta;
   EXPECT_TRUE(deserialize_delta(delta).in_place);
 }
 
@@ -52,7 +51,7 @@ TEST_F(ApiTest, AllDifferAndPolicyCombinations) {
       PipelineOptions options;
       options.differ = differ;
       options.convert.policy = policy;
-      const Bytes delta = create_inplace_delta(ref_, ver_, options);
+      const Bytes delta = Pipeline(options).build_inplace(ref_, ver_).delta;
       Bytes buffer = ref_;
       buffer.resize(std::max(ref_.size(), ver_.size()));
       const length_t n = apply_delta_inplace(delta, buffer);
@@ -64,8 +63,8 @@ TEST_F(ApiTest, AllDifferAndPolicyCombinations) {
 
 TEST_F(ApiTest, VarintFormatWorksEndToEnd) {
   PipelineOptions options;
-  options.convert.format = kVarintExplicit;
-  const Bytes delta = create_inplace_delta(ref_, ver_, options);
+  options.format = kVarintExplicit;
+  const Bytes delta = Pipeline(options).build_inplace(ref_, ver_).delta;
   Bytes buffer = ref_;
   buffer.resize(std::max(ref_.size(), ver_.size()));
   const length_t n = apply_delta_inplace(delta, buffer);
@@ -74,22 +73,27 @@ TEST_F(ApiTest, VarintFormatWorksEndToEnd) {
 
 TEST_F(ApiTest, SequentialFormatIsSmallest) {
   // Table 1 ordering: no-write-offsets <= write-offsets <= in-place.
-  const std::size_t no_offsets = create_delta(ref_, ver_, kPaperSequential).size();
-  const std::size_t offsets = create_delta(ref_, ver_, kPaperExplicit).size();
-  const std::size_t inplace = create_inplace_delta(ref_, ver_).size();
+  const std::size_t no_offsets =
+      Pipeline({.format = kPaperSequential}).build_delta(ref_, ver_)
+          .delta.size();
+  const std::size_t offsets =
+      Pipeline({.format = kPaperExplicit}).build_delta(ref_, ver_)
+          .delta.size();
+  const std::size_t inplace =
+      Pipeline().build_inplace(ref_, ver_).delta.size();
   EXPECT_LE(no_offsets, offsets);
   EXPECT_LE(offsets, inplace + 8);  // conversion may add nothing (no cycles)
 }
 
 TEST(Api, EmptyToEmpty) {
-  const Bytes delta = create_inplace_delta({}, {});
+  const Bytes delta = Pipeline().build_inplace({}, {}).delta;
   Bytes buffer;
   EXPECT_EQ(apply_delta_inplace(delta, buffer), 0u);
 }
 
 TEST(Api, EmptyReferenceToContent) {
   const Bytes ver = test::random_bytes(5, 5000);
-  const Bytes delta = create_inplace_delta({}, ver);
+  const Bytes delta = Pipeline().build_inplace({}, ver).delta;
   Bytes buffer(ver.size());
   const length_t n = apply_delta_inplace(delta, buffer);
   EXPECT_TRUE(test::bytes_equal(ver, ByteView(buffer).first(n)));
@@ -97,7 +101,7 @@ TEST(Api, EmptyReferenceToContent) {
 
 TEST(Api, ContentToEmpty) {
   const Bytes ref = test::random_bytes(6, 5000);
-  const Bytes delta = create_inplace_delta(ref, {});
+  const Bytes delta = Pipeline().build_inplace(ref, {}).delta;
   Bytes buffer = ref;
   EXPECT_EQ(apply_delta_inplace(delta, buffer), 0u);
 }
@@ -108,11 +112,10 @@ TEST(Api, ReportSurfacesConversionStats) {
   Bytes ver(ref.begin() + 10000, ref.end());
   ver.insert(ver.end(), ref.begin(), ref.begin() + 10000);
 
-  ConvertReport report;
-  const Bytes delta = create_inplace_delta(ref, ver, {}, &report);
-  EXPECT_GT(report.copies_in, 0u);
+  const BuildResult built = Pipeline().build_inplace(ref, ver);
+  EXPECT_GT(built.report.copies_in, 0u);
   Bytes buffer = ref;
-  const length_t n = apply_delta_inplace(delta, buffer);
+  const length_t n = apply_delta_inplace(built.delta, buffer);
   EXPECT_TRUE(test::bytes_equal(ver, ByteView(buffer).first(n)));
 }
 

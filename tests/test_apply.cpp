@@ -83,7 +83,7 @@ TEST(VerifyDelta, AcceptsGoodDelta) {
   const Bytes ref = test::random_bytes(10, 8000);
   Bytes ver = ref;
   for (int i = 0; i < 1000; ++i) std::swap(ver[i], ver[i + 4000]);
-  const Bytes delta = create_inplace_delta(ref, ver);
+  const Bytes delta = Pipeline().build_inplace(ref, ver).delta;
   const VerifyResult r = verify_delta(delta, ref);
   EXPECT_TRUE(r.ok) << r.failure;
   EXPECT_TRUE(r.in_place_capable);
@@ -94,7 +94,7 @@ TEST(VerifyDelta, AcceptsGoodDelta) {
 TEST(VerifyDelta, ReportsWrongReference) {
   const Bytes ref = test::random_bytes(11, 5000);
   const Bytes ver = test::random_bytes(12, 5000);
-  const Bytes delta = create_inplace_delta(ref, ver);
+  const Bytes delta = Pipeline().build_inplace(ref, ver).delta;
 
   const Bytes short_ref(100, 0);
   const VerifyResult wrong_len = verify_delta(delta, short_ref);
@@ -113,7 +113,7 @@ TEST(VerifyDelta, ReportsWrongReference) {
 
 TEST(VerifyDelta, ReportsCorruptDeltaWithoutThrowing) {
   const Bytes ref = test::random_bytes(13, 2000);
-  Bytes delta = create_inplace_delta(ref, ref);
+  Bytes delta = Pipeline().build_inplace(ref, ref).delta;
   delta[delta.size() / 2] ^= 0xFF;
   const VerifyResult r = verify_delta(delta, ref);
   EXPECT_FALSE(r.ok);

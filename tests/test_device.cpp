@@ -154,7 +154,7 @@ class UpdaterTest : public ::testing::Test {
     Rng rng(11);
     old_image_ = generate_file(rng, 48 << 10, FileProfile::kBinary);
     new_image_ = mutate(old_image_, rng, 25);
-    delta_ = create_inplace_delta(old_image_, new_image_);
+    delta_ = Pipeline().build_inplace(old_image_, new_image_).delta;
   }
 
   Bytes old_image_;
@@ -203,7 +203,7 @@ TEST_F(UpdaterTest, WrongBaseImageFailsCrc) {
 }
 
 TEST_F(UpdaterTest, NonInplaceDeltaRejected) {
-  const Bytes plain = create_delta(old_image_, new_image_, kPaperExplicit);
+  const Bytes plain = Pipeline({.format = kPaperExplicit}).build_delta(old_image_, new_image_).delta;
   FlashDevice dev(64 << 10, 4096, 64 << 10);
   dev.load_image(old_image_);
   // A delta that merely *happens* to be conflict-free would carry the
@@ -236,7 +236,7 @@ TEST(Updater, GrowingImageUpdatesInPlace) {
   const Bytes extra = test::random_bytes(5, 4 << 10);
   new_image.insert(new_image.end(), extra.begin(), extra.end());
 
-  const Bytes delta = create_inplace_delta(old_image, new_image);
+  const Bytes delta = Pipeline().build_inplace(old_image, new_image).delta;
   FlashDevice dev(16 << 10, 1024, 64 << 10);
   dev.load_image(old_image);
   const UpdateResult r = apply_update(dev, delta, channel_56k());

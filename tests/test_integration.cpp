@@ -116,11 +116,10 @@ TEST_P(EndToEnd, WireFormatRoundTripOverCorpus) {
   PipelineOptions options;
   options.differ = param.differ;
   options.convert.policy = param.policy;
-  options.convert.format = param.format;
+  options.format = param.format;
 
   for (const VersionPair& pair : small_corpus(3)) {
-    const Bytes delta = create_inplace_delta(pair.reference, pair.version,
-                                             options);
+    const Bytes delta = Pipeline(options).build_inplace(pair.reference, pair.version).delta;
     Bytes buffer = pair.reference;
     buffer.resize(std::max(pair.reference.size(), pair.version.size()));
     const length_t n = apply_delta_inplace(delta, buffer);
@@ -160,13 +159,15 @@ TEST(Integration, ConversionGrowthIsBoundedByReportedCost) {
   // cycle-breaking cost (coalescing may claw some back; the container's
   // payload-length varint may add a byte).
   for (const VersionPair& pair : small_corpus(5)) {
-    const Bytes plain = create_delta(pair.reference, pair.version,
-                                     kPaperExplicit);
-    ConvertReport report;
-    const Bytes inplace =
-        create_inplace_delta(pair.reference, pair.version, {}, &report);
+    const Bytes plain = Pipeline({.format = kPaperExplicit})
+                            .build_delta(pair.reference, pair.version)
+                            .delta;
+    const BuildResult built =
+        Pipeline().build_inplace(pair.reference, pair.version);
+    const Bytes& inplace = built.delta;
     EXPECT_GE(inplace.size() + 2, plain.size()) << pair.name;
-    EXPECT_LE(inplace.size(), plain.size() + report.conversion_cost + 1)
+    EXPECT_LE(inplace.size(),
+              plain.size() + built.report.conversion_cost + 1)
         << pair.name;
   }
 }
@@ -190,7 +191,7 @@ TEST(Integration, VersionChainSurvivesRepeatedInplaceUpdates) {
   buffer.resize(max_size);
 
   for (const VersionPair& p : pairs) {
-    const Bytes delta = create_inplace_delta(p.reference, p.version);
+    const Bytes delta = Pipeline().build_inplace(p.reference, p.version).delta;
     const length_t n = apply_delta_inplace(delta, buffer);
     ASSERT_EQ(n, p.version.size());
     ASSERT_TRUE(test::bytes_equal(p.version, ByteView(buffer).first(n)))
@@ -233,11 +234,10 @@ TEST(Integration, RandomizedStress) {
         rng.chance(0.5) ? DifferKind::kGreedy : DifferKind::kOnePass;
     options.convert.policy = rng.chance(0.5) ? BreakPolicy::kConstantTime
                                              : BreakPolicy::kLocalMin;
-    options.convert.format =
-        rng.chance(0.5) ? kPaperExplicit : kVarintExplicit;
+    options.format = rng.chance(0.5) ? kPaperExplicit : kVarintExplicit;
     options.convert.coalesce_adds = rng.chance(0.5);
 
-    const Bytes delta = create_inplace_delta(ref, ver, options);
+    const Bytes delta = Pipeline(options).build_inplace(ref, ver).delta;
     Bytes buffer = ref;
     buffer.resize(std::max(ref.size(), ver.size()));
     const length_t n = apply_delta_inplace(delta, buffer);

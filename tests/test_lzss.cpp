@@ -151,9 +151,9 @@ TEST(LzssCodec, CompressedDeltaRoundTrips) {
 
   PipelineOptions options;
   options.compress_payload = true;
-  const Bytes compressed = create_inplace_delta(ref, ver, options);
+  const Bytes compressed = Pipeline(options).build_inplace(ref, ver).delta;
   options.compress_payload = false;
-  const Bytes plain = create_inplace_delta(ref, ver, options);
+  const Bytes plain = Pipeline(options).build_inplace(ref, ver).delta;
 
   // Swapped text regions mean literal-free deltas can be tiny; compare
   // against a delta with real add data instead.
@@ -175,9 +175,9 @@ TEST(LzssCodec, CompressionShrinksAddHeavyDeltas) {
   const Bytes ver = generate_file(rng, 50000, FileProfile::kText);
   PipelineOptions options;
   options.compress_payload = true;
-  const Bytes compressed = create_inplace_delta({}, ver, options);
+  const Bytes compressed = Pipeline(options).build_inplace({}, ver).delta;
   options.compress_payload = false;
-  const Bytes plain = create_inplace_delta({}, ver, options);
+  const Bytes plain = Pipeline(options).build_inplace({}, ver).delta;
   EXPECT_LT(compressed.size(), plain.size() * 8 / 10);
 
   Bytes buffer(ver.size());
@@ -190,7 +190,7 @@ TEST(LzssCodec, StreamingApplierRejectsCompressedPayload) {
   const Bytes ver = generate_file(rng, 5000, FileProfile::kText);
   PipelineOptions options;
   options.compress_payload = true;
-  const Bytes delta = create_inplace_delta({}, ver, options);
+  const Bytes delta = Pipeline(options).build_inplace({}, ver).delta;
   Bytes buffer(ver.size());
   EXPECT_THROW(apply_delta_inplace_streaming(delta, buffer, 64),
                ValidationError);
@@ -201,7 +201,7 @@ TEST(LzssCodec, CorruptCompressedPayloadRejected) {
   const Bytes ver = generate_file(rng, 5000, FileProfile::kText);
   PipelineOptions options;
   options.compress_payload = true;
-  Bytes delta = create_inplace_delta({}, ver, options);
+  Bytes delta = Pipeline(options).build_inplace({}, ver).delta;
   delta[delta.size() / 2] ^= 0x10;
   Bytes buffer(ver.size());
   EXPECT_THROW(apply_delta_inplace(delta, buffer), FormatError);

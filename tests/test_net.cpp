@@ -258,7 +258,7 @@ struct LoopbackRig {
   std::vector<Bytes> history;
 
   explicit LoopbackRig(std::size_t releases, std::uint64_t seed = 33,
-                       const NetServerOptions& net = {}) {
+                       const ServerConfig& net = {}) {
     history = make_history(releases, seed);
     for (const Bytes& body : history) store.publish(body);
     service = std::make_unique<DeltaService>(store, ServiceOptions{});

@@ -52,7 +52,7 @@ struct TcpRig {
   bool skipped = false;
 
   explicit TcpRig(std::size_t releases, std::uint64_t seed = 71,
-                  NetServerOptions net = {},
+                  ServerConfig net = {},
                   std::size_t edits_per_release = 25) {
     history = make_history(releases, seed, edits_per_release);
     for (const Bytes& body : history) store.publish(body);
@@ -346,9 +346,9 @@ TEST(NetE2E, RestartedServerAcceptsConnectionsAgain) {
             std::string::npos);
 }
 
-TEST(NetE2E, ConnectionLimitRejectsWithBusyAndRecovers) {
-  NetServerOptions net;
-  net.max_sessions = 1;
+TEST(NetE2E, ConnectionLimitShedsWithTypedErrorAndRecovers) {
+  ServerConfig net;
+  net.max_connections = 1;
   TcpRig rig(2, /*seed=*/73, net);
   SKIP_IF_NO_SOCKETS(rig);
 
@@ -358,16 +358,17 @@ TEST(NetE2E, ConnectionLimitRejectsWithBusyAndRecovers) {
   held.send(HelloMsg{});
   ASSERT_TRUE(std::holds_alternative<HelloAckMsg>(*held.receive()));
 
-  // Second connection: typed busy error, then the server hangs up.
+  // Second connection: the reactor sheds it at accept with a typed
+  // ERROR{kShed} and hangs up — never a silent stall.
   {
     auto second = TcpTransport::connect("127.0.0.1", rig.server->port());
     FramedConnection conn(*second);
-    conn.send(HelloMsg{});
     const std::optional<Message> reply = conn.receive();
     ASSERT_TRUE(reply.has_value());
-    EXPECT_EQ(std::get<ErrorMsg>(*reply).code, ErrorCode::kBusy);
+    EXPECT_EQ(std::get<ErrorMsg>(*reply).code, ErrorCode::kShed);
   }
   EXPECT_GE(rig.service->metrics().net_rejected.load(), 1u);
+  EXPECT_GE(rig.service->metrics().net_shed.load(), 1u);
 
   // Free the slot. The server notices the hang-up asynchronously, so
   // poll: fetch_metrics() throws retryable errors while the slot is

@@ -26,7 +26,7 @@ Fixture make_fixture(std::uint64_t seed = 21) {
   f.ver = f.ref;
   for (int i = 0; i < 3000; ++i) std::swap(f.ver[i], f.ver[i + 10000]);
   f.ver[4000] ^= 0xA5;
-  f.delta = create_inplace_delta(f.ref, f.ver);
+  f.delta = Pipeline().build_inplace(f.ref, f.ver).delta;
   return f;
 }
 

@@ -1,9 +1,10 @@
-// ipd::Pipeline (src/ipdelta.hpp): the unified build API. Covers the
-// BuildResult contract, wrapper equivalence with the legacy one-shot
-// functions, format resolution (including the legacy convert.format
-// migration shim), and the full determinism matrix — every differ ×
-// format × cycle policy builds byte-identical deltas at parallelism
-// 1, 2 and 8.
+// ipd::Pipeline (src/ipdelta.hpp): the unified build API — the ONLY
+// build entry point since the legacy create_delta/create_inplace_delta
+// wrappers were removed. Covers the BuildResult contract, format
+// resolution (PipelineOptions::format is the single source of format
+// truth; convert.format is never read from the caller), and the full
+// determinism matrix — every differ × format × cycle policy builds
+// byte-identical deltas at parallelism 1, 2 and 8.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -81,25 +82,6 @@ TEST(Pipeline, ApplyDispatchesOnHeaderFlag) {
   EXPECT_THROW(pipeline.apply(Bytes{0x00}, ref), FormatError);
 }
 
-TEST(Pipeline, LegacyWrappersAreThinAndIdentical) {
-  Bytes ref;
-  const Bytes ver = versioned_pair(4, 48 << 10, &ref);
-  const PipelineOptions options;  // defaults on both paths
-
-  EXPECT_EQ(create_delta(ref, ver),
-            Pipeline(options).build_delta(ref, ver).delta);
-  EXPECT_EQ(create_delta(ref, ver, kVarintSequential),
-            Pipeline({.format = kVarintSequential}).build_delta(ref, ver).delta);
-
-  ConvertReport legacy_report;
-  const Bytes legacy = create_inplace_delta(ref, ver, options, &legacy_report);
-  const BuildResult modern = Pipeline(options).build_inplace(ref, ver);
-  EXPECT_EQ(legacy, modern.delta);
-  EXPECT_EQ(legacy_report.copies_in, modern.report.copies_in);
-  EXPECT_EQ(legacy_report.edges, modern.report.edges);
-  EXPECT_EQ(legacy_report.copies_converted, modern.report.copies_converted);
-}
-
 TEST(Pipeline, FormatResolution) {
   Bytes ref;
   const Bytes ver = versioned_pair(5, 32 << 10, &ref);
@@ -114,13 +96,16 @@ TEST(Pipeline, FormatResolution) {
   ASSERT_TRUE(inplace.has_value());
   EXPECT_EQ(inplace->first.format, kVarintExplicit);
 
-  // Migration shim: a legacy caller who set only convert.format keeps
-  // getting exactly that encoding while `format` stays at its default.
-  PipelineOptions legacy;
-  legacy.convert.format = kVarintExplicit;
-  auto shimmed = try_parse_header(Pipeline(legacy).build_inplace(ref, ver).delta);
-  ASSERT_TRUE(shimmed.has_value());
-  EXPECT_EQ(shimmed->first.format, kVarintExplicit);
+  // The legacy convert.format shim is gone: a caller-set convert.format
+  // is ignored — PipelineOptions::format alone picks the encoding, for
+  // build_delta and build_inplace alike.
+  PipelineOptions stale;
+  stale.convert.format = kVarintExplicit;  // must have no effect
+  auto unshimmed =
+      try_parse_header(Pipeline(stale).build_inplace(ref, ver).delta);
+  ASSERT_TRUE(unshimmed.has_value());
+  EXPECT_EQ(unshimmed->first.format, kPaperExplicit)
+      << "convert.format leaked into the emitted encoding";
 }
 
 TEST(Pipeline, SharedPoolCapsParallelism) {

@@ -66,7 +66,7 @@ class PipelineMatrix : public ::testing::TestWithParam<MatrixCase> {
     PipelineOptions o;
     o.differ = c.differ;
     o.convert.policy = c.policy;
-    o.convert.format = DeltaFormat{c.codeword, WriteOffsets::kExplicit};
+    o.format = DeltaFormat{c.codeword, WriteOffsets::kExplicit};
     o.convert.coalesce_adds = c.coalesce;
     o.compress_payload = c.compress;
     return o;
@@ -109,7 +109,7 @@ INSTANTIATE_TEST_SUITE_P(Matrix, PipelineMatrix,
 
 TEST_P(PipelineMatrix, BatchApply) {
   for (const auto& load : workloads()) {
-    const Bytes delta = create_inplace_delta(load.ref, load.ver, options());
+    const Bytes delta = Pipeline(options()).build_inplace(load.ref, load.ver).delta;
     Bytes buffer = load.ref;
     buffer.resize(std::max(load.ref.size(), load.ver.size()));
     const length_t n = apply_delta_inplace(delta, buffer);
@@ -124,7 +124,7 @@ TEST_P(PipelineMatrix, StreamingApplyWhenUncompressed) {
     GTEST_SKIP() << "streaming rejects compressed payloads by design";
   }
   for (const auto& load : workloads()) {
-    const Bytes delta = create_inplace_delta(load.ref, load.ver, options());
+    const Bytes delta = Pipeline(options()).build_inplace(load.ref, load.ver).delta;
     Bytes buffer = load.ref;
     buffer.resize(std::max(load.ref.size(), load.ver.size()));
     const length_t n = apply_delta_inplace_streaming(delta, buffer, 333);
@@ -136,7 +136,7 @@ TEST_P(PipelineMatrix, StreamingApplyWhenUncompressed) {
 TEST_P(PipelineMatrix, DeviceUpdater) {
   const auto loads = workloads();
   const auto& load = loads[1];  // binary-mutate fits the device nicely
-  const Bytes delta = create_inplace_delta(load.ref, load.ver, options());
+  const Bytes delta = Pipeline(options()).build_inplace(load.ref, load.ver).delta;
   FlashDevice dev(64 << 10, 1024, delta.size() + (16 << 10));
   dev.load_image(load.ref);
   const UpdateResult r = apply_update(dev, delta, channel_56k());
@@ -148,7 +148,7 @@ TEST_P(PipelineMatrix, DeviceUpdater) {
 TEST_P(PipelineMatrix, JournaledUpdaterWithMidwayCrash) {
   const auto loads = workloads();
   const auto& load = loads[0];  // text-swap: conversion-heavy
-  const Bytes delta = create_inplace_delta(load.ref, load.ver, options());
+  const Bytes delta = Pipeline(options()).build_inplace(load.ref, load.ver).delta;
 
   const std::size_t image_area = 48 << 10;
   const JournalRegion journal{image_area, 16 << 10};

@@ -125,7 +125,7 @@ TEST(PlannerConcurrency, ConcurrentSeedAndPlan) {
   std::vector<Bytes> artifacts;
   for (std::size_t i = 0; i + 1 < history.size(); ++i) {
     artifacts.push_back(
-        create_inplace_delta(*history[i], *history[i + 1]));
+        Pipeline().build_inplace(*history[i], *history[i + 1]).delta);
   }
 
   std::thread seeder([&] {

@@ -30,7 +30,7 @@ Fixture make_fixture(std::uint64_t seed = 31) {
   // Guarantee self-overlapping copies: shift a large region forward.
   std::copy(f.v2.begin() + 1000, f.v2.begin() + 30000, f.v2.begin() + 1500);
   f.v2 = mutate(f.v2, rng, 10);
-  f.delta = create_inplace_delta(f.v1, f.v2);
+  f.delta = Pipeline().build_inplace(f.v1, f.v2).delta;
   return f;
 }
 
@@ -149,7 +149,7 @@ TEST(ResumableUpdater, JournalRegionValidation) {
 
 TEST(ResumableUpdater, RejectsNonInplaceDelta) {
   const Fixture f = make_fixture();
-  const Bytes plain = create_delta(f.v1, f.v2, kPaperExplicit);
+  const Bytes plain = Pipeline({.format = kPaperExplicit}).build_delta(f.v1, f.v2).delta;
   if (deserialize_delta(plain).in_place) {
     GTEST_SKIP() << "delta happened to be conflict-free";
   }

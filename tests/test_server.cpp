@@ -272,7 +272,7 @@ TEST(Fingerprint, SensitiveToEveryPipelineKnob) {
   PipelineOptions policy = base;
   policy.convert.policy = BreakPolicy::kConstantTime;
   PipelineOptions codeword = base;
-  codeword.convert.format.codeword = Codeword::kVarint;
+  codeword.format.codeword = Codeword::kVarint;
   PipelineOptions compress = base;
   compress.compress_payload = true;
   for (const PipelineOptions& variant :
@@ -317,7 +317,7 @@ TEST(DeltaService, ServedDeltaIsBitIdenticalToDirectBuild) {
 
   const ServeResult served = service.serve(0, 1);
   const Bytes direct =
-      create_inplace_delta(history[0], history[1], options.pipeline);
+      Pipeline(options.pipeline).build_inplace(history[0], history[1]).delta;
   ASSERT_EQ(served.steps.size(), 1u);
   EXPECT_TRUE(test::bytes_equal(direct, *served.steps[0].bytes));
 }

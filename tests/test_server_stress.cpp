@@ -54,7 +54,7 @@ TEST(ServerStress, FewPairsManyThreadsBuildExactlyOnce) {
   std::vector<Bytes> expected;
   for (const auto& [from, to] : pairs) {
     expected.push_back(
-        create_inplace_delta(history[from], history[to], options.pipeline));
+        Pipeline(options.pipeline).build_inplace(history[from], history[to]).delta);
   }
 
   std::atomic<std::size_t> mismatches{0};
@@ -75,7 +75,7 @@ TEST(ServerStress, FewPairsManyThreadsBuildExactlyOnce) {
   }
   for (auto& thread : threads) thread.join();
 
-  // Bit-identical with a direct create_inplace_delta() on every serve.
+  // Bit-identical with a direct Pipeline::build_inplace on every serve.
   EXPECT_EQ(mismatches.load(), 0u);
 
   const ServiceMetrics& m = service.metrics();

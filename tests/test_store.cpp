@@ -400,7 +400,7 @@ TEST_F(StoreTest, PlannerRejectsMismatchedSeed) {
   }
   UpgradePlanner planner(bodies);
   // A delta for 0 -> 2 offered as the 0 -> 1 edge: endpoint mismatch.
-  const Bytes wrong = create_inplace_delta(history[0], history[2]);
+  const Bytes wrong = Pipeline().build_inplace(history[0], history[2]).delta;
   EXPECT_THROW(planner.seed_edge(0, 1, wrong), ValidationError);
   EXPECT_THROW(planner.seed_edge(0, 1, random_bytes(1, 64)),
                ValidationError);

@@ -24,7 +24,7 @@ Fixture make_fixture(std::uint64_t seed = 11) {
   // Swap two blocks to force conflicts/cycles, then tweak.
   for (int i = 0; i < 3000; ++i) std::swap(f.ver[i], f.ver[i + 10000]);
   f.ver[5000] ^= 0xFF;
-  f.delta = create_inplace_delta(f.ref, f.ver);
+  f.delta = Pipeline().build_inplace(f.ref, f.ver).delta;
   return f;
 }
 
@@ -93,7 +93,7 @@ TEST(StreamApplier, HeaderAvailableBeforePayload) {
 
 TEST(StreamApplier, RejectsNonInplaceDelta) {
   const Fixture f = make_fixture();
-  const Bytes plain = create_delta(f.ref, f.ver, kPaperExplicit);
+  const Bytes plain = Pipeline({.format = kPaperExplicit}).build_delta(f.ref, f.ver).delta;
   const DeltaFile parsed = deserialize_delta(plain);
   if (parsed.in_place) {
     GTEST_SKIP() << "delta happened to be conflict-free";
@@ -107,7 +107,7 @@ TEST(StreamApplier, OptionAllowsUnflaggedConflictFreeDelta) {
   // An all-add delta is trivially safe; with the flag requirement off
   // and conflict checking on, it streams fine.
   const Bytes ver = test::random_bytes(3, 600);
-  const Bytes delta = create_delta({}, ver, kVarintExplicit);
+  const Bytes delta = Pipeline({.format = kVarintExplicit}).build_delta({}, ver).delta;
   Bytes buffer(ver.size());
   StreamApplyOptions options;
   options.require_inplace_flag = false;
@@ -143,7 +143,7 @@ TEST(StreamApplier, CorruptPayloadFailsAdlerAtEnd) {
   // byte parses fine and applies, and the payload adler catches it at
   // completion.
   const Bytes ver = test::random_bytes(9, 4000);
-  Bytes delta = create_inplace_delta({}, ver);
+  Bytes delta = Pipeline().build_inplace({}, ver).delta;
   delta[delta.size() / 2] ^= 0x01;
   Bytes buffer(ver.size());
   StreamingInplaceApplier applier(buffer);
@@ -193,14 +193,14 @@ TEST(StreamApplier, ZeroChunkSizeRejected) {
 }
 
 TEST(StreamApplier, EmptyDeltaForEmptyFiles) {
-  const Bytes delta = create_inplace_delta({}, {});
+  const Bytes delta = Pipeline().build_inplace({}, {}).delta;
   Bytes buffer;
   EXPECT_EQ(apply_delta_inplace_streaming(delta, buffer, 3), 0u);
 }
 
 TEST(StreamApplier, MatchesBatchApplierAcrossCorpus) {
   for (const VersionPair& pair : small_corpus(21)) {
-    const Bytes delta = create_inplace_delta(pair.reference, pair.version);
+    const Bytes delta = Pipeline().build_inplace(pair.reference, pair.version).delta;
     Bytes batch = pair.reference;
     batch.resize(std::max(pair.reference.size(), pair.version.size()));
     apply_delta_inplace(delta, batch);

@@ -36,7 +36,7 @@ Fixture make_fixture(std::uint64_t seed = 31) {
   // Guarantee self-overlapping copies: shift a large region forward.
   std::copy(f.v2.begin() + 1000, f.v2.begin() + 30000, f.v2.begin() + 1500);
   f.v2 = mutate(f.v2, rng, 10);
-  f.delta = create_inplace_delta(f.v1, f.v2);
+  f.delta = Pipeline().build_inplace(f.v1, f.v2).delta;
   f.info.artifact_crc = crc32c(f.delta);
   f.info.artifact_size = f.delta.size();
   f.info.full_image = false;
@@ -296,7 +296,7 @@ TEST(StreamUpdater, DoneRecordSurvivesNextArtifactsTornFirstRecord) {
   // Next hop: delta from v2 to v3.
   Rng rng(99);
   Bytes v3 = mutate(f.v2, rng, 6);
-  const Bytes delta2 = create_inplace_delta(f.v2, v3);
+  const Bytes delta2 = Pipeline().build_inplace(f.v2, v3).delta;
   StreamArtifactInfo info2;
   info2.artifact_crc = crc32c(delta2);
   info2.artifact_size = delta2.size();
@@ -335,7 +335,7 @@ TEST(StreamUpdater, RejectsBadArtifactsBeforeFlashWrites) {
   const Fixture f = make_fixture();
   // Not in-place.
   {
-    const Bytes plain = create_delta(f.v1, f.v2, kPaperExplicit);
+    const Bytes plain = Pipeline({.format = kPaperExplicit}).build_delta(f.v1, f.v2).delta;
     if (!deserialize_delta(plain).in_place) {
       FlashDevice dev = make_device(f.v1);
       StreamArtifactInfo info;

@@ -72,7 +72,7 @@ TEST(UpgradePlanner, NeverWorseThanDirectDelta) {
   UpgradePlanner planner(views(history), options);
   const UpgradePlan plan = planner.plan(0, 6);
 
-  const Bytes direct = create_inplace_delta(history[0], history[6]);
+  const Bytes direct = Pipeline().build_inplace(history[0], history[6]).delta;
   EXPECT_LE(plan.total_bytes,
             direct.size() + 7 * options.per_hop_overhead);
 }
@@ -201,7 +201,7 @@ TEST(UpgradePlanner, PicksChainWhenDirectDeltaIsBloated) {
   std::uint64_t adjacent_total = 0;
   for (std::size_t i = 0; i < 6; ++i) {
     adjacent_total +=
-        create_inplace_delta(history[i], history[i + 1]).size() +
+        Pipeline().build_inplace(history[i], history[i + 1]).delta.size() +
         options.per_hop_overhead;
   }
   EXPECT_LE(plan.total_bytes, adjacent_total);

@@ -312,12 +312,11 @@ TEST(VerifyClean, EveryPipelineMatrixDeltaVerifiesClean) {
           PipelineOptions options;
           options.differ = differ;
           options.convert.policy = policy;
-          options.convert.format =
-              DeltaFormat{codeword, WriteOffsets::kExplicit};
+          options.format = DeltaFormat{codeword, WriteOffsets::kExplicit};
           options.compress_payload = compress;
           for (const Load& load : loads) {
             const Bytes delta =
-                create_inplace_delta(load.ref, load.ver, options);
+                Pipeline(options).build_inplace(load.ref, load.ver).delta;
             const Report r = verifier.check(delta);
             EXPECT_TRUE(r.well_formed);
             EXPECT_TRUE(r.in_place_safe);
@@ -337,7 +336,7 @@ TEST(VerifyClean, ScratchDeltasVerifyCleanToo) {
   for (const DeltaFormat format :
        {kPaperSequential, kPaperExplicit, kVarintSequential,
         kVarintExplicit}) {
-    const Bytes delta = create_delta(ref, ver, format);
+    const Bytes delta = Pipeline({.format = format}).build_delta(ref, ver).delta;
     const Report r = Verifier().check(delta);
     EXPECT_TRUE(r.well_formed) << format_name(format);
     EXPECT_TRUE(r.ok()) << format_name(format) << "\n" << r.to_text();
@@ -352,9 +351,9 @@ TEST(VerifyClean, VerdictAgreesWithTheDynamicOracleAcrossTheCorpus) {
     for (const bool in_place : {false, true}) {
       Bytes delta;
       if (in_place) {
-        delta = create_inplace_delta(pair.reference, pair.version);
+        delta = Pipeline().build_inplace(pair.reference, pair.version).delta;
       } else {
-        delta = create_delta(pair.reference, pair.version, kVarintExplicit);
+        delta = Pipeline({.format = kVarintExplicit}).build_delta(pair.reference, pair.version).delta;
       }
       const Report r = verifier.check(delta);
       ASSERT_TRUE(r.well_formed) << pair.name;
@@ -404,7 +403,7 @@ TEST(VerifyGates, DeltaCacheRefusesUnsafeArtifacts) {
   const Bytes ref = generate_file(rng, 8000, FileProfile::kBinary);
   const Bytes ver = mutate(ref, rng, 10);
   auto good =
-      std::make_shared<const Bytes>(create_inplace_delta(ref, ver));
+      std::make_shared<const Bytes>(Pipeline().build_inplace(ref, ver).delta);
   EXPECT_TRUE(cache.put(key, good));
   EXPECT_NE(cache.get(key), nullptr);
 }
@@ -454,14 +453,13 @@ TEST_F(VerifyPreload, WrongEndpointsAreRefusedEvenWhenSafe) {
   // Structurally perfect delta for the REVERSE hop: header lengths/crc
   // do not match (0 -> 1), so it must not be admitted for that key.
   const Bytes reversed =
-      create_inplace_delta(*store_.body(1), *store_.body(0));
+      Pipeline().build_inplace(*store_.body(1), *store_.body(0)).delta;
   EXPECT_FALSE(service_->preload(0, 1, reversed));
   EXPECT_EQ(service_->metrics().verify_rejects.load(), 1u);
 }
 
 TEST_F(VerifyPreload, GenuineOfflineArtifactIsAdmittedAndServedFromCache) {
-  const Bytes offline = create_inplace_delta(
-      *store_.body(0), *store_.body(1), service_->options().pipeline);
+  const Bytes offline = Pipeline(service_->options().pipeline).build_inplace(*store_.body(0), *store_.body(1)).delta;
   EXPECT_TRUE(service_->preload(0, 1, offline));
   EXPECT_EQ(service_->metrics().verify_rejects.load(), 0u);
   const ServeResult result = service_->serve(0, 1);
